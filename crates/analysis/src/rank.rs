@@ -1,0 +1,170 @@
+//! Exact rank and quantile oracle.
+//!
+//! The experiments grade every gossip output against the ground truth computed
+//! centrally from the input multiset. Ranks are 1-based and quantiles follow
+//! the paper's definition: the φ-quantile is the `⌈φ·n⌉`-th smallest value.
+
+use gossip_net::NodeValue;
+
+/// An exact rank oracle over a multiset of values.
+#[derive(Debug, Clone)]
+pub struct RankOracle<V> {
+    sorted: Vec<V>,
+}
+
+impl<V: NodeValue> RankOracle<V> {
+    /// Builds the oracle (O(n log n) centrally; this is measurement machinery,
+    /// not part of any gossip algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: &[V]) -> Self {
+        assert!(!values.is_empty(), "rank oracle needs at least one value");
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        RankOracle { sorted }
+    }
+
+    /// Number of values.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// The number of values `≤ x` (the 1-based rank of `x` if present).
+    pub fn rank(&self, x: &V) -> usize {
+        self.sorted.partition_point(|v| v <= x)
+    }
+
+    /// The number of values `< x`.
+    pub fn rank_strictly_below(&self, x: &V) -> usize {
+        self.sorted.partition_point(|v| v < x)
+    }
+
+    /// The exact φ-quantile: the `⌈φ·n⌉`-th smallest value (clamped to `[1, n]`).
+    pub fn quantile(&self, phi: f64) -> V {
+        let n = self.sorted.len();
+        let rank = ((phi * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// The quantile position of `x` in `[0, 1]`: `rank(x) / n`.
+    pub fn quantile_of(&self, x: &V) -> f64 {
+        self.rank(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The signed quantile error of `output` against the φ-quantile target.
+    ///
+    /// With ties, `output` occupies the whole rank interval
+    /// `[#{< output}+1, #{≤ output}]`; the error is measured from the point of
+    /// that interval closest to the target rank `⌈φ·n⌉` (so an exact quantile
+    /// reports an error of 0), normalised by `n`.
+    pub fn quantile_error(&self, output: &V, phi: f64) -> f64 {
+        let n = self.sorted.len() as f64;
+        let target = (phi * n).ceil().clamp(1.0, n);
+        let lo = self.rank_strictly_below(output) as f64 + 1.0;
+        let hi = self.rank(output) as f64;
+        if target < lo {
+            (lo - target) / n
+        } else if target > hi {
+            (hi - target) / n
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether `output` solves the ε-approximate φ-quantile problem: some rank
+    /// it occupies lies in `[(φ−ε)n, (φ+ε)n]`.
+    pub fn within_epsilon(&self, output: &V, phi: f64, epsilon: f64) -> bool {
+        let n = self.sorted.len() as f64;
+        let lo = self.rank_strictly_below(output) as f64 + 1.0;
+        let hi = self.rank(output) as f64;
+        hi >= ((phi - epsilon) * n).floor() && lo <= ((phi + epsilon) * n).ceil()
+    }
+
+    /// The worst absolute quantile error over a set of per-node outputs.
+    pub fn worst_error(&self, outputs: &[V], phi: f64) -> f64 {
+        outputs.iter().map(|o| self.quantile_error(o, phi).abs()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_input_panics() {
+        let _ = RankOracle::<u64>::new(&[]);
+    }
+
+    #[test]
+    fn rank_and_quantile_match_sorted_order() {
+        let values = vec![50u64, 10, 40, 20, 30];
+        let oracle = RankOracle::new(&values);
+        assert_eq!(oracle.n(), 5);
+        assert_eq!(oracle.rank(&10), 1);
+        assert_eq!(oracle.rank(&35), 3);
+        assert_eq!(oracle.rank(&50), 5);
+        assert_eq!(oracle.rank(&5), 0);
+        assert_eq!(oracle.quantile(0.0), 10);
+        assert_eq!(oracle.quantile(0.5), 30);
+        assert_eq!(oracle.quantile(1.0), 50);
+        assert_eq!(oracle.quantile_of(&30), 0.6);
+    }
+
+    #[test]
+    fn duplicate_values_are_handled() {
+        let values = vec![7u64, 7, 7, 1, 9];
+        let oracle = RankOracle::new(&values);
+        assert_eq!(oracle.rank(&7), 4);
+        assert_eq!(oracle.quantile(0.5), 7);
+        assert!(oracle.within_epsilon(&7, 0.5, 0.0));
+    }
+
+    #[test]
+    fn within_epsilon_accepts_the_band_and_rejects_outside() {
+        let values: Vec<u64> = (1..=100).collect();
+        let oracle = RankOracle::new(&values);
+        assert!(oracle.within_epsilon(&50, 0.5, 0.0));
+        assert!(oracle.within_epsilon(&45, 0.5, 0.05));
+        assert!(!oracle.within_epsilon(&40, 0.5, 0.05));
+        assert_eq!(oracle.worst_error(&[50, 55, 45], 0.5), 0.05);
+    }
+
+    #[test]
+    fn quantile_error_is_zero_for_exact_answers() {
+        let values: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let oracle = RankOracle::new(&values);
+        for phi in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let q = oracle.quantile(phi);
+            assert_eq!(oracle.quantile_error(&q, phi), 0.0, "phi = {phi}");
+        }
+    }
+
+    proptest! {
+        /// The oracle's quantile always equals the value found by sorting.
+        #[test]
+        fn prop_quantile_matches_sort(values in proptest::collection::vec(0u64..10_000, 1..300), phi in 0.0f64..=1.0) {
+            let oracle = RankOracle::new(&values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((phi * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            prop_assert_eq!(oracle.quantile(phi), sorted[rank - 1]);
+        }
+
+        /// Rank is monotone and bounded by n.
+        #[test]
+        fn prop_rank_monotone(values in proptest::collection::vec(0u64..1000, 1..200)) {
+            let oracle = RankOracle::new(&values);
+            let mut prev = 0;
+            for x in 0..1000u64 {
+                let r = oracle.rank(&x);
+                prop_assert!(r >= prev);
+                prop_assert!(r <= values.len());
+                prev = r;
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-width table and CSV emitters.
+//!
+//! The `reproduce` binary prints one table per experiment; EXPERIMENTS.md is
+//! assembled from these tables. CSV output is provided for plotting.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn add_row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {c:<w$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<1$}|", "", w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// A minimal CSV writer (comma-separated, quotes fields containing commas).
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// Creates a CSV document with a header row.
+    pub fn new(headers: &[&str]) -> Self {
+        let mut csv = Csv::default();
+        csv.push_row(headers);
+        csv
+    }
+
+    /// Appends a row of string-ish fields.
+    pub fn push_row<S: AsRef<str>>(&mut self, fields: &[S]) -> &mut Self {
+        let encoded: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                let f = f.as_ref();
+                if f.contains(',') || f.contains('"') {
+                    format!("\"{}\"", f.replace('"', "\"\""))
+                } else {
+                    f.to_string()
+                }
+            })
+            .collect();
+        self.lines.push(encoded.join(","));
+        self
+    }
+
+    /// Renders the document.
+    pub fn render(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// Number of rows including the header.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the document is empty (no header, no rows).
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("E1: exact quantile", &["n", "rounds", "answer ok"]);
+        t.add_row(&["1024".into(), "210".into(), "yes".into()]);
+        t.add_row(&["1048576".into(), "460".into(), "yes".into()]);
+        let out = t.render();
+        assert!(out.contains("## E1: exact quantile"));
+        assert!(out.contains("| n       | rounds | answer ok |"));
+        assert!(out.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(&["only one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let mut c = Csv::new(&["name", "value"]);
+        c.push_row(&["plain", "1"]);
+        c.push_row(&["with, comma", "2"]);
+        c.push_row(&["with \"quote\"", "3"]);
+        let out = c.render();
+        assert!(out.starts_with("name,value\n"));
+        assert!(out.contains("\"with, comma\",2"));
+        assert!(out.contains("\"with \"\"quote\"\"\",3"));
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+}

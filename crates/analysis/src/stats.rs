@@ -1,0 +1,117 @@
+//! Summary statistics over repeated trials.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 observations).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Median observation.
+    pub median: f64,
+    /// 95th-percentile observation.
+    pub p95: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        assert!(values.iter().all(|v| !v.is_nan()), "sample contains NaN");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let pick = |q: f64| sorted[((q * (count as f64 - 1.0)).floor() as usize).min(count - 1)];
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: pick(0.5),
+            p95: pick(0.95),
+            max: sorted[count - 1],
+        }
+    }
+
+    /// Convenience for integer samples (e.g. round counts).
+    pub fn of_u64(values: &[u64]) -> Summary {
+        let as_f: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&as_f)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.2} ± {:.2} (min {:.2}, median {:.2}, p95 {:.2}, max {:.2}, n={})",
+            self.mean, self.std_dev, self.min, self.median, self.p95, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.std_dev - 1.5811).abs() < 1e-3);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn of_u64_and_display() {
+        let s = Summary::of_u64(&[10, 20, 30]);
+        assert_eq!(s.mean, 20.0);
+        let text = s.to_string();
+        assert!(text.contains("mean 20.00"));
+        assert!(text.contains("n=3"));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&values);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p95, 95.0);
+    }
+}

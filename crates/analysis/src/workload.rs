@@ -1,0 +1,165 @@
+//! Input-value generators for the experiments.
+//!
+//! The quantile algorithms are distribution-free — they only compare values —
+//! but the experiments exercise them on several shapes anyway to demonstrate
+//! that the round counts and accuracy are insensitive to the input
+//! distribution, including adversarially ordered and heavily tied inputs.
+
+use gossip_net::SeedSequence;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A named input-value distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// A random permutation of `0..n` scaled by a constant (all values distinct).
+    UniformDistinct,
+    /// Independent uniform draws from a domain much smaller than `n`
+    /// (many ties).
+    HeavyTies,
+    /// A Zipf-like heavy-tailed distribution (most values tiny, a few huge).
+    HeavyTail,
+    /// Two tight clusters far apart (stress-tests quantiles near the gap).
+    Bimodal,
+    /// Sorted ramp assigned to node ids in order — the "adversarial" placement
+    /// in which node id correlates perfectly with rank.
+    SortedRamp,
+    /// A smooth synthetic sensor temperature field with hot spots (the
+    /// motivating scenario in the paper's introduction).
+    SensorField,
+}
+
+impl Workload {
+    /// All workloads, for sweep-style experiments.
+    pub fn all() -> [Workload; 6] {
+        [
+            Workload::UniformDistinct,
+            Workload::HeavyTies,
+            Workload::HeavyTail,
+            Workload::Bimodal,
+            Workload::SortedRamp,
+            Workload::SensorField,
+        ]
+    }
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::UniformDistinct => "uniform-distinct",
+            Workload::HeavyTies => "heavy-ties",
+            Workload::HeavyTail => "heavy-tail",
+            Workload::Bimodal => "bimodal",
+            Workload::SortedRamp => "sorted-ramp",
+            Workload::SensorField => "sensor-field",
+        }
+    }
+
+    /// Generates `n` values for this workload from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(SeedSequence::new(seed).fork(7).next_seed());
+        match self {
+            Workload::UniformDistinct => {
+                let mut values: Vec<u64> = (0..n as u64).map(|i| i * 1000 + 13).collect();
+                // Fisher–Yates shuffle so node id is independent of rank.
+                for i in (1..values.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    values.swap(i, j);
+                }
+                values
+            }
+            Workload::HeavyTies => {
+                let domain = (n as u64 / 50).max(2);
+                (0..n).map(|_| rng.gen_range(0..domain)).collect()
+            }
+            Workload::HeavyTail => (0..n)
+                .map(|_| {
+                    // Discrete Pareto-ish: value = floor(1/u^2) capped.
+                    let u: f64 = rng.gen_range(1e-6..1.0);
+                    ((1.0 / (u * u)) as u64).min(1_000_000_000)
+                })
+                .collect(),
+            Workload::Bimodal => (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        rng.gen_range(0..1000)
+                    } else {
+                        rng.gen_range(1_000_000..1_001_000)
+                    }
+                })
+                .collect(),
+            Workload::SortedRamp => (0..n as u64).map(|i| i * 7 + 3).collect(),
+            Workload::SensorField => (0..n)
+                .map(|i| {
+                    // Base temperature 20.00°C with two hot spots along a line
+                    // of sensors, plus measurement noise; stored in centi-°C.
+                    let x = i as f64 / n.max(1) as f64;
+                    let hot1 = 8.0 * (-((x - 0.3) * 20.0).powi(2)).exp();
+                    let hot2 = 15.0 * (-((x - 0.8) * 30.0).powi(2)).exp();
+                    let noise: f64 = rng.gen_range(-0.5..0.5);
+                    ((20.0 + hot1 + hot2 + noise) * 100.0) as u64
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_workload_generates_n_values_deterministically() {
+        for w in Workload::all() {
+            let a = w.generate(500, 42);
+            let b = w.generate(500, 42);
+            let c = w.generate(500, 43);
+            assert_eq!(a.len(), 500, "{}", w.name());
+            assert_eq!(a, b, "{} not deterministic", w.name());
+            if w != Workload::SortedRamp {
+                assert_ne!(a, c, "{} ignores the seed", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_distinct_is_distinct_and_shuffled() {
+        let v = Workload::UniformDistinct.generate(2000, 7);
+        let set: HashSet<u64> = v.iter().copied().collect();
+        assert_eq!(set.len(), 2000);
+        // Shuffled: the first 100 node ids should not all hold the 100 smallest values.
+        let small = v.iter().take(100).filter(|&&x| x < 100 * 1000).count();
+        assert!(small < 50);
+    }
+
+    #[test]
+    fn heavy_ties_has_many_duplicates() {
+        let v = Workload::HeavyTies.generate(5000, 3);
+        let set: HashSet<u64> = v.iter().copied().collect();
+        assert!(set.len() < 300, "{} distinct values", set.len());
+    }
+
+    #[test]
+    fn bimodal_has_two_clusters() {
+        let v = Workload::Bimodal.generate(4000, 5);
+        let low = v.iter().filter(|&&x| x < 1000).count();
+        let high = v.iter().filter(|&&x| x >= 1_000_000).count();
+        assert_eq!(low + high, 4000);
+        assert!(low > 1500 && high > 1500);
+    }
+
+    #[test]
+    fn sensor_field_values_are_plausible_temperatures() {
+        let v = Workload::SensorField.generate(3000, 9);
+        assert!(v.iter().all(|&t| (1900..4000).contains(&t)));
+        // The hot spots push the maximum well above the 20°C baseline.
+        assert!(*v.iter().max().unwrap() > 3000);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = Workload::all().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,49 @@
+//! # baselines
+//!
+//! Baseline gossip algorithms against which the paper's tournament algorithms
+//! are compared, plus the classic gossip primitives the paper *uses* as
+//! subroutines:
+//!
+//! * [`push_sum`] — Kempe, Dobra, Gehrke \[KDG03\]: sum / average / counting in
+//!   `O(log n + log 1/ε)` rounds. Used by the exact quantile algorithm
+//!   (Algorithm 3, Step 5) for rank counting, and measured on its own in
+//!   experiment E10.
+//! * [`rumor`] — push–pull rumor spreading \[FG85, Pit87\]: disseminating the
+//!   global minimum / maximum in `O(log n)` rounds. Used by Algorithm 3, Step 4.
+//! * [`sampling`] — the naive `O(log n / ε²)`-round quantile approximation by
+//!   independent sampling (Section 1, "technical summary").
+//! * [`doubling`] — the buffer-doubling algorithm of Appendix A:
+//!   `O(log log n + log 1/ε)` rounds but `Θ(log² n / ε²)`-bit messages.
+//! * [`compactor`] — the compaction variant of Appendix A.1 that shrinks the
+//!   buffer to `O(1/ε · (log log n + log 1/ε))` entries.
+//! * [`kdg_selection`] — the `O(log² n)`-round exact quantile computation of
+//!   \[KDG03\] (randomized selection with gossip counting), the main baseline
+//!   of experiment E1.
+//! * [`median_rule`] — the 3-sample median rule of Doerr et al. \[DGM+11\],
+//!   the closest prior dynamic to the paper's 3-TOURNAMENT.
+//!
+//! Every algorithm takes its input values and an
+//! [`EngineConfig`](gossip_net::EngineConfig) (seed + failure model), runs on
+//! its own [`Engine`](gossip_net::Engine) and reports per-node outputs together
+//! with the [`Metrics`](gossip_net::Metrics) it consumed, so round counts and
+//! message bits are directly comparable with the paper's algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compactor;
+pub mod doubling;
+pub mod kdg_selection;
+pub mod median_rule;
+pub mod push_sum;
+pub mod rumor;
+pub mod sampling;
+
+pub use compactor::{CompactorConfig, CompactorOutcome, CompactorSketch};
+pub use doubling::{DoublingConfig, DoublingOutcome};
+pub use kdg_selection::{KdgSelectionConfig, KdgSelectionOutcome};
+pub use median_rule::{MedianRuleConfig, MedianRuleOutcome};
+pub use push_sum::{PushSumConfig, PushSumOutcome};
+pub use rumor::{SpreadOutcome, SpreadRounds};
+pub use sampling::{SamplingConfig, SamplingOutcome};

@@ -1,0 +1,229 @@
+//! Push–pull rumor spreading of extremal values.
+//!
+//! Algorithm 3 (Step 4) requires every node to learn the global minimum and
+//! maximum of a set of values, which the paper attributes to classic rumor
+//! spreading: "Since it takes O(log n) rounds to spread a message by
+//! \[FG85, Pit87\], this step can be done in O(log n) rounds." Under failures
+//! the same bound holds with a constant-factor slow-down \[ES09\].
+//!
+//! The implementation here spreads the minimum and maximum simultaneously
+//! (the message is the pair `(min, max)`, still `O(log n)` bits) using
+//! push–pull rounds.
+
+use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
+use serde::{Deserialize, Serialize};
+
+/// How long to run the spreading process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpreadRounds {
+    /// Run exactly this many rounds (what a real deployment would do).
+    Fixed(u64),
+    /// Run `ceil(factor · log2 n)` rounds.
+    LogarithmicWithFactor(f64),
+}
+
+impl Default for SpreadRounds {
+    fn default() -> Self {
+        // 4·log2 n push–pull rounds leave a per-node miss probability well
+        // below 1/poly(n); with failures the caller should raise the factor
+        // by 1/(1-mu).
+        SpreadRounds::LogarithmicWithFactor(4.0)
+    }
+}
+
+impl SpreadRounds {
+    /// Number of rounds for a network of `n` nodes.
+    pub fn rounds_for(&self, n: usize) -> u64 {
+        match self {
+            SpreadRounds::Fixed(r) => *r,
+            SpreadRounds::LogarithmicWithFactor(f) => {
+                let n = n.max(2) as f64;
+                (f * n.log2()).ceil().max(1.0) as u64
+            }
+        }
+    }
+}
+
+/// Outcome of spreading the global minimum and maximum.
+#[derive(Debug, Clone)]
+pub struct SpreadOutcome<V> {
+    /// Per-node belief about the global minimum after spreading.
+    pub min_at: Vec<V>,
+    /// Per-node belief about the global maximum after spreading.
+    pub max_at: Vec<V>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Communication metrics.
+    pub metrics: Metrics,
+    /// Whether every node holds the true global extrema.
+    pub complete: bool,
+}
+
+impl<V: NodeValue> SpreadOutcome<V> {
+    /// The fraction of nodes that know both true extrema.
+    pub fn coverage(&self, true_min: V, true_max: V) -> f64 {
+        let n = self.min_at.len();
+        let good = self
+            .min_at
+            .iter()
+            .zip(&self.max_at)
+            .filter(|(lo, hi)| **lo == true_min && **hi == true_max)
+            .count();
+        good as f64 / n as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MinMaxState<V> {
+    min: V,
+    max: V,
+}
+
+/// Spreads the global minimum and maximum of `values` to every node by
+/// push–pull gossip.
+///
+/// # Errors
+///
+/// Returns [`GossipError::TooFewNodes`] if fewer than two values are given.
+pub fn spread_min_max<V: NodeValue>(
+    values: &[V],
+    rounds: SpreadRounds,
+    engine_config: EngineConfig,
+) -> Result<SpreadOutcome<V>> {
+    if values.len() < 2 {
+        return Err(GossipError::TooFewNodes { requested: values.len() });
+    }
+    let true_min = *values.iter().min().expect("non-empty");
+    let true_max = *values.iter().max().expect("non-empty");
+    let states: Vec<MinMaxState<V>> =
+        values.iter().map(|&v| MinMaxState { min: v, max: v }).collect();
+    let mut engine = Engine::from_states(states, engine_config);
+    let total_rounds = rounds.rounds_for(values.len());
+
+    for _ in 0..total_rounds {
+        engine.push_pull_round(
+            |_, st| (st.min, st.max),
+            |_, st, (lo, hi)| {
+                if lo < st.min {
+                    st.min = lo;
+                }
+                if hi > st.max {
+                    st.max = hi;
+                }
+            },
+        );
+    }
+
+    let metrics = engine.metrics();
+    let states = engine.into_states();
+    let min_at: Vec<V> = states.iter().map(|st| st.min).collect();
+    let max_at: Vec<V> = states.iter().map(|st| st.max).collect();
+    let complete =
+        min_at.iter().all(|&m| m == true_min) && max_at.iter().all(|&m| m == true_max);
+    Ok(SpreadOutcome { min_at, max_at, rounds: total_rounds, metrics, complete })
+}
+
+/// Spreads an arbitrary per-node `u64` tag together with an associated value,
+/// keeping the pair with the **largest tag**. Used by
+/// [`crate::kdg_selection`] to agree on a uniformly random pivot: every
+/// candidate draws a random tag and the network converges on the value of the
+/// tag-maximal candidate.
+///
+/// # Errors
+///
+/// Returns [`GossipError::TooFewNodes`] if fewer than two items are given.
+pub fn spread_max_tagged<V: NodeValue>(
+    tagged: &[(u64, V)],
+    rounds: SpreadRounds,
+    engine_config: EngineConfig,
+) -> Result<SpreadOutcome<(u64, V)>> {
+    if tagged.len() < 2 {
+        return Err(GossipError::TooFewNodes { requested: tagged.len() });
+    }
+    let mut engine = Engine::from_states(tagged.to_vec(), engine_config);
+    let total_rounds = rounds.rounds_for(tagged.len());
+    for _ in 0..total_rounds {
+        engine.push_pull_round(
+            |_, st| *st,
+            |_, st, m| {
+                if m > *st {
+                    *st = m;
+                }
+            },
+        );
+    }
+    let metrics = engine.metrics();
+    let states = engine.into_states();
+    let true_max = *tagged.iter().max().expect("non-empty");
+    let complete = states.iter().all(|&s| s == true_max);
+    Ok(SpreadOutcome {
+        min_at: states.clone(),
+        max_at: states,
+        rounds: total_rounds,
+        metrics,
+        complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_net::FailureModel;
+
+    #[test]
+    fn rejects_tiny_networks() {
+        assert!(spread_min_max::<u64>(&[3], SpreadRounds::default(), EngineConfig::with_seed(0))
+            .is_err());
+    }
+
+    #[test]
+    fn spreads_both_extrema_to_every_node() {
+        let values: Vec<u64> = (0..4096).map(|i| i * 7 + 13).collect();
+        let out =
+            spread_min_max(&values, SpreadRounds::default(), EngineConfig::with_seed(5)).unwrap();
+        assert!(out.complete);
+        assert_eq!(out.coverage(13, 4095 * 7 + 13), 1.0);
+        // O(log n): 4·log2(4096) = 48 rounds.
+        assert_eq!(out.rounds, 48);
+        assert_eq!(out.metrics.max_message_bits, 128);
+    }
+
+    #[test]
+    fn fixed_round_budget_is_respected() {
+        let values: Vec<u64> = (0..64).collect();
+        let out =
+            spread_min_max(&values, SpreadRounds::Fixed(2), EngineConfig::with_seed(1)).unwrap();
+        assert_eq!(out.rounds, 2);
+        // Two rounds cannot inform 64 nodes.
+        assert!(!out.complete);
+        assert!(out.coverage(0, 63) < 1.0);
+    }
+
+    #[test]
+    fn survives_constant_failure_probability() {
+        let values: Vec<u64> = (0..2048).collect();
+        let cfg = EngineConfig::with_seed(3).failure(FailureModel::uniform(0.4).unwrap());
+        // Inflate the round budget by 1/(1-mu) as the robust algorithms do.
+        let out = spread_min_max(&values, SpreadRounds::LogarithmicWithFactor(8.0), cfg).unwrap();
+        assert!(out.complete, "coverage {}", out.coverage(0, 2047));
+    }
+
+    #[test]
+    fn tagged_spread_agrees_on_the_maximum_tag() {
+        let tagged: Vec<(u64, u64)> = (0..512).map(|i| ((i * 2654435761) % 1000, i)).collect();
+        let truth = *tagged.iter().max().unwrap();
+        let out =
+            spread_max_tagged(&tagged, SpreadRounds::default(), EngineConfig::with_seed(8)).unwrap();
+        assert!(out.complete);
+        assert!(out.max_at.iter().all(|&s| s == truth));
+    }
+
+    #[test]
+    fn rounds_for_scales_logarithmically() {
+        let r = SpreadRounds::LogarithmicWithFactor(3.0);
+        assert_eq!(r.rounds_for(2), 3);
+        assert_eq!(r.rounds_for(1 << 10), 30);
+        assert_eq!(r.rounds_for(1 << 20), 60);
+        assert_eq!(SpreadRounds::Fixed(7).rounds_for(1 << 20), 7);
+    }
+}

@@ -1,0 +1,55 @@
+//! E2/E3 wall-clock bench: the tournament approximation algorithm across n and ε.
+
+use analysis::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::EngineConfig;
+use quantile_gossip::{approx, TournamentConfig};
+
+fn bench_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_quantile");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 14, 1 << 16] {
+        let values = Workload::UniformDistinct.generate(n, 7);
+        group.bench_with_input(BenchmarkId::new("eps_0.05", n), &values, |b, values| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                approx::tournament_quantile(
+                    values,
+                    0.5,
+                    0.05,
+                    &TournamentConfig::default(),
+                    EngineConfig::with_seed(seed),
+                )
+                .unwrap()
+                .rounds
+            })
+        });
+    }
+    let values = Workload::UniformDistinct.generate(1 << 14, 9);
+    for &eps in &[0.25f64, 0.1, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new("n_16384_eps", format!("{eps}")),
+            &values,
+            |b, values| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    approx::tournament_quantile(
+                        values,
+                        0.25,
+                        eps,
+                        &TournamentConfig::default(),
+                        EngineConfig::with_seed(seed),
+                    )
+                    .unwrap()
+                    .rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx);
+criterion_main!(benches);

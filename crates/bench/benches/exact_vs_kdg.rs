@@ -1,0 +1,48 @@
+//! E1 wall-clock bench: the exact quantile algorithm (Theorem 1.1) vs the
+//! KDG03 selection baseline on the same simulated network.
+
+use analysis::Workload;
+use baselines::{kdg_selection, KdgSelectionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::EngineConfig;
+use quantile_gossip::{exact, NarrowingConfig};
+
+fn bench_exact_vs_kdg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_quantile");
+    group.sample_size(10);
+    for &n in &[1usize << 10, 1 << 12] {
+        let values = Workload::UniformDistinct.generate(n, 42);
+        group.bench_with_input(BenchmarkId::new("ours_thm_1_1", n), &values, |b, values| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                exact::exact_quantile(
+                    values,
+                    0.5,
+                    &NarrowingConfig::default(),
+                    EngineConfig::with_seed(seed),
+                )
+                .unwrap()
+                .rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kdg03_baseline", n), &values, |b, values| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                kdg_selection::exact_quantile(
+                    values,
+                    0.5,
+                    &KdgSelectionConfig::default(),
+                    EngineConfig::with_seed(seed),
+                )
+                .unwrap()
+                .rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_kdg);
+criterion_main!(benches);

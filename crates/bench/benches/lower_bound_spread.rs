@@ -1,0 +1,26 @@
+//! E6 wall-clock bench: the idealised information-spreading process behind the
+//! Ω(log log n + log 1/ε) lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound_spread");
+    group.sample_size(10);
+    for &(n, eps) in &[(1usize << 12, 0.05f64), (1 << 16, 0.01)] {
+        group.bench_with_input(
+            BenchmarkId::new("spread", format!("n{n}_eps{eps}")),
+            &(n, eps),
+            |b, &(n, eps)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    lower_bound::spreading_rounds(n, eps, seed).unwrap().rounds_to_all_informed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

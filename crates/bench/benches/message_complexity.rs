@@ -1,0 +1,64 @@
+//! E8 wall-clock bench: tournament vs the large-message baselines of Appendix A.
+
+use analysis::Workload;
+use baselines::{compactor, doubling};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gossip_net::EngineConfig;
+use quantile_gossip::{approx, TournamentConfig};
+
+fn bench_message_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_complexity");
+    group.sample_size(10);
+    let values = Workload::UniformDistinct.generate(1 << 11, 3);
+
+    group.bench_function("tournament", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            approx::tournament_quantile(
+                &values,
+                0.5,
+                0.1,
+                &TournamentConfig::default(),
+                EngineConfig::with_seed(seed),
+            )
+            .unwrap()
+            .metrics
+            .bits_delivered
+        })
+    });
+    group.bench_function("doubling_appendix_a", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            doubling::approximate_quantile(
+                &values,
+                0.5,
+                &doubling::DoublingConfig::new(0.1).unwrap(),
+                EngineConfig::with_seed(seed),
+            )
+            .unwrap()
+            .metrics
+            .bits_delivered
+        })
+    });
+    group.bench_function("compaction_appendix_a1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            compactor::approximate_quantile(
+                &values,
+                0.5,
+                &compactor::CompactorConfig::new(0.1).unwrap(),
+                EngineConfig::with_seed(seed),
+            )
+            .unwrap()
+            .metrics
+            .bits_delivered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_complexity);
+criterion_main!(benches);

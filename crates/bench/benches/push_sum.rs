@@ -1,0 +1,30 @@
+//! E10 wall-clock bench: the push-sum counting primitive (KDG03).
+
+use baselines::{push_sum, PushSumConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::EngineConfig;
+
+fn bench_push_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_sum");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 15] {
+        let indicators: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("count", n), &indicators, |b, ind| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                push_sum::count_matching(
+                    ind,
+                    &PushSumConfig::default(),
+                    EngineConfig::with_seed(seed),
+                )
+                .unwrap()
+                .rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_sum);
+criterion_main!(benches);

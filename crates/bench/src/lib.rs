@@ -1,0 +1,15 @@
+//! # bench
+//!
+//! The reproduction harness: shared experiment drivers used both by the
+//! `reproduce` binary (which prints the tables recorded in EXPERIMENTS.md) and
+//! by the Criterion benches (which measure wall-clock simulation cost).
+//!
+//! Every experiment Eⁿ in DESIGN.md has a driver function here returning an
+//! [`analysis::Table`]; the binary only handles argument parsing and printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,557 @@
+//! The synchronous uniform-gossip engine.
+//!
+//! [`Engine`] owns one state per node and advances the network one round at a
+//! time. It is deliberately *not* a general message-passing framework: the
+//! uniform gossip model of the paper is exactly "each node contacts one
+//! uniformly random other node per round", and the engine exposes that and
+//! nothing more. All algorithms of the reproduction — the tournament
+//! algorithms of Section 2, the exact algorithm of Section 3, the baselines of
+//! Appendix A and [KDG03] — are written against this interface, so their round
+//! counts are measured identically.
+//!
+//! Two entry points cover the model:
+//!
+//! * [`Engine::pull_round`] — every node contacts a uniformly random other
+//!   node and reads a message derived from that node's state *at the start of
+//!   the round* (synchronous snapshot semantics, as assumed by the paper's
+//!   proofs).
+//! * [`Engine::push_round`] — every node derives a message from its own state
+//!   and delivers it to a uniformly random other node; receivers then fold all
+//!   messages delivered to them into their state.
+//!
+//! Failure injection (Section 5) applies to the *operation of the failing
+//! node*: a failed puller receives nothing, a failed pusher delivers nothing.
+
+use crate::error::{GossipError, Result};
+use crate::failure::FailureModel;
+use crate::message::MessageSize;
+use crate::metrics::{Metrics, RoundKind};
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Seed of the engine's random stream. Two engines with the same seed,
+    /// the same initial states and the same sequence of round calls produce
+    /// identical executions.
+    pub seed: u64,
+    /// The failure model applied to every operation (default: no failures).
+    pub failure: FailureModel,
+}
+
+impl EngineConfig {
+    /// Configuration with the given seed and no failures.
+    pub fn with_seed(seed: u64) -> Self {
+        EngineConfig { seed, failure: FailureModel::None }
+    }
+
+    /// Replaces the failure model.
+    pub fn failure(mut self, failure: FailureModel) -> Self {
+        self.failure = failure;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::with_seed(0)
+    }
+}
+
+/// A synchronous uniform-gossip network holding one state of type `S` per node.
+///
+/// See the [module documentation](self) for the communication semantics.
+#[derive(Debug, Clone)]
+pub struct Engine<S> {
+    states: Vec<S>,
+    rng: SmallRng,
+    failure: FailureModel,
+    metrics: Metrics,
+    round: u64,
+    // Scratch buffers reused across rounds to avoid per-round allocation at
+    // n in the millions.
+    scratch_targets: Vec<u32>,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine whose node `v` starts with state `states[v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two states are supplied; use [`Engine::try_from_states`]
+    /// for a fallible constructor.
+    pub fn from_states(states: Vec<S>, config: EngineConfig) -> Self {
+        Engine::try_from_states(states, config).expect("uniform gossip needs at least 2 nodes")
+    }
+
+    /// Fallible variant of [`Engine::from_states`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError::TooFewNodes`] if fewer than two states are supplied.
+    pub fn try_from_states(states: Vec<S>, config: EngineConfig) -> Result<Self> {
+        if states.len() < 2 {
+            return Err(GossipError::TooFewNodes { requested: states.len() });
+        }
+        Ok(Engine {
+            states,
+            rng: SmallRng::seed_from_u64(config.seed),
+            failure: config.failure,
+            metrics: Metrics::new(),
+            round: 0,
+            scratch_targets: Vec::new(),
+        })
+    }
+
+    /// Number of nodes in the network.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The states of all nodes, indexed by [`NodeId`].
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable access to the node states.
+    ///
+    /// Intended for *local* (communication-free) computation steps such as
+    /// "every node updates its own value from what it has already received";
+    /// using it to read other nodes' states would break the gossip model, so
+    /// algorithms in this repository only ever use it via
+    /// [`Engine::local_step`].
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Applies a purely local update to every node (no communication, no round
+    /// consumed).
+    pub fn local_step<F: FnMut(NodeId, &mut S)>(&mut self, mut f: F) {
+        for (v, state) in self.states.iter_mut().enumerate() {
+            f(v, state);
+        }
+    }
+
+    /// Communication metrics accumulated so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Number of rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The failure model in effect.
+    pub fn failure_model(&self) -> &FailureModel {
+        &self.failure
+    }
+
+    /// Borrows the engine's random stream.
+    ///
+    /// Algorithms use this for their *local* coin flips (e.g. the probability-δ
+    /// branch of Algorithm 1) so that a single seed reproduces an entire run.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Samples a uniformly random node other than `exclude`.
+    fn random_other_node(rng: &mut SmallRng, n: usize, exclude: NodeId) -> NodeId {
+        debug_assert!(n >= 2);
+        let t = rng.gen_range(0..n - 1);
+        if t >= exclude {
+            t + 1
+        } else {
+            t
+        }
+    }
+
+    /// One synchronous **pull** round.
+    ///
+    /// Every node `v` contacts a uniformly random other node `t(v)`. The
+    /// message served by `t(v)` is `serve(t(v), &states[t(v)])`, computed from
+    /// the snapshot of states at the start of the round. Then
+    /// `apply(v, &mut states[v], Some(msg))` is called for every node that
+    /// succeeded, and `apply(v, .., None)` for every node whose operation
+    /// failed under the failure model.
+    ///
+    /// Returns the number of nodes whose pull failed.
+    pub fn pull_round<M, F, G>(&mut self, mut serve: F, mut apply: G) -> usize
+    where
+        M: MessageSize,
+        F: FnMut(NodeId, &S) -> M,
+        G: FnMut(NodeId, &mut S, Option<M>),
+    {
+        let n = self.n();
+        self.metrics.record_round(RoundKind::Pull);
+        self.round += 1;
+
+        // Phase 1: choose contacts and record failures against the snapshot.
+        self.scratch_targets.clear();
+        self.scratch_targets.reserve(n);
+        let mut failed = 0usize;
+        for v in 0..n {
+            self.metrics.record_attempt(RoundKind::Pull);
+            if self.failure.fails(v, self.round, &mut self.rng) {
+                self.metrics.record_failure();
+                failed += 1;
+                self.scratch_targets.push(u32::MAX);
+            } else {
+                let t = Self::random_other_node(&mut self.rng, n, v);
+                self.scratch_targets.push(t as u32);
+            }
+        }
+
+        // Phase 2: serve messages from the snapshot, then apply.
+        // `serve` only reads `states[target]`; `apply` only writes `states[v]`.
+        // To keep the borrow checker happy without cloning all states we
+        // compute the message immediately before applying it: this is safe
+        // because `apply` for node v only mutates states[v], and serve reads
+        // the *pre-round* value of states[target]. A node may both be read
+        // from and updated in the same round, so we must not observe partial
+        // updates: we therefore compute all messages first.
+        let targets = std::mem::take(&mut self.scratch_targets);
+        let mut messages: Vec<Option<M>> = Vec::with_capacity(n);
+        for (v, &t) in targets.iter().enumerate() {
+            if t == u32::MAX {
+                messages.push(None);
+            } else {
+                debug_assert_ne!(t as usize, v, "a node never contacts itself");
+                let msg = serve(t as usize, &self.states[t as usize]);
+                self.metrics.record_delivery(msg.message_bits());
+                messages.push(Some(msg));
+            }
+        }
+        for (v, msg) in messages.into_iter().enumerate() {
+            apply(v, &mut self.states[v], msg);
+        }
+        self.scratch_targets = targets;
+        failed
+    }
+
+    /// One synchronous **push** round.
+    ///
+    /// Every node `v` derives a message `make(v, &states[v])` from its own
+    /// (pre-round) state; if the node does not fail, the message is delivered
+    /// to a uniformly random other node. After all deliveries are decided,
+    /// `fold(u, &mut states[u], msg)` is invoked once per message delivered to
+    /// node `u` (in unspecified order), and finally `after(v, &mut states[v],
+    /// delivered)` is called for every node, where `delivered` is `true` iff
+    /// the node's own push was delivered. `make` returning `None` means the
+    /// node stays silent this round (no failure is recorded).
+    ///
+    /// Returns the number of nodes whose push failed.
+    pub fn push_round<M, F, G, H>(&mut self, mut make: F, mut fold: G, mut after: H) -> usize
+    where
+        M: MessageSize,
+        F: FnMut(NodeId, &S) -> Option<M>,
+        G: FnMut(NodeId, &mut S, M),
+        H: FnMut(NodeId, &mut S, bool),
+    {
+        let n = self.n();
+        self.metrics.record_round(RoundKind::Push);
+        self.round += 1;
+
+        let mut deliveries: Vec<(u32, M)> = Vec::with_capacity(n);
+        let mut delivered_flags = vec![false; n];
+        let mut failed = 0usize;
+        for v in 0..n {
+            let msg = match make(v, &self.states[v]) {
+                Some(m) => m,
+                None => continue,
+            };
+            self.metrics.record_attempt(RoundKind::Push);
+            if self.failure.fails(v, self.round, &mut self.rng) {
+                self.metrics.record_failure();
+                failed += 1;
+                continue;
+            }
+            let t = Self::random_other_node(&mut self.rng, n, v);
+            self.metrics.record_delivery(msg.message_bits());
+            deliveries.push((t as u32, msg));
+            delivered_flags[v] = true;
+        }
+        for (t, msg) in deliveries {
+            fold(t as usize, &mut self.states[t as usize], msg);
+        }
+        for (v, flag) in delivered_flags.iter().enumerate() {
+            after(v, &mut self.states[v], *flag);
+        }
+        failed
+    }
+
+    /// One synchronous **push–pull** round (both directions in one round), the
+    /// primitive used by rumor-spreading subroutines such as learning the
+    /// global minimum/maximum (Step 4 of Algorithm 3).
+    ///
+    /// Semantically this is a [`Engine::pull_round`] and a [`Engine::push_round`]
+    /// executed against the same snapshot, counted as a *single* round — the
+    /// standard push–pull convention in the rumor-spreading literature the
+    /// paper cites ([FG85], [Pit87], [KSSV00]).
+    pub fn push_pull_round<M, F, G>(&mut self, mut serve: F, mut merge: G) -> usize
+    where
+        M: MessageSize + Clone,
+        F: FnMut(NodeId, &S) -> M,
+        G: FnMut(NodeId, &mut S, M),
+    {
+        let n = self.n();
+        self.metrics.record_round(RoundKind::PushPull);
+        self.round += 1;
+
+        // Snapshot messages of every node (what they would serve/push this round).
+        let outgoing: Vec<M> = (0..n).map(|v| serve(v, &self.states[v])).collect();
+        let mut incoming: Vec<Vec<M>> = vec![Vec::new(); n];
+        let mut failed = 0usize;
+        for v in 0..n {
+            self.metrics.record_attempt(RoundKind::PushPull);
+            if self.failure.fails(v, self.round, &mut self.rng) {
+                self.metrics.record_failure();
+                failed += 1;
+                continue;
+            }
+            // Pull direction: v reads from a random node.
+            let t_pull = Self::random_other_node(&mut self.rng, n, v);
+            self.metrics.record_delivery(outgoing[t_pull].message_bits());
+            incoming[v].push(outgoing[t_pull].clone());
+            // Push direction: v sends to a random node.
+            let t_push = Self::random_other_node(&mut self.rng, n, v);
+            self.metrics.record_delivery(outgoing[v].message_bits());
+            incoming[t_push].push(outgoing[v].clone());
+        }
+        for (v, msgs) in incoming.into_iter().enumerate() {
+            for m in msgs {
+                merge(v, &mut self.states[v], m);
+            }
+        }
+        failed
+    }
+
+    /// Convenience: `k` consecutive pull rounds in which every node collects
+    /// the served messages of `k` independently chosen random nodes.
+    ///
+    /// Returns, for every node, the vector of successfully pulled messages
+    /// (between 0 and `k` entries, fewer when the node's pulls failed). This
+    /// consumes exactly `k` rounds, matching the paper's convention that
+    /// "each node can sample t node values (with replacement) in t rounds".
+    pub fn collect_samples<M, F>(&mut self, k: usize, mut serve: F) -> Vec<Vec<M>>
+    where
+        M: MessageSize,
+        F: FnMut(NodeId, &S) -> M,
+    {
+        let n = self.n();
+        let mut collected: Vec<Vec<M>> = (0..n).map(|_| Vec::with_capacity(k)).collect();
+        for _ in 0..k {
+            // A pull round whose `apply` stores the sample into `collected`
+            // rather than into the node state (states are untouched).
+            let round = self.round + 1;
+            self.metrics.record_round(RoundKind::Pull);
+            self.round = round;
+            for v in 0..n {
+                self.metrics.record_attempt(RoundKind::Pull);
+                if self.failure.fails(v, round, &mut self.rng) {
+                    self.metrics.record_failure();
+                    continue;
+                }
+                let t = Self::random_other_node(&mut self.rng, n, v);
+                let msg = serve(t, &self.states[t]);
+                self.metrics.record_delivery(msg.message_bits());
+                collected[v].push(msg);
+            }
+        }
+        collected
+    }
+
+    /// Consumes the engine and returns the final node states.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn engine_with(n: usize, seed: u64) -> Engine<u64> {
+        Engine::from_states((0..n as u64).collect(), EngineConfig::with_seed(seed))
+    }
+
+    #[test]
+    fn rejects_fewer_than_two_nodes() {
+        let err = Engine::<u64>::try_from_states(vec![1], EngineConfig::default()).unwrap_err();
+        assert_eq!(err, GossipError::TooFewNodes { requested: 1 });
+    }
+
+    #[test]
+    fn pull_round_never_contacts_self() {
+        let mut e = engine_with(8, 3);
+        for _ in 0..200 {
+            e.pull_round(
+                |t, _| t as u64,
+                |v, _, pulled| {
+                    if let Some(t) = pulled {
+                        assert_ne!(t, v as u64, "node pulled from itself");
+                    }
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn pull_round_uses_pre_round_snapshot() {
+        // All nodes simultaneously become the value they pull; because serving
+        // is from the snapshot, the multiset of values after one round is a
+        // sub-multiset of the original values (no partially-updated value can
+        // be observed).
+        let mut e = engine_with(64, 9);
+        let before: HashSet<u64> = e.states().iter().copied().collect();
+        e.pull_round(|_, &s| s, |_, state, pulled| *state = pulled.unwrap());
+        assert!(e.states().iter().all(|v| before.contains(v)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut e = engine_with(100, seed);
+            for _ in 0..2 {
+                e.pull_round(|_, &s| s, |_, st, p| {
+                    if let Some(p) = p {
+                        *st = (*st).max(p);
+                    }
+                });
+            }
+            e.into_states()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn metrics_count_rounds_messages_and_bits() {
+        let mut e = engine_with(10, 1);
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        e.push_round(|_, &s| Some(s), |_, _, _| {}, |_, _, _| {});
+        let m = e.metrics();
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.pulls_attempted, 10);
+        assert_eq!(m.pushes_attempted, 10);
+        assert_eq!(m.messages_delivered, 20);
+        assert_eq!(m.bits_delivered, 20 * 64);
+        assert_eq!(m.max_message_bits, 64);
+        assert_eq!(m.failed_operations, 0);
+    }
+
+    #[test]
+    fn push_round_delivers_every_non_failed_message_exactly_once() {
+        let mut e = Engine::from_states(vec![0u64; 50], EngineConfig::with_seed(11));
+        // Count how many messages each node receives.
+        e.push_round(
+            |v, _| Some(v as u64),
+            |_, st, _msg| *st += 1,
+            |_, _, _| {},
+        );
+        let total: u64 = e.states().iter().sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn push_round_none_means_silent() {
+        let mut e = Engine::from_states(vec![0u64; 20], EngineConfig::with_seed(2));
+        e.push_round(
+            |v, _| if v % 2 == 0 { Some(1u64) } else { None },
+            |_, st, m| *st += m,
+            |_, _, _| {},
+        );
+        let total: u64 = e.states().iter().sum();
+        assert_eq!(total, 10);
+        assert_eq!(e.metrics().pushes_attempted, 10);
+    }
+
+    #[test]
+    fn failures_reduce_deliveries() {
+        let config = EngineConfig::with_seed(3).failure(FailureModel::uniform(0.5).unwrap());
+        let mut e = Engine::from_states(vec![1u64; 1000], config);
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        let m = e.metrics();
+        assert_eq!(m.pulls_attempted, 1000);
+        assert!(m.failed_operations > 350 && m.failed_operations < 650, "{}", m.failed_operations);
+        assert_eq!(m.messages_delivered + m.failed_operations, 1000);
+    }
+
+    #[test]
+    fn total_failure_schedule_blocks_everything() {
+        let config =
+            EngineConfig::with_seed(3).failure(FailureModel::schedule(|_, _| 1.0));
+        let mut e = Engine::from_states(vec![1u64, 2, 3, 4], config);
+        let failed = e.pull_round(|_, &s| s, |_, st, p| {
+            if let Some(p) = p {
+                *st = p;
+            }
+        });
+        assert_eq!(failed, 4);
+        assert_eq!(e.states(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_pull_round_spreads_max_quickly() {
+        let mut e = engine_with(1024, 17);
+        let mut rounds = 0;
+        while e.states().iter().any(|&v| v != 1023) {
+            e.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+            rounds += 1;
+            assert!(rounds < 64, "rumor spreading too slow");
+        }
+        // Push-pull rumor spreading completes in O(log n) rounds; for n=1024,
+        // comfortably under 30.
+        assert!(rounds <= 30, "took {rounds} rounds");
+    }
+
+    #[test]
+    fn collect_samples_returns_k_samples_without_failures() {
+        let mut e = engine_with(32, 23);
+        let samples = e.collect_samples(3, |_, &s| s);
+        assert_eq!(samples.len(), 32);
+        assert!(samples.iter().all(|s| s.len() == 3));
+        assert_eq!(e.metrics().rounds, 3);
+        // Node states are untouched by sampling.
+        assert_eq!(e.states(), (0..32u64).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn collect_samples_with_failures_returns_fewer() {
+        let config = EngineConfig::with_seed(5).failure(FailureModel::uniform(0.4).unwrap());
+        let mut e = Engine::from_states((0..500u64).collect(), config);
+        let samples = e.collect_samples(4, |_, &s| s);
+        let total: usize = samples.iter().map(Vec::len).sum();
+        assert!(total < 2000);
+        assert!(total > 500);
+    }
+
+    #[test]
+    fn local_step_touches_every_node_and_costs_no_round() {
+        let mut e = engine_with(10, 0);
+        e.local_step(|v, s| *s = v as u64 * 2);
+        assert_eq!(e.round(), 0);
+        assert_eq!(e.metrics().rounds, 0);
+        assert_eq!(e.states()[7], 14);
+    }
+
+    #[test]
+    fn random_other_node_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let n = 5;
+        let mut counts = vec![0u32; n];
+        for _ in 0..40_000 {
+            let t = Engine::<u64>::random_other_node(&mut rng, n, 2);
+            counts[t] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 2 {
+                assert!((c as f64 - 10_000.0).abs() < 500.0, "node {i}: {c}");
+            }
+        }
+    }
+}

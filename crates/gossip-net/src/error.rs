@@ -1,0 +1,97 @@
+//! Error type shared by the simulator and the algorithm crates built on it.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, GossipError>;
+
+/// Errors reported by the gossip simulator and by algorithms built on top of it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipError {
+    /// The network would be created with fewer than two nodes.
+    ///
+    /// Uniform gossip requires at least two nodes so that "a uniformly random
+    /// *other* node" is well defined.
+    TooFewNodes {
+        /// The number of nodes requested.
+        requested: usize,
+    },
+    /// A probability-like parameter was outside its valid range.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value supplied by the caller.
+        value: f64,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An algorithm exceeded its configured round budget without converging.
+    RoundBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+        /// What the algorithm was doing when it ran out of rounds.
+        phase: &'static str,
+    },
+}
+
+impl fmt::Display for GossipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GossipError::TooFewNodes { requested } => {
+                write!(f, "uniform gossip needs at least 2 nodes, got {requested}")
+            }
+            GossipError::InvalidProbability { name, value } => {
+                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+            }
+            GossipError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            GossipError::RoundBudgetExceeded { budget, phase } => {
+                write!(f, "round budget of {budget} rounds exceeded during {phase}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GossipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GossipError::TooFewNodes { requested: 1 };
+        assert!(e.to_string().contains("at least 2 nodes"));
+        let e = GossipError::InvalidProbability { name: "mu", value: 1.5 };
+        assert!(e.to_string().contains("mu"));
+        assert!(e.to_string().contains("1.5"));
+        let e = GossipError::InvalidParameter { name: "epsilon", reason: "must be positive".into() };
+        assert!(e.to_string().contains("epsilon"));
+        let e = GossipError::RoundBudgetExceeded { budget: 10, phase: "phase I" };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<GossipError>();
+    }
+
+    #[test]
+    fn errors_compare_equal_by_value() {
+        assert_eq!(
+            GossipError::TooFewNodes { requested: 0 },
+            GossipError::TooFewNodes { requested: 0 }
+        );
+        assert_ne!(
+            GossipError::TooFewNodes { requested: 0 },
+            GossipError::TooFewNodes { requested: 1 }
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! # gossip-net
+//!
+//! A synchronous **uniform gossip** network simulator.
+//!
+//! This crate is the substrate for the reproduction of
+//! *"Optimal Gossip Algorithms for Exact and Approximate Quantile Computations"*
+//! (Haeupler, Mohapatra, Su; PODC 2018). It implements the communication model
+//! the paper analyses:
+//!
+//! * computation proceeds in **synchronous rounds**;
+//! * in each round every node either **pushes** a message to a uniformly random
+//!   other node or **pulls** a message from a uniformly random other node;
+//! * messages are size-accounted in bits (the paper restricts messages to
+//!   `O(log n)` bits — the simulator measures rather than enforces this, so
+//!   that over-budget baselines such as the doubling algorithm of Appendix A
+//!   can be compared honestly);
+//! * every node may **fail** to perform its operation in a round with a
+//!   (potentially per-node, per-round) probability bounded by a constant
+//!   `mu < 1` (the failure model of Section 5 of the paper).
+//!
+//! The central type is [`Engine`], which owns the per-node states and drives
+//! rounds. Higher-level crates (`quantile-gossip`, `baselines`) express their
+//! algorithms as sequences of [`Engine::pull_round`] / [`Engine::push_round`]
+//! calls so that round counts, message counts and transmitted bits are measured
+//! by the same machinery for every algorithm.
+//!
+//! ## Quick example
+//!
+//! Spreading the maximum value to every node by push–pull rumor spreading:
+//!
+//! ```
+//! use gossip_net::{Engine, EngineConfig};
+//!
+//! let values: Vec<u64> = (0..1000).collect();
+//! let mut engine = Engine::from_states(values, EngineConfig::with_seed(7));
+//! // Each round: pull a random node's current maximum and keep the larger.
+//! for _ in 0..32 {
+//!     engine.pull_round(|_, &s| s, |_, state, pulled| {
+//!         if let Some(p) = pulled {
+//!             if p > *state {
+//!                 *state = p;
+//!             }
+//!         }
+//!     });
+//! }
+//! assert!(engine.states().iter().all(|&v| v == 999));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod error;
+pub mod failure;
+pub mod message;
+pub mod metrics;
+pub mod protocol;
+pub mod rng;
+pub mod value;
+
+pub use engine::{Engine, EngineConfig};
+pub use error::{GossipError, Result};
+pub use failure::FailureModel;
+pub use message::MessageSize;
+pub use metrics::{Metrics, RoundKind};
+pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner};
+pub use rng::SeedSequence;
+pub use value::{NodeValue, OrderedF64};
+
+/// Identifier of a node in the simulated network (an index in `0..n`).
+pub type NodeId = usize;

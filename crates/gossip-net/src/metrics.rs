@@ -1,0 +1,213 @@
+//! Round, message and failure accounting.
+//!
+//! Every algorithm in the reproduction is measured through the same
+//! [`Metrics`] struct, so round counts reported in EXPERIMENTS.md are directly
+//! comparable across the paper's algorithms and the baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of communication a round performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoundKind {
+    /// Every active node pulled a message from a uniformly random node.
+    Pull,
+    /// Every active node pushed a message to a uniformly random node.
+    Push,
+    /// A round in which both a push and a pull were performed by every node
+    /// (used by rumor-spreading subroutines).
+    PushPull,
+}
+
+impl std::fmt::Display for RoundKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RoundKind::Pull => "pull",
+            RoundKind::Push => "push",
+            RoundKind::PushPull => "push-pull",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cumulative communication statistics of a simulation.
+///
+/// All counters are cumulative over the life of an [`crate::Engine`]; use
+/// [`Metrics::snapshot_delta`] to measure a phase of an algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+    /// Number of pull operations attempted (one per active node per pull round).
+    pub pulls_attempted: u64,
+    /// Number of push operations attempted.
+    pub pushes_attempted: u64,
+    /// Number of operations that failed due to the failure model.
+    pub failed_operations: u64,
+    /// Number of messages successfully delivered.
+    pub messages_delivered: u64,
+    /// Total payload size of successfully delivered messages, in bits.
+    pub bits_delivered: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: u64,
+}
+
+impl Metrics {
+    /// Creates an all-zero metrics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the start of a round of the given kind.
+    pub(crate) fn record_round(&mut self, _kind: RoundKind) {
+        self.rounds += 1;
+    }
+
+    /// Records an extra round for the same logical operation (e.g. push–pull
+    /// rounds count as a single round even though both directions are used).
+    pub(crate) fn record_attempt(&mut self, kind: RoundKind) {
+        match kind {
+            RoundKind::Pull => self.pulls_attempted += 1,
+            RoundKind::Push => self.pushes_attempted += 1,
+            RoundKind::PushPull => {
+                self.pulls_attempted += 1;
+                self.pushes_attempted += 1;
+            }
+        }
+    }
+
+    /// Records a failed operation (the failing node performed nothing this round).
+    pub(crate) fn record_failure(&mut self) {
+        self.failed_operations += 1;
+    }
+
+    /// Records a successfully delivered message of the given size.
+    pub(crate) fn record_delivery(&mut self, bits: u64) {
+        self.messages_delivered += 1;
+        self.bits_delivered += bits;
+        if bits > self.max_message_bits {
+            self.max_message_bits = bits;
+        }
+    }
+
+    /// Returns the difference `self - earlier`, counter by counter.
+    ///
+    /// `earlier` must be a snapshot taken from the same engine at an earlier
+    /// point in time; counters are assumed to be monotone.
+    pub fn snapshot_delta(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            rounds: self.rounds - earlier.rounds,
+            pulls_attempted: self.pulls_attempted - earlier.pulls_attempted,
+            pushes_attempted: self.pushes_attempted - earlier.pushes_attempted,
+            failed_operations: self.failed_operations - earlier.failed_operations,
+            messages_delivered: self.messages_delivered - earlier.messages_delivered,
+            bits_delivered: self.bits_delivered - earlier.bits_delivered,
+            max_message_bits: self.max_message_bits.max(earlier.max_message_bits),
+        }
+    }
+
+    /// Average number of bits per delivered message, or 0 if nothing was delivered.
+    pub fn mean_message_bits(&self) -> f64 {
+        if self.messages_delivered == 0 {
+            0.0
+        } else {
+            self.bits_delivered as f64 / self.messages_delivered as f64
+        }
+    }
+
+    /// Fraction of attempted operations that failed.
+    pub fn failure_rate(&self) -> f64 {
+        let attempts = self.pulls_attempted + self.pushes_attempted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.failed_operations as f64 / attempts as f64
+        }
+    }
+}
+
+impl std::ops::Add for Metrics {
+    type Output = Metrics;
+
+    fn add(self, rhs: Metrics) -> Metrics {
+        Metrics {
+            rounds: self.rounds + rhs.rounds,
+            pulls_attempted: self.pulls_attempted + rhs.pulls_attempted,
+            pushes_attempted: self.pushes_attempted + rhs.pushes_attempted,
+            failed_operations: self.failed_operations + rhs.failed_operations,
+            messages_delivered: self.messages_delivered + rhs.messages_delivered,
+            bits_delivered: self.bits_delivered + rhs.bits_delivered,
+            max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_delta() {
+        let mut m = Metrics::new();
+        m.record_round(RoundKind::Pull);
+        m.record_attempt(RoundKind::Pull);
+        m.record_delivery(64);
+        let snapshot = m;
+        m.record_round(RoundKind::Push);
+        m.record_attempt(RoundKind::Push);
+        m.record_failure();
+        m.record_delivery(128);
+
+        let delta = m.snapshot_delta(&snapshot);
+        assert_eq!(delta.rounds, 1);
+        assert_eq!(delta.pulls_attempted, 0);
+        assert_eq!(delta.pushes_attempted, 1);
+        assert_eq!(delta.failed_operations, 1);
+        assert_eq!(delta.messages_delivered, 1);
+        assert_eq!(delta.bits_delivered, 128);
+        assert_eq!(delta.max_message_bits, 128);
+    }
+
+    #[test]
+    fn mean_and_failure_rate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.mean_message_bits(), 0.0);
+        assert_eq!(m.failure_rate(), 0.0);
+        m.record_attempt(RoundKind::Pull);
+        m.record_attempt(RoundKind::Pull);
+        m.record_failure();
+        m.record_delivery(10);
+        m.record_delivery(30);
+        assert_eq!(m.mean_message_bits(), 20.0);
+        assert_eq!(m.failure_rate(), 0.5);
+    }
+
+    #[test]
+    fn add_combines_counters() {
+        let mut a = Metrics::new();
+        a.record_round(RoundKind::Pull);
+        a.record_delivery(8);
+        let mut b = Metrics::new();
+        b.record_round(RoundKind::Push);
+        b.record_delivery(16);
+        let c = a + b;
+        assert_eq!(c.rounds, 2);
+        assert_eq!(c.messages_delivered, 2);
+        assert_eq!(c.bits_delivered, 24);
+        assert_eq!(c.max_message_bits, 16);
+    }
+
+    #[test]
+    fn push_pull_attempt_counts_both_directions() {
+        let mut m = Metrics::new();
+        m.record_attempt(RoundKind::PushPull);
+        assert_eq!(m.pulls_attempted, 1);
+        assert_eq!(m.pushes_attempted, 1);
+    }
+
+    #[test]
+    fn round_kind_display() {
+        assert_eq!(RoundKind::Pull.to_string(), "pull");
+        assert_eq!(RoundKind::Push.to_string(), "push");
+        assert_eq!(RoundKind::PushPull.to_string(), "push-pull");
+    }
+}

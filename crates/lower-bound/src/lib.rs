@@ -1,0 +1,162 @@
+//! # lower-bound
+//!
+//! Empirical companion to Theorem 1.3: the `Ω(log log n + log 1/ε)` lower
+//! bound for ε-approximate quantile computation by any gossip algorithm.
+//!
+//! The paper's argument (Section 4) constructs two input scenarios that differ
+//! only on a set `S` of `2⌊2εn⌋` nodes holding extreme values; any algorithm
+//! that answers correctly with probability noticeably above 1/2 must deliver
+//! information from `S` to *every* node. Tracking the set of "good" (informed)
+//! nodes round by round shows this takes `Ω(log(1/ε))` rounds while the
+//! informed set grows geometrically, plus `Ω(log log n)` rounds for the last
+//! uninformed nodes to disappear (their fraction only squares per round even
+//! with unlimited message sizes and push+pull in the same round).
+//!
+//! [`spreading_rounds`] simulates exactly that best-case information-spreading
+//! process — every node pushes *and* pulls every round, messages are
+//! unbounded, failures are absent — and reports how many rounds it takes until
+//! every node is informed. Experiment E6 compares the measured rounds against
+//! the theorem's `½·log₂log₂ n + log₄(8/ε)` barrier: no quantile algorithm can
+//! finish before an (idealised) spreading process does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use gossip_net::{Engine, EngineConfig, GossipError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Result of one information-spreading simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpreadingOutcome {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of initially informed nodes (`2⌊2εn⌋`, at least 1).
+    pub initially_informed: usize,
+    /// Rounds until every node was informed.
+    pub rounds_to_all_informed: u64,
+    /// Rounds until at least half the nodes were informed.
+    pub rounds_to_half_informed: u64,
+    /// The theoretical barrier `½·log₂log₂ n + log₄(8/ε)` of Theorem 1.3.
+    pub theorem_barrier: f64,
+}
+
+/// The lower-bound barrier of Theorem 1.3 for the given `n` and `ε`:
+/// `½·log₂log₂ n + log₄(8/ε)` rounds.
+pub fn theorem_barrier(n: usize, epsilon: f64) -> f64 {
+    let n = n.max(4) as f64;
+    0.5 * n.log2().log2() + (8.0 / epsilon).log(4.0)
+}
+
+/// Simulates the idealised information-spreading process of Section 4 and
+/// returns how long it takes to inform every node.
+///
+/// Every round, every node contacts one uniformly random node in each
+/// direction (push and pull); a node becomes informed as soon as it touches an
+/// informed node. This is the most generous setting the lower bound allows
+/// (unbounded messages, no failures), so the measured round count is a valid
+/// lower bound on any ε-approximate quantile algorithm's round count.
+///
+/// # Errors
+///
+/// Returns an error if `n < 4` or `ε ∉ (0, 1/8)`.
+pub fn spreading_rounds(n: usize, epsilon: f64, seed: u64) -> Result<SpreadingOutcome> {
+    if n < 4 {
+        return Err(GossipError::TooFewNodes { requested: n });
+    }
+    if !(epsilon > 0.0 && epsilon < 0.125) {
+        return Err(GossipError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("Theorem 1.3 assumes epsilon in (0, 1/8), got {epsilon}"),
+        });
+    }
+    let informed_count = (2 * ((2.0 * epsilon * n as f64).floor() as usize)).clamp(1, n - 1);
+
+    // State: whether the node has (directly or transitively) heard from S.
+    let states: Vec<bool> = (0..n).map(|v| v < informed_count).collect();
+    let mut engine = Engine::from_states(states, EngineConfig::with_seed(seed));
+
+    let mut rounds_to_half = None;
+    let mut round = 0u64;
+    // log2(n)+log(1/eps) rounds are already far beyond what full push-pull
+    // spreading needs; the cap only guards against pathological inputs.
+    let cap = 4 * ((n as f64).log2().ceil() as u64 + (1.0 / epsilon).log2().ceil() as u64) + 32;
+    while engine.states().iter().any(|&informed| !informed) {
+        engine.push_pull_round(|_, &informed| informed, |_, st, other| *st = *st || other);
+        round += 1;
+        let informed = engine.states().iter().filter(|&&i| i).count();
+        if rounds_to_half.is_none() && informed * 2 >= n {
+            rounds_to_half = Some(round);
+        }
+        if round >= cap {
+            break;
+        }
+    }
+
+    Ok(SpreadingOutcome {
+        n,
+        initially_informed: informed_count,
+        rounds_to_all_informed: round,
+        rounds_to_half_informed: rounds_to_half.unwrap_or(round),
+        theorem_barrier: theorem_barrier(n, epsilon),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(spreading_rounds(2, 0.01, 0).is_err());
+        assert!(spreading_rounds(1000, 0.0, 0).is_err());
+        assert!(spreading_rounds(1000, 0.2, 0).is_err());
+    }
+
+    #[test]
+    fn barrier_grows_with_n_and_with_one_over_epsilon() {
+        assert!(theorem_barrier(1 << 20, 0.01) > theorem_barrier(1 << 10, 0.01));
+        assert!(theorem_barrier(1 << 16, 0.001) > theorem_barrier(1 << 16, 0.1));
+    }
+
+    #[test]
+    fn spreading_takes_more_rounds_for_smaller_epsilon() {
+        let coarse = spreading_rounds(1 << 14, 0.1, 1).unwrap();
+        let fine = spreading_rounds(1 << 14, 0.001, 1).unwrap();
+        assert!(fine.initially_informed < coarse.initially_informed);
+        assert!(
+            fine.rounds_to_all_informed >= coarse.rounds_to_all_informed,
+            "{} vs {}",
+            fine.rounds_to_all_informed,
+            coarse.rounds_to_all_informed
+        );
+    }
+
+    #[test]
+    fn spreading_completes_and_roughly_tracks_the_barrier() {
+        for (n, eps) in [(1usize << 12, 0.05f64), (1 << 16, 0.02), (1 << 14, 0.004)] {
+            let out = spreading_rounds(n, eps, 7).unwrap();
+            assert!(out.rounds_to_all_informed > 0);
+            // The measured idealised process is within a small constant factor
+            // of the Theorem 1.3 barrier (it is Θ(log log n + log 1/ε)).
+            let barrier = out.theorem_barrier;
+            let measured = out.rounds_to_all_informed as f64;
+            assert!(measured >= 0.5 * barrier, "n={n} eps={eps}: {measured} vs {barrier}");
+            assert!(measured <= 6.0 * barrier + 10.0, "n={n} eps={eps}: {measured} vs {barrier}");
+        }
+    }
+
+    #[test]
+    fn half_informed_is_reached_before_fully_informed() {
+        let out = spreading_rounds(1 << 15, 0.01, 3).unwrap();
+        assert!(out.rounds_to_half_informed <= out.rounds_to_all_informed);
+        assert!(out.initially_informed < (1 << 15) / 2);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = spreading_rounds(1 << 13, 0.02, 11).unwrap();
+        let b = spreading_rounds(1 << 13, 0.02, 11).unwrap();
+        assert_eq!(a, b);
+    }
+}

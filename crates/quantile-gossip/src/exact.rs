@@ -1,0 +1,617 @@
+//! Exact φ-quantile computation in `O(log n)` rounds (Theorem 1.1,
+//! Algorithm 3) and the interval-narrowing bootstrap behind Theorem 1.2.
+//!
+//! One narrowing iteration follows Algorithm 3 step by step:
+//!
+//! 1. every node computes an ε/2-approximation of the `(k/n − ε/2)`- and
+//!    `(k/n + ε/2)`-quantiles of the current working values with the
+//!    tournament algorithm ([`crate::approx::tournament_quantile`]);
+//! 2. the minimum of the lower approximations and the maximum of the upper
+//!    approximations are disseminated by push–pull rumor spreading (Step 4);
+//! 3. the rank `R` of the minimum (and the size of the bracket) is counted
+//!    with push-sum (Step 5, \[KDG03\]);
+//! 4. nodes whose value lies outside `[min, max]` become *valueless* (Step 6);
+//! 5. every surviving value is duplicated `m` times — `m` the smallest power
+//!    of two that brings the number of valued nodes up to a constant fraction
+//!    of `n` — by a decentralized token splitting-and-scattering process
+//!    (Step 7);
+//! 6. the target rank is updated to `k ← m·(k − R + 1)` (Step 8).
+//!
+//! Each iteration multiplies the number of copies of every candidate value by
+//! `m = Θ(1/ε)`, so after a constant number of iterations (for the paper's
+//! polynomial ε) or `O(log n / log(1/ε))` iterations in general, only copies
+//! of the answer remain inside the bracket and the algorithm stops with the
+//! exact answer. Stopping earlier — as soon as at most `⌊ε·n⌋` candidate
+//! values remain — yields the ε-approximation of Theorem 1.2 for arbitrarily
+//! small ε.
+//!
+//! ## Scale substitution (documented in DESIGN.md)
+//!
+//! The paper sizes the duplication target as `n^{0.99}/2` valued nodes and the
+//! per-iteration approximation parameter as `ε = n^{-0.05}/2`; both choices
+//! only make sense asymptotically (at `n ≤ 2²²`, `n^{-0.05}/2 ≈ 0.25`). The
+//! implementation keeps the same structure but uses a duplication target of
+//! `0.7·n` valued nodes (so the answer's copy count grows by `Θ(1/ε)` per
+//! iteration while tokens still fit) and an adaptive per-iteration ε of
+//! `Θ(√(log n / n))` — the smallest value for which the tournament
+//! concentration holds — which preserves the paper's behaviour of removing a
+//! polynomial fraction of candidates per iteration.
+
+use crate::approx::{tournament_quantile, TournamentConfig};
+use baselines::push_sum::{self, PushSumConfig};
+use baselines::rumor::SpreadRounds;
+use gossip_net::{
+    Engine, EngineConfig, GossipError, MessageSize, Metrics, NodeValue, Result, SeedSequence,
+};
+use serde::{Deserialize, Serialize};
+
+/// A node's working value: either a (value, tag) key or "valueless" (`∞`).
+///
+/// Tags keep all working keys distinct, which is what lets Algorithm 3 reason
+/// about exact ranks; `Empty` sorts above every key, matching the paper's
+/// `x_v ← ∞` for valueless nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Slot<V> {
+    /// A working key: the value plus a distinctness tag.
+    Value(V, u64),
+    /// A valueless node (`x_v = ∞`).
+    Empty,
+}
+
+impl<V: NodeValue> Slot<V> {
+    fn value(self) -> Option<V> {
+        match self {
+            Slot::Value(v, _) => Some(v),
+            Slot::Empty => None,
+        }
+    }
+}
+
+impl<V: MessageSize> MessageSize for Slot<V> {
+    fn message_bits(&self) -> u64 {
+        match self {
+            Slot::Value(v, _) => 1 + v.message_bits() + 64,
+            Slot::Empty => 1,
+        }
+    }
+}
+
+/// Configuration of the exact / narrowing quantile algorithm.
+#[derive(Debug, Clone)]
+pub struct NarrowingConfig {
+    /// Per-iteration approximation parameter ε. `None` selects the adaptive
+    /// default `min(0.1, 2·tournament_min_epsilon(n))`.
+    pub iteration_epsilon: Option<f64>,
+    /// Replace push-sum rank counting with an exact oracle (ablation only).
+    pub oracle_counting: bool,
+    /// Round budget of every rumor-spreading phase (Step 4).
+    pub spread_rounds: SpreadRounds,
+    /// Round budget of every push-sum counting phase (`None` = sized for an
+    /// absolute error below 1/4, i.e. exact after rounding, w.h.p.).
+    pub counting_rounds: Option<u64>,
+    /// Safety cap on narrowing iterations.
+    pub max_iterations: u64,
+    /// Fraction of `n` that duplication aims to fill with valued nodes
+    /// (the paper's `n^{0.99}/2`; see the module docs).
+    pub duplication_target_fraction: f64,
+    /// Configuration of the tournament sub-calls (Step 3).
+    pub tournament: TournamentConfig,
+}
+
+impl Default for NarrowingConfig {
+    fn default() -> Self {
+        NarrowingConfig {
+            iteration_epsilon: None,
+            oracle_counting: false,
+            spread_rounds: SpreadRounds::default(),
+            counting_rounds: None,
+            max_iterations: 80,
+            duplication_target_fraction: 0.7,
+            tournament: TournamentConfig::default(),
+        }
+    }
+}
+
+impl NarrowingConfig {
+    /// The per-iteration ε used for a network of `n` nodes.
+    pub fn iteration_epsilon_for(&self, n: usize) -> f64 {
+        self.iteration_epsilon
+            .unwrap_or_else(|| (2.0 * crate::approx::tournament_min_epsilon(n)).min(0.1))
+            .clamp(1e-9, 0.1)
+    }
+}
+
+/// Result of the exact (or narrowing) quantile computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExactOutcome<V> {
+    /// The computed value (identical at every node).
+    pub answer: V,
+    /// Narrowing iterations executed.
+    pub iterations: u64,
+    /// Total rounds executed across all sub-phases.
+    pub rounds: u64,
+    /// Aggregated communication metrics.
+    pub metrics: Metrics,
+}
+
+/// Computes the **exact** φ-quantile — the `⌈φ·n⌉`-th smallest value — of
+/// `values` (Theorem 1.1).
+///
+/// # Errors
+///
+/// Returns an error if fewer than two values are given, `φ ∉ [0, 1]`, or the
+/// iteration cap is exhausted (which indicates a mis-configured round budget).
+pub fn exact_quantile<V: NodeValue>(
+    values: &[V],
+    phi: f64,
+    config: &NarrowingConfig,
+    engine_config: EngineConfig,
+) -> Result<ExactOutcome<V>> {
+    let n = values.len();
+    if n < 2 {
+        return Err(GossipError::TooFewNodes { requested: n });
+    }
+    if !(0.0..=1.0).contains(&phi) {
+        return Err(GossipError::InvalidParameter {
+            name: "phi",
+            reason: format!("must be in [0, 1], got {phi}"),
+        });
+    }
+    let target_rank = ((phi * n as f64).ceil() as u64).clamp(1, n as u64);
+    narrow_to_rank(values, target_rank, 0, config, engine_config)
+}
+
+/// Computes a value whose rank is within `tolerance` of `target_rank`
+/// (`tolerance = 0` forces the exact answer). This is the shared machinery
+/// behind [`exact_quantile`] and the small-ε branch of
+/// [`crate::approx::approximate_quantile`].
+pub(crate) fn narrow_to_rank<V: NodeValue>(
+    values: &[V],
+    target_rank: u64,
+    tolerance: u64,
+    config: &NarrowingConfig,
+    engine_config: EngineConfig,
+) -> Result<ExactOutcome<V>> {
+    let n = values.len();
+    if n < 2 {
+        return Err(GossipError::TooFewNodes { requested: n });
+    }
+    if target_rank == 0 || target_rank > n as u64 {
+        return Err(GossipError::InvalidParameter {
+            name: "target_rank",
+            reason: format!("must be in 1..={n}, got {target_rank}"),
+        });
+    }
+    let mut seeds = SeedSequence::new(engine_config.seed);
+    let failure = engine_config.failure.clone();
+    let sub = |seeds: &mut SeedSequence| EngineConfig { seed: seeds.next_seed(), failure: failure.clone() };
+
+    let eps = config.iteration_epsilon_for(n);
+    let counting = PushSumConfig {
+        rounds: config.counting_rounds,
+        target_accuracy: 0.25 / n as f64,
+    };
+
+    // Working keys: the original value of node v tagged with v.
+    let mut keys: Vec<Slot<V>> =
+        values.iter().enumerate().map(|(v, &x)| Slot::Value(x, v as u64)).collect();
+    let mut k = target_rank;
+    let mut copies_per_candidate: u64 = 1; // M_{i-1} in the paper
+    let mut metrics = Metrics::default();
+    let mut rounds = 0u64;
+
+    for iteration in 1..=config.max_iterations {
+        let phi_center = k as f64 / n as f64;
+        let phi_lo = (phi_center - eps / 2.0).max(0.0);
+        let phi_hi = (phi_center + eps / 2.0).min(1.0);
+        // When the ±ε/2 window spills past a boundary of [0, 1] the tournament
+        // guarantee can no longer bracket the target rank from that side; use
+        // the trivial (but always safe) bound instead: every node contributes
+        // its own key, so the spread returns the global extremum.
+        let lower_trivial = k as f64 <= eps / 2.0 * n as f64 + 1.0;
+        let upper_trivial = k as f64 >= (1.0 - eps / 2.0) * n as f64 - 1.0;
+
+        // Step 3: tournament approximations of the bracketing quantiles.
+        let lower_outputs = if lower_trivial {
+            keys.clone()
+        } else {
+            let lo_out = tournament_quantile(
+                &keys,
+                phi_lo,
+                eps / 2.0,
+                &config.tournament,
+                sub(&mut seeds),
+            )?;
+            metrics = metrics + lo_out.metrics;
+            rounds += lo_out.rounds;
+            lo_out.outputs
+        };
+        let upper_outputs = if upper_trivial {
+            keys.clone()
+        } else {
+            let hi_out = tournament_quantile(
+                &keys,
+                phi_hi,
+                eps / 2.0,
+                &config.tournament,
+                sub(&mut seeds),
+            )?;
+            metrics = metrics + hi_out.metrics;
+            rounds += hi_out.rounds;
+            hi_out.outputs
+        };
+
+        // Step 4: spread min(lower approximations) and max(upper approximations).
+        let (lo, hi, spread_rounds, spread_metrics) = spread_bracket(
+            &lower_outputs,
+            &upper_outputs,
+            config.spread_rounds.rounds_for(n),
+            sub(&mut seeds),
+        );
+        metrics = metrics + spread_metrics;
+        rounds += spread_rounds;
+
+        let lo_v = match lo.value() {
+            Some(v) => v,
+            // Degenerate (only possible under extreme failure rates): retry.
+            None => continue,
+        };
+
+        // Step 5: count the rank of `lo` and of `hi` with push-sum. (`hi` may
+        // legitimately be `Empty` when the upper window spilled past 1 and
+        // some nodes are valueless; `Empty` compares above every key, so the
+        // count is then simply `n` — "no upper restriction".)
+        let (rank_lo, c_rounds, c_metrics) =
+            count_at_most(&keys, &lo, config.oracle_counting, &counting, sub(&mut seeds))?;
+        metrics = metrics + c_metrics;
+        rounds += c_rounds;
+        let (rank_hi, c_rounds, c_metrics) =
+            count_at_most(&keys, &hi, config.oracle_counting, &counting, sub(&mut seeds))?;
+        metrics = metrics + c_metrics;
+        rounds += c_rounds;
+
+        // Sanity: the bracket must contain the target rank. If counting or the
+        // tournament misbehaved (possible only under heavy failures or at very
+        // small n), skip the iteration rather than lose the answer.
+        if rank_lo > k || rank_hi < k || rank_hi <= rank_lo {
+            continue;
+        }
+        let bracket = rank_hi - rank_lo + 1;
+
+        // Convergence (the analogue of the paper's final Step 10): the
+        // invariant maintained below is that every key with rank in
+        // `(k − copies, k]` carries the answer value, where `copies` is the
+        // accumulated duplication factor. As soon as `lo` falls inside that
+        // block — i.e. its exactly-counted rank satisfies `k − rank < copies`
+        // — `lo`'s value *is* the answer. The same holds trivially when the
+        // bracket spans a single distinct value.
+        if k - rank_lo < copies_per_candidate || hi.value() == Some(lo_v) {
+            return Ok(ExactOutcome { answer: lo_v, iterations: iteration, rounds, metrics });
+        }
+
+        // Early stop for the approximate (Theorem 1.2) regime: at most
+        // `bracket / copies + 2` distinct original values remain in the
+        // bracket, every one of them within that many ranks of the target.
+        if tolerance > 0 && bracket / copies_per_candidate + 2 <= tolerance {
+            return Ok(ExactOutcome { answer: lo_v, iterations: iteration, rounds, metrics });
+        }
+
+        // Step 6: nodes outside [lo, hi] become valueless.
+        for key in keys.iter_mut() {
+            if *key < lo || *key > hi {
+                *key = Slot::Empty;
+            }
+        }
+        let valued = keys.iter().filter(|s| !matches!(s, Slot::Empty)).count() as u64;
+        if valued == 0 {
+            // Cannot happen if the bracket checks above passed; defensive.
+            continue;
+        }
+
+        // Step 7: duplicate every surviving value m times and scatter the
+        // copies so that a constant fraction of nodes is valued again. `m` is
+        // the smallest power of two strictly larger than target/valued (the
+        // paper's rule), capped so the tokens always fit comfortably below n.
+        let dup_target = (config.duplication_target_fraction * n as f64).max(1.0);
+        let quotient = dup_target / valued as f64;
+        let mut m: u64 = 1;
+        while (m as f64) <= quotient {
+            m *= 2;
+        }
+        while m > 1 && m * valued > (n as u64) * 9 / 10 {
+            m /= 2;
+        }
+        if m > 1 {
+            let (assigned, d_rounds, d_metrics) =
+                distribute_tokens(&keys, m, n, sub(&mut seeds))?;
+            metrics = metrics + d_metrics;
+            rounds += d_rounds;
+            for (v, slot) in keys.iter_mut().enumerate() {
+                *slot = match assigned[v] {
+                    Some(value) => Slot::Value(value, (iteration << 32) | v as u64),
+                    None => Slot::Empty,
+                };
+            }
+        }
+
+        // Step 8.
+        k = m * (k - rank_lo + 1);
+        copies_per_candidate = copies_per_candidate.saturating_mul(m);
+    }
+
+    Err(GossipError::RoundBudgetExceeded {
+        budget: config.max_iterations,
+        phase: "exact quantile narrowing iterations",
+    })
+}
+
+/// Disseminates `min` of the first components and `max` of the second
+/// components to every node by push–pull gossip (Step 4 of Algorithm 3).
+fn spread_bracket<V: NodeValue>(
+    lower: &[Slot<V>],
+    upper: &[Slot<V>],
+    rounds: u64,
+    engine_config: EngineConfig,
+) -> (Slot<V>, Slot<V>, u64, Metrics) {
+    let states: Vec<(Slot<V>, Slot<V>)> =
+        lower.iter().copied().zip(upper.iter().copied()).collect();
+    let mut engine = Engine::from_states(states, engine_config);
+    for _ in 0..rounds {
+        engine.push_pull_round(
+            |_, st| *st,
+            |_, st, (lo, hi)| {
+                if lo < st.0 {
+                    st.0 = lo;
+                }
+                if hi > st.1 {
+                    st.1 = hi;
+                }
+            },
+        );
+    }
+    let metrics = engine.metrics();
+    // With the default budget every node has converged w.h.p.; the global
+    // extrema (which are what every informed node holds) drive the rest of the
+    // iteration.
+    let lo = engine.states().iter().map(|s| s.0).min().expect("non-empty network");
+    let hi = engine.states().iter().map(|s| s.1).max().expect("non-empty network");
+    (lo, hi, rounds, metrics)
+}
+
+/// Counts `#{keys ≤ bound}` with push-sum (or exactly, for the ablation).
+fn count_at_most<V: NodeValue>(
+    keys: &[Slot<V>],
+    bound: &Slot<V>,
+    oracle: bool,
+    counting: &PushSumConfig,
+    engine_config: EngineConfig,
+) -> Result<(u64, u64, Metrics)> {
+    if oracle {
+        let count = keys.iter().filter(|&k| k <= bound).count() as u64;
+        return Ok((count, 0, Metrics::default()));
+    }
+    let indicators: Vec<bool> = keys.iter().map(|k| k <= bound).collect();
+    let out = push_sum::count_matching(&indicators, counting, engine_config)?;
+    let mut rounded: Vec<i64> = out.estimates.iter().map(|e| e.round() as i64).collect();
+    rounded.sort_unstable();
+    let count = rounded[rounded.len() / 2].max(0) as u64;
+    Ok((count, out.rounds, out.metrics))
+}
+
+/// Token state used by the splitting-and-scattering process of Step 7.
+#[derive(Debug, Clone)]
+struct TokenState<V> {
+    tokens: Vec<(V, u64)>,
+    outbox: Option<(V, u64)>,
+}
+
+/// Duplicates every valued key `m` times and scatters the copies so that every
+/// node ends up holding at most one copy (Step 7 of Algorithm 3).
+///
+/// Returns the value assigned to every node (or `None` for nodes left
+/// valueless), the number of rounds used, and the metrics.
+fn distribute_tokens<V: NodeValue>(
+    keys: &[Slot<V>],
+    m: u64,
+    n: usize,
+    engine_config: EngineConfig,
+) -> Result<(Vec<Option<V>>, u64, Metrics)> {
+    debug_assert!(m.is_power_of_two());
+    let states: Vec<TokenState<V>> = keys
+        .iter()
+        .map(|slot| TokenState {
+            tokens: match slot {
+                Slot::Value(v, _) => vec![(*v, m)],
+                Slot::Empty => Vec::new(),
+            },
+            outbox: None,
+        })
+        .collect();
+    let mut engine = Engine::from_states(states, engine_config);
+    let max_rounds = 8 * (n.max(2) as f64).log2().ceil() as u64
+        + 4 * (m as f64).log2().ceil() as u64
+        + 64;
+
+    let mut executed = 0u64;
+    loop {
+        let settled = engine
+            .states()
+            .iter()
+            .all(|st| st.tokens.len() <= 1 && st.tokens.iter().all(|&(_, w)| w == 1));
+        if settled {
+            break;
+        }
+        if executed >= max_rounds {
+            return Err(GossipError::RoundBudgetExceeded {
+                budget: max_rounds,
+                phase: "token distribution (Algorithm 3, Step 7)",
+            });
+        }
+        // Local step: pick what to send this round — half of a heavy token, or
+        // a surplus token if the node holds more than one.
+        engine.local_step(|_, st| {
+            st.outbox = None;
+            if let Some(idx) = st.tokens.iter().position(|&(_, w)| w > 1) {
+                let (value, weight) = st.tokens[idx];
+                let half = weight / 2;
+                st.tokens[idx] = (value, weight - half);
+                st.outbox = Some((value, half));
+            } else if st.tokens.len() > 1 {
+                st.outbox = st.tokens.pop();
+            }
+        });
+        engine.push_round(
+            |_, st| st.outbox,
+            |_, st, token| st.tokens.push(token),
+            |_, st, delivered| {
+                if !delivered {
+                    if let Some(token) = st.outbox.take() {
+                        st.tokens.push(token);
+                    }
+                }
+                st.outbox = None;
+            },
+        );
+        executed += 1;
+    }
+
+    let metrics = engine.metrics();
+    let assigned = engine
+        .into_states()
+        .into_iter()
+        .map(|st| st.tokens.first().map(|&(v, _)| v))
+        .collect();
+    Ok((assigned, executed, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_quantile(values: &[u64], phi: f64) -> u64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = ((phi * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn slot_ordering_places_empty_last() {
+        let a: Slot<u64> = Slot::Value(10, 5);
+        let b: Slot<u64> = Slot::Value(10, 6);
+        let c: Slot<u64> = Slot::Value(11, 0);
+        let e: Slot<u64> = Slot::Empty;
+        assert!(a < b && b < c && c < e);
+        assert_eq!(a.value(), Some(10));
+        assert_eq!(e.value(), None);
+        assert!(e.message_bits() < a.message_bits());
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let cfg = NarrowingConfig::default();
+        assert!(exact_quantile(&[1u64], 0.5, &cfg, EngineConfig::with_seed(0)).is_err());
+        assert!(exact_quantile(&[1u64, 2], 1.5, &cfg, EngineConfig::with_seed(0)).is_err());
+        assert!(narrow_to_rank(&[1u64, 2], 0, 0, &cfg, EngineConfig::with_seed(0)).is_err());
+        assert!(narrow_to_rank(&[1u64, 2], 3, 0, &cfg, EngineConfig::with_seed(0)).is_err());
+    }
+
+    #[test]
+    fn exact_median_on_a_permutation() {
+        let n = 4001u64;
+        let values: Vec<u64> = (0..n).map(|i| (i * 48271) % 1_000_003).collect();
+        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        let out = exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(1)).unwrap();
+        assert_eq!(out.answer, sorted_quantile(&values, 0.5));
+        assert!(out.iterations <= 20, "iterations {}", out.iterations);
+    }
+
+    #[test]
+    fn exact_quantiles_with_push_sum_counting() {
+        let n = 3000u64;
+        let values: Vec<u64> = (0..n).map(|i| (i * 2654435761) % 999_983).collect();
+        let cfg = NarrowingConfig::default();
+        for (seed, phi) in [(2u64, 0.1f64), (3, 0.5), (4, 0.95)] {
+            let out = exact_quantile(&values, phi, &cfg, EngineConfig::with_seed(seed)).unwrap();
+            assert_eq!(out.answer, sorted_quantile(&values, phi), "phi = {phi}");
+        }
+    }
+
+    #[test]
+    fn exact_works_with_duplicate_values() {
+        let values: Vec<u64> = (0..2000).map(|i| i % 7).collect();
+        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        for (seed, phi) in [(5u64, 0.3f64), (6, 0.5), (7, 0.9)] {
+            let out = exact_quantile(&values, phi, &cfg, EngineConfig::with_seed(seed)).unwrap();
+            assert_eq!(out.answer, sorted_quantile(&values, phi), "phi = {phi}");
+        }
+    }
+
+    #[test]
+    fn extreme_ranks_are_exact() {
+        let values: Vec<u64> = (0..1500).map(|i| i * 17 % 65_521).collect();
+        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        let min = exact_quantile(&values, 0.0, &cfg, EngineConfig::with_seed(8)).unwrap();
+        assert_eq!(min.answer, *values.iter().min().unwrap());
+        let max = exact_quantile(&values, 1.0, &cfg, EngineConfig::with_seed(9)).unwrap();
+        assert_eq!(max.answer, *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn narrowing_with_tolerance_is_within_bounds_and_faster() {
+        let n = 8000u64;
+        let values: Vec<u64> = (0..n).map(|i| (i * 104729) % 1_000_003).collect();
+        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        let exact = exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(10)).unwrap();
+        let tol = 200u64;
+        let approx =
+            narrow_to_rank(&values, n / 2, tol, &cfg, EngineConfig::with_seed(10)).unwrap();
+        // The approximate answer's rank is within the tolerance.
+        let rank = values.iter().filter(|&&v| v <= approx.answer).count() as i64;
+        assert!((rank - (n / 2) as i64).unsigned_abs() <= tol, "rank {rank}");
+        assert!(approx.rounds <= exact.rounds);
+    }
+
+    #[test]
+    fn token_distribution_conserves_copies() {
+        let n = 1024usize;
+        // 32 valued keys, to be duplicated 8x = 256 tokens over 1024 nodes.
+        let keys: Vec<Slot<u64>> = (0..n)
+            .map(|v| if v % 32 == 0 { Slot::Value(v as u64, v as u64) } else { Slot::Empty })
+            .collect();
+        let (assigned, rounds, _metrics) =
+            distribute_tokens(&keys, 8, n, EngineConfig::with_seed(3)).unwrap();
+        let placed: Vec<u64> = assigned.iter().filter_map(|a| *a).collect();
+        assert_eq!(placed.len(), 32 * 8, "every copy placed on a distinct node");
+        for orig in (0..n).step_by(32) {
+            let copies = placed.iter().filter(|&&v| v == orig as u64).count();
+            assert_eq!(copies, 8, "value {orig} has {copies} copies");
+        }
+        assert!(rounds > 0 && rounds < 200);
+    }
+
+    #[test]
+    fn token_distribution_under_failures_still_conserves_copies() {
+        let n = 512usize;
+        let keys: Vec<Slot<u64>> = (0..n)
+            .map(|v| if v % 16 == 0 { Slot::Value(v as u64, v as u64) } else { Slot::Empty })
+            .collect();
+        let cfg = EngineConfig::with_seed(4)
+            .failure(gossip_net::FailureModel::uniform(0.3).unwrap());
+        let (assigned, _rounds, metrics) = distribute_tokens(&keys, 4, n, cfg).unwrap();
+        let placed: Vec<u64> = assigned.iter().filter_map(|a| *a).collect();
+        assert_eq!(placed.len(), 32 * 4);
+        assert!(metrics.failed_operations > 0);
+    }
+
+    #[test]
+    fn iteration_epsilon_default_is_reasonable() {
+        let cfg = NarrowingConfig::default();
+        let e_small = cfg.iteration_epsilon_for(1 << 10);
+        let e_large = cfg.iteration_epsilon_for(1 << 22);
+        assert!(e_small >= e_large);
+        assert!(e_large > 0.0 && e_small <= 0.1);
+        let fixed = NarrowingConfig { iteration_epsilon: Some(0.03), ..Default::default() };
+        assert_eq!(fixed.iteration_epsilon_for(1 << 20), 0.03);
+    }
+}

@@ -1,0 +1,73 @@
+//! # quantile-gossip
+//!
+//! Gossip algorithms for exact and approximate quantile computation — a
+//! faithful implementation of
+//! *"Optimal Gossip Algorithms for Exact and Approximate Quantile
+//! Computations"* (Haeupler, Mohapatra, Su; PODC 2018).
+//!
+//! Every node of a network holds a value; nodes communicate by uniform
+//! push/pull gossip (one contact per node per round, `O(log n)`-bit messages).
+//! This crate provides:
+//!
+//! | Entry point | Paper result | Rounds |
+//! |---|---|---|
+//! | [`approx::approximate_quantile`] | Theorems 1.2 / 2.1 | `O(log log n + log 1/ε)` |
+//! | [`exact::exact_quantile`] | Theorem 1.1 | `O(log n)` |
+//! | [`own_rank::estimate_own_quantiles`] | Corollary 1.5 | `(1/ε)·O(log log n + log 1/ε)` |
+//! | [`robust::robust_approximate_quantile`] | Theorem 1.4 | same, under failures |
+//!
+//! plus the building blocks: the 2-TOURNAMENT quantile-shifting dynamic
+//! ([`two_tournament`], Algorithm 1), the 3-TOURNAMENT median dynamic
+//! ([`three_tournament`], Algorithm 2) and their iteration
+//! [`schedule`]s.
+//!
+//! All algorithms run on the [`gossip_net`] simulator and report the rounds,
+//! messages and bits they consumed, so they can be compared head-to-head with
+//! the [`baselines`] crate (Kempe et al. push-sum and selection, naive
+//! sampling, the doubling/compaction algorithms of Appendix A).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gossip_net::EngineConfig;
+//! use quantile_gossip::approx::{approximate_quantile, ApproxConfig};
+//!
+//! # fn main() -> gossip_net::Result<()> {
+//! // 10 000 sensors, each holding one reading.
+//! let readings: Vec<u64> = (0..10_000).map(|i| (i * 7919) % 100_000).collect();
+//!
+//! // Every node learns a value whose rank is within ±5% of the 90th percentile,
+//! // in O(log log n + log 1/eps) gossip rounds.
+//! let out = approximate_quantile(&readings, 0.9, 0.05, &ApproxConfig::default(),
+//!                                EngineConfig::with_seed(42))?;
+//! assert_eq!(out.outputs.len(), readings.len());
+//! println!("rounds used: {}", out.rounds);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod approx;
+pub mod exact;
+pub mod own_rank;
+pub mod robust;
+pub mod schedule;
+pub mod three_tournament;
+pub mod two_tournament;
+
+pub use approx::{
+    approximate_quantile, tournament_min_epsilon, tournament_quantile, ApproxConfig,
+    ApproxOutcome, Method, MethodUsed, TournamentConfig,
+};
+pub use exact::{exact_quantile, ExactOutcome, NarrowingConfig};
+pub use own_rank::{estimate_own_quantiles, OwnRankConfig, OwnRankOutcome};
+pub use robust::{robust_approximate_quantile, RobustConfig, RobustOutcome};
+pub use schedule::{ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule};
+pub use three_tournament::FinalVote;
+
+// Re-export the substrate types that appear in this crate's public API so that
+// downstream users only need one dependency.
+pub use gossip_net::{EngineConfig, FailureModel, GossipError, Metrics, NodeValue, Result};

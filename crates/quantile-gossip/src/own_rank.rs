@@ -1,0 +1,166 @@
+//! Every node estimates its **own** quantile (Corollary 1.5).
+//!
+//! The paper observes that running `O(1/ε)` approximate quantile computations
+//! — one for each of the thresholds `ε, 2ε, 3ε, …` — lets every node locate
+//! its own value among the returned threshold values and thereby learn its own
+//! quantile up to an additive `ε`, in `(1/ε)·O(log log n + log 1/ε)` rounds.
+//! This is the "sensor network" use case from the introduction: each node
+//! decides locally whether it belongs to, say, the top or bottom 10%.
+
+use crate::approx::{approximate_quantile, ApproxConfig};
+use gossip_net::{EngineConfig, GossipError, Metrics, NodeValue, Result, SeedSequence};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the own-quantile estimation.
+#[derive(Debug, Clone, Default)]
+pub struct OwnRankConfig {
+    /// Configuration of every underlying quantile computation.
+    pub approx: ApproxConfig,
+}
+
+/// Result of the own-quantile estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OwnRankOutcome {
+    /// Per-node estimate of its own quantile, in `[0, 1]`.
+    pub quantiles: Vec<f64>,
+    /// The threshold values that were computed (the `jε`-quantile estimates,
+    /// as agreed by node 0; all nodes agree up to the approximation error).
+    pub thresholds: usize,
+    /// Total rounds executed.
+    pub rounds: u64,
+    /// Aggregated communication metrics.
+    pub metrics: Metrics,
+}
+
+/// Every node estimates its own quantile up to an additive `ε`.
+///
+/// # Errors
+///
+/// Returns an error if fewer than two values are given or `ε ∉ (0, 1)`.
+pub fn estimate_own_quantiles<V: NodeValue>(
+    values: &[V],
+    epsilon: f64,
+    config: &OwnRankConfig,
+    engine_config: EngineConfig,
+) -> Result<OwnRankOutcome> {
+    let n = values.len();
+    if n < 2 {
+        return Err(GossipError::TooFewNodes { requested: n });
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(GossipError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must be in (0, 1), got {epsilon}"),
+        });
+    }
+    let mut seeds = SeedSequence::new(engine_config.seed);
+    let failure = engine_config.failure.clone();
+
+    // Thresholds at φ = ε, 2ε, …, < 1, each computed to accuracy ε (the
+    // estimate below is therefore accurate to within ~1.5ε, matching the
+    // additive-ε statement of Corollary 1.5 up to the usual constant).
+    let count = ((1.0 / epsilon).ceil() as usize).saturating_sub(1).max(1);
+    let mut rounds = 0u64;
+    let mut metrics = Metrics::default();
+    // For each node, how many thresholds its value exceeds.
+    let mut above_count = vec![0usize; n];
+
+    for j in 1..=count {
+        let phi = (j as f64 * epsilon).min(1.0);
+        let sub = EngineConfig { seed: seeds.next_seed(), failure: failure.clone() };
+        let out = approximate_quantile(values, phi, epsilon, &config.approx, sub)?;
+        rounds += out.rounds;
+        metrics = metrics + out.metrics;
+        // Each node compares its own value against the threshold *it*
+        // received (outputs may differ slightly between nodes, which is fine:
+        // each is an (ε/2)-approximation).
+        for (v, threshold) in out.outputs.iter().enumerate() {
+            if values[v] > *threshold {
+                above_count[v] += 1;
+            }
+        }
+    }
+
+    let quantiles = above_count
+        .into_iter()
+        .map(|c| ((c as f64 + 0.5) * epsilon).clamp(0.0, 1.0))
+        .collect();
+    Ok(OwnRankOutcome { quantiles, thresholds: count, rounds, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let cfg = OwnRankConfig::default();
+        assert!(estimate_own_quantiles(&[1u64], 0.1, &cfg, EngineConfig::with_seed(0)).is_err());
+        assert!(
+            estimate_own_quantiles(&[1u64, 2], 0.0, &cfg, EngineConfig::with_seed(0)).is_err()
+        );
+        assert!(
+            estimate_own_quantiles(&[1u64, 2], 1.0, &cfg, EngineConfig::with_seed(0)).is_err()
+        );
+    }
+
+    #[test]
+    fn estimates_are_close_to_true_quantiles() {
+        let n: u64 = 50_000;
+        let values: Vec<u64> = (0..n).collect(); // value == rank − 1
+        let eps = 0.1;
+        let out = estimate_own_quantiles(
+            &values,
+            eps,
+            &OwnRankConfig::default(),
+            EngineConfig::with_seed(3),
+        )
+        .unwrap();
+        assert_eq!(out.thresholds, 9);
+        let mut worst = 0.0f64;
+        for (v, &q) in out.quantiles.iter().enumerate() {
+            let truth = (v as f64 + 1.0) / n as f64;
+            worst = worst.max((q - truth).abs());
+        }
+        // Corollary 1.5: additive ε (plus the ε/2 threshold accuracy).
+        assert!(worst <= 2.0 * eps, "worst error {worst}");
+    }
+
+    #[test]
+    fn extreme_nodes_know_they_are_extreme() {
+        let n: u64 = 20_000;
+        let values: Vec<u64> = (0..n).collect();
+        let eps = 0.1;
+        let out = estimate_own_quantiles(
+            &values,
+            eps,
+            &OwnRankConfig::default(),
+            EngineConfig::with_seed(7),
+        )
+        .unwrap();
+        // The smallest node must report a quantile near 0, the largest near 1.
+        assert!(out.quantiles[0] <= 0.2, "{}", out.quantiles[0]);
+        assert!(out.quantiles[(n - 1) as usize] >= 0.8, "{}", out.quantiles[(n - 1) as usize]);
+    }
+
+    #[test]
+    fn rounds_scale_with_one_over_epsilon() {
+        let values: Vec<u64> = (0..20_000).collect();
+        let coarse = estimate_own_quantiles(
+            &values,
+            0.25,
+            &OwnRankConfig::default(),
+            EngineConfig::with_seed(1),
+        )
+        .unwrap();
+        let fine = estimate_own_quantiles(
+            &values,
+            0.1,
+            &OwnRankConfig::default(),
+            EngineConfig::with_seed(2),
+        )
+        .unwrap();
+        assert!(fine.thresholds > coarse.thresholds);
+        assert!(fine.rounds > coarse.rounds);
+    }
+}

@@ -1,0 +1,337 @@
+//! Failure-robust tournament algorithms (Theorem 1.4, Section 5.1).
+//!
+//! Under the failure model of Section 5 (every node fails each round with a
+//! probability bounded by `μ < 1`), the tournament algorithms are made robust
+//! by over-sampling: in every iteration each node pulls from
+//! `Θ(1/(1−μ) · log 1/(1−μ))` nodes instead of 2 or 3, declares itself *good*
+//! if at least 2 (resp. 3) of those pulls succeeded **and** came from nodes
+//! that were good in the previous iteration, and runs the tournament on the
+//! first good pulls. Lemma 5.2 shows a constant fraction of nodes stays good
+//! throughout, so the concentration arguments go through with `n` replaced by
+//! `n_i = Ω(n)`.
+//!
+//! The final vote samples `Θ(K/(1−μ)·log(K/(1−μ)))` nodes and succeeds at
+//! every node that obtained `K` good pulls; `t` additional learning rounds
+//! then deliver the answer to all but `≈ n·2^{-t}` of the remaining nodes.
+
+use crate::schedule::{ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule};
+use crate::three_tournament::median3;
+use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the robust approximate-quantile algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustConfig {
+    /// Upper bound `μ` on the per-round failure probability. `None` derives it
+    /// from the engine's failure model where possible (and errors otherwise).
+    pub mu: Option<f64>,
+    /// Number of pulls per tournament iteration. `None` selects the
+    /// Lemma 5.2 default `⌈4/(1−μ)·ln(4/(1−μ))⌉ + 1`.
+    pub pulls_per_iteration: Option<usize>,
+    /// `K`: the number of good pulls the final vote needs.
+    pub final_vote_samples: usize,
+    /// `t`: extra learning rounds after the vote; all but `≈ n·2^{-t}` nodes
+    /// end up with an answer.
+    pub learning_rounds: u64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            mu: None,
+            pulls_per_iteration: None,
+            final_vote_samples: 15,
+            learning_rounds: 10,
+        }
+    }
+}
+
+impl RobustConfig {
+    /// The per-iteration pull count for a failure bound `mu`.
+    pub fn pulls_for(&self, mu: f64) -> usize {
+        if let Some(k) = self.pulls_per_iteration {
+            return k.max(3);
+        }
+        let s = 1.0 - mu.clamp(0.0, 0.99);
+        ((4.0 / s) * (4.0 / s).ln()).ceil() as usize + 1
+    }
+
+    /// The number of pulls used by the final vote for a failure bound `mu`.
+    pub fn final_pulls_for(&self, mu: f64) -> usize {
+        let s = 1.0 - mu.clamp(0.0, 0.99);
+        let k = self.final_vote_samples as f64;
+        ((k / s) * (k / s).ln().max(1.0)).ceil() as usize
+    }
+}
+
+/// Result of the robust approximate quantile computation.
+#[derive(Debug, Clone)]
+pub struct RobustOutcome<V> {
+    /// Per-node output: `Some(value)` for nodes that learned an answer,
+    /// `None` for the (exponentially small) remainder.
+    pub outputs: Vec<Option<V>>,
+    /// Fraction of nodes with an answer.
+    pub answered_fraction: f64,
+    /// Total rounds executed.
+    pub rounds: u64,
+    /// Communication metrics.
+    pub metrics: Metrics,
+    /// Fraction of nodes still *good* after the tournament iterations
+    /// (Lemma 5.2 guarantees a constant fraction).
+    pub good_fraction: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobustState<V> {
+    value: V,
+    good: bool,
+    answer: Option<V>,
+}
+
+/// Runs the failure-robust ε-approximate φ-quantile algorithm of Theorem 1.4.
+///
+/// # Errors
+///
+/// Returns an error if fewer than two values are given, `φ ∉ [0, 1]`,
+/// `ε ≤ 0`, or `μ` is neither given nor derivable from the failure model.
+pub fn robust_approximate_quantile<V: NodeValue>(
+    values: &[V],
+    phi: f64,
+    epsilon: f64,
+    config: &RobustConfig,
+    engine_config: EngineConfig,
+) -> Result<RobustOutcome<V>> {
+    let n = values.len();
+    if n < 2 {
+        return Err(GossipError::TooFewNodes { requested: n });
+    }
+    if !(0.0..=1.0).contains(&phi) {
+        return Err(GossipError::InvalidParameter {
+            name: "phi",
+            reason: format!("must be in [0, 1], got {phi}"),
+        });
+    }
+    if epsilon <= 0.0 {
+        return Err(GossipError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must be positive, got {epsilon}"),
+        });
+    }
+    let mu = match config.mu.or_else(|| engine_config.failure.mu_upper_bound()) {
+        Some(m) if m < 1.0 => m,
+        _ => {
+            return Err(GossipError::InvalidParameter {
+                name: "mu",
+                reason: "a failure bound mu < 1 must be provided or derivable".to_string(),
+            })
+        }
+    };
+    let eps = epsilon.min(crate::approx::MAX_TOURNAMENT_EPSILON);
+    let pulls = config.pulls_for(mu);
+
+    let states: Vec<RobustState<V>> =
+        values.iter().map(|&v| RobustState { value: v, good: true, answer: None }).collect();
+    let mut engine = Engine::from_states(states, engine_config);
+
+    // Phase I: robust 2-TOURNAMENT.
+    let schedule1 = TwoTournamentSchedule::compute(phi, eps)?;
+    let side = schedule1.side;
+    for step in &schedule1.steps {
+        let samples = engine.collect_samples(pulls, |_, st| (st.value, st.good));
+        let delta = step.delta;
+        let n_nodes = engine.n();
+        let coins: Vec<bool> = {
+            let rng = engine.rng();
+            (0..n_nodes).map(|_| delta >= 1.0 || rng.gen::<f64>() < delta).collect()
+        };
+        engine.local_step(|v, st| {
+            let good_pulls: Vec<V> =
+                samples[v].iter().filter(|(_, g)| *g).map(|&(val, _)| val).collect();
+            if good_pulls.len() < 2 {
+                st.good = false;
+                return;
+            }
+            st.value = if coins[v] {
+                match side {
+                    ShrinkSide::High => good_pulls[0].min(good_pulls[1]),
+                    ShrinkSide::Low => good_pulls[0].max(good_pulls[1]),
+                }
+            } else {
+                good_pulls[0]
+            };
+        });
+    }
+
+    // Phase II: robust 3-TOURNAMENT.
+    let schedule2 = ThreeTournamentSchedule::compute(eps / 4.0, n)?;
+    for _ in 0..schedule2.len() {
+        let samples = engine.collect_samples(pulls, |_, st| (st.value, st.good));
+        engine.local_step(|v, st| {
+            let good_pulls: Vec<V> =
+                samples[v].iter().filter(|(_, g)| *g).map(|&(val, _)| val).collect();
+            if good_pulls.len() < 3 {
+                st.good = false;
+                return;
+            }
+            st.value = median3(good_pulls[0], good_pulls[1], good_pulls[2]);
+        });
+    }
+    let good_fraction =
+        engine.states().iter().filter(|st| st.good).count() as f64 / n as f64;
+
+    // Final vote: sample until K good pulls are collected.
+    let final_pulls = config.final_pulls_for(mu);
+    let k = config.final_vote_samples.max(1);
+    let samples = engine.collect_samples(final_pulls, |_, st| (st.value, st.good));
+    engine.local_step(|v, st| {
+        let mut good_pulls: Vec<V> =
+            samples[v].iter().filter(|(_, g)| *g).map(|&(val, _)| val).collect();
+        if good_pulls.len() >= k {
+            good_pulls.truncate(k);
+            good_pulls.sort_unstable();
+            st.answer = Some(good_pulls[good_pulls.len() / 2]);
+        } else {
+            st.answer = None;
+        }
+    });
+
+    // Learning rounds: nodes without an answer adopt any answer they pull.
+    for _ in 0..config.learning_rounds {
+        engine.pull_round(
+            |_, st| st.answer,
+            |_, st, pulled| {
+                if st.answer.is_none() {
+                    if let Some(Some(a)) = pulled {
+                        st.answer = Some(a);
+                    }
+                }
+            },
+        );
+    }
+
+    let metrics = engine.metrics();
+    let outputs: Vec<Option<V>> = engine.into_states().into_iter().map(|st| st.answer).collect();
+    let answered = outputs.iter().filter(|o| o.is_some()).count() as f64 / n as f64;
+    Ok(RobustOutcome {
+        outputs,
+        answered_fraction: answered,
+        rounds: metrics.rounds,
+        metrics,
+        good_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_net::FailureModel;
+
+    fn rank_of(values: &[u64], x: u64) -> f64 {
+        values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let cfg = RobustConfig::default();
+        assert!(robust_approximate_quantile(&[1u64], 0.5, 0.1, &cfg, EngineConfig::with_seed(0))
+            .is_err());
+        assert!(robust_approximate_quantile(
+            &[1u64, 2],
+            2.0,
+            0.1,
+            &cfg,
+            EngineConfig::with_seed(0)
+        )
+        .is_err());
+        // A schedule-based failure model has no derivable mu.
+        let ec = EngineConfig::with_seed(0).failure(FailureModel::schedule(|_, _| 0.1));
+        assert!(
+            robust_approximate_quantile(&(0..10u64).collect::<Vec<_>>(), 0.5, 0.1, &cfg, ec)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn pull_counts_grow_with_mu() {
+        let cfg = RobustConfig::default();
+        assert!(cfg.pulls_for(0.0) < cfg.pulls_for(0.5));
+        assert!(cfg.pulls_for(0.5) < cfg.pulls_for(0.9));
+        assert!(cfg.pulls_for(0.0) >= 3);
+        assert!(cfg.final_pulls_for(0.5) > cfg.final_vote_samples);
+        let fixed = RobustConfig { pulls_per_iteration: Some(7), ..Default::default() };
+        assert_eq!(fixed.pulls_for(0.9), 7);
+    }
+
+    #[test]
+    fn without_failures_every_node_answers_accurately() {
+        let n: u64 = 50_000;
+        let values: Vec<u64> = (0..n).collect();
+        let eps = 0.08;
+        let out = robust_approximate_quantile(
+            &values,
+            0.3,
+            eps,
+            &RobustConfig::default(),
+            EngineConfig::with_seed(2),
+        )
+        .unwrap();
+        assert_eq!(out.answered_fraction, 1.0);
+        assert!(out.good_fraction > 0.99);
+        for o in out.outputs.iter().flatten() {
+            let q = rank_of(&values, *o);
+            assert!((q - 0.3).abs() <= eps + 0.01, "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn with_heavy_failures_most_nodes_answer_accurately() {
+        let n: u64 = 50_000;
+        let values: Vec<u64> = (0..n).collect();
+        let eps = 0.08;
+        let mu = 0.5;
+        let ec = EngineConfig::with_seed(5).failure(FailureModel::uniform(mu).unwrap());
+        let out = robust_approximate_quantile(
+            &values,
+            0.5,
+            eps,
+            &RobustConfig::default(),
+            ec,
+        )
+        .unwrap();
+        // Lemma 5.2: a constant fraction of nodes stays good.
+        assert!(out.good_fraction > 0.3, "good fraction {}", out.good_fraction);
+        // Theorem 1.4: all but ~n/2^t nodes learn an answer.
+        assert!(out.answered_fraction > 0.99, "answered {}", out.answered_fraction);
+        let mut checked = 0;
+        for o in out.outputs.iter().flatten() {
+            let q = rank_of(&values, *o);
+            assert!((q - 0.5).abs() <= eps + 0.02, "quantile {q}");
+            checked += 1;
+        }
+        assert!(checked > 0);
+        assert!(out.metrics.failed_operations > 0);
+    }
+
+    #[test]
+    fn per_node_failure_probabilities_are_supported() {
+        let n: u64 = 20_000;
+        let values: Vec<u64> = (0..n).collect();
+        // Adversarial-ish: half the nodes fail 60% of the time, half never.
+        let probs: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.6 } else { 0.0 }).collect();
+        let ec = EngineConfig::with_seed(9).failure(FailureModel::per_node(probs).unwrap());
+        let out = robust_approximate_quantile(
+            &values,
+            0.5,
+            0.1,
+            &RobustConfig::default(),
+            ec,
+        )
+        .unwrap();
+        assert!(out.answered_fraction > 0.95, "answered {}", out.answered_fraction);
+        for o in out.outputs.iter().flatten() {
+            let q = rank_of(&values, *o);
+            assert!((q - 0.5).abs() <= 0.12, "quantile {q}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Iteration schedules of the tournament algorithms.
+//!
+//! Algorithms 1 and 2 of the paper are driven by deterministic sequences that
+//! every node can compute locally from `n`, `φ` and `ε`:
+//!
+//! * 2-TOURNAMENT: `h_0 = 1 − (φ + ε)`, `h_{i+1} = h_i²`, stop once
+//!   `h_i ≤ T = 1/2 − ε`; the final iteration applies the tournament only with
+//!   probability `δ = min(1, (h_i − T)/(h_i − h_{i+1}))` (Lemma 2.2 bounds the
+//!   number of iterations by `log_{7/4}(4/ε) + 2`).
+//! * 3-TOURNAMENT: `h_0 = 1/2 − ε`, `h_{i+1} = 3h_i² − 2h_i³`, stop once
+//!   `h_i ≤ T = n^{-1/3}` (Lemma 2.12 bounds the number of iterations by
+//!   `log_{11/8}(1/(4ε)) + log₂log₄ n`).
+//!
+//! Keeping the schedules as pure data makes the dynamics testable against the
+//! lemmas independently of any randomness.
+
+use gossip_net::{GossipError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which tail of the distribution the 2-TOURNAMENT shrinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShrinkSide {
+    /// `h_0 = 1 − (φ+ε) ≥ l_0`: shrink the set of *high* values by assigning
+    /// each node the **minimum** of two random samples.
+    High,
+    /// The symmetric case: shrink the set of *low* values by assigning each
+    /// node the **maximum** of two random samples.
+    Low,
+}
+
+/// One iteration of the 2-TOURNAMENT schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoTournamentStep {
+    /// The tracked tail mass `h_i` before this iteration.
+    pub before: f64,
+    /// The tracked tail mass `h_{i+1} = h_i²` after this iteration.
+    pub after: f64,
+    /// The probability with which a node performs the two-sample tournament
+    /// this iteration (1.0 in all but possibly the last iteration).
+    pub delta: f64,
+}
+
+/// The full 2-TOURNAMENT schedule for a given `(φ, ε)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoTournamentSchedule {
+    /// Which side is being shrunk.
+    pub side: ShrinkSide,
+    /// The per-iteration steps, in order.
+    pub steps: Vec<TwoTournamentStep>,
+    /// The stopping threshold `T = 1/2 − ε`.
+    pub threshold: f64,
+}
+
+impl TwoTournamentSchedule {
+    /// Computes the schedule for the ε-approximate φ-quantile problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError::InvalidParameter`] if `φ ∉ [0, 1]` or
+    /// `ε ∉ (0, 1/8]` (the paper's analysis assumes `ε < 1/8`; larger values
+    /// make Phase I unnecessary and are accepted by clamping in
+    /// [`crate::approx`]).
+    pub fn compute(phi: f64, epsilon: f64) -> Result<Self> {
+        validate_phi_epsilon(phi, epsilon)?;
+        let t = 0.5 - epsilon;
+        let h0 = 1.0 - (phi + epsilon);
+        let l0 = phi - epsilon;
+        let (side, mut h) = if h0 >= l0 { (ShrinkSide::High, h0) } else { (ShrinkSide::Low, l0) };
+        let mut steps = Vec::new();
+        // Guard: for extreme φ the tracked mass may already be below T and no
+        // shifting is needed at all.
+        while h > t {
+            let next = h * h;
+            let delta = if h - next > 0.0 { ((h - t) / (h - next)).min(1.0) } else { 1.0 };
+            steps.push(TwoTournamentStep { before: h, after: next, delta });
+            h = next;
+            // The paper's loop exits as soon as h ≤ T; the δ-truncation of the
+            // final step is what lands |H_t|/n near T rather than overshooting.
+            if steps.len() > MAX_SCHEDULE_LEN {
+                break;
+            }
+        }
+        Ok(TwoTournamentSchedule { side, steps, threshold: t })
+    }
+
+    /// Number of iterations `t`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether Phase I is a no-op for these parameters.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The upper bound of Lemma 2.2: `t ≤ log_{7/4}(4/ε) + 2`.
+    pub fn lemma_2_2_bound(epsilon: f64) -> f64 {
+        (4.0 / epsilon).ln() / (7.0f64 / 4.0).ln() + 2.0
+    }
+}
+
+/// The full 3-TOURNAMENT schedule for a given `(ε, n)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreeTournamentSchedule {
+    /// The tracked tail masses `h_0, h_1, …` (the value *before* each iteration).
+    pub masses: Vec<f64>,
+    /// The stopping threshold `T = n^{-1/3}`.
+    pub threshold: f64,
+}
+
+impl ThreeTournamentSchedule {
+    /// Computes the schedule for approximating the median of `n` values to
+    /// within ±ε.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError::InvalidParameter`] if `ε ∉ (0, 1/2)` or `n < 2`.
+    pub fn compute(epsilon: f64, n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(GossipError::TooFewNodes { requested: n });
+        }
+        if !(epsilon > 0.0 && epsilon < 0.5) {
+            return Err(GossipError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("3-TOURNAMENT needs epsilon in (0, 0.5), got {epsilon}"),
+            });
+        }
+        let threshold = (n as f64).powf(-1.0 / 3.0);
+        let mut h = 0.5 - epsilon;
+        let mut masses = Vec::new();
+        while h > threshold {
+            masses.push(h);
+            h = 3.0 * h * h - 2.0 * h * h * h;
+            if masses.len() > MAX_SCHEDULE_LEN {
+                break;
+            }
+        }
+        Ok(ThreeTournamentSchedule { masses, threshold })
+    }
+
+    /// Number of iterations `t`.
+    pub fn len(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Whether the median phase needs no iterations (tiny networks).
+    pub fn is_empty(&self) -> bool {
+        self.masses.is_empty()
+    }
+
+    /// The upper bound of Lemma 2.12: `t ≤ log_{11/8}(1/(4ε)) + log₂ log₄ n`.
+    pub fn lemma_2_12_bound(epsilon: f64, n: usize) -> f64 {
+        let n = n.max(16) as f64;
+        let first = (1.0 / (4.0 * epsilon)).max(1.0).ln() / (11.0f64 / 8.0).ln();
+        let second = (n.log(4.0)).log2().max(0.0);
+        first + second
+    }
+}
+
+/// Hard cap on schedule lengths, far above anything the lemmas allow; purely a
+/// guard against pathological floating-point behaviour.
+const MAX_SCHEDULE_LEN: usize = 4096;
+
+pub(crate) fn validate_phi_epsilon(phi: f64, epsilon: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&phi) {
+        return Err(GossipError::InvalidParameter {
+            name: "phi",
+            reason: format!("must be in [0, 1], got {phi}"),
+        });
+    }
+    if !(epsilon > 0.0 && epsilon <= 0.125) {
+        return Err(GossipError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("the tournament analysis assumes epsilon in (0, 1/8], got {epsilon}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_tournament_respects_lemma_2_2_bound() {
+        for &eps in &[0.1f64, 0.05, 0.01, 0.001, 1e-4] {
+            for &phi in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+                let eps = eps.min(0.125);
+                let s = TwoTournamentSchedule::compute(phi, eps).unwrap();
+                let bound = TwoTournamentSchedule::lemma_2_2_bound(eps);
+                assert!(
+                    (s.len() as f64) <= bound.ceil(),
+                    "phi={phi} eps={eps}: t={} bound={bound}",
+                    s.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_tournament_masses_square_and_end_below_threshold() {
+        let s = TwoTournamentSchedule::compute(0.3, 0.05).unwrap();
+        assert_eq!(s.side, ShrinkSide::High);
+        for w in s.steps.windows(2) {
+            assert!((w[0].after - w[1].before).abs() < 1e-12);
+            assert!((w[0].after - w[0].before * w[0].before).abs() < 1e-12);
+            assert_eq!(w[0].delta, 1.0, "only the last step may have delta < 1");
+        }
+        let last = s.steps.last().unwrap();
+        assert!(last.after <= s.threshold + 1e-12);
+        assert!(last.delta > 0.0 && last.delta <= 1.0);
+    }
+
+    #[test]
+    fn two_tournament_picks_the_low_side_for_high_quantiles() {
+        let s = TwoTournamentSchedule::compute(0.9, 0.05).unwrap();
+        assert_eq!(s.side, ShrinkSide::Low);
+        let s = TwoTournamentSchedule::compute(0.3, 0.05).unwrap();
+        assert_eq!(s.side, ShrinkSide::High);
+    }
+
+    #[test]
+    fn two_tournament_is_a_noop_for_extreme_quantiles() {
+        // φ + ε ≥ 1 − T means the relevant tail already has mass ≤ T.
+        let s = TwoTournamentSchedule::compute(0.5, 0.12).unwrap();
+        // h0 = 1 − 0.62 = 0.38 ≤ T = 0.38 → no iterations.
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn two_tournament_validates_inputs() {
+        assert!(TwoTournamentSchedule::compute(-0.1, 0.05).is_err());
+        assert!(TwoTournamentSchedule::compute(0.5, 0.0).is_err());
+        assert!(TwoTournamentSchedule::compute(0.5, 0.2).is_err());
+    }
+
+    #[test]
+    fn three_tournament_respects_lemma_2_12_bound() {
+        for &eps in &[0.1, 0.05, 0.01] {
+            for &n in &[1usize << 10, 1 << 16, 1 << 22] {
+                let s = ThreeTournamentSchedule::compute(eps, n).unwrap();
+                let bound = ThreeTournamentSchedule::lemma_2_12_bound(eps, n);
+                // The lemma is asymptotic; allow a +3 additive slack for the
+                // constant-regime iterations it hides.
+                assert!(
+                    (s.len() as f64) <= bound.ceil() + 3.0,
+                    "eps={eps} n={n}: t={} bound={bound}",
+                    s.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_tournament_masses_decrease_monotonically() {
+        let s = ThreeTournamentSchedule::compute(0.05, 1 << 20).unwrap();
+        for w in s.masses.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        // The map x ↦ 3x² − 2x³ applied to the final mass lands below T.
+        let last = *s.masses.last().unwrap();
+        let next = 3.0 * last * last - 2.0 * last.powi(3);
+        assert!(next <= s.threshold);
+    }
+
+    #[test]
+    fn three_tournament_validates_inputs() {
+        assert!(ThreeTournamentSchedule::compute(0.0, 100).is_err());
+        assert!(ThreeTournamentSchedule::compute(0.6, 100).is_err());
+        assert!(ThreeTournamentSchedule::compute(0.05, 1).is_err());
+    }
+
+    #[test]
+    fn three_tournament_doubly_exponential_tail() {
+        // Once below 1/4, the mass should square (up to the factor 3), i.e.
+        // drop double-exponentially: reaching n^{-1/3} takes O(log log n)
+        // further iterations.
+        let s = ThreeTournamentSchedule::compute(0.05, 1 << 20).unwrap();
+        let below_quarter = s.masses.iter().filter(|&&m| m < 0.25).count();
+        assert!(below_quarter <= 6, "tail iterations: {below_quarter}");
+    }
+
+    proptest! {
+        /// The schedule always terminates below the threshold and never
+        /// exceeds the lemma bound (with slack), for arbitrary valid inputs.
+        #[test]
+        fn prop_two_schedule_terminates(phi in 0.0f64..=1.0, eps in 0.0005f64..0.125) {
+            let s = TwoTournamentSchedule::compute(phi, eps).unwrap();
+            prop_assert!((s.len() as f64) <= TwoTournamentSchedule::lemma_2_2_bound(eps).ceil());
+            if let Some(last) = s.steps.last() {
+                prop_assert!(last.after <= s.threshold + 1e-12);
+                prop_assert!(last.delta >= 0.0 && last.delta <= 1.0);
+            }
+        }
+
+        #[test]
+        fn prop_three_schedule_terminates(eps in 0.001f64..0.49, n in 4usize..2_000_000) {
+            let s = ThreeTournamentSchedule::compute(eps, n).unwrap();
+            prop_assert!(s.len() <= 200);
+            for w in s.masses.windows(2) {
+                prop_assert!(w[1] <= w[0]);
+            }
+        }
+    }
+}

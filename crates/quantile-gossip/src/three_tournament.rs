@@ -1,0 +1,215 @@
+//! Phase II of the approximation algorithm: the 3-TOURNAMENT median dynamic
+//! (Algorithm 2 of the paper).
+//!
+//! Each iteration, every node samples three uniformly random values (three
+//! rounds) and replaces its value with their **median**. The mass of values
+//! whose quantile lies more than ε away from 1/2 first shrinks geometrically
+//! (for `O(log 1/ε)` iterations) and then doubly exponentially (for
+//! `O(log log n)` iterations) until it falls below `2·n^{-1/3}` (Lemmas
+//! 2.12–2.16). A final sampling step — every node samples `K = O(1)` values
+//! and outputs their median — then returns an ε-approximate median at every
+//! node w.h.p. (Lemma 2.17).
+
+use crate::schedule::ThreeTournamentSchedule;
+use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
+
+/// Configuration of the final `K`-sample vote of Algorithm 2 (line 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinalVote {
+    /// Number of values each node samples before outputting their median.
+    /// The paper takes `K = O(1)`; 15 keeps the per-node failure probability
+    /// `2·(4e/n^{2/3})^{K/2}` negligible for every n ≥ 1000 while costing only
+    /// 15 rounds.
+    pub samples: usize,
+}
+
+impl Default for FinalVote {
+    fn default() -> Self {
+        FinalVote { samples: 15 }
+    }
+}
+
+/// Result of running Phase II.
+#[derive(Debug, Clone)]
+pub struct ThreeTournamentOutcome<V> {
+    /// The per-node outputs of the final vote (an approximate median of the
+    /// input multiset at every node).
+    pub outputs: Vec<V>,
+    /// The node values after the tournament iterations, before the final vote.
+    pub converged_values: Vec<V>,
+    /// Tournament iterations executed (`t` in the paper).
+    pub iterations: usize,
+    /// Total rounds executed (three per iteration plus the final vote).
+    pub rounds: u64,
+    /// Communication metrics.
+    pub metrics: Metrics,
+}
+
+/// Runs Algorithm 2 on `values`: tournament iterations given by `schedule`,
+/// then the final `K`-sample vote.
+///
+/// # Errors
+///
+/// Returns [`GossipError::TooFewNodes`] if fewer than two values are given, or
+/// [`GossipError::InvalidParameter`] if `vote.samples == 0`.
+pub fn run<V: NodeValue>(
+    values: &[V],
+    schedule: &ThreeTournamentSchedule,
+    vote: FinalVote,
+    engine_config: EngineConfig,
+) -> Result<ThreeTournamentOutcome<V>> {
+    if values.len() < 2 {
+        return Err(GossipError::TooFewNodes { requested: values.len() });
+    }
+    if vote.samples == 0 {
+        return Err(GossipError::InvalidParameter {
+            name: "vote.samples",
+            reason: "the final vote needs at least one sample".to_string(),
+        });
+    }
+    let mut engine = Engine::from_states(values.to_vec(), engine_config);
+
+    for _ in 0..schedule.len() {
+        let samples = engine.collect_samples(3, |_, &v| v);
+        engine.local_step(|v, state| {
+            let s = &samples[v];
+            *state = match s.len() {
+                3 => median3(s[0], s[1], s[2]),
+                // Failure fallbacks: degrade gracefully to the information we
+                // actually received this iteration.
+                2 => median3(s[0], s[1], *state),
+                1 => median3(s[0], *state, *state),
+                _ => *state,
+            };
+        });
+    }
+    let converged_values = engine.states().to_vec();
+
+    // Line 8: sample K values and output their median.
+    let final_samples = engine.collect_samples(vote.samples, |_, &v| v);
+    let outputs: Vec<V> = final_samples
+        .into_iter()
+        .enumerate()
+        .map(|(v, mut s)| {
+            if s.is_empty() {
+                converged_values[v]
+            } else {
+                s.sort_unstable();
+                s[s.len() / 2]
+            }
+        })
+        .collect();
+
+    let metrics = engine.metrics();
+    Ok(ThreeTournamentOutcome {
+        outputs,
+        converged_values,
+        iterations: schedule.len(),
+        rounds: metrics.rounds,
+        metrics,
+    })
+}
+
+/// Median of three values.
+pub(crate) fn median3<V: Ord>(a: V, b: V, c: V) -> V {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if c <= lo {
+        lo
+    } else if c >= hi {
+        hi
+    } else {
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quantile_of(v: u64, n: u64) -> f64 {
+        v as f64 / n as f64
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let s = ThreeTournamentSchedule::compute(0.05, 100).unwrap();
+        assert!(run::<u64>(&[1], &s, FinalVote::default(), EngineConfig::with_seed(0)).is_err());
+        assert!(run(&[1u64, 2], &s, FinalVote { samples: 0 }, EngineConfig::with_seed(0)).is_err());
+    }
+
+    #[test]
+    fn round_count_matches_schedule_plus_vote() {
+        let n: u64 = 1 << 12;
+        let values: Vec<u64> = (0..n).collect();
+        let s = ThreeTournamentSchedule::compute(0.05, n as usize).unwrap();
+        let vote = FinalVote { samples: 9 };
+        let out = run(&values, &s, vote, EngineConfig::with_seed(1)).unwrap();
+        assert_eq!(out.rounds, 3 * s.len() as u64 + 9);
+        assert_eq!(out.iterations, s.len());
+    }
+
+    #[test]
+    fn every_node_outputs_an_approximate_median() {
+        let n: u64 = 100_000;
+        let values: Vec<u64> = (0..n).collect();
+        let eps = 0.05;
+        let s = ThreeTournamentSchedule::compute(eps, n as usize).unwrap();
+        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(5)).unwrap();
+        for &o in &out.outputs {
+            let q = quantile_of(o, n);
+            assert!((q - 0.5).abs() <= eps, "output quantile {q}");
+        }
+    }
+
+    #[test]
+    fn tournament_concentrates_values_before_the_vote() {
+        // Lemma 2.16: after the iterations, the mass outside [1/2−ε, 1/2+ε]
+        // is at most ~2·n^{-1/3} each side. Check a generous 10·n^{-1/3}.
+        let n: u64 = 50_000;
+        let values: Vec<u64> = (0..n).collect();
+        let eps = 0.05;
+        let s = ThreeTournamentSchedule::compute(eps, n as usize).unwrap();
+        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(6)).unwrap();
+        let outside = out
+            .converged_values
+            .iter()
+            .filter(|&&v| {
+                let q = quantile_of(v, n);
+                !(0.5 - eps..=0.5 + eps).contains(&q)
+            })
+            .count() as f64
+            / n as f64;
+        let bound = 10.0 * (n as f64).powf(-1.0 / 3.0);
+        assert!(outside <= bound, "outside mass {outside}, bound {bound}");
+    }
+
+    #[test]
+    fn works_on_skewed_inputs() {
+        // Highly skewed multiset: 90% zeros, 10% spread. The median is 0 and
+        // every node must output 0.
+        let n = 20_000u64;
+        let values: Vec<u64> =
+            (0..n).map(|i| if i < n * 9 / 10 { 0 } else { i }).collect();
+        let s = ThreeTournamentSchedule::compute(0.05, n as usize).unwrap();
+        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(8)).unwrap();
+        let zeros = out.outputs.iter().filter(|&&o| o == 0).count();
+        assert_eq!(zeros as u64, n);
+    }
+
+    #[test]
+    fn median3_is_correct() {
+        for perm in [[1, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 1, 2], [3, 2, 1]] {
+            assert_eq!(median3(perm[0], perm[1], perm[2]), 2);
+        }
+        assert_eq!(median3(4, 4, 9), 4);
+    }
+
+    #[test]
+    fn outputs_are_members_of_the_input_multiset() {
+        let values: Vec<u64> = (0..8192).map(|i| i * 17 % 65_537).collect();
+        let s = ThreeTournamentSchedule::compute(0.08, values.len()).unwrap();
+        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(2)).unwrap();
+        let set: std::collections::HashSet<u64> = values.iter().copied().collect();
+        assert!(out.outputs.iter().all(|v| set.contains(v)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: compute exact and approximate quantiles over a simulated
+//! gossip network and compare the rounds they need.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gossip_quantiles::measure::{RankOracle, Workload};
+use gossip_quantiles::{
+    approximate_quantile, exact_quantile, ApproxConfig, EngineConfig, NarrowingConfig,
+};
+
+fn main() -> gossip_quantiles::Result<()> {
+    let n = 100_000;
+    let phi = 0.9;
+    let epsilon = 0.05;
+
+    // Every node of the network holds one value.
+    let values = Workload::UniformDistinct.generate(n, 42);
+    let oracle = RankOracle::new(&values);
+    println!("network of {n} nodes, target: the {:.0}th percentile", phi * 100.0);
+    println!("ground truth (centralised sort): {}", oracle.quantile(phi));
+
+    // Approximate quantile (Theorem 1.2): O(log log n + log 1/eps) rounds.
+    let approx =
+        approximate_quantile(&values, phi, epsilon, &ApproxConfig::default(), EngineConfig::with_seed(1))?;
+    let sample_output = approx.outputs[0];
+    println!(
+        "approximate ({:>3} rounds): node 0 outputs {} (true quantile position {:.3})",
+        approx.rounds,
+        sample_output,
+        oracle.quantile_of(&sample_output)
+    );
+    let all_within = approx.outputs.iter().all(|o| oracle.within_epsilon(o, phi, epsilon));
+    println!("  every node within ±{epsilon}: {all_within}");
+
+    // Exact quantile (Theorem 1.1): O(log n) rounds.
+    let exact = exact_quantile(&values, phi, &NarrowingConfig::default(), EngineConfig::with_seed(2))?;
+    println!(
+        "exact       ({:>3} rounds): answer {} (matches ground truth: {})",
+        exact.rounds,
+        exact.answer,
+        exact.answer == oracle.quantile(phi)
+    );
+    println!(
+        "message sizes stayed at {} bits (O(log n))",
+        exact.metrics.max_message_bits.max(approx.metrics.max_message_bits)
+    );
+    Ok(())
+}

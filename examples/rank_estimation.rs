@@ -1,0 +1,56 @@
+//! Corollary 1.5: every node estimates its own quantile/rank up to ±ε by
+//! running O(1/ε) approximate quantile computations, in
+//! (1/ε)·O(log log n + log 1/ε) rounds — used here to build a decentralized
+//! "percentile report" of response latencies.
+//!
+//! ```text
+//! cargo run --release --example rank_estimation
+//! ```
+
+use gossip_quantiles::measure::{RankOracle, Workload};
+use gossip_quantiles::{estimate_own_quantiles, EngineConfig, OwnRankConfig};
+
+fn main() -> gossip_quantiles::Result<()> {
+    let n = 30_000;
+    let epsilon = 0.1;
+
+    // Heavy-tailed "latency" values: most small, a few enormous.
+    let latencies = Workload::HeavyTail.generate(n, 3);
+    let oracle = RankOracle::new(&latencies);
+
+    let out = estimate_own_quantiles(&latencies, epsilon, &OwnRankConfig::default(), EngineConfig::with_seed(5))?;
+    println!(
+        "{n} nodes estimated their own percentile with {} gossip threshold computations in {} rounds",
+        out.thresholds, out.rounds
+    );
+
+    // Accuracy report.
+    let mut worst = 0.0f64;
+    let mut sum = 0.0f64;
+    for (v, &estimate) in out.quantiles.iter().enumerate() {
+        let truth = oracle.quantile_of(&latencies[v]);
+        let err = (estimate - truth).abs();
+        worst = worst.max(err);
+        sum += err;
+    }
+    println!(
+        "estimation error: mean {:.3}, worst {:.3} (target ±{epsilon})",
+        sum / n as f64,
+        worst
+    );
+
+    // Example use: nodes that believe they are above the 90th percentile
+    // could throttle themselves; count how accurate that self-selection is.
+    let self_selected: Vec<usize> =
+        (0..n).filter(|&v| out.quantiles[v] >= 0.9).collect();
+    let truly_high = self_selected
+        .iter()
+        .filter(|&&v| oracle.quantile_of(&latencies[v]) >= 0.9 - epsilon)
+        .count();
+    println!(
+        "{} nodes self-identified as top-10%; {:.1}% of them are within epsilon of being correct",
+        self_selected.len(),
+        100.0 * truly_high as f64 / self_selected.len().max(1) as f64
+    );
+    Ok(())
+}

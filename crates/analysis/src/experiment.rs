@@ -2,16 +2,16 @@
 //!
 //! Every experiment repeats a randomized simulation over many independent
 //! trials. Trials are embarrassingly parallel; this module fans them out over
-//! scoped threads (crossbeam) while keeping the seed of each trial a pure
+//! `std::thread::scope` workers while keeping the seed of each trial a pure
 //! function of the master seed and the trial index, so a single number
 //! reproduces any reported row.
 
 use gossip_net::SeedSequence;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Describes a batch of trials.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrialSpec {
     /// Master seed; trial `i` receives seed `SeedSequence::new(master).seed_at(i)`.
     pub master_seed: u64,
@@ -24,8 +24,14 @@ pub struct TrialSpec {
 impl TrialSpec {
     /// A spec with a sensible thread count for the local machine.
     pub fn new(master_seed: u64, trials: usize) -> Self {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-        TrialSpec { master_seed, trials, threads }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        TrialSpec {
+            master_seed,
+            trials,
+            threads,
+        }
     }
 
     /// The seed of trial `i`.
@@ -39,7 +45,8 @@ impl TrialSpec {
 ///
 /// # Panics
 ///
-/// Panics if any trial panics (the panic is propagated).
+/// Panics if any trial panics (the panic is propagated when the worker is
+/// joined).
 pub fn run_trials<T, F>(spec: &TrialSpec, f: F) -> Vec<T>
 where
     T: Send,
@@ -50,30 +57,31 @@ where
         return Vec::new();
     }
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next: Mutex<usize> = Mutex::new(0);
+    let next = AtomicUsize::new(0);
     let workers = spec.threads.clamp(1, n);
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = {
-                    let mut guard = next.lock();
-                    if *guard >= n {
+    std::thread::scope(|scope| {
+        let (f, results, next) = (&f, &results, &next);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
                         break;
                     }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let out = f(i, spec.seed_of(i));
-                results.lock()[i] = Some(out);
-            });
+                    let out = f(i, spec.seed_of(i));
+                    results.lock().expect("result lock poisoned")[i] = Some(out);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("a trial panicked");
         }
-    })
-    .expect("a trial panicked");
+    });
 
     results
         .into_inner()
+        .expect("result lock poisoned")
         .into_iter()
         .map(|r| r.expect("every trial produces a result"))
         .collect()
@@ -95,22 +103,38 @@ mod tests {
 
     #[test]
     fn results_come_back_in_trial_order() {
-        let spec = TrialSpec { master_seed: 1, trials: 64, threads: 8 };
+        let spec = TrialSpec {
+            master_seed: 1,
+            trials: 64,
+            threads: 8,
+        };
         let out = run_trials(&spec, |i, _seed| i * 2);
         assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn zero_trials_is_fine() {
-        let spec = TrialSpec { master_seed: 1, trials: 0, threads: 4 };
+        let spec = TrialSpec {
+            master_seed: 1,
+            trials: 0,
+            threads: 4,
+        };
         let out: Vec<u64> = run_trials(&spec, |_, s| s);
         assert!(out.is_empty());
     }
 
     #[test]
     fn parallel_and_serial_runs_agree() {
-        let serial = TrialSpec { master_seed: 7, trials: 20, threads: 1 };
-        let parallel = TrialSpec { master_seed: 7, trials: 20, threads: 8 };
+        let serial = TrialSpec {
+            master_seed: 7,
+            trials: 20,
+            threads: 1,
+        };
+        let parallel = TrialSpec {
+            master_seed: 7,
+            trials: 20,
+            threads: 8,
+        };
         let a = run_trials(&serial, |i, seed| (i, seed, seed % 17));
         let b = run_trials(&parallel, |i, seed| (i, seed, seed % 17));
         assert_eq!(a, b);

@@ -29,7 +29,11 @@ impl Table {
     ///
     /// Panics if the row length does not match the header length.
     pub fn add_row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells.to_vec());
         self
     }

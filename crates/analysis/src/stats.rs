@@ -1,9 +1,7 @@
 //! Summary statistics over repeated trials.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample of `f64` observations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,

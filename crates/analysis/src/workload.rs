@@ -8,10 +8,9 @@
 use gossip_net::SeedSequence;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A named input-value distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// A random permutation of `0..n` scaled by a constant (all values distinct).
     UniformDistinct,

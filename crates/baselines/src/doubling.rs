@@ -14,10 +14,9 @@
 
 use crate::sampling::empirical_quantile;
 use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the doubling algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DoublingConfig {
     /// Target additive quantile error ε.
     pub epsilon: f64,
@@ -40,7 +39,11 @@ impl DoublingConfig {
                 reason: format!("must be in (0, 1), got {epsilon}"),
             });
         }
-        Ok(DoublingConfig { epsilon, buffer_factor: 2.0, max_buffer: 1 << 16 })
+        Ok(DoublingConfig {
+            epsilon,
+            buffer_factor: 2.0,
+            max_buffer: 1 << 16,
+        })
     }
 
     /// Target buffer size for a network of `n` nodes.
@@ -78,7 +81,9 @@ pub fn approximate_quantile<V: NodeValue>(
     engine_config: EngineConfig,
 ) -> Result<DoublingOutcome<V>> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
     if !(0.0..=1.0).contains(&phi) {
         return Err(GossipError::InvalidParameter {
@@ -134,7 +139,12 @@ pub fn approximate_quantile<V: NodeValue>(
             }
         })
         .collect();
-    Ok(DoublingOutcome { estimates, rounds, metrics, min_buffer_len })
+    Ok(DoublingOutcome {
+        estimates,
+        rounds,
+        metrics,
+        min_buffer_len,
+    })
 }
 
 #[cfg(test)]
@@ -176,7 +186,11 @@ mod tests {
         let out = approximate_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(3)).unwrap();
         // The whole point of E8: the doubling algorithm ships buffers of
         // Θ(log n/ε²) values, i.e. tens of kilobits, vs 64-bit tournaments.
-        assert!(out.metrics.max_message_bits > 10_000, "{}", out.metrics.max_message_bits);
+        assert!(
+            out.metrics.max_message_bits > 10_000,
+            "{}",
+            out.metrics.max_message_bits
+        );
     }
 
     #[test]

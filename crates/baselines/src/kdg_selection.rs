@@ -29,10 +29,9 @@ use crate::rumor::{spread_max_tagged, spread_min_max, SpreadRounds};
 use gossip_net::{EngineConfig, GossipError, Metrics, NodeValue, Result, SeedSequence};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the \[KDG03\] selection baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KdgSelectionConfig {
     /// Rounds used by every rumor-spreading phase.
     pub spread_rounds: SpreadRounds,
@@ -104,7 +103,11 @@ pub fn exact_quantile<V: NodeValue>(
         });
     }
     let target_rank = ((phi * n as f64).ceil() as u64).clamp(1, n as u64);
-    let keys: Vec<Key<V>> = values.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+    let keys: Vec<Key<V>> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u64))
+        .collect();
 
     let mut seeds = SeedSequence::new(engine_config.seed);
     let failure = engine_config.failure.clone();
@@ -150,7 +153,8 @@ pub fn exact_quantile<V: NodeValue>(
                 (tag, k)
             })
             .collect();
-        let pivot_spread = spread_max_tagged(&tagged, config.spread_rounds, sub_config(&mut seeds))?;
+        let pivot_spread =
+            spread_max_tagged(&tagged, config.spread_rounds, sub_config(&mut seeds))?;
         total_metrics = total_metrics + pivot_spread.metrics;
         total_rounds += pivot_spread.rounds;
         let (_, pivot) = *pivot_spread.max_at.first().expect("non-empty network");
@@ -206,7 +210,10 @@ mod tests {
     #[test]
     fn finds_exact_median_with_oracle_counting() {
         let values: Vec<u64> = (0..501).map(|i| (i * 7919) % 100_000).collect();
-        let cfg = KdgSelectionConfig { oracle_counting: true, ..Default::default() };
+        let cfg = KdgSelectionConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         let out = exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(1)).unwrap();
         assert_eq!(out.answer, sorted_rank(&values, 0.5));
         assert!(out.iterations <= 40);
@@ -225,7 +232,10 @@ mod tests {
     #[test]
     fn handles_duplicate_values() {
         let values: Vec<u64> = (0..300).map(|i| i % 10).collect();
-        let cfg = KdgSelectionConfig { oracle_counting: true, ..Default::default() };
+        let cfg = KdgSelectionConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         let out = exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(5)).unwrap();
         assert_eq!(out.answer, sorted_rank(&values, 0.5));
     }
@@ -233,7 +243,10 @@ mod tests {
     #[test]
     fn extreme_quantiles() {
         let values: Vec<u64> = (0..256).map(|i| i * 3 + 1).collect();
-        let cfg = KdgSelectionConfig { oracle_counting: true, ..Default::default() };
+        let cfg = KdgSelectionConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         let min = exact_quantile(&values, 0.0, &cfg, EngineConfig::with_seed(6)).unwrap();
         assert_eq!(min.answer, 1);
         let max = exact_quantile(&values, 1.0, &cfg, EngineConfig::with_seed(7)).unwrap();
@@ -244,14 +257,22 @@ mod tests {
     fn round_count_scales_quadratically_in_log_n() {
         // Not a precise asymptotic test, just the E1 "shape": rounds grow
         // clearly faster than a single log factor.
-        let cfg = KdgSelectionConfig { oracle_counting: true, ..Default::default() };
+        let cfg = KdgSelectionConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         let run = |n: usize, seed: u64| {
             let values: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 1_000_000_007).collect();
-            exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(seed)).unwrap().rounds
+            exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(seed))
+                .unwrap()
+                .rounds
         };
         let small = run(1 << 8, 8);
         let large = run(1 << 12, 9);
-        assert!(large > small, "rounds should grow with n: {small} vs {large}");
+        assert!(
+            large > small,
+            "rounds should grow with n: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -10,10 +10,9 @@
 //! be compared (experiment E9).
 
 use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the median-rule baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MedianRuleConfig {
     /// Maximum number of median-of-three iterations (each costs 3 rounds).
     pub max_iterations: u64,
@@ -23,7 +22,10 @@ pub struct MedianRuleConfig {
 
 impl Default for MedianRuleConfig {
     fn default() -> Self {
-        MedianRuleConfig { max_iterations: 200, stop_on_consensus: true }
+        MedianRuleConfig {
+            max_iterations: 200,
+            stop_on_consensus: true,
+        }
     }
 }
 
@@ -66,7 +68,9 @@ pub fn run<V: NodeValue>(
     engine_config: EngineConfig,
 ) -> Result<MedianRuleOutcome<V>> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
     let mut engine = Engine::from_states(values.to_vec(), engine_config);
     let mut iterations = 0u64;
@@ -76,7 +80,7 @@ pub fn run<V: NodeValue>(
         // a synchronous local update — exactly the paper's convention that
         // sampling three values costs three rounds.
         let samples = engine.collect_samples(3, |_, &v| v);
-        engine.local_step(|v, state| {
+        engine.local_step(|v, state, _rng| {
             let s = &samples[v];
             *state = match s.len() {
                 3 => median3(s[0], s[1], s[2]),
@@ -90,7 +94,13 @@ pub fn run<V: NodeValue>(
     }
     let metrics = engine.metrics();
     let rounds = metrics.rounds;
-    Ok(MedianRuleOutcome { values: engine.into_states(), iterations, rounds, consensus, metrics })
+    Ok(MedianRuleOutcome {
+        values: engine.into_states(),
+        iterations,
+        rounds,
+        consensus,
+        metrics,
+    })
 }
 
 fn all_equal<V: PartialEq>(values: &[V]) -> bool {
@@ -104,7 +114,14 @@ mod tests {
 
     #[test]
     fn median3_is_correct_for_all_orderings() {
-        for perm in [[1, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 1, 2], [3, 2, 1]] {
+        for perm in [
+            [1, 2, 3],
+            [1, 3, 2],
+            [2, 1, 3],
+            [2, 3, 1],
+            [3, 1, 2],
+            [3, 2, 1],
+        ] {
             assert_eq!(median3(perm[0], perm[1], perm[2]), 2);
         }
         assert_eq!(median3(5, 5, 1), 5);
@@ -116,8 +133,17 @@ mod tests {
     fn converges_to_a_near_median_value() {
         let n = 4096u64;
         let values: Vec<u64> = (0..n).collect();
-        let out = run(&values, &MedianRuleConfig::default(), EngineConfig::with_seed(3)).unwrap();
-        assert!(out.consensus, "did not reach consensus in {} iterations", out.iterations);
+        let out = run(
+            &values,
+            &MedianRuleConfig::default(),
+            EngineConfig::with_seed(3),
+        )
+        .unwrap();
+        assert!(
+            out.consensus,
+            "did not reach consensus in {} iterations",
+            out.iterations
+        );
         let v = out.values[0] as f64 / n as f64;
         // Doerr et al.: within O(sqrt(log n / n)) of the median; allow a wide
         // deterministic margin for a single run.
@@ -130,7 +156,10 @@ mod tests {
     #[test]
     fn respects_iteration_cap() {
         let values: Vec<u64> = (0..128).collect();
-        let cfg = MedianRuleConfig { max_iterations: 2, stop_on_consensus: true };
+        let cfg = MedianRuleConfig {
+            max_iterations: 2,
+            stop_on_consensus: true,
+        };
         let out = run(&values, &cfg, EngineConfig::with_seed(1)).unwrap();
         assert_eq!(out.iterations, 2);
         assert_eq!(out.rounds, 6);
@@ -139,9 +168,11 @@ mod tests {
     #[test]
     fn works_under_failures() {
         let values: Vec<u64> = (0..2048).collect();
-        let cfg = MedianRuleConfig { max_iterations: 300, stop_on_consensus: true };
-        let engine_config =
-            EngineConfig::with_seed(5).failure(FailureModel::uniform(0.3).unwrap());
+        let cfg = MedianRuleConfig {
+            max_iterations: 300,
+            stop_on_consensus: true,
+        };
+        let engine_config = EngineConfig::with_seed(5).failure(FailureModel::uniform(0.3).unwrap());
         let out = run(&values, &cfg, engine_config).unwrap();
         assert!(out.consensus);
         let v = out.values[0] as f64 / 2048.0;
@@ -150,13 +181,23 @@ mod tests {
 
     #[test]
     fn rejects_tiny_networks() {
-        assert!(run::<u64>(&[1], &MedianRuleConfig::default(), EngineConfig::with_seed(0)).is_err());
+        assert!(run::<u64>(
+            &[1],
+            &MedianRuleConfig::default(),
+            EngineConfig::with_seed(0)
+        )
+        .is_err());
     }
 
     #[test]
     fn already_unanimous_input_terminates_immediately() {
         let values = vec![42u64; 64];
-        let out = run(&values, &MedianRuleConfig::default(), EngineConfig::with_seed(0)).unwrap();
+        let out = run(
+            &values,
+            &MedianRuleConfig::default(),
+            EngineConfig::with_seed(0),
+        )
+        .unwrap();
         assert_eq!(out.iterations, 0);
         assert!(out.consensus);
         assert!(out.values.iter().all(|&v| v == 42));

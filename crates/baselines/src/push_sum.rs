@@ -21,7 +21,6 @@
 //! in \[KDG03\] and Section 5.2 of the paper.
 
 use gossip_net::{Engine, EngineConfig, GossipError, Metrics, Result};
-use serde::{Deserialize, Serialize};
 
 /// State of one node during push-sum.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +32,7 @@ struct PushSumState {
 }
 
 /// Configuration of a push-sum run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PushSumConfig {
     /// Number of rounds to run. `None` selects the default
     /// `ceil(c · (log2 n + log2(1/target_accuracy)))` with `c = 2`.
@@ -44,14 +43,20 @@ pub struct PushSumConfig {
 
 impl Default for PushSumConfig {
     fn default() -> Self {
-        PushSumConfig { rounds: None, target_accuracy: 1e-4 }
+        PushSumConfig {
+            rounds: None,
+            target_accuracy: 1e-4,
+        }
     }
 }
 
 impl PushSumConfig {
     /// Configuration that runs exactly `rounds` rounds.
     pub fn fixed_rounds(rounds: u64) -> Self {
-        PushSumConfig { rounds: Some(rounds), target_accuracy: 1e-4 }
+        PushSumConfig {
+            rounds: Some(rounds),
+            target_accuracy: 1e-4,
+        }
     }
 
     /// Number of rounds to run for a network of `n` nodes.
@@ -82,7 +87,10 @@ pub struct PushSumOutcome {
 impl PushSumOutcome {
     /// The largest absolute deviation of any node's estimate from `truth`.
     pub fn max_absolute_error(&self, truth: f64) -> f64 {
-        self.estimates.iter().map(|e| (e - truth).abs()).fold(0.0, f64::max)
+        self.estimates
+            .iter()
+            .map(|e| (e - truth).abs())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -92,14 +100,21 @@ fn run_push_sum(
     engine_config: EngineConfig,
 ) -> PushSumOutcome {
     let n = initial.len();
-    let states: Vec<PushSumState> =
-        initial.into_iter().map(|(s, w)| PushSumState { s, w, out_s: 0.0, out_w: 0.0 }).collect();
+    let states: Vec<PushSumState> = initial
+        .into_iter()
+        .map(|(s, w)| PushSumState {
+            s,
+            w,
+            out_s: 0.0,
+            out_w: 0.0,
+        })
+        .collect();
     let mut engine = Engine::from_states(states, engine_config);
     let rounds = config.rounds_for(n);
 
     for _ in 0..rounds {
         // Local half-split into the outbox.
-        engine.local_step(|_, st| {
+        engine.local_step(|_, st, _rng| {
             st.out_s = st.s / 2.0;
             st.out_w = st.w / 2.0;
             st.s -= st.out_s;
@@ -130,7 +145,11 @@ fn run_push_sum(
         .into_iter()
         .map(|st| if st.w > 0.0 { st.s / st.w } else { 0.0 })
         .collect();
-    PushSumOutcome { estimates, rounds, metrics }
+    PushSumOutcome {
+        estimates,
+        rounds,
+        metrics,
+    }
 }
 
 /// Estimates the **average** of `values` at every node.
@@ -138,11 +157,21 @@ fn run_push_sum(
 /// # Errors
 ///
 /// Returns [`GossipError::TooFewNodes`] if fewer than two values are given.
-pub fn average(values: &[f64], config: &PushSumConfig, engine_config: EngineConfig) -> Result<PushSumOutcome> {
+pub fn average(
+    values: &[f64],
+    config: &PushSumConfig,
+    engine_config: EngineConfig,
+) -> Result<PushSumOutcome> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
-    Ok(run_push_sum(values.iter().map(|&v| (v, 1.0)).collect(), config, engine_config))
+    Ok(run_push_sum(
+        values.iter().map(|&v| (v, 1.0)).collect(),
+        config,
+        engine_config,
+    ))
 }
 
 /// Estimates the **sum** of `values` at every node.
@@ -153,12 +182,21 @@ pub fn average(values: &[f64], config: &PushSumConfig, engine_config: EngineConf
 /// # Errors
 ///
 /// Returns [`GossipError::TooFewNodes`] if fewer than two values are given.
-pub fn sum(values: &[f64], config: &PushSumConfig, engine_config: EngineConfig) -> Result<PushSumOutcome> {
+pub fn sum(
+    values: &[f64],
+    config: &PushSumConfig,
+    engine_config: EngineConfig,
+) -> Result<PushSumOutcome> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
-    let initial =
-        values.iter().enumerate().map(|(v, &x)| (x, if v == 0 { 1.0 } else { 0.0 })).collect();
+    let initial = values
+        .iter()
+        .enumerate()
+        .map(|(v, &x)| (x, if v == 0 { 1.0 } else { 0.0 }))
+        .collect();
     Ok(run_push_sum(initial, config, engine_config))
 }
 
@@ -177,10 +215,15 @@ pub fn count_matching(
     engine_config: EngineConfig,
 ) -> Result<PushSumOutcome> {
     if indicators.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: indicators.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: indicators.len(),
+        });
     }
     let n = indicators.len() as f64;
-    let values: Vec<f64> = indicators.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let values: Vec<f64> = indicators
+        .iter()
+        .map(|&b| if b { 1.0 } else { 0.0 })
+        .collect();
     let mut outcome = average(&values, config, engine_config)?;
     for e in &mut outcome.estimates {
         *e *= n;
@@ -210,14 +253,22 @@ mod tests {
         let truth = 999.0 / 2.0;
         let out = average(&values, &PushSumConfig::default(), cfg(1)).unwrap();
         assert_eq!(out.estimates.len(), 1000);
-        assert!(out.max_absolute_error(truth) < truth * 1e-3, "err {}", out.max_absolute_error(truth));
+        assert!(
+            out.max_absolute_error(truth) < truth * 1e-3,
+            "err {}",
+            out.max_absolute_error(truth)
+        );
     }
 
     #[test]
     fn sum_converges_everywhere() {
         let values: Vec<f64> = vec![2.0; 512];
         let out = sum(&values, &PushSumConfig::default(), cfg(2)).unwrap();
-        assert!(out.max_absolute_error(1024.0) < 1.0, "err {}", out.max_absolute_error(1024.0));
+        assert!(
+            out.max_absolute_error(1024.0) < 1.0,
+            "err {}",
+            out.max_absolute_error(1024.0)
+        );
     }
 
     #[test]
@@ -226,17 +277,30 @@ mod tests {
         // rounding, which is what Algorithm 3 Step 5 relies on.
         let indicators: Vec<bool> = (0..2000).map(|i| i % 3 == 0).collect();
         let truth = indicators.iter().filter(|&&b| b).count() as f64;
-        let config = PushSumConfig { rounds: None, target_accuracy: 1e-6 };
+        let config = PushSumConfig {
+            rounds: None,
+            target_accuracy: 1e-6,
+        };
         let out = count_matching(&indicators, &config, cfg(3)).unwrap();
-        assert!(out.max_absolute_error(truth) < 0.5, "err {}", out.max_absolute_error(truth));
+        assert!(
+            out.max_absolute_error(truth) < 0.5,
+            "err {}",
+            out.max_absolute_error(truth)
+        );
     }
 
     #[test]
     fn rounds_default_scales_with_log_n_and_accuracy() {
         let c = PushSumConfig::default();
         assert!(c.rounds_for(1 << 10) < c.rounds_for(1 << 20));
-        let coarse = PushSumConfig { rounds: None, target_accuracy: 1e-2 };
-        let fine = PushSumConfig { rounds: None, target_accuracy: 1e-8 };
+        let coarse = PushSumConfig {
+            rounds: None,
+            target_accuracy: 1e-2,
+        };
+        let fine = PushSumConfig {
+            rounds: None,
+            target_accuracy: 1e-8,
+        };
         assert!(coarse.rounds_for(1024) < fine.rounds_for(1024));
         assert_eq!(PushSumConfig::fixed_rounds(17).rounds_for(1 << 30), 17);
     }
@@ -247,11 +311,17 @@ mod tests {
         // because failed pushes return their mass to the sender.
         let values: Vec<f64> = (0..800).map(|i| (i % 10) as f64).collect();
         let truth = values.iter().sum::<f64>() / values.len() as f64;
-        let config = PushSumConfig { rounds: Some(120), target_accuracy: 1e-6 };
-        let engine_config =
-            EngineConfig::with_seed(9).failure(FailureModel::uniform(0.3).unwrap());
+        let config = PushSumConfig {
+            rounds: Some(120),
+            target_accuracy: 1e-6,
+        };
+        let engine_config = EngineConfig::with_seed(9).failure(FailureModel::uniform(0.3).unwrap());
         let out = average(&values, &config, engine_config).unwrap();
-        assert!(out.max_absolute_error(truth) < 0.05, "err {}", out.max_absolute_error(truth));
+        assert!(
+            out.max_absolute_error(truth) < 0.05,
+            "err {}",
+            out.max_absolute_error(truth)
+        );
         assert!(out.metrics.failed_operations > 0);
     }
 

@@ -11,10 +11,9 @@
 //! push–pull rounds.
 
 use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
-use serde::{Deserialize, Serialize};
 
 /// How long to run the spreading process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpreadRounds {
     /// Run exactly this many rounds (what a real deployment would do).
     Fixed(u64),
@@ -91,12 +90,16 @@ pub fn spread_min_max<V: NodeValue>(
     engine_config: EngineConfig,
 ) -> Result<SpreadOutcome<V>> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
     let true_min = *values.iter().min().expect("non-empty");
     let true_max = *values.iter().max().expect("non-empty");
-    let states: Vec<MinMaxState<V>> =
-        values.iter().map(|&v| MinMaxState { min: v, max: v }).collect();
+    let states: Vec<MinMaxState<V>> = values
+        .iter()
+        .map(|&v| MinMaxState { min: v, max: v })
+        .collect();
     let mut engine = Engine::from_states(states, engine_config);
     let total_rounds = rounds.rounds_for(values.len());
 
@@ -118,9 +121,14 @@ pub fn spread_min_max<V: NodeValue>(
     let states = engine.into_states();
     let min_at: Vec<V> = states.iter().map(|st| st.min).collect();
     let max_at: Vec<V> = states.iter().map(|st| st.max).collect();
-    let complete =
-        min_at.iter().all(|&m| m == true_min) && max_at.iter().all(|&m| m == true_max);
-    Ok(SpreadOutcome { min_at, max_at, rounds: total_rounds, metrics, complete })
+    let complete = min_at.iter().all(|&m| m == true_min) && max_at.iter().all(|&m| m == true_max);
+    Ok(SpreadOutcome {
+        min_at,
+        max_at,
+        rounds: total_rounds,
+        metrics,
+        complete,
+    })
 }
 
 /// Spreads an arbitrary per-node `u64` tag together with an associated value,
@@ -138,7 +146,9 @@ pub fn spread_max_tagged<V: NodeValue>(
     engine_config: EngineConfig,
 ) -> Result<SpreadOutcome<(u64, V)>> {
     if tagged.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: tagged.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: tagged.len(),
+        });
     }
     let mut engine = Engine::from_states(tagged.to_vec(), engine_config);
     let total_rounds = rounds.rounds_for(tagged.len());
@@ -172,8 +182,10 @@ mod tests {
 
     #[test]
     fn rejects_tiny_networks() {
-        assert!(spread_min_max::<u64>(&[3], SpreadRounds::default(), EngineConfig::with_seed(0))
-            .is_err());
+        assert!(
+            spread_min_max::<u64>(&[3], SpreadRounds::default(), EngineConfig::with_seed(0))
+                .is_err()
+        );
     }
 
     #[test]
@@ -212,8 +224,8 @@ mod tests {
     fn tagged_spread_agrees_on_the_maximum_tag() {
         let tagged: Vec<(u64, u64)> = (0..512).map(|i| ((i * 2654435761) % 1000, i)).collect();
         let truth = *tagged.iter().max().unwrap();
-        let out =
-            spread_max_tagged(&tagged, SpreadRounds::default(), EngineConfig::with_seed(8)).unwrap();
+        let out = spread_max_tagged(&tagged, SpreadRounds::default(), EngineConfig::with_seed(8))
+            .unwrap();
         assert!(out.complete);
         assert!(out.max_at.iter().all(|&s| s == truth));
     }

@@ -8,7 +8,6 @@
 //! strawman that the tournament algorithms beat exponentially in `1/ε`.
 
 use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
-use serde::{Deserialize, Serialize};
 
 /// Returns the `⌈φ·m⌉`-th smallest element of a **sorted** non-empty slice
 /// (the paper's definition of the φ-quantile), clamped to the valid range.
@@ -21,7 +20,7 @@ pub(crate) fn empirical_quantile<V: Copy>(sorted: &[V], phi: f64) -> V {
 }
 
 /// Configuration of the sampling baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SamplingConfig {
     /// Target additive quantile error ε.
     pub epsilon: f64,
@@ -44,7 +43,11 @@ impl SamplingConfig {
                 reason: format!("must be in (0, 1), got {epsilon}"),
             });
         }
-        Ok(SamplingConfig { epsilon, sample_factor: 2.0, max_samples: 1 << 16 })
+        Ok(SamplingConfig {
+            epsilon,
+            sample_factor: 2.0,
+            max_samples: 1 << 16,
+        })
     }
 
     /// Number of samples (and therefore rounds) for a network of `n` nodes.
@@ -79,7 +82,9 @@ pub fn approximate_quantile<V: NodeValue>(
     engine_config: EngineConfig,
 ) -> Result<SamplingOutcome<V>> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
     if !(0.0..=1.0).contains(&phi) {
         return Err(GossipError::InvalidParameter {
@@ -104,7 +109,11 @@ pub fn approximate_quantile<V: NodeValue>(
             }
         })
         .collect();
-    Ok(SamplingOutcome { estimates, rounds: k as u64, metrics: engine.metrics() })
+    Ok(SamplingOutcome {
+        estimates,
+        rounds: k as u64,
+        metrics: engine.metrics(),
+    })
 }
 
 #[cfg(test)]
@@ -147,8 +156,7 @@ mod tests {
     fn median_estimate_is_close_for_uniform_values() {
         let values: Vec<u64> = (0..5000).collect();
         let cfg = SamplingConfig::new(0.05).unwrap();
-        let out =
-            approximate_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(11)).unwrap();
+        let out = approximate_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(11)).unwrap();
         assert_eq!(out.rounds as usize, cfg.samples_for(5000));
         // Every node's estimate should be within ~2ε·n ranks of the median.
         let n = values.len() as f64;

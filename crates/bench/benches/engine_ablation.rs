@@ -42,11 +42,14 @@ fn bench_engine_ablation(c: &mut Criterion) {
                 let mut e =
                     Engine::from_states((0..n as u64).collect(), EngineConfig::with_seed(seed));
                 while e.states().iter().any(|&v| v != (n - 1) as u64) {
-                    e.pull_round(|_, &s| s, |_, st, p| {
-                        if let Some(p) = p {
-                            *st = (*st).max(p);
-                        }
-                    });
+                    e.pull_round(
+                        |_, &s| s,
+                        |_, st, p| {
+                            if let Some(p) = p {
+                                *st = (*st).max(p);
+                            }
+                        },
+                    );
                 }
                 e.round()
             })
@@ -56,9 +59,14 @@ fn bench_engine_ablation(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let nodes: Vec<MaxSpread> = (0..n)
-                    .map(|v| MaxSpread { current: v as u64, target: (n - 1) as u64 })
+                    .map(|v| MaxSpread {
+                        current: v as u64,
+                        target: (n - 1) as u64,
+                    })
                     .collect();
-                ProtocolRunner::new(nodes, EngineConfig::with_seed(seed)).run(10_000).rounds
+                ProtocolRunner::new(nodes, EngineConfig::with_seed(seed))
+                    .run(10_000)
+                    .rounds
             })
         });
     }

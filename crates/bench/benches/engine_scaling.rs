@@ -1,0 +1,130 @@
+//! Engine round-throughput scaling: rounds/sec of the three round primitives
+//! at n ∈ {10k, 100k, 1M}, single-threaded vs all available cores, plus a
+//! determinism cross-check between the two configurations.
+//!
+//! Besides the usual criterion output, this bench writes `BENCH_engine.json`
+//! (in the workspace root, or `$BENCH_ENGINE_JSON`) so future PRs have a perf
+//! trajectory to compare against:
+//!
+//! ```text
+//! cargo bench -p bench --bench engine_scaling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::{par, Engine, EngineConfig};
+use std::time::Instant;
+
+/// Rounds per measurement at a given n (kept small at 1M to bound runtime).
+fn rounds_for(n: usize) -> u64 {
+    match n {
+        0..=20_000 => 20,
+        20_001..=200_000 => 10,
+        _ => 5,
+    }
+}
+
+fn max_spread_engine(n: usize, seed: u64, threads: usize) -> Engine<u64> {
+    let mut engine = Engine::from_states((0..n as u64).collect(), EngineConfig::with_seed(seed));
+    engine.set_threads(threads);
+    engine
+}
+
+/// Runs `rounds` pull rounds of max-spreading and returns rounds/sec.
+fn measure_pull_rounds_per_sec(n: usize, threads: usize, rounds: u64) -> f64 {
+    let mut engine = max_spread_engine(n, 42, threads);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        engine.pull_round(
+            |_, &s| s,
+            |_, st, p| {
+                if let Some(p) = p {
+                    *st = (*st).max(p);
+                }
+            },
+        );
+    }
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+fn final_states(n: usize, threads: usize, rounds: u64) -> Vec<u64> {
+    let mut engine = max_spread_engine(n, 42, threads);
+    for _ in 0..rounds {
+        engine.pull_round(
+            |_, &s| s,
+            |_, st, p| {
+                if let Some(p) = p {
+                    *st = (*st).max(p);
+                }
+            },
+        );
+    }
+    engine.into_states()
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    let cores = par::num_threads();
+
+    let mut report_rows = Vec::new();
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let rounds = rounds_for(n);
+        let mut thread_configs = vec![1];
+        if cores > 1 {
+            thread_configs.push(cores); // cores == 1 would duplicate the id
+        }
+        for &threads in &thread_configs {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pull_n{n}"), format!("{threads}t")),
+                &(n, threads),
+                |b, &(n, threads)| {
+                    b.iter(|| measure_pull_rounds_per_sec(n, threads, rounds));
+                },
+            );
+        }
+        // A clean measurement pair for the JSON report, outside criterion's
+        // sampling so the numbers are directly comparable across PRs. Best of
+        // three repetitions per configuration: host contention shows up as
+        // slow outliers, and the trajectory should track the machine's
+        // capability, not its load.
+        let best = |threads: usize| {
+            (0..3)
+                .map(|_| measure_pull_rounds_per_sec(n, threads, rounds))
+                .fold(0.0f64, f64::max)
+        };
+        let single = best(1);
+        let multi = best(cores);
+        let identical = final_states(n, 1, rounds) == final_states(n, cores, rounds);
+        assert!(identical, "thread count changed the execution at n = {n}");
+        println!(
+            "engine_scaling n={n}: {single:.2} rounds/s @1t, {multi:.2} rounds/s @{cores}t \
+             (speedup {:.2}x, deterministic: {identical})",
+            multi / single
+        );
+        report_rows.push(format!(
+            "    {{\"n\": {n}, \"cores\": {cores}, \"rounds_per_sec_1t\": {single:.3}, \
+             \"rounds_per_sec_mt\": {multi:.3}, \"speedup\": {:.3}, \
+             \"deterministic_across_threads\": {identical}}}",
+            multi / single
+        ));
+    }
+    group.finish();
+
+    // Cargo runs benches with the package directory as CWD; anchor the report
+    // in the workspace root so every PR's artifact lands in the same place.
+    let path = std::env::var("BENCH_ENGINE_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into());
+    let json = format!(
+        "{{\n  \"bench\": \"engine_scaling\",\n  \"primitive\": \"pull_round(max-spread, u64)\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        report_rows.join(",\n")
+    );
+    if let Err(err) = std::fs::write(&path, &json) {
+        eprintln!("could not write {path}: {err}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

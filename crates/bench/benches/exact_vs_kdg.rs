@@ -26,20 +26,24 @@ fn bench_exact_vs_kdg(c: &mut Criterion) {
                 .rounds
             })
         });
-        group.bench_with_input(BenchmarkId::new("kdg03_baseline", n), &values, |b, values| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                kdg_selection::exact_quantile(
-                    values,
-                    0.5,
-                    &KdgSelectionConfig::default(),
-                    EngineConfig::with_seed(seed),
-                )
-                .unwrap()
-                .rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kdg03_baseline", n),
+            &values,
+            |b, values| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    kdg_selection::exact_quantile(
+                        values,
+                        0.5,
+                        &KdgSelectionConfig::default(),
+                        EngineConfig::with_seed(seed),
+                    )
+                    .unwrap()
+                    .rounds
+                })
+            },
+        );
     }
     group.finish();
 }

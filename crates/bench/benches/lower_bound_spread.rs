@@ -14,7 +14,9 @@ fn bench_lower_bound(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    lower_bound::spreading_rounds(n, eps, seed).unwrap().rounds_to_all_informed
+                    lower_bound::spreading_rounds(n, eps, seed)
+                        .unwrap()
+                        .rounds_to_all_informed
                 })
             },
         );

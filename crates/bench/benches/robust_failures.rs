@@ -10,23 +10,27 @@ fn bench_robust(c: &mut Criterion) {
     group.sample_size(10);
     let values = Workload::UniformDistinct.generate(1 << 13, 11);
     for &mu in &[0.0f64, 0.3, 0.6] {
-        group.bench_with_input(BenchmarkId::new("mu", format!("{mu}")), &values, |b, values| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = EngineConfig::with_seed(seed)
-                    .failure(FailureModel::uniform(mu).unwrap());
-                robust::robust_approximate_quantile(
-                    values,
-                    0.5,
-                    0.08,
-                    &RobustConfig::default(),
-                    cfg,
-                )
-                .unwrap()
-                .answered_fraction
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mu", format!("{mu}")),
+            &values,
+            |b, values| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg =
+                        EngineConfig::with_seed(seed).failure(FailureModel::uniform(mu).unwrap());
+                    robust::robust_approximate_quantile(
+                        values,
+                        0.5,
+                        0.08,
+                        &RobustConfig::default(),
+                        cfg,
+                    )
+                    .unwrap()
+                    .answered_fraction
+                })
+            },
+        );
     }
     group.finish();
 }

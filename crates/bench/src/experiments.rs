@@ -7,8 +7,7 @@ use baselines::{
 };
 use gossip_net::{EngineConfig, FailureModel};
 use quantile_gossip::{
-    approx, exact, own_rank, robust, NarrowingConfig, OwnRankConfig, RobustConfig,
-    TournamentConfig,
+    approx, exact, own_rank, robust, NarrowingConfig, OwnRankConfig, RobustConfig, TournamentConfig,
 };
 
 /// Scale of an experiment run.
@@ -49,7 +48,14 @@ pub fn e1_exact_vs_kdg(scale: Scale, master_seed: u64) -> Table {
     };
     let mut table = Table::new(
         "E1  Exact phi-quantile: rounds vs n (ours, Theorem 1.1) vs KDG03 O(log^2 n)",
-        &["n", "phi", "ours rounds (mean)", "KDG03 rounds (mean)", "speedup", "both exact"],
+        &[
+            "n",
+            "phi",
+            "ours rounds (mean)",
+            "KDG03 rounds (mean)",
+            "speedup",
+            "both exact",
+        ],
     );
     for &n in sizes {
         for &phi in &[0.5f64, 0.9] {
@@ -58,13 +64,9 @@ pub fn e1_exact_vs_kdg(scale: Scale, master_seed: u64) -> Table {
                 let values = Workload::UniformDistinct.generate(n, seed);
                 let oracle = RankOracle::new(&values);
                 let truth = oracle.quantile(phi);
-                let ours = exact::exact_quantile(
-                    &values,
-                    phi,
-                    &NarrowingConfig::default(),
-                    cfg(seed ^ 1),
-                )
-                .expect("exact");
+                let ours =
+                    exact::exact_quantile(&values, phi, &NarrowingConfig::default(), cfg(seed ^ 1))
+                        .expect("exact");
                 let kdg = kdg_selection::exact_quantile(
                     &values,
                     phi,
@@ -72,7 +74,11 @@ pub fn e1_exact_vs_kdg(scale: Scale, master_seed: u64) -> Table {
                     cfg(seed ^ 2),
                 )
                 .expect("kdg");
-                (ours.rounds, kdg.rounds, ours.answer == truth && kdg.answer == truth)
+                (
+                    ours.rounds,
+                    kdg.rounds,
+                    ours.answer == truth && kdg.answer == truth,
+                )
             });
             let ours = Summary::of_u64(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
             let kdg = Summary::of_u64(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
@@ -99,7 +105,14 @@ pub fn e2_approx_rounds_vs_eps(scale: Scale, master_seed: u64) -> Table {
     let epsilons: &[f64] = &[0.5, 0.25, 0.125, 0.0625, 0.03125];
     let mut table = Table::new(
         format!("E2  Approximate phi-quantile (tournament): rounds vs epsilon at n = {n}"),
-        &["epsilon", "phi", "rounds (mean)", "naive sampling rounds", "worst |rank err|/n", "within eps"],
+        &[
+            "epsilon",
+            "phi",
+            "rounds (mean)",
+            "naive sampling rounds",
+            "worst |rank err|/n",
+            "within eps",
+        ],
     );
     for &eps in epsilons {
         for &phi in &[0.25f64, 0.5] {
@@ -119,13 +132,18 @@ pub fn e2_approx_rounds_vs_eps(scale: Scale, master_seed: u64) -> Table {
                 )
                 .expect("approx");
                 let worst = oracle.worst_error(&out.outputs, phi);
-                let ok = out.outputs.iter().all(|o| oracle.within_epsilon(o, phi, eps + 0.005));
+                let ok = out
+                    .outputs
+                    .iter()
+                    .all(|o| oracle.within_epsilon(o, phi, eps + 0.005));
                 (out.rounds, worst, ok)
             });
             let rounds = Summary::of_u64(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
             let worst = rows.iter().map(|r| r.1).fold(0.0, f64::max);
             let ok = rows.iter().all(|r| r.2);
-            let naive = sampling::SamplingConfig::new(eps.min(0.99)).unwrap().samples_for(n);
+            let naive = sampling::SamplingConfig::new(eps.min(0.99))
+                .unwrap()
+                .samples_for(n);
             table.add_row(&[
                 format!("{eps}"),
                 format!("{phi}"),
@@ -148,7 +166,13 @@ pub fn e3_approx_rounds_vs_n(scale: Scale, master_seed: u64) -> Table {
     let eps = 0.05;
     let mut table = Table::new(
         format!("E3  Approximate median (tournament): rounds vs n at epsilon = {eps}"),
-        &["n", "rounds (mean)", "log2(n)", "log2 log2(n) + log2(1/eps)", "within eps"],
+        &[
+            "n",
+            "rounds (mean)",
+            "log2(n)",
+            "log2 log2(n) + log2(1/eps)",
+            "within eps",
+        ],
     );
     for &n in sizes {
         let spec = TrialSpec::new(master_seed ^ n as u64, scale.trials());
@@ -163,7 +187,10 @@ pub fn e3_approx_rounds_vs_n(scale: Scale, master_seed: u64) -> Table {
                 cfg(seed),
             )
             .expect("approx");
-            let ok = out.outputs.iter().all(|o| oracle.within_epsilon(o, 0.5, eps + 0.005));
+            let ok = out
+                .outputs
+                .iter()
+                .all(|o| oracle.within_epsilon(o, 0.5, eps + 0.005));
             (out.rounds, ok)
         });
         let rounds = Summary::of_u64(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
@@ -173,7 +200,11 @@ pub fn e3_approx_rounds_vs_n(scale: Scale, master_seed: u64) -> Table {
             fmt(rounds.mean),
             fmt(lg),
             fmt(lg.log2() + (1.0 / eps).log2()),
-            if rows.iter().all(|r| r.1) { "yes".into() } else { "NO".into() },
+            if rows.iter().all(|r| r.1) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     table
@@ -189,7 +220,12 @@ pub fn e4_accuracy_across_workloads(scale: Scale, master_seed: u64) -> Table {
     let phi = 0.9;
     let mut table = Table::new(
         format!("E4  Accuracy across workloads (n = {n}, phi = {phi}, eps = {eps})"),
-        &["workload", "trials", "worst |rank err|/n", "all nodes within eps"],
+        &[
+            "workload",
+            "trials",
+            "worst |rank err|/n",
+            "all nodes within eps",
+        ],
     );
     for w in Workload::all() {
         let spec = TrialSpec::new(master_seed ^ w.name().len() as u64, scale.trials());
@@ -205,7 +241,10 @@ pub fn e4_accuracy_across_workloads(scale: Scale, master_seed: u64) -> Table {
             )
             .expect("approx");
             let worst = oracle.worst_error(&out.outputs, phi);
-            let ok = out.outputs.iter().all(|o| oracle.within_epsilon(o, phi, eps + 0.005));
+            let ok = out
+                .outputs
+                .iter()
+                .all(|o| oracle.within_epsilon(o, phi, eps + 0.005));
             (worst, ok)
         });
         let worst = rows.iter().map(|r| r.0).fold(0.0, f64::max);
@@ -213,7 +252,11 @@ pub fn e4_accuracy_across_workloads(scale: Scale, master_seed: u64) -> Table {
             w.name().to_string(),
             rows.len().to_string(),
             format!("{worst:.4}"),
-            if rows.iter().all(|r| r.1) { "yes".into() } else { "NO".into() },
+            if rows.iter().all(|r| r.1) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     table
@@ -229,15 +272,22 @@ pub fn e5_robust_failures(scale: Scale, master_seed: u64) -> Table {
     let mus: &[f64] = &[0.0, 0.2, 0.4, 0.6, 0.8];
     let mut table = Table::new(
         format!("E5  Robust approximate quantile under failures (n = {n}, phi = 0.5, eps = {eps})"),
-        &["mu", "pulls/iter", "rounds (mean)", "answered frac", "good frac", "answers within eps"],
+        &[
+            "mu",
+            "pulls/iter",
+            "rounds (mean)",
+            "answered frac",
+            "good frac",
+            "answers within eps",
+        ],
     );
     for &mu in mus {
         let spec = TrialSpec::new(master_seed ^ mu.to_bits(), scale.trials());
         let rows = run_trials(&spec, |_, seed| {
             let values = Workload::UniformDistinct.generate(n, seed);
             let oracle = RankOracle::new(&values);
-            let engine_config = EngineConfig::with_seed(seed)
-                .failure(FailureModel::uniform(mu).expect("mu"));
+            let engine_config =
+                EngineConfig::with_seed(seed).failure(FailureModel::uniform(mu).expect("mu"));
             let out = robust::robust_approximate_quantile(
                 &values,
                 0.5,
@@ -262,7 +312,11 @@ pub fn e5_robust_failures(scale: Scale, master_seed: u64) -> Table {
             fmt(rounds.mean),
             format!("{:.4}", answered.mean),
             format!("{:.3}", good.mean),
-            if rows.iter().all(|r| r.3) { "yes".into() } else { "NO".into() },
+            if rows.iter().all(|r| r.3) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     table
@@ -277,7 +331,13 @@ pub fn e6_lower_bound(scale: Scale, master_seed: u64) -> Table {
     let epsilons: &[f64] = &[0.06, 0.01, 0.002];
     let mut table = Table::new(
         "E6  Lower bound (Theorem 1.3): idealised spreading rounds vs the barrier",
-        &["n", "epsilon", "informed start", "rounds to all informed", "barrier 0.5*lglg n + log4(8/eps)"],
+        &[
+            "n",
+            "epsilon",
+            "informed start",
+            "rounds to all informed",
+            "barrier 0.5*lglg n + log4(8/eps)",
+        ],
     );
     for &n in sizes {
         for &eps in epsilons {
@@ -285,8 +345,12 @@ pub fn e6_lower_bound(scale: Scale, master_seed: u64) -> Table {
             let rows = run_trials(&spec, |_, seed| {
                 lower_bound::spreading_rounds(n, eps, seed).expect("spreading")
             });
-            let rounds =
-                Summary::of_u64(&rows.iter().map(|r| r.rounds_to_all_informed).collect::<Vec<_>>());
+            let rounds = Summary::of_u64(
+                &rows
+                    .iter()
+                    .map(|r| r.rounds_to_all_informed)
+                    .collect::<Vec<_>>(),
+            );
             table.add_row(&[
                 n.to_string(),
                 format!("{eps}"),
@@ -308,7 +372,13 @@ pub fn e7_own_rank(scale: Scale, master_seed: u64) -> Table {
     let epsilons: &[f64] = &[0.25, 0.125];
     let mut table = Table::new(
         format!("E7  Own-quantile estimation at every node (n = {n})"),
-        &["epsilon", "thresholds", "rounds", "worst |quantile err|", "mean |quantile err|"],
+        &[
+            "epsilon",
+            "thresholds",
+            "rounds",
+            "worst |quantile err|",
+            "mean |quantile err|",
+        ],
     );
     for &eps in epsilons {
         let spec = TrialSpec::new(master_seed ^ eps.to_bits(), scale.trials());
@@ -356,7 +426,13 @@ pub fn e8_message_complexity(scale: Scale, master_seed: u64) -> Table {
     let phi = 0.5;
     let mut table = Table::new(
         format!("E8  Message size vs rounds (n = {n}, phi = {phi}, eps = {eps})"),
-        &["algorithm", "rounds", "max message bits", "mean message bits", "worst |rank err|/n"],
+        &[
+            "algorithm",
+            "rounds",
+            "max message bits",
+            "mean message bits",
+            "worst |rank err|/n",
+        ],
     );
     let spec = TrialSpec::new(master_seed, 1.max(scale.trials() / 2));
     #[allow(clippy::type_complexity)]
@@ -365,14 +441,9 @@ pub fn e8_message_complexity(scale: Scale, master_seed: u64) -> Table {
         let oracle = RankOracle::new(&values);
         let mut out = Vec::new();
 
-        let t = approx::tournament_quantile(
-            &values,
-            phi,
-            eps,
-            &TournamentConfig::default(),
-            cfg(seed),
-        )
-        .expect("tournament");
+        let t =
+            approx::tournament_quantile(&values, phi, eps, &TournamentConfig::default(), cfg(seed))
+                .expect("tournament");
         out.push((
             "tournament (Thm 2.1)".to_string(),
             t.rounds,
@@ -557,7 +628,11 @@ pub fn e10_push_sum(scale: Scale, master_seed: u64) -> Table {
         table.add_row(&[
             rounds.to_string(),
             format!("{worst:.3}"),
-            if rows.iter().all(|r| r.1) { "yes".into() } else { "no".into() },
+            if rows.iter().all(|r| r.1) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table

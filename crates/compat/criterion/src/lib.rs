@@ -1,0 +1,293 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion` 0.5
+//! API used by this workspace's benches.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small wall-clock harness behind the same entry points the real crate
+//! exposes: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], [`criterion_group!`]
+//! and [`criterion_main!`]. Benches written against this crate compile
+//! unchanged against upstream criterion.
+//!
+//! Differences from upstream, by design: no statistical outlier analysis, no
+//! HTML reports, no baseline storage — each benchmark runs `sample_size`
+//! timed iterations after one warm-up and prints min / mean / max wall time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional CLI args act as a substring filter, as with upstream
+        // criterion; flags (injected by `cargo bench`) are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we have none to flush).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        match summarize(&bencher.samples) {
+            Some((min, mean, max)) => println!(
+                "{full:<60} time: [{} {} {}]",
+                fmt_duration(min),
+                fmt_duration(mean),
+                fmt_duration(max)
+            ),
+            None => println!("{full:<60} (no samples)"),
+        }
+    }
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An identifier with a parameter, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An identifier derived from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => format!("{}/{p}", self.name),
+            (false, None) => self.name.clone(),
+            (true, Some(p)) => p.clone(),
+            (true, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+fn summarize(samples: &[Duration]) -> Option<(Duration, Duration, Duration)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let total: Duration = samples.iter().sum();
+    Some((min, total / samples.len() as u32, max))
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group function running each listed benchmark, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(runs, 6); // warm-up + 5 samples
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 10).label(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").label(), "x");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn summary_of_samples() {
+        let s = [Duration::from_nanos(10), Duration::from_nanos(30)];
+        let (min, mean, max) = summarize(&s).unwrap();
+        assert_eq!(min, Duration::from_nanos(10));
+        assert_eq!(mean, Duration::from_nanos(20));
+        assert_eq!(max, Duration::from_nanos(30));
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            default_sample_size: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = Vec::new();
+        // Only the matching benchmark's closure should execute.
+        group.bench_function("keep_me", |b| {
+            b.iter(|| 1 + 1);
+            ran.push("keep");
+        });
+        drop(group);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skip_me", |_| {
+            ran.push("skip");
+        });
+        group.finish();
+        assert_eq!(ran, vec!["keep"]);
+    }
+}

@@ -1,4 +1,4 @@
-//! The synchronous uniform-gossip engine.
+//! The synchronous uniform-gossip engine: deterministic and data-parallel.
 //!
 //! [`Engine`] owns one state per node and advances the network one round at a
 //! time. It is deliberately *not* a general message-passing framework: the
@@ -21,21 +21,78 @@
 //!
 //! Failure injection (Section 5) applies to the *operation of the failing
 //! node*: a failed puller receives nothing, a failed pusher delivers nothing.
+//!
+//! ## Randomness contract
+//!
+//! The engine has **no sequential random stream**. Every draw is made from a
+//! counter-based [`NodeRng`] keyed by `(seed, round, node, stream)`:
+//!
+//! * in a communication round, node `v` draws its failure coin and then its
+//!   contact target(s) from `NodeRng::keyed(seed, round, v, STREAM_ROUND)`;
+//! * in a [`local_step`](Engine::local_step), node `v` receives
+//!   `NodeRng::keyed(seed, epoch, v, STREAM_LOCAL)` (one epoch per call) for
+//!   its algorithm-local coins.
+//!
+//! Because a node's stream depends only on the key, executions are
+//! **bit-identical across thread counts and iteration orders**: a fixed seed
+//! and a fixed sequence of round/`local_step` calls produce the same final
+//! states whether the engine runs on 1 thread or 64. This is the property the
+//! determinism integration tests pin down.
+//!
+//! ## Parallelism contract
+//!
+//! Rounds are data-parallel maps over nodes, executed over contiguous node
+//! chunks on scoped threads (see [`crate::par`]). The closures a round takes
+//! (`serve`, `make`, `apply`, `fold`, `merge`, `after`) must therefore be
+//! `Fn + Sync`, and they must uphold the gossip model's locality: a closure
+//! may only mutate the state slot it is handed (its own node) and may only
+//! *read* other nodes' states through the pre-round snapshot the engine
+//! passes it. `serve`/`make` may be invoked more than once per node per round
+//! (the push paths recompute messages instead of buffering them), so they
+//! must be **pure** functions of `(node, state)` — cheap, deterministic, and
+//! side-effect free.
+//!
+//! The thread count defaults to [`crate::par::num_threads`] for networks of
+//! at least [`Engine::PAR_MIN_NODES`] nodes and to 1 below that (fork/join
+//! overhead would dominate); [`Engine::set_threads`] overrides the choice
+//! either way.
+//!
+//! ## Allocation discipline
+//!
+//! All `O(n)` scratch (contact targets, CSR delivery buckets, the pre-round
+//! state snapshot) lives in buffers owned by the engine, sized once at
+//! construction (the snapshot on the first round) and reused forever after:
+//! steady-state rounds perform **no size-`n` allocations**. The only per-round
+//! heap traffic is `O(threads)` bookkeeping for the fork/join scope — and
+//! whatever the caller's own state clones cost for non-`Copy` states.
+//!
+//! The snapshot `clone_from` is the price of running serve and apply fused in
+//! one parallel pass (closures read other nodes only through the immutable
+//! snapshot while mutating their own slot); for `Copy` states it is a
+//! parallel memcpy. States holding buffers (doubling, compactor) pay a real
+//! per-round copy — matching what their own `serve` closures already clone
+//! per message — so if a heavy-state workload ever dominates, the documented
+//! alternative is a message-buffer path specialised for cheap snapshots.
 
 use crate::error::{GossipError, Result};
 use crate::failure::FailureModel;
 use crate::message::MessageSize;
 use crate::metrics::{Metrics, RoundKind};
+use crate::par;
+use crate::rng::NodeRng;
 use crate::NodeId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+
+/// Sentinel in the target scratch buffer: the node failed this round.
+const TARGET_FAILED: u32 = u32::MAX;
+/// Sentinel in the target scratch buffer: the node stayed silent (no message).
+const TARGET_SILENT: u32 = u32::MAX - 1;
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Seed of the engine's random stream. Two engines with the same seed,
+    /// Seed of the engine's random streams. Two engines with the same seed,
     /// the same initial states and the same sequence of round calls produce
-    /// identical executions.
+    /// identical executions — at any thread count.
     pub seed: u64,
     /// The failure model applied to every operation (default: no failures).
     pub failure: FailureModel,
@@ -44,7 +101,10 @@ pub struct EngineConfig {
 impl EngineConfig {
     /// Configuration with the given seed and no failures.
     pub fn with_seed(seed: u64) -> Self {
-        EngineConfig { seed, failure: FailureModel::None }
+        EngineConfig {
+            seed,
+            failure: FailureModel::None,
+        }
     }
 
     /// Replaces the failure model.
@@ -62,20 +122,39 @@ impl Default for EngineConfig {
 
 /// A synchronous uniform-gossip network holding one state of type `S` per node.
 ///
-/// See the [module documentation](self) for the communication semantics.
+/// See the [module documentation](self) for the communication, randomness and
+/// parallelism contracts.
 #[derive(Debug, Clone)]
 pub struct Engine<S> {
     states: Vec<S>,
-    rng: SmallRng,
+    /// Pre-round copy of `states`, refreshed (in place) at the start of every
+    /// communication round; what `serve`/`make` closures read.
+    snapshot: Vec<S>,
+    seed: u64,
+    threads: usize,
     failure: FailureModel,
     metrics: Metrics,
     round: u64,
-    // Scratch buffers reused across rounds to avoid per-round allocation at
-    // n in the millions.
+    local_epochs: u64,
+    /// Per-sender contact target (push target in push–pull), or a sentinel.
     scratch_targets: Vec<u32>,
+    /// Per-puller contact target in push–pull rounds; CSR cursors in push.
+    scratch_pull: Vec<u32>,
+    /// CSR bucket offsets: deliveries for receiver `u` occupy
+    /// `scratch_senders[offsets[u]..offsets[u + 1]]`.
+    scratch_offsets: Vec<u32>,
+    /// CSR placement cursors (counting-sort scratch).
+    scratch_cursors: Vec<u32>,
+    /// Sender ids, grouped by receiver, in ascending sender order.
+    scratch_senders: Vec<u32>,
 }
 
 impl<S> Engine<S> {
+    /// Networks with at least this many nodes run rounds on
+    /// [`crate::par::num_threads`] threads by default; smaller ones run
+    /// sequentially (fork/join overhead would dominate the per-node work).
+    pub const PAR_MIN_NODES: usize = 1 << 14;
+
     /// Creates an engine whose node `v` starts with state `states[v]`.
     ///
     /// # Panics
@@ -90,18 +169,39 @@ impl<S> Engine<S> {
     ///
     /// # Errors
     ///
-    /// Returns [`GossipError::TooFewNodes`] if fewer than two states are supplied.
+    /// Returns [`GossipError::TooFewNodes`] if fewer than two states are
+    /// supplied, and [`GossipError::InvalidParameter`] if more than
+    /// `u32::MAX - 2` are (contact targets are stored as `u32`).
     pub fn try_from_states(states: Vec<S>, config: EngineConfig) -> Result<Self> {
-        if states.len() < 2 {
-            return Err(GossipError::TooFewNodes { requested: states.len() });
+        let n = states.len();
+        if n < 2 {
+            return Err(GossipError::TooFewNodes { requested: n });
         }
+        if n > (u32::MAX - 2) as usize {
+            return Err(GossipError::InvalidParameter {
+                name: "n",
+                reason: format!("at most {} nodes are supported, got {n}", u32::MAX - 2),
+            });
+        }
+        let threads = if n >= Self::PAR_MIN_NODES {
+            par::num_threads()
+        } else {
+            1
+        };
         Ok(Engine {
             states,
-            rng: SmallRng::seed_from_u64(config.seed),
+            snapshot: Vec::new(),
+            seed: config.seed,
+            threads,
             failure: config.failure,
             metrics: Metrics::new(),
             round: 0,
-            scratch_targets: Vec::new(),
+            local_epochs: 0,
+            scratch_targets: vec![0; n],
+            scratch_pull: vec![0; n],
+            scratch_offsets: vec![0; n + 1],
+            scratch_cursors: vec![0; n],
+            scratch_senders: vec![0; n],
         })
     }
 
@@ -128,9 +228,17 @@ impl<S> Engine<S> {
 
     /// Applies a purely local update to every node (no communication, no round
     /// consumed).
-    pub fn local_step<F: FnMut(NodeId, &mut S)>(&mut self, mut f: F) {
+    ///
+    /// Each node receives its own deterministic [`NodeRng`] for algorithm-local
+    /// coins (e.g. the probability-δ branch of Algorithm 1); the stream is
+    /// keyed by `(seed, epoch, node)` where the epoch increments per
+    /// `local_step` call, so runs replay identically.
+    pub fn local_step<F: FnMut(NodeId, &mut S, &mut NodeRng)>(&mut self, mut f: F) {
+        self.local_epochs += 1;
+        let (seed, epoch) = (self.seed, self.local_epochs);
         for (v, state) in self.states.iter_mut().enumerate() {
-            f(v, state);
+            let mut rng = NodeRng::keyed(seed, epoch, v as u64, NodeRng::STREAM_LOCAL);
+            f(v, state, &mut rng);
         }
     }
 
@@ -144,27 +252,65 @@ impl<S> Engine<S> {
         self.round
     }
 
+    /// The seed all of this engine's random streams are keyed by.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The failure model in effect.
     pub fn failure_model(&self) -> &FailureModel {
         &self.failure
     }
 
-    /// Borrows the engine's random stream.
+    /// Number of worker threads rounds run on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
     ///
-    /// Algorithms use this for their *local* coin flips (e.g. the probability-δ
-    /// branch of Algorithm 1) so that a single seed reproduces an entire run.
-    pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.rng
+    /// Results do not depend on this value — only wall-clock time does.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Consumes the engine and returns the final node states.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
     }
 
     /// Samples a uniformly random node other than `exclude`.
-    fn random_other_node(rng: &mut SmallRng, n: usize, exclude: NodeId) -> NodeId {
+    fn random_other_node(rng: &mut NodeRng, n: usize, exclude: NodeId) -> NodeId {
         debug_assert!(n >= 2);
-        let t = rng.gen_range(0..n - 1);
+        let t = rng.next_below((n - 1) as u64) as usize;
         if t >= exclude {
             t + 1
         } else {
             t
+        }
+    }
+}
+
+impl<S: Clone + Send + Sync> Engine<S> {
+    /// Brings `snapshot` up to date with `states` (in place after the first
+    /// round; the one size-`n` allocation happens on that first call).
+    fn refresh_snapshot(&mut self) {
+        if self.snapshot.len() == self.states.len() {
+            let (snapshot, states) = (&mut self.snapshot, &self.states);
+            par::for_chunks(
+                snapshot,
+                self.threads,
+                (),
+                |start, chunk| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        slot.clone_from(&states[start + j]);
+                    }
+                },
+                |(), ()| (),
+            );
+        } else {
+            self.snapshot = self.states.clone();
         }
     }
 
@@ -177,58 +323,49 @@ impl<S> Engine<S> {
     /// succeeded, and `apply(v, .., None)` for every node whose operation
     /// failed under the failure model.
     ///
+    /// `serve` must be pure (see the module docs); `apply` may only mutate the
+    /// state it is handed.
+    ///
     /// Returns the number of nodes whose pull failed.
-    pub fn pull_round<M, F, G>(&mut self, mut serve: F, mut apply: G) -> usize
+    pub fn pull_round<M, F, G>(&mut self, serve: F, apply: G) -> usize
     where
         M: MessageSize,
-        F: FnMut(NodeId, &S) -> M,
-        G: FnMut(NodeId, &mut S, Option<M>),
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
     {
         let n = self.n();
         self.metrics.record_round(RoundKind::Pull);
         self.round += 1;
+        self.refresh_snapshot();
 
-        // Phase 1: choose contacts and record failures against the snapshot.
-        self.scratch_targets.clear();
-        self.scratch_targets.reserve(n);
-        let mut failed = 0usize;
-        for v in 0..n {
-            self.metrics.record_attempt(RoundKind::Pull);
-            if self.failure.fails(v, self.round, &mut self.rng) {
-                self.metrics.record_failure();
-                failed += 1;
-                self.scratch_targets.push(u32::MAX);
-            } else {
-                let t = Self::random_other_node(&mut self.rng, n, v);
-                self.scratch_targets.push(t as u32);
-            }
-        }
-
-        // Phase 2: serve messages from the snapshot, then apply.
-        // `serve` only reads `states[target]`; `apply` only writes `states[v]`.
-        // To keep the borrow checker happy without cloning all states we
-        // compute the message immediately before applying it: this is safe
-        // because `apply` for node v only mutates states[v], and serve reads
-        // the *pre-round* value of states[target]. A node may both be read
-        // from and updated in the same round, so we must not observe partial
-        // updates: we therefore compute all messages first.
-        let targets = std::mem::take(&mut self.scratch_targets);
-        let mut messages: Vec<Option<M>> = Vec::with_capacity(n);
-        for (v, &t) in targets.iter().enumerate() {
-            if t == u32::MAX {
-                messages.push(None);
-            } else {
-                debug_assert_ne!(t as usize, v, "a node never contacts itself");
-                let msg = serve(t as usize, &self.states[t as usize]);
-                self.metrics.record_delivery(msg.message_bits());
-                messages.push(Some(msg));
-            }
-        }
-        for (v, msg) in messages.into_iter().enumerate() {
-            apply(v, &mut self.states[v], msg);
-        }
-        self.scratch_targets = targets;
-        failed
+        let (seed, round, threads) = (self.seed, self.round, self.threads);
+        let (snapshot, failure) = (&self.snapshot, &self.failure);
+        let delta = par::for_chunks(
+            &mut self.states,
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                for (j, state) in chunk.iter_mut().enumerate() {
+                    let v = start + j;
+                    let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
+                    local.record_attempt(RoundKind::Pull);
+                    if failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        apply(v, state, None);
+                    } else {
+                        let t = Self::random_other_node(&mut rng, n, v);
+                        let msg = serve(t, &snapshot[t]);
+                        local.record_delivery(msg.message_bits());
+                        apply(v, state, Some(msg));
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+        delta.failed_operations as usize
     }
 
     /// One synchronous **push** round.
@@ -237,49 +374,94 @@ impl<S> Engine<S> {
     /// (pre-round) state; if the node does not fail, the message is delivered
     /// to a uniformly random other node. After all deliveries are decided,
     /// `fold(u, &mut states[u], msg)` is invoked once per message delivered to
-    /// node `u` (in unspecified order), and finally `after(v, &mut states[v],
-    /// delivered)` is called for every node, where `delivered` is `true` iff
-    /// the node's own push was delivered. `make` returning `None` means the
-    /// node stays silent this round (no failure is recorded).
+    /// node `u` (in ascending sender order), and finally `after(v,
+    /// &mut states[v], delivered)` is called for every node, where `delivered`
+    /// is `true` iff the node's own push was delivered. `make` returning
+    /// `None` means the node stays silent this round (no failure is recorded).
+    ///
+    /// `make` must be pure — it is re-evaluated on the delivery pass instead
+    /// of buffering messages (see the module docs).
     ///
     /// Returns the number of nodes whose push failed.
-    pub fn push_round<M, F, G, H>(&mut self, mut make: F, mut fold: G, mut after: H) -> usize
+    pub fn push_round<M, F, G, H>(&mut self, make: F, fold: G, after: H) -> usize
     where
         M: MessageSize,
-        F: FnMut(NodeId, &S) -> Option<M>,
-        G: FnMut(NodeId, &mut S, M),
-        H: FnMut(NodeId, &mut S, bool),
+        F: Fn(NodeId, &S) -> Option<M> + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+        H: Fn(NodeId, &mut S, bool) + Sync,
     {
         let n = self.n();
         self.metrics.record_round(RoundKind::Push);
         self.round += 1;
+        self.refresh_snapshot();
 
-        let mut deliveries: Vec<(u32, M)> = Vec::with_capacity(n);
-        let mut delivered_flags = vec![false; n];
-        let mut failed = 0usize;
-        for v in 0..n {
-            let msg = match make(v, &self.states[v]) {
-                Some(m) => m,
-                None => continue,
-            };
-            self.metrics.record_attempt(RoundKind::Push);
-            if self.failure.fails(v, self.round, &mut self.rng) {
-                self.metrics.record_failure();
-                failed += 1;
-                continue;
-            }
-            let t = Self::random_other_node(&mut self.rng, n, v);
-            self.metrics.record_delivery(msg.message_bits());
-            deliveries.push((t as u32, msg));
-            delivered_flags[v] = true;
-        }
-        for (t, msg) in deliveries {
-            fold(t as usize, &mut self.states[t as usize], msg);
-        }
-        for (v, flag) in delivered_flags.iter().enumerate() {
-            after(v, &mut self.states[v], *flag);
-        }
-        failed
+        let (seed, round, threads) = (self.seed, self.round, self.threads);
+        let (snapshot, failure) = (&self.snapshot, &self.failure);
+
+        // Pass 1: every sender decides its outcome (silent / failed / target).
+        let delta = par::for_chunks(
+            &mut self.scratch_targets,
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let v = start + j;
+                    let msg = match make(v, &snapshot[v]) {
+                        Some(m) => m,
+                        None => {
+                            *slot = TARGET_SILENT;
+                            continue;
+                        }
+                    };
+                    local.record_attempt(RoundKind::Push);
+                    let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
+                    if failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        *slot = TARGET_FAILED;
+                    } else {
+                        let t = Self::random_other_node(&mut rng, n, v);
+                        local.record_delivery(msg.message_bits());
+                        *slot = t as u32;
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+
+        // Bucket deliveries by receiver (CSR), then fold + after per receiver.
+        Self::build_csr(
+            &self.scratch_targets,
+            n,
+            &mut self.scratch_offsets,
+            &mut self.scratch_cursors,
+            &mut self.scratch_senders,
+        );
+        let (targets, offsets, senders) = (
+            &self.scratch_targets,
+            &self.scratch_offsets,
+            &self.scratch_senders,
+        );
+        par::for_chunks(
+            &mut self.states,
+            threads,
+            (),
+            |start, chunk| {
+                for (j, state) in chunk.iter_mut().enumerate() {
+                    let u = start + j;
+                    for &v in &senders[offsets[u] as usize..offsets[u + 1] as usize] {
+                        if let Some(msg) = make(v as usize, &snapshot[v as usize]) {
+                            fold(u, state, msg);
+                        }
+                    }
+                    after(u, state, (targets[u] as usize) < n);
+                }
+            },
+            |(), ()| (),
+        );
+        delta.failed_operations as usize
     }
 
     /// One synchronous **push–pull** round (both directions in one round), the
@@ -289,43 +471,91 @@ impl<S> Engine<S> {
     /// Semantically this is a [`Engine::pull_round`] and a [`Engine::push_round`]
     /// executed against the same snapshot, counted as a *single* round — the
     /// standard push–pull convention in the rumor-spreading literature the
-    /// paper cites ([FG85], [Pit87], [KSSV00]).
-    pub fn push_pull_round<M, F, G>(&mut self, mut serve: F, mut merge: G) -> usize
+    /// paper cites ([FG85], [Pit87], [KSSV00]). For each node, `merge` first
+    /// receives the pulled message, then pushed messages in ascending sender
+    /// order. `serve` must be pure (it is re-evaluated per delivery).
+    pub fn push_pull_round<M, F, G>(&mut self, serve: F, merge: G) -> usize
     where
-        M: MessageSize + Clone,
-        F: FnMut(NodeId, &S) -> M,
-        G: FnMut(NodeId, &mut S, M),
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
     {
         let n = self.n();
         self.metrics.record_round(RoundKind::PushPull);
         self.round += 1;
+        self.refresh_snapshot();
 
-        // Snapshot messages of every node (what they would serve/push this round).
-        let outgoing: Vec<M> = (0..n).map(|v| serve(v, &self.states[v])).collect();
-        let mut incoming: Vec<Vec<M>> = vec![Vec::new(); n];
-        let mut failed = 0usize;
-        for v in 0..n {
-            self.metrics.record_attempt(RoundKind::PushPull);
-            if self.failure.fails(v, self.round, &mut self.rng) {
-                self.metrics.record_failure();
-                failed += 1;
-                continue;
-            }
-            // Pull direction: v reads from a random node.
-            let t_pull = Self::random_other_node(&mut self.rng, n, v);
-            self.metrics.record_delivery(outgoing[t_pull].message_bits());
-            incoming[v].push(outgoing[t_pull].clone());
-            // Push direction: v sends to a random node.
-            let t_push = Self::random_other_node(&mut self.rng, n, v);
-            self.metrics.record_delivery(outgoing[v].message_bits());
-            incoming[t_push].push(outgoing[v].clone());
-        }
-        for (v, msgs) in incoming.into_iter().enumerate() {
-            for m in msgs {
-                merge(v, &mut self.states[v], m);
-            }
-        }
-        failed
+        let (seed, round, threads) = (self.seed, self.round, self.threads);
+        let (snapshot, failure) = (&self.snapshot, &self.failure);
+
+        // Pass 1: every node draws its failure coin, pull target, push target.
+        // Delivery metrics are recorded in pass 2, where the messages are
+        // constructed anyway.
+        let delta = par::for_chunks2(
+            &mut self.scratch_targets,
+            &mut self.scratch_pull,
+            threads,
+            Metrics::default(),
+            |start, push_chunk, pull_chunk| {
+                let mut local = Metrics::default();
+                for j in 0..push_chunk.len() {
+                    let v = start + j;
+                    local.record_attempt(RoundKind::PushPull);
+                    let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
+                    if failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        push_chunk[j] = TARGET_FAILED;
+                        pull_chunk[j] = TARGET_FAILED;
+                    } else {
+                        pull_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
+                        push_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+
+        Self::build_csr(
+            &self.scratch_targets,
+            n,
+            &mut self.scratch_offsets,
+            &mut self.scratch_cursors,
+            &mut self.scratch_senders,
+        );
+        let (pulls, offsets, senders) = (
+            &self.scratch_pull,
+            &self.scratch_offsets,
+            &self.scratch_senders,
+        );
+        let deliveries = par::for_chunks(
+            &mut self.states,
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                for (j, state) in chunk.iter_mut().enumerate() {
+                    let u = start + j;
+                    let t_pull = pulls[u];
+                    if t_pull != TARGET_FAILED {
+                        let t = t_pull as usize;
+                        let msg = serve(t, &snapshot[t]);
+                        local.record_delivery(msg.message_bits());
+                        merge(u, state, msg);
+                    }
+                    for &v in &senders[offsets[u] as usize..offsets[u + 1] as usize] {
+                        let msg = serve(v as usize, &snapshot[v as usize]);
+                        local.record_delivery(msg.message_bits());
+                        merge(u, state, msg);
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + deliveries;
+        delta.failed_operations as usize
     }
 
     /// Convenience: `k` consecutive pull rounds in which every node collects
@@ -335,37 +565,79 @@ impl<S> Engine<S> {
     /// (between 0 and `k` entries, fewer when the node's pulls failed). This
     /// consumes exactly `k` rounds, matching the paper's convention that
     /// "each node can sample t node values (with replacement) in t rounds".
-    pub fn collect_samples<M, F>(&mut self, k: usize, mut serve: F) -> Vec<Vec<M>>
+    /// Node states are untouched.
+    pub fn collect_samples<M, F>(&mut self, k: usize, serve: F) -> Vec<Vec<M>>
     where
-        M: MessageSize,
-        F: FnMut(NodeId, &S) -> M,
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
     {
         let n = self.n();
+        let threads = self.threads;
         let mut collected: Vec<Vec<M>> = (0..n).map(|_| Vec::with_capacity(k)).collect();
         for _ in 0..k {
-            // A pull round whose `apply` stores the sample into `collected`
-            // rather than into the node state (states are untouched).
-            let round = self.round + 1;
             self.metrics.record_round(RoundKind::Pull);
-            self.round = round;
-            for v in 0..n {
-                self.metrics.record_attempt(RoundKind::Pull);
-                if self.failure.fails(v, round, &mut self.rng) {
-                    self.metrics.record_failure();
-                    continue;
-                }
-                let t = Self::random_other_node(&mut self.rng, n, v);
-                let msg = serve(t, &self.states[t]);
-                self.metrics.record_delivery(msg.message_bits());
-                collected[v].push(msg);
-            }
+            self.round += 1;
+            let (seed, round) = (self.seed, self.round);
+            let (states, failure) = (&self.states, &self.failure);
+            let delta = par::for_chunks(
+                &mut collected,
+                threads,
+                Metrics::default(),
+                |start, chunk| {
+                    let mut local = Metrics::default();
+                    for (j, bucket) in chunk.iter_mut().enumerate() {
+                        let v = start + j;
+                        local.record_attempt(RoundKind::Pull);
+                        let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
+                        if failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            continue;
+                        }
+                        let t = Self::random_other_node(&mut rng, n, v);
+                        let msg = serve(t, &states[t]);
+                        local.record_delivery(msg.message_bits());
+                        bucket.push(msg);
+                    }
+                    local
+                },
+                |a, b| a + b,
+            );
+            self.metrics = self.metrics + delta;
         }
         collected
     }
 
-    /// Consumes the engine and returns the final node states.
-    pub fn into_states(self) -> Vec<S> {
-        self.states
+    /// Counting-sorts senders into per-receiver CSR buckets: deliveries for
+    /// receiver `u` end up in `senders[offsets[u]..offsets[u + 1]]`, in
+    /// ascending sender order (the sort is stable). Entries of `targets` that
+    /// are not valid node ids (the sentinels) are skipped. Sequential: two
+    /// linear passes over `u32` buffers, memory-bound and cheap next to the
+    /// parallel passes on either side.
+    fn build_csr(
+        targets: &[u32],
+        n: usize,
+        offsets: &mut [u32],
+        cursors: &mut [u32],
+        senders: &mut [u32],
+    ) {
+        debug_assert_eq!(offsets.len(), n + 1);
+        offsets.fill(0);
+        for &t in targets {
+            if (t as usize) < n {
+                offsets[t as usize + 1] += 1;
+            }
+        }
+        for u in 0..n {
+            offsets[u + 1] += offsets[u];
+        }
+        cursors.copy_from_slice(&offsets[..n]);
+        for (v, &t) in targets.iter().enumerate() {
+            if (t as usize) < n {
+                let c = cursors[t as usize];
+                senders[c as usize] = v as u32;
+                cursors[t as usize] = c + 1;
+            }
+        }
     }
 }
 
@@ -416,16 +688,49 @@ mod tests {
         let run = |seed: u64| {
             let mut e = engine_with(100, seed);
             for _ in 0..2 {
-                e.pull_round(|_, &s| s, |_, st, p| {
-                    if let Some(p) = p {
-                        *st = (*st).max(p);
-                    }
-                });
+                e.pull_round(
+                    |_, &s| s,
+                    |_, st, p| {
+                        if let Some(p) = p {
+                            *st = (*st).max(p);
+                        }
+                    },
+                );
             }
             e.into_states()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The real cross-primitive matrix lives in tests/determinism.rs; this
+        // is the fast unit-level check on the pull path.
+        let run = |threads: usize| {
+            let mut e = engine_with(500, 42);
+            e.set_threads(threads);
+            for _ in 0..8 {
+                e.pull_round(
+                    |_, &s| s,
+                    |_, st, p| {
+                        if let Some(p) = p {
+                            *st = (*st).max(p);
+                        }
+                    },
+                );
+            }
+            let metrics = e.metrics();
+            (e.into_states(), metrics)
+        };
+        let (states_1t, _) = run(1);
+        for threads in [2, 3, 8] {
+            let (states, _) = run(threads);
+            assert_eq!(
+                states, states_1t,
+                "thread count {threads} changed the execution"
+            );
+        }
     }
 
     #[test]
@@ -447,13 +752,24 @@ mod tests {
     fn push_round_delivers_every_non_failed_message_exactly_once() {
         let mut e = Engine::from_states(vec![0u64; 50], EngineConfig::with_seed(11));
         // Count how many messages each node receives.
-        e.push_round(
-            |v, _| Some(v as u64),
-            |_, st, _msg| *st += 1,
-            |_, _, _| {},
-        );
+        e.push_round(|v, _| Some(v as u64), |_, st, _msg| *st += 1, |_, _, _| {});
         let total: u64 = e.states().iter().sum();
         assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn push_round_folds_in_ascending_sender_order() {
+        let mut e = Engine::from_states(vec![Vec::<u64>::new(); 40], EngineConfig::with_seed(7));
+        e.push_round(
+            |v, _| Some(v as u64),
+            |_, st, msg| st.push(msg),
+            |_, _, _| {},
+        );
+        for received in e.states() {
+            let mut sorted = received.clone();
+            sorted.sort_unstable();
+            assert_eq!(received, &sorted);
+        }
     }
 
     #[test]
@@ -476,20 +792,26 @@ mod tests {
         e.pull_round(|_, &s| s, |_, _, _| {});
         let m = e.metrics();
         assert_eq!(m.pulls_attempted, 1000);
-        assert!(m.failed_operations > 350 && m.failed_operations < 650, "{}", m.failed_operations);
+        assert!(
+            m.failed_operations > 350 && m.failed_operations < 650,
+            "{}",
+            m.failed_operations
+        );
         assert_eq!(m.messages_delivered + m.failed_operations, 1000);
     }
 
     #[test]
     fn total_failure_schedule_blocks_everything() {
-        let config =
-            EngineConfig::with_seed(3).failure(FailureModel::schedule(|_, _| 1.0));
+        let config = EngineConfig::with_seed(3).failure(FailureModel::schedule(|_, _| 1.0));
         let mut e = Engine::from_states(vec![1u64, 2, 3, 4], config);
-        let failed = e.pull_round(|_, &s| s, |_, st, p| {
-            if let Some(p) = p {
-                *st = p;
-            }
-        });
+        let failed = e.pull_round(
+            |_, &s| s,
+            |_, st, p| {
+                if let Some(p) = p {
+                    *st = p;
+                }
+            },
+        );
         assert_eq!(failed, 4);
         assert_eq!(e.states(), &[1, 2, 3, 4]);
     }
@@ -532,15 +854,33 @@ mod tests {
     #[test]
     fn local_step_touches_every_node_and_costs_no_round() {
         let mut e = engine_with(10, 0);
-        e.local_step(|v, s| *s = v as u64 * 2);
+        e.local_step(|v, s, _rng| *s = v as u64 * 2);
         assert_eq!(e.round(), 0);
         assert_eq!(e.metrics().rounds, 0);
         assert_eq!(e.states()[7], 14);
     }
 
     #[test]
+    fn local_step_rng_is_per_node_and_per_epoch() {
+        use rand::Rng;
+        let mut e = engine_with(16, 4);
+        let mut first = vec![0u64; 16];
+        e.local_step(|v, _, rng| first[v] = rng.gen::<u64>());
+        let mut second = [0u64; 16];
+        e.local_step(|v, _, rng| second[v] = rng.gen::<u64>());
+        // Distinct across nodes and across epochs…
+        let unique: HashSet<u64> = first.iter().chain(second.iter()).copied().collect();
+        assert_eq!(unique.len(), 32);
+        // …and reproducible: a fresh engine with the same seed replays them.
+        let mut e2 = engine_with(16, 4);
+        let mut replay = vec![0u64; 16];
+        e2.local_step(|v, _, rng| replay[v] = rng.gen::<u64>());
+        assert_eq!(replay, first);
+    }
+
+    #[test]
     fn random_other_node_is_roughly_uniform() {
-        let mut rng = SmallRng::seed_from_u64(77);
+        let mut rng = NodeRng::keyed(77, 0, 2, NodeRng::STREAM_ROUND);
         let n = 5;
         let mut counts = vec![0u32; n];
         for _ in 0..40_000 {

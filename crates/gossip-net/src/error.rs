@@ -46,7 +46,10 @@ impl fmt::Display for GossipError {
                 write!(f, "uniform gossip needs at least 2 nodes, got {requested}")
             }
             GossipError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be a probability in [0, 1], got {value}"
+                )
             }
             GossipError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -68,12 +71,21 @@ mod tests {
     fn display_messages_are_informative() {
         let e = GossipError::TooFewNodes { requested: 1 };
         assert!(e.to_string().contains("at least 2 nodes"));
-        let e = GossipError::InvalidProbability { name: "mu", value: 1.5 };
+        let e = GossipError::InvalidProbability {
+            name: "mu",
+            value: 1.5,
+        };
         assert!(e.to_string().contains("mu"));
         assert!(e.to_string().contains("1.5"));
-        let e = GossipError::InvalidParameter { name: "epsilon", reason: "must be positive".into() };
+        let e = GossipError::InvalidParameter {
+            name: "epsilon",
+            reason: "must be positive".into(),
+        };
         assert!(e.to_string().contains("epsilon"));
-        let e = GossipError::RoundBudgetExceeded { budget: 10, phase: "phase I" };
+        let e = GossipError::RoundBudgetExceeded {
+            budget: 10,
+            phase: "phase I",
+        };
         assert!(e.to_string().contains("10"));
     }
 

@@ -16,9 +16,10 @@ use std::sync::Arc;
 /// A failed node performs nothing in the round in which it fails: its pull
 /// returns nothing and its push is not delivered. Failures are sampled
 /// independently across nodes and rounds, matching Section 5 of the paper.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub enum FailureModel {
     /// No failures ever occur (the model of Sections 2–4).
+    #[default]
     None,
     /// Every node fails in every round with the same probability `p`.
     Uniform(f64),
@@ -41,7 +42,10 @@ impl FailureModel {
     /// `mu < 1`.
     pub fn uniform(p: f64) -> Result<Self> {
         if !(0.0..1.0).contains(&p) {
-            return Err(GossipError::InvalidProbability { name: "failure probability", value: p });
+            return Err(GossipError::InvalidProbability {
+                name: "failure probability",
+                value: p,
+            });
         }
         if p == 0.0 {
             Ok(FailureModel::None)
@@ -88,7 +92,7 @@ impl FailureModel {
     }
 
     /// Samples whether node `node` fails its operation in round `round`.
-    pub fn fails<R: Rng + ?Sized>(&self, node: NodeId, round: u64, rng: &mut R) -> bool {
+    pub fn fails<R: Rng>(&self, node: NodeId, round: u64, rng: &mut R) -> bool {
         let p = self.probability(node, round);
         if p <= 0.0 {
             false
@@ -117,19 +121,18 @@ impl FailureModel {
     }
 }
 
-impl Default for FailureModel {
-    fn default() -> Self {
-        FailureModel::None
-    }
-}
-
 impl fmt::Debug for FailureModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FailureModel::None => write!(f, "FailureModel::None"),
             FailureModel::Uniform(p) => write!(f, "FailureModel::Uniform({p})"),
             FailureModel::PerNode(ps) => {
-                write!(f, "FailureModel::PerNode(n={}, mu={:?})", ps.len(), self.mu_upper_bound())
+                write!(
+                    f,
+                    "FailureModel::PerNode(n={}, mu={:?})",
+                    ps.len(),
+                    self.mu_upper_bound()
+                )
             }
             FailureModel::Schedule(_) => write!(f, "FailureModel::Schedule(<fn>)"),
         }
@@ -187,7 +190,8 @@ mod tests {
 
     #[test]
     fn schedule_uses_node_and_round() {
-        let m = FailureModel::schedule(|node, round| if node == 0 && round < 5 { 0.9999 } else { 0.0 });
+        let m =
+            FailureModel::schedule(|node, round| if node == 0 && round < 5 { 0.9999 } else { 0.0 });
         assert!(m.probability(0, 0) > 0.99);
         assert_eq!(m.probability(1, 0), 0.0);
         assert_eq!(m.probability(0, 5), 0.0);

@@ -55,6 +55,7 @@ pub mod error;
 pub mod failure;
 pub mod message;
 pub mod metrics;
+pub mod par;
 pub mod protocol;
 pub mod rng;
 pub mod value;
@@ -65,7 +66,7 @@ pub use failure::FailureModel;
 pub use message::MessageSize;
 pub use metrics::{Metrics, RoundKind};
 pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner};
-pub use rng::SeedSequence;
+pub use rng::{NodeRng, SeedSequence};
 pub use value::{NodeValue, OrderedF64};
 
 /// Identifier of a node in the simulated network (an index in `0..n`).

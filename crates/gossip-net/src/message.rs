@@ -105,6 +105,6 @@ mod tests {
     #[test]
     fn reference_forwards_to_value() {
         let x = 9u64;
-        assert_eq!((&x).message_bits(), 64);
+        assert_eq!(x.message_bits(), 64);
     }
 }

@@ -4,10 +4,8 @@
 //! [`Metrics`] struct, so round counts reported in EXPERIMENTS.md are directly
 //! comparable across the paper's algorithms and the baselines.
 
-use serde::{Deserialize, Serialize};
-
 /// What kind of communication a round performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoundKind {
     /// Every active node pulled a message from a uniformly random node.
     Pull,
@@ -33,7 +31,7 @@ impl std::fmt::Display for RoundKind {
 ///
 /// All counters are cumulative over the life of an [`crate::Engine`]; use
 /// [`Metrics::snapshot_delta`] to measure a phase of an algorithm.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Metrics {
     /// Number of synchronous rounds executed.
     pub rounds: u64,

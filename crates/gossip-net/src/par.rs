@@ -1,0 +1,200 @@
+//! Fork–join data-parallelism over contiguous chunks of per-node buffers.
+//!
+//! A gossip round is an embarrassingly parallel map over nodes (each node's
+//! randomness comes from its own [`NodeRng`](crate::rng::NodeRng) stream and
+//! each node only mutates its own slot), so the engine only needs one
+//! primitive: split the per-node buffers into `threads` contiguous chunks,
+//! run a closure on each chunk on its own scoped thread, and fold the
+//! per-chunk accumulators **in chunk order** (so reductions are deterministic
+//! regardless of which thread finished first).
+//!
+//! The implementation uses `std::thread::scope`, not a work-stealing pool:
+//! chunks are equal-sized and per-node work is uniform, so static partitioning
+//! loses nothing, and the workspace cannot depend on an external pool (no
+//! registry access; see the workspace manifest). The thread count honours
+//! `GOSSIP_NUM_THREADS`, then `RAYON_NUM_THREADS` (so existing rayon-style
+//! deployment configs keep working), then the machine's parallelism.
+//!
+//! With `threads == 1` every helper runs inline on the caller's thread — no
+//! spawn, no overhead — which is also the engine's policy for small `n`.
+
+/// Number of worker threads to use, from the environment or the machine.
+///
+/// Priority: `GOSSIP_NUM_THREADS`, then `RAYON_NUM_THREADS`, then
+/// `std::thread::available_parallelism()`. Values are clamped to `[1, 256]`.
+pub fn num_threads() -> usize {
+    for var in ["GOSSIP_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(value) = std::env::var(var) {
+            if let Ok(parsed) = value.trim().parse::<usize>() {
+                return parsed.clamp(1, 256);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, 256)
+}
+
+/// Runs `map` over `threads` contiguous chunks of `data` and folds the
+/// per-chunk results in chunk order.
+///
+/// `map` receives the chunk's starting index into `data` and the chunk
+/// itself; global index of element `j` of the chunk is `start + j`.
+pub fn for_chunks<T, A, F, R>(data: &mut [T], threads: usize, identity: A, map: F, reduce: R) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(usize, &mut [T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    let n = data.len();
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return reduce(identity, map(0, data));
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let map = &map;
+        let handles: Vec<_> = data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, c)| scope.spawn(move || map(i * chunk, c)))
+            .collect();
+        let mut acc = identity;
+        for handle in handles {
+            acc = reduce(acc, handle.join().expect("gossip worker thread panicked"));
+        }
+        acc
+    })
+}
+
+/// Like [`for_chunks`], but over two equal-length buffers split at the same
+/// boundaries, so `a[start + j]` and `b[start + j]` always land in the same
+/// closure invocation.
+pub fn for_chunks2<T, U, A, F, R>(
+    a: &mut [T],
+    b: &mut [U],
+    threads: usize,
+    identity: A,
+    map: F,
+    reduce: R,
+) -> A
+where
+    T: Send,
+    U: Send,
+    A: Send,
+    F: Fn(usize, &mut [T], &mut [U]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    let n = a.len();
+    assert_eq!(n, b.len(), "for_chunks2 requires equal-length buffers");
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return reduce(identity, map(0, a, b));
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let map = &map;
+        let handles: Vec<_> = a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .enumerate()
+            .map(|(i, (ca, cb))| scope.spawn(move || map(i * chunk, ca, cb)))
+            .collect();
+        let mut acc = identity;
+        for handle in handles {
+            acc = reduce(acc, handle.join().expect("gossip worker thread panicked"));
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_chunks_visits_every_element_once_with_correct_indices() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut data: Vec<u64> = vec![0; 100];
+            let count = for_chunks(
+                &mut data,
+                threads,
+                0usize,
+                |start, chunk| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (start + j) as u64;
+                    }
+                    chunk.len()
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(count, 100);
+            assert_eq!(data, (0..100).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn for_chunks_reduces_in_chunk_order() {
+        let mut data: Vec<u64> = vec![0; 10];
+        let order = for_chunks(
+            &mut data,
+            5,
+            Vec::new(),
+            |start, _| vec![start],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        assert_eq!(order, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn for_chunks2_keeps_buffers_aligned() {
+        for threads in [1, 3, 7] {
+            let mut a: Vec<usize> = vec![0; 50];
+            let mut b: Vec<usize> = vec![0; 50];
+            for_chunks2(
+                &mut a,
+                &mut b,
+                threads,
+                (),
+                |start, ca, cb| {
+                    assert_eq!(ca.len(), cb.len());
+                    for j in 0..ca.len() {
+                        ca[j] = start + j;
+                        cb[j] = 2 * (start + j);
+                    }
+                },
+                |(), ()| (),
+            );
+            for i in 0..50 {
+                assert_eq!(a[i], i);
+                assert_eq!(b[i], 2 * i);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let mut empty: Vec<u8> = Vec::new();
+        let acc = for_chunks(&mut empty, 8, 7u32, |_, _| unreachable!(), |a, _b| a);
+        assert_eq!(acc, 7);
+        let mut one = vec![1u8];
+        let acc = for_chunks(&mut one, 8, 0u32, |_, c| c.len() as u32, |a, b| a + b);
+        assert_eq!(acc, 1);
+    }
+}

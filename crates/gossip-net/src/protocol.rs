@@ -19,6 +19,11 @@ use crate::metrics::Metrics;
 /// what it [serves](NodeProtocol::serve), delivers to each non-failed node the
 /// message served by a uniformly random other node, and then asks whether the
 /// node considers itself [finished](NodeProtocol::is_finished).
+///
+/// Because rounds execute data-parallel (see the
+/// [engine docs](crate::engine)), protocol instances must be
+/// `Clone + Send + Sync` to be driven by [`ProtocolRunner`], and
+/// [`serve`](NodeProtocol::serve) must be a pure function of the node's state.
 pub trait NodeProtocol {
     /// The message type exchanged by the protocol.
     type Message: MessageSize + Clone;
@@ -60,14 +65,16 @@ pub struct ProtocolRunner<P> {
     engine: Engine<P>,
 }
 
-impl<P: NodeProtocol> ProtocolRunner<P> {
+impl<P: NodeProtocol + Clone + Send + Sync> ProtocolRunner<P> {
     /// Creates a runner over the given per-node protocol instances.
     ///
     /// # Panics
     ///
     /// Panics if fewer than two instances are supplied.
     pub fn new(nodes: Vec<P>, config: EngineConfig) -> Self {
-        ProtocolRunner { engine: Engine::from_states(nodes, config) }
+        ProtocolRunner {
+            engine: Engine::from_states(nodes, config),
+        }
     }
 
     /// Number of nodes.
@@ -93,8 +100,18 @@ impl<P: NodeProtocol> ProtocolRunner<P> {
         }
         let rounds = self.engine.round();
         let metrics = self.engine.metrics();
-        let outputs = self.engine.into_states().iter().map(NodeProtocol::output).collect();
-        ProtocolOutcome { outputs, rounds, metrics, converged }
+        let outputs = self
+            .engine
+            .into_states()
+            .iter()
+            .map(NodeProtocol::output)
+            .collect();
+        ProtocolOutcome {
+            outputs,
+            rounds,
+            metrics,
+            converged,
+        }
     }
 
     fn all_finished(&self) -> bool {
@@ -139,8 +156,12 @@ mod tests {
     #[test]
     fn protocol_runner_spreads_max_to_all_nodes() {
         let n = 512;
-        let nodes: Vec<MaxSpread> =
-            (0..n).map(|v| MaxSpread { current: v as u64, target: (n - 1) as u64 }).collect();
+        let nodes: Vec<MaxSpread> = (0..n)
+            .map(|v| MaxSpread {
+                current: v as u64,
+                target: (n - 1) as u64,
+            })
+            .collect();
         let runner = ProtocolRunner::new(nodes, EngineConfig::with_seed(13));
         let outcome = runner.run(200);
         assert!(outcome.converged);
@@ -152,8 +173,12 @@ mod tests {
 
     #[test]
     fn protocol_runner_respects_round_budget() {
-        let nodes: Vec<MaxSpread> =
-            (0..16).map(|v| MaxSpread { current: v as u64, target: u64::MAX }).collect();
+        let nodes: Vec<MaxSpread> = (0..16)
+            .map(|v| MaxSpread {
+                current: v as u64,
+                target: u64::MAX,
+            })
+            .collect();
         let outcome = ProtocolRunner::new(nodes, EngineConfig::with_seed(1)).run(5);
         assert!(!outcome.converged);
         assert_eq!(outcome.rounds, 5);
@@ -161,8 +186,12 @@ mod tests {
 
     #[test]
     fn already_finished_protocol_runs_zero_rounds() {
-        let nodes: Vec<MaxSpread> =
-            (0..4).map(|_| MaxSpread { current: 9, target: 9 }).collect();
+        let nodes: Vec<MaxSpread> = (0..4)
+            .map(|_| MaxSpread {
+                current: 9,
+                target: 9,
+            })
+            .collect();
         let outcome = ProtocolRunner::new(nodes, EngineConfig::with_seed(1)).run(100);
         assert!(outcome.converged);
         assert_eq!(outcome.rounds, 0);

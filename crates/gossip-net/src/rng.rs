@@ -1,12 +1,32 @@
-//! Deterministic seed derivation for reproducible experiments.
+//! Deterministic randomness: seed derivation for experiments and the
+//! counter-based per-node streams that make parallel rounds reproducible.
 //!
-//! Every experiment in EXPERIMENTS.md runs many independent trials; each trial
-//! needs its own random stream that is (a) independent of the others and
-//! (b) reproducible from a single master seed. [`SeedSequence`] provides this
-//! with a SplitMix64 stream, the standard way to expand one 64-bit seed into
-//! many.
+//! Two tools live here:
+//!
+//! * [`SeedSequence`] expands one master seed into many independent seeds —
+//!   one per trial of an experiment — with a SplitMix64 stream.
+//! * [`NodeRng`] is a **counter-based** generator keyed by
+//!   `(seed, round, node, stream)`. Every node in every round gets its own
+//!   stream whose output depends only on the key, never on how many draws
+//!   other nodes made or on which thread executed them. This is what lets the
+//!   [`Engine`](crate::Engine) run rounds data-parallel while staying
+//!   bit-identical to a sequential run: contact selection, failure coin-flips
+//!   and algorithm-local coins are all drawn from `NodeRng` streams.
+//!
+//! Both are built on the SplitMix64 finalizer (Steele, Lea, Flood 2014),
+//! which passes BigCrush when used as a stream and is the standard way to
+//! expand one 64-bit seed into many.
 
-use serde::{Deserialize, Serialize};
+/// The SplitMix64 additive constant (the "golden gamma").
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 finalizer: a strong 64-bit mixing function.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Expands a master seed into an arbitrary number of independent 64-bit seeds.
 ///
@@ -19,7 +39,7 @@ use serde::{Deserialize, Serialize};
 /// // The same master seed always yields the same sequence.
 /// assert_eq!(SeedSequence::new(42).next_seed(), a);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedSequence {
     state: u64,
 }
@@ -32,19 +52,14 @@ impl SeedSequence {
 
     /// Returns the next derived seed, advancing the sequence.
     pub fn next_seed(&mut self) -> u64 {
-        // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush when used as a
-        // stream and is the recommended way to seed other generators.
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
     }
 
     /// Returns the `i`-th derived seed without mutating the sequence.
     pub fn seed_at(&self, i: u64) -> u64 {
         let mut copy = *self;
-        copy.state = copy.state.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i));
+        copy.state = copy.state.wrapping_add(GOLDEN_GAMMA.wrapping_mul(i));
         copy.next_seed()
     }
 
@@ -55,6 +70,82 @@ impl SeedSequence {
         copy.state ^= label.wrapping_mul(0xA24B_AED4_963E_E407);
         copy.next_seed();
         copy
+    }
+}
+
+/// A deterministic per-node random stream, keyed by `(seed, round, node, stream)`.
+///
+/// The key fully determines the stream: two `NodeRng`s with the same key
+/// produce the same outputs regardless of thread count, iteration order, or
+/// how much randomness any *other* node consumed. The [`Engine`](crate::Engine)
+/// hands one to each node per round (for contact selection and failure coins)
+/// and to each node per [`local_step`](crate::Engine::local_step) (for
+/// algorithm-local coins such as the probability-δ branch of Algorithm 1).
+///
+/// `NodeRng` implements [`rand::RngCore`], so all of [`rand::Rng`]'s sampling
+/// methods (`gen`, `gen_range`, `gen_bool`) are available on it.
+///
+/// ```
+/// use gossip_net::rng::NodeRng;
+/// use rand::Rng;
+///
+/// let mut a = NodeRng::keyed(7, 3, 41, NodeRng::STREAM_ROUND);
+/// let mut b = NodeRng::keyed(7, 3, 41, NodeRng::STREAM_ROUND);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());           // same key, same stream
+/// let mut c = NodeRng::keyed(7, 3, 42, NodeRng::STREAM_ROUND);
+/// assert_ne!(a.gen::<u64>(), c.gen::<u64>());           // different node
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRng {
+    state: u64,
+}
+
+impl NodeRng {
+    /// Stream id for the engine's own draws in a communication round
+    /// (failure coin, then contact target(s), in that order).
+    pub const STREAM_ROUND: u64 = 1;
+    /// Stream id for algorithm-local coins handed out by
+    /// [`local_step`](crate::Engine::local_step).
+    pub const STREAM_LOCAL: u64 = 2;
+
+    /// Creates the stream for the given key.
+    ///
+    /// The key words are absorbed one at a time through the SplitMix64
+    /// finalizer, each multiplied by a distinct odd constant first so that
+    /// structured keys (small consecutive rounds and node ids) land far apart
+    /// in state space.
+    #[inline]
+    pub fn keyed(seed: u64, round: u64, node: u64, stream: u64) -> NodeRng {
+        let mut state = mix64(seed ^ GOLDEN_GAMMA.wrapping_mul(stream));
+        state = mix64(state ^ round.wrapping_mul(0xA24B_AED4_963E_E407));
+        state = mix64(state ^ node.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        NodeRng { state }
+    }
+
+    /// Returns the next 64 random bits of this stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[0, bound)` (multiply-shift; bias `O(bound/2^64)`).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+impl rand::RngCore for NodeRng {
+    fn next_u64(&mut self) -> u64 {
+        NodeRng::next_u64(self)
     }
 }
 
@@ -100,7 +191,63 @@ mod tests {
         let base = SeedSequence::new(5);
         let mut f1 = base.fork(1);
         let mut f2 = base.fork(2);
-        let overlap = (0..100).filter(|_| f1.next_seed() == f2.next_seed()).count();
+        let overlap = (0..100)
+            .filter(|_| f1.next_seed() == f2.next_seed())
+            .count();
         assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn node_rng_depends_on_every_key_word() {
+        let base = NodeRng::keyed(1, 2, 3, 4);
+        for (s, r, n, st) in [(2, 2, 3, 4), (1, 3, 3, 4), (1, 2, 4, 4), (1, 2, 3, 5)] {
+            assert_ne!(NodeRng::keyed(s, r, n, st), base);
+        }
+        assert_eq!(NodeRng::keyed(1, 2, 3, 4), base);
+    }
+
+    #[test]
+    fn node_streams_have_no_pairwise_collisions_at_simulation_scale() {
+        // First outputs of 100k distinct (round, node) keys are all distinct —
+        // a birthday-bound sanity check on the keying.
+        let mut seen = HashSet::new();
+        for round in 0..10u64 {
+            for node in 0..10_000u64 {
+                seen.insert(NodeRng::keyed(77, round, node, NodeRng::STREAM_ROUND).next_u64());
+            }
+        }
+        assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform_and_in_range() {
+        let mut rng = NodeRng::keyed(5, 0, 0, 1);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            let x = rng.next_below(7) as usize;
+            counts[x] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 600, "count {c}");
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = NodeRng::keyed(9, 1, 2, 3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn node_rng_works_with_the_rand_traits() {
+        use rand::Rng;
+        let mut rng = NodeRng::keyed(3, 1, 4, 1);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let y = rng.gen_range(0..100usize);
+        assert!(y < 100);
     }
 }

@@ -63,7 +63,9 @@ impl PartialOrd for OrderedF64 {
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> Ordering {
         // Safe because construction rejects NaN.
-        self.0.partial_cmp(&other.0).expect("OrderedF64 never holds NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("OrderedF64 never holds NaN")
     }
 }
 
@@ -110,7 +112,10 @@ mod tests {
             .collect();
         v.sort();
         let sorted: Vec<f64> = v.into_iter().map(f64::from).collect();
-        assert_eq!(sorted, vec![f64::NEG_INFINITY, -1.0, 0.0, 2.5, 3.0, f64::INFINITY]);
+        assert_eq!(
+            sorted,
+            vec![f64::NEG_INFINITY, -1.0, 0.0, 2.5, 3.0, f64::INFINITY]
+        );
     }
 
     #[test]

@@ -24,10 +24,9 @@
 #![warn(missing_debug_implementations)]
 
 use gossip_net::{Engine, EngineConfig, GossipError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Result of one information-spreading simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpreadingOutcome {
     /// Number of nodes.
     pub n: usize,
@@ -141,8 +140,14 @@ mod tests {
             // of the Theorem 1.3 barrier (it is Θ(log log n + log 1/ε)).
             let barrier = out.theorem_barrier;
             let measured = out.rounds_to_all_informed as f64;
-            assert!(measured >= 0.5 * barrier, "n={n} eps={eps}: {measured} vs {barrier}");
-            assert!(measured <= 6.0 * barrier + 10.0, "n={n} eps={eps}: {measured} vs {barrier}");
+            assert!(
+                measured >= 0.5 * barrier,
+                "n={n} eps={eps}: {measured} vs {barrier}"
+            );
+            assert!(
+                measured <= 6.0 * barrier + 10.0,
+                "n={n} eps={eps}: {measured} vs {barrier}"
+            );
         }
     }
 

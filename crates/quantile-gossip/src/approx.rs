@@ -22,7 +22,6 @@ use crate::schedule::{ThreeTournamentSchedule, TwoTournamentSchedule};
 use crate::three_tournament::{self, FinalVote};
 use crate::two_tournament;
 use gossip_net::{EngineConfig, GossipError, Metrics, NodeValue, Result, SeedSequence};
-use serde::{Deserialize, Serialize};
 
 /// The largest ε that the tournament analysis supports; larger requests are
 /// clamped (a finer approximation is also a valid coarser one).
@@ -50,20 +49,15 @@ pub struct TournamentConfig {
 }
 
 /// Which regime [`approximate_quantile`] should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Method {
     /// Always use the tournament regime (Theorem 2.1).
     Tournament,
     /// Always use the interval-narrowing regime (Theorem 1.2 bootstrap).
     Narrowing,
     /// Pick automatically based on [`tournament_min_epsilon`] (default).
+    #[default]
     Auto,
-}
-
-impl Default for Method {
-    fn default() -> Self {
-        Method::Auto
-    }
 }
 
 /// Configuration of [`approximate_quantile`].
@@ -78,7 +72,7 @@ pub struct ApproxConfig {
 }
 
 /// Which regime actually ran, with its iteration counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MethodUsed {
     /// The tournament regime ran with the given Phase I / Phase II iteration counts.
     Tournament {
@@ -144,7 +138,10 @@ pub fn tournament_quantile<V: NodeValue>(
     let eps = epsilon.min(MAX_TOURNAMENT_EPSILON);
     let mut seeds = SeedSequence::new(engine_config.seed);
     let failure = engine_config.failure.clone();
-    let sub = |seeds: &mut SeedSequence| EngineConfig { seed: seeds.next_seed(), failure: failure.clone() };
+    let sub = |seeds: &mut SeedSequence| EngineConfig {
+        seed: seeds.next_seed(),
+        failure: failure.clone(),
+    };
 
     // Phase I: shift [φ−ε, φ+ε] to the median band.
     let schedule1 = TwoTournamentSchedule::compute(phi, eps)?;
@@ -153,8 +150,12 @@ pub fn tournament_quantile<V: NodeValue>(
     // Phase II: approximate the median of the shifted multiset to within ε/4,
     // so that (Lemma 2.11) the output quantile lands inside the shifted band.
     let schedule2 = ThreeTournamentSchedule::compute(eps / 4.0, n)?;
-    let phase2 =
-        three_tournament::run(&phase1.values, &schedule2, config.final_vote, sub(&mut seeds))?;
+    let phase2 = three_tournament::run(
+        &phase1.values,
+        &schedule2,
+        config.final_vote,
+        sub(&mut seeds),
+    )?;
 
     let metrics = phase1.metrics + phase2.metrics;
     Ok(ApproxOutcome {
@@ -214,13 +215,20 @@ pub fn approximate_quantile<V: NodeValue>(
     }
     let target_rank = ((phi * n as f64).ceil() as u64).clamp(1, n as u64);
     let tolerance = (epsilon * n as f64).floor() as u64;
-    let narrowed =
-        exact::narrow_to_rank(values, target_rank, tolerance, &config.narrowing, engine_config)?;
+    let narrowed = exact::narrow_to_rank(
+        values,
+        target_rank,
+        tolerance,
+        &config.narrowing,
+        engine_config,
+    )?;
     Ok(ApproxOutcome {
         outputs: vec![narrowed.answer; n],
         rounds: narrowed.rounds,
         metrics: narrowed.metrics,
-        method: MethodUsed::Narrowing { iterations: narrowed.iterations },
+        method: MethodUsed::Narrowing {
+            iterations: narrowed.iterations,
+        },
     })
 }
 
@@ -290,7 +298,9 @@ mod tests {
         let out =
             tournament_quantile(&values, 0.25, eps, &cfg, EngineConfig::with_seed(9)).unwrap();
         let t1 = TwoTournamentSchedule::compute(0.25, eps).unwrap().len() as u64;
-        let t2 = ThreeTournamentSchedule::compute(eps / 4.0, n).unwrap().len() as u64;
+        let t2 = ThreeTournamentSchedule::compute(eps / 4.0, n)
+            .unwrap()
+            .len() as u64;
         assert_eq!(out.rounds, 2 * t1 + 3 * t2 + cfg.final_vote.samples as u64);
         // And it is far below log2(n)² = 256 (the KDG03 regime).
         assert!(out.rounds < 100, "rounds = {}", out.rounds);
@@ -314,7 +324,10 @@ mod tests {
         let target = (0.5 * n as f64).ceil() as u64;
         for &o in &out.outputs {
             let r = rank_of(&values, o);
-            assert!((r as i64 - target as i64).unsigned_abs() <= 4, "rank {r} target {target}");
+            assert!(
+                (r as i64 - target as i64).unsigned_abs() <= 4,
+                "rank {r} target {target}"
+            );
         }
     }
 

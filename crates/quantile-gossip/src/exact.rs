@@ -43,7 +43,6 @@ use baselines::rumor::SpreadRounds;
 use gossip_net::{
     Engine, EngineConfig, GossipError, MessageSize, Metrics, NodeValue, Result, SeedSequence,
 };
-use serde::{Deserialize, Serialize};
 
 /// A node's working value: either a (value, tag) key or "valueless" (`∞`).
 ///
@@ -122,7 +121,7 @@ impl NarrowingConfig {
 }
 
 /// Result of the exact (or narrowing) quantile computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExactOutcome<V> {
     /// The computed value (identical at every node).
     pub answer: V,
@@ -184,7 +183,10 @@ pub(crate) fn narrow_to_rank<V: NodeValue>(
     }
     let mut seeds = SeedSequence::new(engine_config.seed);
     let failure = engine_config.failure.clone();
-    let sub = |seeds: &mut SeedSequence| EngineConfig { seed: seeds.next_seed(), failure: failure.clone() };
+    let sub = |seeds: &mut SeedSequence| EngineConfig {
+        seed: seeds.next_seed(),
+        failure: failure.clone(),
+    };
 
     let eps = config.iteration_epsilon_for(n);
     let counting = PushSumConfig {
@@ -193,8 +195,11 @@ pub(crate) fn narrow_to_rank<V: NodeValue>(
     };
 
     // Working keys: the original value of node v tagged with v.
-    let mut keys: Vec<Slot<V>> =
-        values.iter().enumerate().map(|(v, &x)| Slot::Value(x, v as u64)).collect();
+    let mut keys: Vec<Slot<V>> = values
+        .iter()
+        .enumerate()
+        .map(|(v, &x)| Slot::Value(x, v as u64))
+        .collect();
     let mut k = target_rank;
     let mut copies_per_candidate: u64 = 1; // M_{i-1} in the paper
     let mut metrics = Metrics::default();
@@ -261,12 +266,22 @@ pub(crate) fn narrow_to_rank<V: NodeValue>(
         // legitimately be `Empty` when the upper window spilled past 1 and
         // some nodes are valueless; `Empty` compares above every key, so the
         // count is then simply `n` — "no upper restriction".)
-        let (rank_lo, c_rounds, c_metrics) =
-            count_at_most(&keys, &lo, config.oracle_counting, &counting, sub(&mut seeds))?;
+        let (rank_lo, c_rounds, c_metrics) = count_at_most(
+            &keys,
+            &lo,
+            config.oracle_counting,
+            &counting,
+            sub(&mut seeds),
+        )?;
         metrics = metrics + c_metrics;
         rounds += c_rounds;
-        let (rank_hi, c_rounds, c_metrics) =
-            count_at_most(&keys, &hi, config.oracle_counting, &counting, sub(&mut seeds))?;
+        let (rank_hi, c_rounds, c_metrics) = count_at_most(
+            &keys,
+            &hi,
+            config.oracle_counting,
+            &counting,
+            sub(&mut seeds),
+        )?;
         metrics = metrics + c_metrics;
         rounds += c_rounds;
 
@@ -286,14 +301,24 @@ pub(crate) fn narrow_to_rank<V: NodeValue>(
         // — `lo`'s value *is* the answer. The same holds trivially when the
         // bracket spans a single distinct value.
         if k - rank_lo < copies_per_candidate || hi.value() == Some(lo_v) {
-            return Ok(ExactOutcome { answer: lo_v, iterations: iteration, rounds, metrics });
+            return Ok(ExactOutcome {
+                answer: lo_v,
+                iterations: iteration,
+                rounds,
+                metrics,
+            });
         }
 
         // Early stop for the approximate (Theorem 1.2) regime: at most
         // `bracket / copies + 2` distinct original values remain in the
         // bracket, every one of them within that many ranks of the target.
         if tolerance > 0 && bracket / copies_per_candidate + 2 <= tolerance {
-            return Ok(ExactOutcome { answer: lo_v, iterations: iteration, rounds, metrics });
+            return Ok(ExactOutcome {
+                answer: lo_v,
+                iterations: iteration,
+                rounds,
+                metrics,
+            });
         }
 
         // Step 6: nodes outside [lo, hi] become valueless.
@@ -322,8 +347,7 @@ pub(crate) fn narrow_to_rank<V: NodeValue>(
             m /= 2;
         }
         if m > 1 {
-            let (assigned, d_rounds, d_metrics) =
-                distribute_tokens(&keys, m, n, sub(&mut seeds))?;
+            let (assigned, d_rounds, d_metrics) = distribute_tokens(&keys, m, n, sub(&mut seeds))?;
             metrics = metrics + d_metrics;
             rounds += d_rounds;
             for (v, slot) in keys.iter_mut().enumerate() {
@@ -373,8 +397,18 @@ fn spread_bracket<V: NodeValue>(
     // With the default budget every node has converged w.h.p.; the global
     // extrema (which are what every informed node holds) drive the rest of the
     // iteration.
-    let lo = engine.states().iter().map(|s| s.0).min().expect("non-empty network");
-    let hi = engine.states().iter().map(|s| s.1).max().expect("non-empty network");
+    let lo = engine
+        .states()
+        .iter()
+        .map(|s| s.0)
+        .min()
+        .expect("non-empty network");
+    let hi = engine
+        .states()
+        .iter()
+        .map(|s| s.1)
+        .max()
+        .expect("non-empty network");
     (lo, hi, rounds, metrics)
 }
 
@@ -428,9 +462,8 @@ fn distribute_tokens<V: NodeValue>(
         })
         .collect();
     let mut engine = Engine::from_states(states, engine_config);
-    let max_rounds = 8 * (n.max(2) as f64).log2().ceil() as u64
-        + 4 * (m as f64).log2().ceil() as u64
-        + 64;
+    let max_rounds =
+        8 * (n.max(2) as f64).log2().ceil() as u64 + 4 * (m as f64).log2().ceil() as u64 + 64;
 
     let mut executed = 0u64;
     loop {
@@ -449,7 +482,7 @@ fn distribute_tokens<V: NodeValue>(
         }
         // Local step: pick what to send this round — half of a heavy token, or
         // a surplus token if the node holds more than one.
-        engine.local_step(|_, st| {
+        engine.local_step(|_, st, _rng| {
             st.outbox = None;
             if let Some(idx) = st.tokens.iter().position(|&(_, w)| w > 1) {
                 let (value, weight) = st.tokens[idx];
@@ -520,7 +553,10 @@ mod tests {
     fn exact_median_on_a_permutation() {
         let n = 4001u64;
         let values: Vec<u64> = (0..n).map(|i| (i * 48271) % 1_000_003).collect();
-        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        let cfg = NarrowingConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         let out = exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(1)).unwrap();
         assert_eq!(out.answer, sorted_quantile(&values, 0.5));
         assert!(out.iterations <= 20, "iterations {}", out.iterations);
@@ -540,7 +576,10 @@ mod tests {
     #[test]
     fn exact_works_with_duplicate_values() {
         let values: Vec<u64> = (0..2000).map(|i| i % 7).collect();
-        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        let cfg = NarrowingConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         for (seed, phi) in [(5u64, 0.3f64), (6, 0.5), (7, 0.9)] {
             let out = exact_quantile(&values, phi, &cfg, EngineConfig::with_seed(seed)).unwrap();
             assert_eq!(out.answer, sorted_quantile(&values, phi), "phi = {phi}");
@@ -550,7 +589,10 @@ mod tests {
     #[test]
     fn extreme_ranks_are_exact() {
         let values: Vec<u64> = (0..1500).map(|i| i * 17 % 65_521).collect();
-        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        let cfg = NarrowingConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         let min = exact_quantile(&values, 0.0, &cfg, EngineConfig::with_seed(8)).unwrap();
         assert_eq!(min.answer, *values.iter().min().unwrap());
         let max = exact_quantile(&values, 1.0, &cfg, EngineConfig::with_seed(9)).unwrap();
@@ -561,7 +603,10 @@ mod tests {
     fn narrowing_with_tolerance_is_within_bounds_and_faster() {
         let n = 8000u64;
         let values: Vec<u64> = (0..n).map(|i| (i * 104729) % 1_000_003).collect();
-        let cfg = NarrowingConfig { oracle_counting: true, ..Default::default() };
+        let cfg = NarrowingConfig {
+            oracle_counting: true,
+            ..Default::default()
+        };
         let exact = exact_quantile(&values, 0.5, &cfg, EngineConfig::with_seed(10)).unwrap();
         let tol = 200u64;
         let approx =
@@ -577,7 +622,13 @@ mod tests {
         let n = 1024usize;
         // 32 valued keys, to be duplicated 8x = 256 tokens over 1024 nodes.
         let keys: Vec<Slot<u64>> = (0..n)
-            .map(|v| if v % 32 == 0 { Slot::Value(v as u64, v as u64) } else { Slot::Empty })
+            .map(|v| {
+                if v % 32 == 0 {
+                    Slot::Value(v as u64, v as u64)
+                } else {
+                    Slot::Empty
+                }
+            })
             .collect();
         let (assigned, rounds, _metrics) =
             distribute_tokens(&keys, 8, n, EngineConfig::with_seed(3)).unwrap();
@@ -594,10 +645,16 @@ mod tests {
     fn token_distribution_under_failures_still_conserves_copies() {
         let n = 512usize;
         let keys: Vec<Slot<u64>> = (0..n)
-            .map(|v| if v % 16 == 0 { Slot::Value(v as u64, v as u64) } else { Slot::Empty })
+            .map(|v| {
+                if v % 16 == 0 {
+                    Slot::Value(v as u64, v as u64)
+                } else {
+                    Slot::Empty
+                }
+            })
             .collect();
-        let cfg = EngineConfig::with_seed(4)
-            .failure(gossip_net::FailureModel::uniform(0.3).unwrap());
+        let cfg =
+            EngineConfig::with_seed(4).failure(gossip_net::FailureModel::uniform(0.3).unwrap());
         let (assigned, _rounds, metrics) = distribute_tokens(&keys, 4, n, cfg).unwrap();
         let placed: Vec<u64> = assigned.iter().filter_map(|a| *a).collect();
         assert_eq!(placed.len(), 32 * 4);
@@ -611,7 +668,10 @@ mod tests {
         let e_large = cfg.iteration_epsilon_for(1 << 22);
         assert!(e_small >= e_large);
         assert!(e_large > 0.0 && e_small <= 0.1);
-        let fixed = NarrowingConfig { iteration_epsilon: Some(0.03), ..Default::default() };
+        let fixed = NarrowingConfig {
+            iteration_epsilon: Some(0.03),
+            ..Default::default()
+        };
         assert_eq!(fixed.iteration_epsilon_for(1 << 20), 0.03);
     }
 }

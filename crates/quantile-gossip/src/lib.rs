@@ -59,8 +59,8 @@ pub mod three_tournament;
 pub mod two_tournament;
 
 pub use approx::{
-    approximate_quantile, tournament_min_epsilon, tournament_quantile, ApproxConfig,
-    ApproxOutcome, Method, MethodUsed, TournamentConfig,
+    approximate_quantile, tournament_min_epsilon, tournament_quantile, ApproxConfig, ApproxOutcome,
+    Method, MethodUsed, TournamentConfig,
 };
 pub use exact::{exact_quantile, ExactOutcome, NarrowingConfig};
 pub use own_rank::{estimate_own_quantiles, OwnRankConfig, OwnRankOutcome};

@@ -9,7 +9,6 @@
 
 use crate::approx::{approximate_quantile, ApproxConfig};
 use gossip_net::{EngineConfig, GossipError, Metrics, NodeValue, Result, SeedSequence};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the own-quantile estimation.
 #[derive(Debug, Clone, Default)]
@@ -19,7 +18,7 @@ pub struct OwnRankConfig {
 }
 
 /// Result of the own-quantile estimation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OwnRankOutcome {
     /// Per-node estimate of its own quantile, in `[0, 1]`.
     pub quantiles: Vec<f64>,
@@ -67,7 +66,10 @@ pub fn estimate_own_quantiles<V: NodeValue>(
 
     for j in 1..=count {
         let phi = (j as f64 * epsilon).min(1.0);
-        let sub = EngineConfig { seed: seeds.next_seed(), failure: failure.clone() };
+        let sub = EngineConfig {
+            seed: seeds.next_seed(),
+            failure: failure.clone(),
+        };
         let out = approximate_quantile(values, phi, epsilon, &config.approx, sub)?;
         rounds += out.rounds;
         metrics = metrics + out.metrics;
@@ -85,7 +87,12 @@ pub fn estimate_own_quantiles<V: NodeValue>(
         .into_iter()
         .map(|c| ((c as f64 + 0.5) * epsilon).clamp(0.0, 1.0))
         .collect();
-    Ok(OwnRankOutcome { quantiles, thresholds: count, rounds, metrics })
+    Ok(OwnRankOutcome {
+        quantiles,
+        thresholds: count,
+        rounds,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -96,12 +103,8 @@ mod tests {
     fn rejects_invalid_inputs() {
         let cfg = OwnRankConfig::default();
         assert!(estimate_own_quantiles(&[1u64], 0.1, &cfg, EngineConfig::with_seed(0)).is_err());
-        assert!(
-            estimate_own_quantiles(&[1u64, 2], 0.0, &cfg, EngineConfig::with_seed(0)).is_err()
-        );
-        assert!(
-            estimate_own_quantiles(&[1u64, 2], 1.0, &cfg, EngineConfig::with_seed(0)).is_err()
-        );
+        assert!(estimate_own_quantiles(&[1u64, 2], 0.0, &cfg, EngineConfig::with_seed(0)).is_err());
+        assert!(estimate_own_quantiles(&[1u64, 2], 1.0, &cfg, EngineConfig::with_seed(0)).is_err());
     }
 
     #[test]
@@ -140,7 +143,11 @@ mod tests {
         .unwrap();
         // The smallest node must report a quantile near 0, the largest near 1.
         assert!(out.quantiles[0] <= 0.2, "{}", out.quantiles[0]);
-        assert!(out.quantiles[(n - 1) as usize] >= 0.8, "{}", out.quantiles[(n - 1) as usize]);
+        assert!(
+            out.quantiles[(n - 1) as usize] >= 0.8,
+            "{}",
+            out.quantiles[(n - 1) as usize]
+        );
     }
 
     #[test]

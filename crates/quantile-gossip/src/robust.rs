@@ -18,10 +18,9 @@ use crate::schedule::{ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule
 use crate::three_tournament::median3;
 use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the robust approximate-quantile algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RobustConfig {
     /// Upper bound `μ` on the per-round failure probability. `None` derives it
     /// from the engine's failure model where possible (and errors otherwise).
@@ -130,8 +129,14 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     let eps = epsilon.min(crate::approx::MAX_TOURNAMENT_EPSILON);
     let pulls = config.pulls_for(mu);
 
-    let states: Vec<RobustState<V>> =
-        values.iter().map(|&v| RobustState { value: v, good: true, answer: None }).collect();
+    let states: Vec<RobustState<V>> = values
+        .iter()
+        .map(|&v| RobustState {
+            value: v,
+            good: true,
+            answer: None,
+        })
+        .collect();
     let mut engine = Engine::from_states(states, engine_config);
 
     // Phase I: robust 2-TOURNAMENT.
@@ -140,19 +145,20 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     for step in &schedule1.steps {
         let samples = engine.collect_samples(pulls, |_, st| (st.value, st.good));
         let delta = step.delta;
-        let n_nodes = engine.n();
-        let coins: Vec<bool> = {
-            let rng = engine.rng();
-            (0..n_nodes).map(|_| delta >= 1.0 || rng.gen::<f64>() < delta).collect()
-        };
-        engine.local_step(|v, st| {
-            let good_pulls: Vec<V> =
-                samples[v].iter().filter(|(_, g)| *g).map(|&(val, _)| val).collect();
+        engine.local_step(|v, st, rng| {
+            let good_pulls: Vec<V> = samples[v]
+                .iter()
+                .filter(|(_, g)| *g)
+                .map(|&(val, _)| val)
+                .collect();
             if good_pulls.len() < 2 {
                 st.good = false;
                 return;
             }
-            st.value = if coins[v] {
+            // The probability-δ branch is drawn from the node's own stream so
+            // runs replay identically at any thread count.
+            let tournament = delta >= 1.0 || rng.gen::<f64>() < delta;
+            st.value = if tournament {
                 match side {
                     ShrinkSide::High => good_pulls[0].min(good_pulls[1]),
                     ShrinkSide::Low => good_pulls[0].max(good_pulls[1]),
@@ -167,9 +173,12 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     let schedule2 = ThreeTournamentSchedule::compute(eps / 4.0, n)?;
     for _ in 0..schedule2.len() {
         let samples = engine.collect_samples(pulls, |_, st| (st.value, st.good));
-        engine.local_step(|v, st| {
-            let good_pulls: Vec<V> =
-                samples[v].iter().filter(|(_, g)| *g).map(|&(val, _)| val).collect();
+        engine.local_step(|v, st, _rng| {
+            let good_pulls: Vec<V> = samples[v]
+                .iter()
+                .filter(|(_, g)| *g)
+                .map(|&(val, _)| val)
+                .collect();
             if good_pulls.len() < 3 {
                 st.good = false;
                 return;
@@ -177,16 +186,18 @@ pub fn robust_approximate_quantile<V: NodeValue>(
             st.value = median3(good_pulls[0], good_pulls[1], good_pulls[2]);
         });
     }
-    let good_fraction =
-        engine.states().iter().filter(|st| st.good).count() as f64 / n as f64;
+    let good_fraction = engine.states().iter().filter(|st| st.good).count() as f64 / n as f64;
 
     // Final vote: sample until K good pulls are collected.
     let final_pulls = config.final_pulls_for(mu);
     let k = config.final_vote_samples.max(1);
     let samples = engine.collect_samples(final_pulls, |_, st| (st.value, st.good));
-    engine.local_step(|v, st| {
-        let mut good_pulls: Vec<V> =
-            samples[v].iter().filter(|(_, g)| *g).map(|&(val, _)| val).collect();
+    engine.local_step(|v, st, _rng| {
+        let mut good_pulls: Vec<V> = samples[v]
+            .iter()
+            .filter(|(_, g)| *g)
+            .map(|&(val, _)| val)
+            .collect();
         if good_pulls.len() >= k {
             good_pulls.truncate(k);
             good_pulls.sort_unstable();
@@ -211,7 +222,11 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     }
 
     let metrics = engine.metrics();
-    let outputs: Vec<Option<V>> = engine.into_states().into_iter().map(|st| st.answer).collect();
+    let outputs: Vec<Option<V>> = engine
+        .into_states()
+        .into_iter()
+        .map(|st| st.answer)
+        .collect();
     let answered = outputs.iter().filter(|o| o.is_some()).count() as f64 / n as f64;
     Ok(RobustOutcome {
         outputs,
@@ -234,8 +249,10 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         let cfg = RobustConfig::default();
-        assert!(robust_approximate_quantile(&[1u64], 0.5, 0.1, &cfg, EngineConfig::with_seed(0))
-            .is_err());
+        assert!(
+            robust_approximate_quantile(&[1u64], 0.5, 0.1, &cfg, EngineConfig::with_seed(0))
+                .is_err()
+        );
         assert!(robust_approximate_quantile(
             &[1u64, 2],
             2.0,
@@ -259,7 +276,10 @@ mod tests {
         assert!(cfg.pulls_for(0.5) < cfg.pulls_for(0.9));
         assert!(cfg.pulls_for(0.0) >= 3);
         assert!(cfg.final_pulls_for(0.5) > cfg.final_vote_samples);
-        let fixed = RobustConfig { pulls_per_iteration: Some(7), ..Default::default() };
+        let fixed = RobustConfig {
+            pulls_per_iteration: Some(7),
+            ..Default::default()
+        };
         assert_eq!(fixed.pulls_for(0.9), 7);
     }
 
@@ -291,18 +311,20 @@ mod tests {
         let eps = 0.08;
         let mu = 0.5;
         let ec = EngineConfig::with_seed(5).failure(FailureModel::uniform(mu).unwrap());
-        let out = robust_approximate_quantile(
-            &values,
-            0.5,
-            eps,
-            &RobustConfig::default(),
-            ec,
-        )
-        .unwrap();
+        let out =
+            robust_approximate_quantile(&values, 0.5, eps, &RobustConfig::default(), ec).unwrap();
         // Lemma 5.2: a constant fraction of nodes stays good.
-        assert!(out.good_fraction > 0.3, "good fraction {}", out.good_fraction);
+        assert!(
+            out.good_fraction > 0.3,
+            "good fraction {}",
+            out.good_fraction
+        );
         // Theorem 1.4: all but ~n/2^t nodes learn an answer.
-        assert!(out.answered_fraction > 0.99, "answered {}", out.answered_fraction);
+        assert!(
+            out.answered_fraction > 0.99,
+            "answered {}",
+            out.answered_fraction
+        );
         let mut checked = 0;
         for o in out.outputs.iter().flatten() {
             let q = rank_of(&values, *o);
@@ -320,15 +342,13 @@ mod tests {
         // Adversarial-ish: half the nodes fail 60% of the time, half never.
         let probs: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.6 } else { 0.0 }).collect();
         let ec = EngineConfig::with_seed(9).failure(FailureModel::per_node(probs).unwrap());
-        let out = robust_approximate_quantile(
-            &values,
-            0.5,
-            0.1,
-            &RobustConfig::default(),
-            ec,
-        )
-        .unwrap();
-        assert!(out.answered_fraction > 0.95, "answered {}", out.answered_fraction);
+        let out =
+            robust_approximate_quantile(&values, 0.5, 0.1, &RobustConfig::default(), ec).unwrap();
+        assert!(
+            out.answered_fraction > 0.95,
+            "answered {}",
+            out.answered_fraction
+        );
         for o in out.outputs.iter().flatten() {
             let q = rank_of(&values, *o);
             assert!((q - 0.5).abs() <= 0.12, "quantile {q}");

@@ -15,10 +15,9 @@
 //! lemmas independently of any randomness.
 
 use gossip_net::{GossipError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Which tail of the distribution the 2-TOURNAMENT shrinks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShrinkSide {
     /// `h_0 = 1 − (φ+ε) ≥ l_0`: shrink the set of *high* values by assigning
     /// each node the **minimum** of two random samples.
@@ -29,7 +28,7 @@ pub enum ShrinkSide {
 }
 
 /// One iteration of the 2-TOURNAMENT schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoTournamentStep {
     /// The tracked tail mass `h_i` before this iteration.
     pub before: f64,
@@ -41,7 +40,7 @@ pub struct TwoTournamentStep {
 }
 
 /// The full 2-TOURNAMENT schedule for a given `(φ, ε)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwoTournamentSchedule {
     /// Which side is being shrunk.
     pub side: ShrinkSide,
@@ -65,14 +64,26 @@ impl TwoTournamentSchedule {
         let t = 0.5 - epsilon;
         let h0 = 1.0 - (phi + epsilon);
         let l0 = phi - epsilon;
-        let (side, mut h) = if h0 >= l0 { (ShrinkSide::High, h0) } else { (ShrinkSide::Low, l0) };
+        let (side, mut h) = if h0 >= l0 {
+            (ShrinkSide::High, h0)
+        } else {
+            (ShrinkSide::Low, l0)
+        };
         let mut steps = Vec::new();
         // Guard: for extreme φ the tracked mass may already be below T and no
         // shifting is needed at all.
         while h > t {
             let next = h * h;
-            let delta = if h - next > 0.0 { ((h - t) / (h - next)).min(1.0) } else { 1.0 };
-            steps.push(TwoTournamentStep { before: h, after: next, delta });
+            let delta = if h - next > 0.0 {
+                ((h - t) / (h - next)).min(1.0)
+            } else {
+                1.0
+            };
+            steps.push(TwoTournamentStep {
+                before: h,
+                after: next,
+                delta,
+            });
             h = next;
             // The paper's loop exits as soon as h ≤ T; the δ-truncation of the
             // final step is what lands |H_t|/n near T rather than overshooting.
@@ -80,7 +91,11 @@ impl TwoTournamentSchedule {
                 break;
             }
         }
-        Ok(TwoTournamentSchedule { side, steps, threshold: t })
+        Ok(TwoTournamentSchedule {
+            side,
+            steps,
+            threshold: t,
+        })
     }
 
     /// Number of iterations `t`.
@@ -100,7 +115,7 @@ impl TwoTournamentSchedule {
 }
 
 /// The full 3-TOURNAMENT schedule for a given `(ε, n)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreeTournamentSchedule {
     /// The tracked tail masses `h_0, h_1, …` (the value *before* each iteration).
     pub masses: Vec<f64>,
@@ -180,7 +195,6 @@ pub(crate) fn validate_phi_epsilon(phi: f64, epsilon: f64) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn two_tournament_respects_lemma_2_2_bound() {
@@ -281,25 +295,41 @@ mod tests {
         assert!(below_quarter <= 6, "tail iterations: {below_quarter}");
     }
 
-    proptest! {
-        /// The schedule always terminates below the threshold and never
-        /// exceeds the lemma bound (with slack), for arbitrary valid inputs.
-        #[test]
-        fn prop_two_schedule_terminates(phi in 0.0f64..=1.0, eps in 0.0005f64..0.125) {
+    /// The schedule always terminates below the threshold and never exceeds
+    /// the lemma bound (with slack), for a seeded sweep of valid inputs.
+    #[test]
+    fn random_two_schedules_terminate() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5eed_0002);
+        for _ in 0..256 {
+            let phi = rng.gen_range(0.0..=1.0f64);
+            let eps = rng.gen_range(0.0005f64..0.125);
             let s = TwoTournamentSchedule::compute(phi, eps).unwrap();
-            prop_assert!((s.len() as f64) <= TwoTournamentSchedule::lemma_2_2_bound(eps).ceil());
+            assert!(
+                (s.len() as f64) <= TwoTournamentSchedule::lemma_2_2_bound(eps).ceil(),
+                "phi={phi} eps={eps}"
+            );
             if let Some(last) = s.steps.last() {
-                prop_assert!(last.after <= s.threshold + 1e-12);
-                prop_assert!(last.delta >= 0.0 && last.delta <= 1.0);
+                assert!(last.after <= s.threshold + 1e-12, "phi={phi} eps={eps}");
+                assert!(
+                    last.delta >= 0.0 && last.delta <= 1.0,
+                    "phi={phi} eps={eps}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn prop_three_schedule_terminates(eps in 0.001f64..0.49, n in 4usize..2_000_000) {
+    #[test]
+    fn random_three_schedules_terminate() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5eed_0003);
+        for _ in 0..256 {
+            let eps = rng.gen_range(0.001f64..0.49);
+            let n = rng.gen_range(4usize..2_000_000);
             let s = ThreeTournamentSchedule::compute(eps, n).unwrap();
-            prop_assert!(s.len() <= 200);
+            assert!(s.len() <= 200, "eps={eps} n={n}");
             for w in s.masses.windows(2) {
-                prop_assert!(w[1] <= w[0]);
+                assert!(w[1] <= w[0], "eps={eps} n={n}");
             }
         }
     }

@@ -59,7 +59,9 @@ pub fn run<V: NodeValue>(
     engine_config: EngineConfig,
 ) -> Result<ThreeTournamentOutcome<V>> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
     if vote.samples == 0 {
         return Err(GossipError::InvalidParameter {
@@ -71,7 +73,7 @@ pub fn run<V: NodeValue>(
 
     for _ in 0..schedule.len() {
         let samples = engine.collect_samples(3, |_, &v| v);
-        engine.local_step(|v, state| {
+        engine.local_step(|v, state, _rng| {
             let s = &samples[v];
             *state = match s.len() {
                 3 => median3(s[0], s[1], s[2]),
@@ -134,7 +136,13 @@ mod tests {
     fn rejects_bad_inputs() {
         let s = ThreeTournamentSchedule::compute(0.05, 100).unwrap();
         assert!(run::<u64>(&[1], &s, FinalVote::default(), EngineConfig::with_seed(0)).is_err());
-        assert!(run(&[1u64, 2], &s, FinalVote { samples: 0 }, EngineConfig::with_seed(0)).is_err());
+        assert!(run(
+            &[1u64, 2],
+            &s,
+            FinalVote { samples: 0 },
+            EngineConfig::with_seed(0)
+        )
+        .is_err());
     }
 
     #[test]
@@ -154,7 +162,13 @@ mod tests {
         let values: Vec<u64> = (0..n).collect();
         let eps = 0.05;
         let s = ThreeTournamentSchedule::compute(eps, n as usize).unwrap();
-        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(5)).unwrap();
+        let out = run(
+            &values,
+            &s,
+            FinalVote::default(),
+            EngineConfig::with_seed(5),
+        )
+        .unwrap();
         for &o in &out.outputs {
             let q = quantile_of(o, n);
             assert!((q - 0.5).abs() <= eps, "output quantile {q}");
@@ -169,7 +183,13 @@ mod tests {
         let values: Vec<u64> = (0..n).collect();
         let eps = 0.05;
         let s = ThreeTournamentSchedule::compute(eps, n as usize).unwrap();
-        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(6)).unwrap();
+        let out = run(
+            &values,
+            &s,
+            FinalVote::default(),
+            EngineConfig::with_seed(6),
+        )
+        .unwrap();
         let outside = out
             .converged_values
             .iter()
@@ -188,17 +208,29 @@ mod tests {
         // Highly skewed multiset: 90% zeros, 10% spread. The median is 0 and
         // every node must output 0.
         let n = 20_000u64;
-        let values: Vec<u64> =
-            (0..n).map(|i| if i < n * 9 / 10 { 0 } else { i }).collect();
+        let values: Vec<u64> = (0..n).map(|i| if i < n * 9 / 10 { 0 } else { i }).collect();
         let s = ThreeTournamentSchedule::compute(0.05, n as usize).unwrap();
-        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(8)).unwrap();
+        let out = run(
+            &values,
+            &s,
+            FinalVote::default(),
+            EngineConfig::with_seed(8),
+        )
+        .unwrap();
         let zeros = out.outputs.iter().filter(|&&o| o == 0).count();
         assert_eq!(zeros as u64, n);
     }
 
     #[test]
     fn median3_is_correct() {
-        for perm in [[1, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 1, 2], [3, 2, 1]] {
+        for perm in [
+            [1, 2, 3],
+            [1, 3, 2],
+            [2, 1, 3],
+            [2, 3, 1],
+            [3, 1, 2],
+            [3, 2, 1],
+        ] {
             assert_eq!(median3(perm[0], perm[1], perm[2]), 2);
         }
         assert_eq!(median3(4, 4, 9), 4);
@@ -208,7 +240,13 @@ mod tests {
     fn outputs_are_members_of_the_input_multiset() {
         let values: Vec<u64> = (0..8192).map(|i| i * 17 % 65_537).collect();
         let s = ThreeTournamentSchedule::compute(0.08, values.len()).unwrap();
-        let out = run(&values, &s, FinalVote::default(), EngineConfig::with_seed(2)).unwrap();
+        let out = run(
+            &values,
+            &s,
+            FinalVote::default(),
+            EngineConfig::with_seed(2),
+        )
+        .unwrap();
         let set: std::collections::HashSet<u64> = values.iter().copied().collect();
         assert!(out.outputs.iter().all(|v| set.contains(v)));
     }

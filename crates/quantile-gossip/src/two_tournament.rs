@@ -45,7 +45,9 @@ pub fn run<V: NodeValue>(
     engine_config: EngineConfig,
 ) -> Result<TwoTournamentOutcome<V>> {
     if values.len() < 2 {
-        return Err(GossipError::TooFewNodes { requested: values.len() });
+        return Err(GossipError::TooFewNodes {
+            requested: values.len(),
+        });
     }
     let mut engine = Engine::from_states(values.to_vec(), engine_config);
     let side = schedule.side;
@@ -54,16 +56,12 @@ pub fn run<V: NodeValue>(
         // Two sampling rounds against the iteration-start snapshot.
         let samples = engine.collect_samples(2, |_, &v| v);
         let delta = step.delta;
-        // Per-node coin flips must come from the engine RNG so a run is fully
-        // reproducible from one seed; draw them before mutating states.
-        let n = engine.n();
-        let coins: Vec<bool> = {
-            let rng = engine.rng();
-            (0..n).map(|_| delta >= 1.0 || rng.gen::<f64>() < delta).collect()
-        };
-        engine.local_step(|v, state| {
+        // The probability-δ branch is a node-local coin: each node draws it
+        // from the deterministic per-node stream the engine hands out, so a
+        // run is fully reproducible from one seed at any thread count.
+        engine.local_step(|v, state, rng| {
             let s = &samples[v];
-            let tournament = coins[v];
+            let tournament = delta >= 1.0 || rng.gen::<f64>() < delta;
             *state = match (tournament, s.len()) {
                 // Normal case: the two-sample tournament.
                 (true, 2) => extremum(side, s[0], s[1]),
@@ -146,7 +144,11 @@ mod tests {
             0.5 - eps
         );
         let band = mass_in_band(&out.values, n, phi - eps, phi + eps);
-        assert!(band >= 1.6 * eps, "band mass {band}, expected ≥ {}", 1.75 * eps);
+        assert!(
+            band >= 1.6 * eps,
+            "band mass {band}, expected ≥ {}",
+            1.75 * eps
+        );
     }
 
     #[test]
@@ -161,7 +163,10 @@ mod tests {
         let out = run(&values, &s, EngineConfig::with_seed(9)).unwrap();
         // Mass strictly below the (φ−ε)-quantile should now be ≈ 1/2 − ε.
         let below = 1.0 - mass_above(&out.values, n, phi - eps);
-        assert!((below - (0.5 - eps)).abs() <= eps / 2.0 + 0.01, "low mass {below}");
+        assert!(
+            (below - (0.5 - eps)).abs() <= eps / 2.0 + 0.01,
+            "low mass {below}"
+        );
         let band = mass_in_band(&out.values, n, phi - eps, phi + eps);
         assert!(band >= 1.6 * eps, "band mass {band}");
     }

@@ -7,9 +7,7 @@
 //! ```
 
 use gossip_quantiles::measure::{RankOracle, Workload};
-use gossip_quantiles::{
-    robust_approximate_quantile, EngineConfig, FailureModel, RobustConfig,
-};
+use gossip_quantiles::{robust_approximate_quantile, EngineConfig, FailureModel, RobustConfig};
 
 fn main() -> gossip_quantiles::Result<()> {
     let n = 40_000;
@@ -19,11 +17,14 @@ fn main() -> gossip_quantiles::Result<()> {
     let oracle = RankOracle::new(&values);
 
     println!("robust median computation over {n} nodes, eps = {epsilon}");
-    println!("{:<6} {:>10} {:>8} {:>10} {:>10} {:>12}", "mu", "pulls/iter", "rounds", "answered", "good", "within eps");
+    println!(
+        "{:<6} {:>10} {:>8} {:>10} {:>10} {:>12}",
+        "mu", "pulls/iter", "rounds", "answered", "good", "within eps"
+    );
     for mu in [0.0, 0.2, 0.4, 0.6, 0.8] {
         let config = RobustConfig::default();
-        let engine = EngineConfig::with_seed(100 + (mu * 10.0) as u64)
-            .failure(FailureModel::uniform(mu)?);
+        let engine =
+            EngineConfig::with_seed(100 + (mu * 10.0) as u64).failure(FailureModel::uniform(mu)?);
         let out = robust_approximate_quantile(&values, phi, epsilon, &config, engine)?;
         let within = out
             .outputs

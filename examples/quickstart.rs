@@ -18,12 +18,20 @@ fn main() -> gossip_quantiles::Result<()> {
     // Every node of the network holds one value.
     let values = Workload::UniformDistinct.generate(n, 42);
     let oracle = RankOracle::new(&values);
-    println!("network of {n} nodes, target: the {:.0}th percentile", phi * 100.0);
+    println!(
+        "network of {n} nodes, target: the {:.0}th percentile",
+        phi * 100.0
+    );
     println!("ground truth (centralised sort): {}", oracle.quantile(phi));
 
     // Approximate quantile (Theorem 1.2): O(log log n + log 1/eps) rounds.
-    let approx =
-        approximate_quantile(&values, phi, epsilon, &ApproxConfig::default(), EngineConfig::with_seed(1))?;
+    let approx = approximate_quantile(
+        &values,
+        phi,
+        epsilon,
+        &ApproxConfig::default(),
+        EngineConfig::with_seed(1),
+    )?;
     let sample_output = approx.outputs[0];
     println!(
         "approximate ({:>3} rounds): node 0 outputs {} (true quantile position {:.3})",
@@ -31,11 +39,19 @@ fn main() -> gossip_quantiles::Result<()> {
         sample_output,
         oracle.quantile_of(&sample_output)
     );
-    let all_within = approx.outputs.iter().all(|o| oracle.within_epsilon(o, phi, epsilon));
+    let all_within = approx
+        .outputs
+        .iter()
+        .all(|o| oracle.within_epsilon(o, phi, epsilon));
     println!("  every node within ±{epsilon}: {all_within}");
 
     // Exact quantile (Theorem 1.1): O(log n) rounds.
-    let exact = exact_quantile(&values, phi, &NarrowingConfig::default(), EngineConfig::with_seed(2))?;
+    let exact = exact_quantile(
+        &values,
+        phi,
+        &NarrowingConfig::default(),
+        EngineConfig::with_seed(2),
+    )?;
     println!(
         "exact       ({:>3} rounds): answer {} (matches ground truth: {})",
         exact.rounds,
@@ -44,7 +60,10 @@ fn main() -> gossip_quantiles::Result<()> {
     );
     println!(
         "message sizes stayed at {} bits (O(log n))",
-        exact.metrics.max_message_bits.max(approx.metrics.max_message_bits)
+        exact
+            .metrics
+            .max_message_bits
+            .max(approx.metrics.max_message_bits)
     );
     Ok(())
 }

@@ -18,7 +18,12 @@ fn main() -> gossip_quantiles::Result<()> {
     let latencies = Workload::HeavyTail.generate(n, 3);
     let oracle = RankOracle::new(&latencies);
 
-    let out = estimate_own_quantiles(&latencies, epsilon, &OwnRankConfig::default(), EngineConfig::with_seed(5))?;
+    let out = estimate_own_quantiles(
+        &latencies,
+        epsilon,
+        &OwnRankConfig::default(),
+        EngineConfig::with_seed(5),
+    )?;
     println!(
         "{n} nodes estimated their own percentile with {} gossip threshold computations in {} rounds",
         out.thresholds, out.rounds
@@ -41,8 +46,7 @@ fn main() -> gossip_quantiles::Result<()> {
 
     // Example use: nodes that believe they are above the 90th percentile
     // could throttle themselves; count how accurate that self-selection is.
-    let self_selected: Vec<usize> =
-        (0..n).filter(|&v| out.quantiles[v] >= 0.9).collect();
+    let self_selected: Vec<usize> = (0..n).filter(|&v| out.quantiles[v] >= 0.9).collect();
     let truly_high = self_selected
         .iter()
         .filter(|&&v| oracle.quantile_of(&latencies[v]) >= 0.9 - epsilon)

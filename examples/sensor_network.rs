@@ -19,10 +19,20 @@ fn main() -> gossip_quantiles::Result<()> {
     let oracle = RankOracle::new(&readings);
 
     // Two gossip computations: the 10%- and the 90%-quantile.
-    let low =
-        approximate_quantile(&readings, 0.1, epsilon, &ApproxConfig::default(), EngineConfig::with_seed(10))?;
-    let high =
-        approximate_quantile(&readings, 0.9, epsilon, &ApproxConfig::default(), EngineConfig::with_seed(11))?;
+    let low = approximate_quantile(
+        &readings,
+        0.1,
+        epsilon,
+        &ApproxConfig::default(),
+        EngineConfig::with_seed(10),
+    )?;
+    let high = approximate_quantile(
+        &readings,
+        0.9,
+        epsilon,
+        &ApproxConfig::default(),
+        EngineConfig::with_seed(11),
+    )?;
     println!(
         "{n} sensors; 10%-quantile ≈ {:.2}°C, 90%-quantile ≈ {:.2}°C ({} + {} rounds)",
         low.outputs[0] as f64 / 100.0,

@@ -13,7 +13,11 @@ use gossip_quantiles::{approximate_quantile, ApproxConfig, EngineConfig};
 
 #[test]
 fn trial_runner_reproduces_identical_results_for_identical_seeds() {
-    let spec = TrialSpec { master_seed: 5, trials: 6, threads: 3 };
+    let spec = TrialSpec {
+        master_seed: 5,
+        trials: 6,
+        threads: 3,
+    };
     let run = |spec: &TrialSpec| {
         run_trials(spec, |_, seed| {
             let values = Workload::UniformDistinct.generate(2_000, seed);
@@ -44,11 +48,19 @@ fn lower_bound_rounds_grow_with_one_over_epsilon_and_n() {
 fn push_sum_counting_summary_is_tight_enough_for_tables() {
     let indicators: Vec<bool> = (0..3_000).map(|i| i % 4 == 0).collect();
     let truth = 750.0;
-    let spec = TrialSpec { master_seed: 3, trials: 4, threads: 2 };
+    let spec = TrialSpec {
+        master_seed: 3,
+        trials: 4,
+        threads: 2,
+    };
     let errors = run_trials(&spec, |_, seed| {
-        push_sum::count_matching(&indicators, &PushSumConfig::default(), EngineConfig::with_seed(seed))
-            .unwrap()
-            .max_absolute_error(truth)
+        push_sum::count_matching(
+            &indicators,
+            &PushSumConfig::default(),
+            EngineConfig::with_seed(seed),
+        )
+        .unwrap()
+        .max_absolute_error(truth)
     });
     let summary = Summary::of(&errors);
     assert!(summary.max < 0.5, "push-sum counting too loose: {summary}");
@@ -57,7 +69,11 @@ fn push_sum_counting_summary_is_tight_enough_for_tables() {
 #[test]
 fn tables_render_for_report_assembly() {
     let mut table = Table::new("smoke", &["n", "rounds"]);
-    let spec = TrialSpec { master_seed: 11, trials: 3, threads: 3 };
+    let spec = TrialSpec {
+        master_seed: 11,
+        trials: 3,
+        threads: 3,
+    };
     for n in [1usize << 10, 1 << 12] {
         let rounds = run_trials(&spec, |_, seed| {
             let values = Workload::UniformDistinct.generate(n, seed);
@@ -71,7 +87,10 @@ fn tables_render_for_report_assembly() {
             .unwrap()
             .rounds
         });
-        table.add_row(&[n.to_string(), format!("{:.1}", Summary::of_u64(&rounds).mean)]);
+        table.add_row(&[
+            n.to_string(),
+            format!("{:.1}", Summary::of_u64(&rounds).mean),
+        ]);
     }
     let rendered = table.render();
     assert!(rendered.contains("1024"));

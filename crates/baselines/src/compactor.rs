@@ -5,7 +5,7 @@
 //! entries, all carrying the same weight `2^h` where `h` is the number of
 //! compactions applied. A compaction sorts the buffer and keeps the elements
 //! at the even positions, doubling the weight — the classic compactor of the
-//! streaming-sketch literature ([MRL99], [KLL16]) that the appendix adapts to
+//! streaming-sketch literature (\[MRL99\], \[KLL16\]) that the appendix adapts to
 //! the gossip setting.
 //!
 //! Corollary A.4 bounds the rank error introduced by all compactions by

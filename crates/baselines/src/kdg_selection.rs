@@ -110,15 +110,16 @@ pub fn exact_quantile<V: NodeValue>(
         .collect();
 
     let mut seeds = SeedSequence::new(engine_config.seed);
-    let failure = engine_config.failure.clone();
     let mut total_metrics = Metrics::default();
     let mut total_rounds = 0u64;
     let mut rng = SmallRng::seed_from_u64(seeds.next_seed());
 
-    let sub_config = |seeds: &mut SeedSequence| EngineConfig {
-        seed: seeds.next_seed(),
-        failure: failure.clone(),
-    };
+    // Every selection phase runs on its own sub-engine; sharing one worker
+    // pool (materialised here if the caller didn't supply one) means the
+    // phases reuse one set of threads.
+    let mut engine_config = engine_config;
+    engine_config.ensure_pool_for(n);
+    let sub_config = |seeds: &mut SeedSequence| engine_config.sub(seeds.next_seed());
 
     let counting_config = PushSumConfig {
         rounds: config.counting_rounds,

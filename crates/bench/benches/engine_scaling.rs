@@ -1,6 +1,12 @@
-//! Engine round-throughput scaling: rounds/sec of the three round primitives
-//! at n ∈ {10k, 100k, 1M}, single-threaded vs all available cores, plus a
-//! determinism cross-check between the two configurations.
+//! Engine round-throughput scaling: rounds/sec of the pull primitive at
+//! n ∈ {1k, 4k, 10k, 16k, 100k, 1M}, single-threaded vs all available cores,
+//! plus a determinism cross-check between the two configurations.
+//!
+//! The small sizes (1k/4k/16k) exist to track the **parallel break-even
+//! point**: with per-round thread spawning (PR 1) the multi-thread rows lost
+//! to 1 thread everywhere below ~16k nodes; the persistent worker pool
+//! amortises dispatch and moves that crossover left. Watch the `speedup`
+//! column of those rows across PRs.
 //!
 //! Besides the usual criterion output, this bench writes `BENCH_engine.json`
 //! (in the workspace root, or `$BENCH_ENGINE_JSON`) so future PRs have a perf
@@ -14,10 +20,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gossip_net::{par, Engine, EngineConfig};
 use std::time::Instant;
 
-/// Rounds per measurement at a given n (kept small at 1M to bound runtime).
+/// Rounds per measurement at a given n (many at small n so dispatch overhead
+/// is what gets measured, few at 1M to bound runtime).
 fn rounds_for(n: usize) -> u64 {
     match n {
-        0..=20_000 => 20,
+        0..=4_000 => 200,
+        4_001..=20_000 => 50,
         20_001..=200_000 => 10,
         _ => 5,
     }
@@ -64,14 +72,18 @@ fn final_states(n: usize, threads: usize, rounds: u64) -> Vec<u64> {
 fn bench_engine_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_scaling");
     group.sample_size(10);
-    let cores = par::num_threads();
+    // Worker threads for the "mt" rows (env-configurable) — distinct from the
+    // machine's physical parallelism, which the report records separately so
+    // a 4-thread run on a 1-core container cannot be misread as 4-core data.
+    let threads_mt = par::num_threads();
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
 
     let mut report_rows = Vec::new();
-    for &n in &[10_000usize, 100_000, 1_000_000] {
+    for &n in &[1_000usize, 4_000, 10_000, 16_000, 100_000, 1_000_000] {
         let rounds = rounds_for(n);
         let mut thread_configs = vec![1];
-        if cores > 1 {
-            thread_configs.push(cores); // cores == 1 would duplicate the id
+        if threads_mt > 1 {
+            thread_configs.push(threads_mt); // 1 would duplicate the id
         }
         for &threads in &thread_configs {
             group.bench_with_input(
@@ -93,16 +105,17 @@ fn bench_engine_scaling(c: &mut Criterion) {
                 .fold(0.0f64, f64::max)
         };
         let single = best(1);
-        let multi = best(cores);
-        let identical = final_states(n, 1, rounds) == final_states(n, cores, rounds);
+        let multi = best(threads_mt);
+        let identical = final_states(n, 1, rounds) == final_states(n, threads_mt, rounds);
         assert!(identical, "thread count changed the execution at n = {n}");
         println!(
-            "engine_scaling n={n}: {single:.2} rounds/s @1t, {multi:.2} rounds/s @{cores}t \
-             (speedup {:.2}x, deterministic: {identical})",
+            "engine_scaling n={n}: {single:.2} rounds/s @1t, {multi:.2} rounds/s @{threads_mt}t \
+             ({host_cores} host cores; speedup {:.2}x, deterministic: {identical})",
             multi / single
         );
         report_rows.push(format!(
-            "    {{\"n\": {n}, \"cores\": {cores}, \"rounds_per_sec_1t\": {single:.3}, \
+            "    {{\"n\": {n}, \"threads\": {threads_mt}, \"host_cores\": {host_cores}, \
+             \"rounds_per_sec_1t\": {single:.3}, \
              \"rounds_per_sec_mt\": {multi:.3}, \"speedup\": {:.3}, \
              \"deterministic_across_threads\": {identical}}}",
             multi / single

@@ -6,7 +6,7 @@
 //! uniformly random other node per round", and the engine exposes that and
 //! nothing more. All algorithms of the reproduction — the tournament
 //! algorithms of Section 2, the exact algorithm of Section 3, the baselines of
-//! Appendix A and [KDG03] — are written against this interface, so their round
+//! Appendix A and \[KDG03\] — are written against this interface, so their round
 //! counts are measured identically.
 //!
 //! Two entry points cover the model:
@@ -42,7 +42,13 @@
 //! ## Parallelism contract
 //!
 //! Rounds are data-parallel maps over nodes, executed over contiguous node
-//! chunks on scoped threads (see [`crate::par`]). The closures a round takes
+//! chunks on the engine's persistent [`WorkerPool`] (see [`crate::par`] for
+//! the chunk/fold contract and [`crate::pool`] for the pool's barrier
+//! protocol). The pool is created once at engine construction — or adopted
+//! from [`EngineConfig::pool`], so several engines (e.g. an algorithm's
+//! sub-computations, via [`EngineConfig::sub`]) can share one set of workers
+//! — and reused by every round and [`local_step`](Engine::local_step); no
+//! threads are spawned per round. The closures a round takes
 //! (`serve`, `make`, `apply`, `fold`, `merge`, `after`) must therefore be
 //! `Fn + Sync`, and they must uphold the gossip model's locality: a closure
 //! may only mutate the state slot it is handed (its own node) and may only
@@ -63,8 +69,8 @@
 //! state snapshot) lives in buffers owned by the engine, sized once at
 //! construction (the snapshot on the first round) and reused forever after:
 //! steady-state rounds perform **no size-`n` allocations**. The only per-round
-//! heap traffic is `O(threads)` bookkeeping for the fork/join scope — and
-//! whatever the caller's own state clones cost for non-`Copy` states.
+//! heap traffic is `O(threads)` chunk/slot bookkeeping per dispatched map —
+//! and whatever the caller's own state clones cost for non-`Copy` states.
 //!
 //! The snapshot `clone_from` is the price of running serve and apply fused in
 //! one parallel pass (closures read other nodes only through the immutable
@@ -79,8 +85,10 @@ use crate::failure::FailureModel;
 use crate::message::MessageSize;
 use crate::metrics::{Metrics, RoundKind};
 use crate::par;
+use crate::pool::WorkerPool;
 use crate::rng::NodeRng;
 use crate::NodeId;
+use std::sync::Arc;
 
 /// Sentinel in the target scratch buffer: the node failed this round.
 const TARGET_FAILED: u32 = u32::MAX;
@@ -96,20 +104,64 @@ pub struct EngineConfig {
     pub seed: u64,
     /// The failure model applied to every operation (default: no failures).
     pub failure: FailureModel,
+    /// A [`WorkerPool`] for the engine to run its rounds on, shared with
+    /// whoever else holds the `Arc`. `None` (the default) gives the engine a
+    /// pool of its own, sized by the policy described on
+    /// [`Engine::PAR_MIN_NODES`]. Pools are pure scheduling state: sharing
+    /// one never couples two engines' results.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl EngineConfig {
-    /// Configuration with the given seed and no failures.
+    /// Configuration with the given seed, no failures, and a private pool.
     pub fn with_seed(seed: u64) -> Self {
         EngineConfig {
             seed,
             failure: FailureModel::None,
+            pool: None,
         }
     }
 
     /// Replaces the failure model.
     pub fn failure(mut self, failure: FailureModel) -> Self {
         self.failure = failure;
+        self
+    }
+
+    /// Makes the engine run its rounds on `pool` instead of creating its own.
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Configuration for a sub-computation: a fresh seed, the same failure
+    /// model, and the **same worker pool** — so an algorithm that runs many
+    /// short-lived sub-engines (e.g. the exact-quantile narrowing loop) pays
+    /// for thread creation once, not once per phase.
+    ///
+    /// Sharing only happens if this configuration *has* a pool; an algorithm
+    /// that fans out into sub-engines should first call
+    /// [`EngineConfig::ensure_pool_for`] with its network size.
+    pub fn sub(&self, seed: u64) -> Self {
+        EngineConfig {
+            seed,
+            failure: self.failure.clone(),
+            pool: self.pool.clone(),
+        }
+    }
+
+    /// Materialises a worker pool on this configuration if it has none and
+    /// `n`-node engines built from it would run parallel rounds
+    /// (`n >= `[`Engine::PAR_MIN_NODES`]), so that every engine later derived
+    /// via [`EngineConfig::sub`] shares one set of worker threads instead of
+    /// spawning its own.
+    ///
+    /// Below the parallel threshold this is a no-op: engines there run
+    /// inline, and an idle pool would be pure overhead.
+    pub fn ensure_pool_for(&mut self, n: usize) -> &mut Self {
+        if self.pool.is_none() && n >= Engine::<()>::PAR_MIN_NODES {
+            self.pool = Some(Arc::new(WorkerPool::new(par::num_threads())));
+        }
         self
     }
 }
@@ -132,6 +184,10 @@ pub struct Engine<S> {
     snapshot: Vec<S>,
     seed: u64,
     threads: usize,
+    /// The persistent worker pool rounds dispatch on; constructed once (or
+    /// adopted from [`EngineConfig::pool`]) and reused by every round.
+    /// Cloning the engine shares the pool.
+    pool: Arc<WorkerPool>,
     failure: FailureModel,
     metrics: Metrics,
     round: u64,
@@ -188,11 +244,17 @@ impl<S> Engine<S> {
         } else {
             1
         };
+        // Adopt the configured (shared) pool, or build a private one sized
+        // for the default thread count. A 1-thread pool spawns nothing.
+        let pool = config
+            .pool
+            .unwrap_or_else(|| Arc::new(WorkerPool::new(threads)));
         Ok(Engine {
             states,
             snapshot: Vec::new(),
             seed: config.seed,
             threads,
+            pool,
             failure: config.failure,
             metrics: Metrics::new(),
             round: 0,
@@ -226,22 +288,6 @@ impl<S> Engine<S> {
         &mut self.states
     }
 
-    /// Applies a purely local update to every node (no communication, no round
-    /// consumed).
-    ///
-    /// Each node receives its own deterministic [`NodeRng`] for algorithm-local
-    /// coins (e.g. the probability-δ branch of Algorithm 1); the stream is
-    /// keyed by `(seed, epoch, node)` where the epoch increments per
-    /// `local_step` call, so runs replay identically.
-    pub fn local_step<F: FnMut(NodeId, &mut S, &mut NodeRng)>(&mut self, mut f: F) {
-        self.local_epochs += 1;
-        let (seed, epoch) = (self.seed, self.local_epochs);
-        for (v, state) in self.states.iter_mut().enumerate() {
-            let mut rng = NodeRng::keyed(seed, epoch, v as u64, NodeRng::STREAM_LOCAL);
-            f(v, state, &mut rng);
-        }
-    }
-
     /// Communication metrics accumulated so far.
     pub fn metrics(&self) -> Metrics {
         self.metrics
@@ -269,10 +315,25 @@ impl<S> Engine<S> {
 
     /// Overrides the worker-thread count (clamped to at least 1).
     ///
-    /// Results do not depend on this value — only wall-clock time does.
+    /// Results do not depend on this value — only wall-clock time does. If
+    /// the engine's current pool has fewer executors than requested, the
+    /// engine switches to a new, private pool of the requested size (engines
+    /// previously sharing the old pool keep it and are unaffected); shrinking
+    /// keeps the pool and simply cuts fewer chunks per round.
     pub fn set_threads(&mut self, threads: usize) -> &mut Self {
         self.threads = threads.max(1);
+        if self.threads > self.pool.threads() {
+            self.pool = Arc::new(WorkerPool::new(self.threads));
+        }
         self
+    }
+
+    /// The persistent worker pool this engine's rounds dispatch on.
+    ///
+    /// Clone the `Arc` into [`EngineConfig::pool`] to run another engine on
+    /// the same workers (see [`EngineConfig::sub`]).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Consumes the engine and returns the final node states.
@@ -292,6 +353,40 @@ impl<S> Engine<S> {
     }
 }
 
+impl<S: Send> Engine<S> {
+    /// Applies a purely local update to every node (no communication, no round
+    /// consumed), in parallel over the engine's node chunks.
+    ///
+    /// Each node receives its own deterministic [`NodeRng`] for algorithm-local
+    /// coins (e.g. the probability-δ branch of Algorithm 1); the stream is
+    /// keyed by `(seed, epoch, node)` where the epoch increments per
+    /// `local_step` call, so runs replay identically — at any thread count,
+    /// since the closure runs on the same chunk helper as the rounds. The
+    /// closure may therefore only mutate the state slot it is handed; shared
+    /// captures are immutable (`Fn + Sync`).
+    pub fn local_step<F>(&mut self, f: F)
+    where
+        F: Fn(NodeId, &mut S, &mut NodeRng) + Sync,
+    {
+        self.local_epochs += 1;
+        let (seed, epoch, threads) = (self.seed, self.local_epochs, self.threads);
+        par::for_chunks(
+            &self.pool,
+            &mut self.states,
+            threads,
+            (),
+            |start, chunk| {
+                for (j, state) in chunk.iter_mut().enumerate() {
+                    let v = start + j;
+                    let mut rng = NodeRng::keyed(seed, epoch, v as u64, NodeRng::STREAM_LOCAL);
+                    f(v, state, &mut rng);
+                }
+            },
+            |(), ()| (),
+        );
+    }
+}
+
 impl<S: Clone + Send + Sync> Engine<S> {
     /// Brings `snapshot` up to date with `states` (in place after the first
     /// round; the one size-`n` allocation happens on that first call).
@@ -299,6 +394,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         if self.snapshot.len() == self.states.len() {
             let (snapshot, states) = (&mut self.snapshot, &self.states);
             par::for_chunks(
+                &self.pool,
                 snapshot,
                 self.threads,
                 (),
@@ -341,6 +437,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         let (seed, round, threads) = (self.seed, self.round, self.threads);
         let (snapshot, failure) = (&self.snapshot, &self.failure);
         let delta = par::for_chunks(
+            &self.pool,
             &mut self.states,
             threads,
             Metrics::default(),
@@ -400,6 +497,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
 
         // Pass 1: every sender decides its outcome (silent / failed / target).
         let delta = par::for_chunks(
+            &self.pool,
             &mut self.scratch_targets,
             threads,
             Metrics::default(),
@@ -445,6 +543,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
             &self.scratch_senders,
         );
         par::for_chunks(
+            &self.pool,
             &mut self.states,
             threads,
             (),
@@ -471,7 +570,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
     /// Semantically this is a [`Engine::pull_round`] and a [`Engine::push_round`]
     /// executed against the same snapshot, counted as a *single* round — the
     /// standard push–pull convention in the rumor-spreading literature the
-    /// paper cites ([FG85], [Pit87], [KSSV00]). For each node, `merge` first
+    /// paper cites (\[FG85\], \[Pit87\], \[KSSV00\]). For each node, `merge` first
     /// receives the pulled message, then pushed messages in ascending sender
     /// order. `serve` must be pure (it is re-evaluated per delivery).
     pub fn push_pull_round<M, F, G>(&mut self, serve: F, merge: G) -> usize
@@ -492,6 +591,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         // Delivery metrics are recorded in pass 2, where the messages are
         // constructed anyway.
         let delta = par::for_chunks2(
+            &self.pool,
             &mut self.scratch_targets,
             &mut self.scratch_pull,
             threads,
@@ -530,6 +630,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
             &self.scratch_senders,
         );
         let deliveries = par::for_chunks(
+            &self.pool,
             &mut self.states,
             threads,
             Metrics::default(),
@@ -580,6 +681,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
             let (seed, round) = (self.seed, self.round);
             let (states, failure) = (&self.states, &self.failure);
             let delta = par::for_chunks(
+                &self.pool,
                 &mut collected,
                 threads,
                 Metrics::default(),
@@ -863,19 +965,40 @@ mod tests {
     #[test]
     fn local_step_rng_is_per_node_and_per_epoch() {
         use rand::Rng;
+        // The closure is `Fn + Sync` (it runs on the pool), so each node
+        // records its draw in its own state slot rather than in a captured
+        // mutable buffer.
         let mut e = engine_with(16, 4);
-        let mut first = vec![0u64; 16];
-        e.local_step(|v, _, rng| first[v] = rng.gen::<u64>());
-        let mut second = [0u64; 16];
-        e.local_step(|v, _, rng| second[v] = rng.gen::<u64>());
+        e.local_step(|_, st, rng| *st = rng.gen::<u64>());
+        let first = e.states().to_vec();
+        e.local_step(|_, st, rng| *st = rng.gen::<u64>());
+        let second = e.states().to_vec();
         // Distinct across nodes and across epochs…
         let unique: HashSet<u64> = first.iter().chain(second.iter()).copied().collect();
         assert_eq!(unique.len(), 32);
         // …and reproducible: a fresh engine with the same seed replays them.
         let mut e2 = engine_with(16, 4);
-        let mut replay = vec![0u64; 16];
-        e2.local_step(|v, _, rng| replay[v] = rng.gen::<u64>());
-        assert_eq!(replay, first);
+        e2.local_step(|_, st, rng| *st = rng.gen::<u64>());
+        assert_eq!(e2.states(), first.as_slice());
+    }
+
+    #[test]
+    fn local_step_is_thread_count_invariant() {
+        use rand::Rng;
+        let run = |threads: usize| {
+            let mut e = engine_with(300, 9);
+            e.set_threads(threads);
+            for _ in 0..4 {
+                e.local_step(|v, st, rng| {
+                    *st = st.wrapping_add(rng.gen::<u64>() ^ v as u64);
+                });
+            }
+            e.into_states()
+        };
+        let baseline = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), baseline, "{threads} threads diverged");
+        }
     }
 
     #[test]

@@ -1,26 +1,47 @@
-//! Fork–join data-parallelism over contiguous chunks of per-node buffers.
+//! Deterministic data-parallel chunk maps, executed on a persistent
+//! [`WorkerPool`].
 //!
 //! A gossip round is an embarrassingly parallel map over nodes (each node's
 //! randomness comes from its own [`NodeRng`](crate::rng::NodeRng) stream and
 //! each node only mutates its own slot), so the engine only needs one
-//! primitive: split the per-node buffers into `threads` contiguous chunks,
-//! run a closure on each chunk on its own scoped thread, and fold the
-//! per-chunk accumulators **in chunk order** (so reductions are deterministic
-//! regardless of which thread finished first).
+//! primitive: split the per-node buffers into `threads` equal contiguous
+//! chunks, run a closure on each chunk, and fold the per-chunk accumulators
+//! **in chunk order** — so reductions are deterministic regardless of which
+//! thread finished first.
 //!
-//! The implementation uses `std::thread::scope`, not a work-stealing pool:
-//! chunks are equal-sized and per-node work is uniform, so static partitioning
-//! loses nothing, and the workspace cannot depend on an external pool (no
-//! registry access; see the workspace manifest). The thread count honours
-//! `GOSSIP_NUM_THREADS`, then `RAYON_NUM_THREADS` (so existing rayon-style
-//! deployment configs keep working), then the machine's parallelism.
+//! ## Why a pool, not scoped threads
+//!
+//! The first cut of this module spawned scoped threads per chunk map. That is
+//! correct but pays `threads` OS-thread creations per map — two maps per
+//! round — which dominates the round below ~16k nodes and pushed the
+//! parallel break-even point far to the right. The helpers now dispatch onto
+//! the long-lived workers of a [`WorkerPool`] (owned by the engine,
+//! constructed once, shareable between engines): per map, the hand-off is one
+//! mutex/condvar wake plus an atomic task cursor. See [`crate::pool`] for the
+//! pool's epoch/barrier protocol and its lifecycle.
+//!
+//! ## Determinism argument
+//!
+//! Chunk boundaries depend only on `data.len()` and the requested `threads`
+//! value — never on the pool's size or on scheduling. Chunk `i` is task `i`:
+//! whichever executor claims task `i` computes `map(i * chunk_len, chunk_i)`
+//! and stores the result in slot `i`; after the pool's quiescence barrier the
+//! *caller* folds the slots in ascending `i`. The engine's stronger contract
+//! — results identical across *different* `threads` values — additionally
+//! relies on per-node keyed randomness, and is pinned by
+//! `tests/determinism.rs`.
 //!
 //! With `threads == 1` every helper runs inline on the caller's thread — no
-//! spawn, no overhead — which is also the engine's policy for small `n`.
+//! hand-off, no synchronisation — which is also the engine's policy for
+//! small `n`.
+
+use crate::pool::WorkerPool;
+use std::sync::Mutex;
 
 /// Number of worker threads to use, from the environment or the machine.
 ///
-/// Priority: `GOSSIP_NUM_THREADS`, then `RAYON_NUM_THREADS`, then
+/// Priority: `GOSSIP_NUM_THREADS`, then `RAYON_NUM_THREADS` (so existing
+/// rayon-style deployment configs keep working), then
 /// `std::thread::available_parallelism()`. Values are clamped to `[1, 256]`.
 pub fn num_threads() -> usize {
     for var in ["GOSSIP_NUM_THREADS", "RAYON_NUM_THREADS"] {
@@ -36,46 +57,48 @@ pub fn num_threads() -> usize {
         .clamp(1, 256)
 }
 
-/// Runs `map` over `threads` contiguous chunks of `data` and folds the
-/// per-chunk results in chunk order.
+/// Runs `map` over `threads` contiguous chunks of `data` on `pool` and folds
+/// the per-chunk results in chunk order.
 ///
 /// `map` receives the chunk's starting index into `data` and the chunk
-/// itself; global index of element `j` of the chunk is `start + j`.
-pub fn for_chunks<T, A, F, R>(data: &mut [T], threads: usize, identity: A, map: F, reduce: R) -> A
+/// itself; the global index of element `j` of the chunk is `start + j`.
+/// Results depend on `threads` only through the chunk boundaries, and on
+/// `pool` not at all (see the module docs); `threads == 1` (or a too-short
+/// `data`) runs inline without touching the pool.
+pub fn for_chunks<T, A, F, R>(
+    pool: &WorkerPool,
+    data: &mut [T],
+    threads: usize,
+    identity: A,
+    map: F,
+    reduce: R,
+) -> A
 where
     T: Send,
     A: Send,
     F: Fn(usize, &mut [T]) -> A + Sync,
     R: Fn(A, A) -> A,
 {
-    let n = data.len();
-    if n == 0 {
-        return identity;
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return reduce(identity, map(0, data));
-    }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let map = &map;
-        let handles: Vec<_> = data
-            .chunks_mut(chunk)
-            .enumerate()
-            .map(|(i, c)| scope.spawn(move || map(i * chunk, c)))
-            .collect();
-        let mut acc = identity;
-        for handle in handles {
-            acc = reduce(acc, handle.join().expect("gossip worker thread panicked"));
-        }
-        acc
-    })
+    // Delegate to the two-buffer variant with a zero-sized companion, so the
+    // dispatch protocol exists in exactly one place. `Vec<()>` never
+    // allocates and its chunks carry no data.
+    let mut unit = vec![(); data.len()];
+    for_chunks2(
+        pool,
+        data,
+        &mut unit,
+        threads,
+        identity,
+        |start, chunk, _| map(start, chunk),
+        reduce,
+    )
 }
 
 /// Like [`for_chunks`], but over two equal-length buffers split at the same
 /// boundaries, so `a[start + j]` and `b[start + j]` always land in the same
 /// closure invocation.
 pub fn for_chunks2<T, U, A, F, R>(
+    pool: &WorkerPool,
     a: &mut [T],
     b: &mut [U],
     threads: usize,
@@ -100,20 +123,36 @@ where
         return reduce(identity, map(0, a, b));
     }
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let map = &map;
-        let handles: Vec<_> = a
-            .chunks_mut(chunk)
-            .zip(b.chunks_mut(chunk))
-            .enumerate()
-            .map(|(i, (ca, cb))| scope.spawn(move || map(i * chunk, ca, cb)))
-            .collect();
-        let mut acc = identity;
-        for handle in handles {
-            acc = reduce(acc, handle.join().expect("gossip worker thread panicked"));
-        }
-        acc
-    })
+    // Hand each chunk pair to its task through a once-takeable cell, and
+    // collect each task's accumulator in its own slot — O(threads)
+    // bookkeeping, the only per-map allocation.
+    #[allow(clippy::type_complexity)]
+    let chunks: Vec<Mutex<Option<(&mut [T], &mut [U])>>> = a
+        .chunks_mut(chunk)
+        .zip(b.chunks_mut(chunk))
+        .map(|pair| Mutex::new(Some(pair)))
+        .collect();
+    let slots: Vec<Mutex<Option<A>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    pool.run(chunks.len(), &|i| {
+        let (ca, cb) = take(&chunks[i]).expect("pool ran a chunk task twice");
+        *slots[i].lock().expect("slot mutex poisoned") = Some(map(i * chunk, ca, cb));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let a = take_inner(slot).expect("pool skipped a chunk task");
+        acc = reduce(acc, a);
+    }
+    acc
+}
+
+/// Takes the value out of a shared once-cell.
+fn take<T>(cell: &Mutex<Option<T>>) -> Option<T> {
+    cell.lock().expect("chunk mutex poisoned").take()
+}
+
+/// Unwraps a slot after the pool's barrier (no contention remains).
+fn take_inner<T>(cell: Mutex<Option<T>>) -> Option<T> {
+    cell.into_inner().expect("slot mutex poisoned")
 }
 
 #[cfg(test)]
@@ -127,9 +166,11 @@ mod tests {
 
     #[test]
     fn for_chunks_visits_every_element_once_with_correct_indices() {
+        let pool = WorkerPool::new(4);
         for threads in [1, 2, 3, 8, 64] {
             let mut data: Vec<u64> = vec![0; 100];
             let count = for_chunks(
+                &pool,
                 &mut data,
                 threads,
                 0usize,
@@ -148,8 +189,10 @@ mod tests {
 
     #[test]
     fn for_chunks_reduces_in_chunk_order() {
+        let pool = WorkerPool::new(3);
         let mut data: Vec<u64> = vec![0; 10];
         let order = for_chunks(
+            &pool,
             &mut data,
             5,
             Vec::new(),
@@ -164,10 +207,12 @@ mod tests {
 
     #[test]
     fn for_chunks2_keeps_buffers_aligned() {
+        let pool = WorkerPool::new(4);
         for threads in [1, 3, 7] {
             let mut a: Vec<usize> = vec![0; 50];
             let mut b: Vec<usize> = vec![0; 50];
             for_chunks2(
+                &pool,
                 &mut a,
                 &mut b,
                 threads,
@@ -190,11 +235,45 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_inputs_are_fine() {
+        let pool = WorkerPool::new(8);
         let mut empty: Vec<u8> = Vec::new();
-        let acc = for_chunks(&mut empty, 8, 7u32, |_, _| unreachable!(), |a, _b| a);
+        let acc = for_chunks(&pool, &mut empty, 8, 7u32, |_, _| unreachable!(), |a, _b| a);
         assert_eq!(acc, 7);
         let mut one = vec![1u8];
-        let acc = for_chunks(&mut one, 8, 0u32, |_, c| c.len() as u32, |a, b| a + b);
+        let acc = for_chunks(
+            &pool,
+            &mut one,
+            8,
+            0u32,
+            |_, c| c.len() as u32,
+            |a, b| a + b,
+        );
         assert_eq!(acc, 1);
+    }
+
+    #[test]
+    fn results_do_not_depend_on_pool_size() {
+        let reference: Vec<u64> = (0..97).map(|i| i * 3 + 1).collect();
+        for pool_threads in [1, 2, 4, 16] {
+            let pool = WorkerPool::new(pool_threads);
+            let mut data: Vec<u64> = vec![0; 97];
+            let sum = for_chunks(
+                &pool,
+                &mut data,
+                6,
+                0u64,
+                |start, chunk| {
+                    let mut s = 0;
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (start + j) as u64 * 3 + 1;
+                        s += *slot;
+                    }
+                    s
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(data, reference, "pool size {pool_threads}");
+            assert_eq!(sum, reference.iter().sum::<u64>());
+        }
     }
 }

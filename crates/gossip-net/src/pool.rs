@@ -1,0 +1,489 @@
+//! A persistent worker pool for the engine's per-round chunk maps.
+//!
+//! PR 1 executed every round as a fork/join over `std::thread::scope`, which
+//! re-spawns OS threads for every chunk map — two maps per round, so eight
+//! spawns per `pull_round` at four threads. Spawning dominates below ~16k
+//! nodes. [`WorkerPool`] replaces that with **long-lived workers** parked on a
+//! condition variable; dispatching a round costs two mutex/condvar hand-offs
+//! instead of `threads` thread creations.
+//!
+//! ## Barrier protocol
+//!
+//! The pool runs one *job* at a time. A job is an epoch-stamped task list:
+//!
+//! 1. [`WorkerPool::run`] takes the dispatch gate (so concurrent callers —
+//!    e.g. two engines sharing one pool from two user threads — serialise),
+//!    publishes the job under the state mutex (`epoch += 1`, task cursor
+//!    reset, a *join budget* of `min(workers, tasks − 1)`), and wakes that
+//!    many workers. The budget keeps a small map on a large shared pool from
+//!    waking — or waiting on — workers it has no tasks for; it always drains,
+//!    because a worker is either parked (a wake-up reaches it) or mid-loop
+//!    (it re-checks the join predicate under the mutex before parking).
+//! 2. Each woken worker joins the epoch by decrementing the budget under the
+//!    mutex (a worker woken in excess of the budget, or spuriously, parks
+//!    again without touching the job); every joined worker **and the calling
+//!    thread** then claims task indices from a shared atomic cursor
+//!    (`fetch_add`) until the cursor passes the task count, and runs the job
+//!    closure on each index it won.
+//! 3. Each joined worker then decrements `running`; the caller blocks until
+//!    `running == 0` before returning. This quiescence barrier is what makes
+//!    the lifetime erasure below sound: no worker can touch the job closure
+//!    (which borrows the caller's stack) after `run` returns, and an unwind
+//!    guard enforces the same if the caller's own task panics.
+//!
+//! Worker panics are caught per job, forwarded to the caller after the
+//! barrier, and leave the pool usable.
+//!
+//! ## Determinism argument
+//!
+//! The pool influences only *which thread* executes a task, never *what* the
+//! task computes: [`crate::par::for_chunks`] assigns chunk `i` of the input to
+//! task `i`, every task writes its result into slot `i`, and the caller folds
+//! the slots in index order after the barrier. Which executor won which index
+//! — and the pool's size — is therefore invisible in the results, preserving
+//! the engine's bit-identical-at-any-thread-count contract (pinned by
+//! `tests/determinism.rs`).
+//!
+//! ## The one `unsafe`
+//!
+//! The job closure borrows the caller's stack (the chunk and slot tables of a
+//! `for_chunks` call), but worker threads are `'static`, so the pool stores
+//! the closure as a lifetime-erased raw pointer (`TaskPtr`). The quiescence
+//! barrier above (plus its unwind guard) guarantees the pointee outlives every
+//! dereference. This is the standard scoped-pool construction (rayon's
+//! `scope` does the same) and is the only unsafe code in the crate; the rest
+//! of the crate stays `deny(unsafe_code)`-clean.
+
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, ignoring poison: the pool forwards worker panics itself
+/// (after the quiescence barrier), so a poisoned lock carries no extra
+/// information and must not wedge the pool for subsequent jobs.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Lifetime-erased pointer to a caller-owned `dyn Fn(usize) + Sync` job
+/// closure. Safety: only dereferenced by executors between job publication
+/// and the quiescence barrier of the same [`WorkerPool::run`] call, during
+/// which the pointee is borrowed by `run`'s caller frame.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync + 'static));
+
+impl TaskPtr {
+    /// Erases the closure's borrow of the caller's stack.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not let any dereference of the returned pointer
+    /// outlive `'a` — in the pool, the quiescence barrier of the `run` call
+    /// that published the job enforces this.
+    unsafe fn erase<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> TaskPtr {
+        let short: *const (dyn Fn(usize) + Sync + 'a) = task;
+        // SAFETY: identical layout; only the lifetime bound changes.
+        TaskPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + 'a),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(short)
+        })
+    }
+}
+
+// SAFETY: the pointee is `Sync` (shared references may cross threads), and
+// the quiescence barrier bounds every dereference within the lifetime of the
+// `run` call that published it.
+unsafe impl Send for TaskPtr {}
+
+/// The job currently published to the workers.
+#[derive(Clone, Copy)]
+struct Job {
+    task: TaskPtr,
+    tasks: usize,
+}
+
+/// State shared between the caller and the workers, guarded by one mutex.
+struct PoolState {
+    /// Increments once per published job; workers use it to tell a fresh job
+    /// from the one they just finished.
+    epoch: u64,
+    /// The published job, present from publication until the caller's
+    /// quiescence barrier clears it.
+    job: Option<Job>,
+    /// Workers still allowed to join the current epoch. Initialised to
+    /// `min(workers, tasks − 1)` so that a small map on a large shared pool
+    /// does not wake — or wait for — more workers than it has tasks for;
+    /// a worker may only touch the job after decrementing this under the
+    /// mutex.
+    join_budget: usize,
+    /// Joined workers that have not finished the current epoch; the caller
+    /// returns from [`WorkerPool::run`] only once this reaches zero (at which
+    /// point the whole join budget has been consumed and retired).
+    running: usize,
+    /// Set when any executor's task panicked during the current job.
+    panicked: bool,
+    /// Tells the workers to exit; set once, by [`WorkerPool`]'s `Drop`.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    start: Condvar,
+    /// The caller waits here for `running == 0`.
+    done: Condvar,
+    /// Next unclaimed task index of the current job.
+    cursor: AtomicUsize,
+}
+
+/// A persistent pool of worker threads executing deterministic chunk maps.
+///
+/// Construct one per [`Engine`](crate::Engine) (done automatically), or share
+/// one across engines via [`EngineConfig`](crate::EngineConfig)`::pool` /
+/// [`Engine::pool`](crate::Engine::pool) — a pool is only ever *scheduling*
+/// state, so sharing it cannot couple two engines' results (see the module
+/// docs' determinism argument).
+///
+/// Dropping the pool (its last `Arc`, in engine use) shuts the workers down
+/// and joins them.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serialises [`WorkerPool::run`] calls from different user threads.
+    gate: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` executors: the calling thread plus
+    /// `threads - 1` spawned workers (clamped to `[1, 256]`).
+    ///
+    /// `WorkerPool::new(1)` spawns nothing and makes [`run`](Self::run)
+    /// purely inline — the engine's configuration for small networks.
+    /// If the OS refuses a thread, the pool degrades to the workers it got
+    /// (results are unaffected; only wall-clock time changes).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.clamp(1, 256);
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                join_budget: 0,
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+        });
+        let handles = (1..threads)
+            .map_while(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gossip-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .ok()
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            gate: Mutex::new(()),
+        }
+    }
+
+    /// Number of executors, counting the calling thread: spawned workers + 1.
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Executes `task(0), task(1), …, task(tasks - 1)`, each exactly once,
+    /// distributed over the pool's workers and the calling thread, and blocks
+    /// until all of them finished.
+    ///
+    /// Task-to-thread assignment is first-come-first-served and **not**
+    /// deterministic; callers that need deterministic results must make each
+    /// task's effect a pure function of its index (the contract
+    /// [`crate::par::for_chunks`] builds on top of this).
+    ///
+    /// Calls from different threads serialise on an internal gate. Do not
+    /// call `run` from inside a task closure — the nested call would deadlock
+    /// on that gate.
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, `run` panics after all executors quiesced; the
+    /// pool itself remains usable.
+    pub fn run(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if self.handles.is_empty() || tasks == 1 {
+            // Inline fast path: nothing to hand off. Panics propagate as-is.
+            for i in 0..tasks {
+                task(i);
+            }
+            return;
+        }
+        let _dispatch = lock(&self.gate);
+
+        // SAFETY (lifetime erasure): the quiescence barrier below, also
+        // enforced on unwind, keeps every dereference within this call,
+        // while `task` is borrowed.
+        let erased = unsafe { TaskPtr::erase(task) };
+        // Never involve more workers than there are tasks beyond the
+        // caller's own: a 2-chunk map on an 8-executor shared pool wakes and
+        // waits for 1 worker, not 7. (Any worker woken in excess of the
+        // budget — or spuriously — re-checks the join predicate under the
+        // mutex and goes back to sleep without touching the job.)
+        let workers = self.handles.len().min(tasks - 1);
+        {
+            let mut st = lock(&self.shared.state);
+            debug_assert!(st.job.is_none(), "pool gate failed to serialise jobs");
+            st.epoch += 1;
+            st.join_budget = workers;
+            st.running = workers;
+            st.panicked = false;
+            self.shared.cursor.store(0, Ordering::Relaxed);
+            st.job = Some(Job {
+                task: erased,
+                tasks,
+            });
+            for _ in 0..workers {
+                self.shared.start.notify_one();
+            }
+        }
+
+        /// Blocks until every worker finished the current job, then retires
+        /// it. Running this in `Drop` keeps the barrier in place even when
+        /// the caller's own task panics below.
+        struct Quiesce<'p>(&'p Shared);
+        impl Drop for Quiesce<'_> {
+            fn drop(&mut self) {
+                let mut st = lock(&self.0.state);
+                while st.running > 0 {
+                    st = self
+                        .0
+                        .done
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                st.job = None;
+            }
+        }
+        let barrier = Quiesce(&self.shared);
+
+        // The caller is executor 0: claim tasks like any worker.
+        loop {
+            let i = self.shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            task(i);
+        }
+        drop(barrier);
+
+        if std::mem::replace(&mut lock(&self.shared.state).panicked, false) {
+            panic!("gossip worker thread panicked");
+        }
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker side of the barrier protocol (see the module docs).
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    // Join the epoch only while its budget lasts; a worker
+                    // woken in excess of the budget (or spuriously) sleeps
+                    // again without ever touching the job.
+                    Some(job) if st.epoch != seen_epoch && st.join_budget > 0 => {
+                        seen_epoch = st.epoch;
+                        st.join_budget -= 1;
+                        break job;
+                    }
+                    _ => {
+                        st = shared
+                            .start
+                            .wait(st)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                }
+            }
+        };
+        // SAFETY: the job was published by a `run` call that cannot return
+        // (or unwind) before this worker decrements `running` below, so the
+        // pointee — the caller's closure — is alive for the whole dereference.
+        let task: &(dyn Fn(usize) + Sync) = unsafe { &*job.task.0 };
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= job.tasks {
+                break;
+            }
+            task(i);
+        }));
+        let mut st = lock(&shared.state);
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for tasks in [0usize, 1, 2, 3, 4, 7, 64] {
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(tasks, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::Relaxed), 1, "task {i} ({tasks} tasks)");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicU64::new(0);
+        for round in 0..500u64 {
+            pool.run(5, &|i| {
+                total.fetch_add(round + i as u64, Ordering::Relaxed);
+            });
+        }
+        // Σ_round (5·round + 0+1+2+3+4)
+        let expected: u64 = (0..500).map(|r| 5 * r + 10).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let caller = std::thread::current().id();
+        pool.run(4, &|_| assert_eq!(std::thread::current().id(), caller));
+    }
+
+    #[test]
+    fn more_tasks_than_threads_and_vice_versa() {
+        for (threads, tasks) in [(2, 100), (8, 3), (16, 16)] {
+            let pool = WorkerPool::new(threads);
+            let sum = AtomicU64::new(0);
+            pool.run(tasks, &|i| {
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                (tasks as u64) * (tasks as u64 + 1) / 2
+            );
+        }
+    }
+
+    #[test]
+    fn small_jobs_on_a_big_pool_complete_repeatedly() {
+        // Exercises the join budget: 2-task jobs on a 16-executor pool leave
+        // 14 workers parked per job, across many back-to-back epochs (so
+        // workers alternate between joining and sitting epochs out).
+        let pool = WorkerPool::new(16);
+        let total = AtomicU64::new(0);
+        for round in 0..300u64 {
+            let tasks = 2 + (round % 3) as usize; // 2, 3, 4 tasks
+            pool.run(tasks, &|i| {
+                total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        let expected: u64 = (0..300u64)
+            .map(|r| {
+                let t = 2 + r % 3;
+                t * (t + 1) / 2
+            })
+            .sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn worker_panic_is_forwarded_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("task 5 exploded");
+                }
+            });
+        }));
+        assert!(attempt.is_err(), "panic was swallowed");
+        // The pool still works after a panicked job.
+        let ok = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn drop_joins_workers_without_hanging() {
+        for _ in 0..20 {
+            let pool = WorkerPool::new(4);
+            pool.run(4, &|_| {});
+            drop(pool); // must not hang or leak
+        }
+    }
+
+    #[test]
+    fn tasks_can_borrow_the_callers_stack() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<u64> = (0..1000).collect();
+        let partial: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        pool.run(4, &|i| {
+            let chunk = &data[i * 250..(i + 1) * 250];
+            partial[i].store(chunk.iter().sum(), Ordering::Relaxed);
+        });
+        let total: u64 = partial.iter().map(|p| p.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 1000 * 999 / 2);
+    }
+}

@@ -1,7 +1,7 @@
 //! Per-node protocol abstraction.
 //!
 //! Most algorithms in this repository are expressed directly against
-//! [`Engine`](crate::Engine) rounds, which is both faithful to the model and
+//! [`Engine`] rounds, which is both faithful to the model and
 //! fast at millions of nodes. For users who want to plug in their own gossip
 //! dynamics — and for the engine-fidelity ablation (`engine_ablation` bench) —
 //! this module provides a small per-node state-machine interface: a

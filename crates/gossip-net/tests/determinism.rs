@@ -1,14 +1,18 @@
 //! Determinism contract of the parallel engine: for a fixed seed, executions
 //! are bit-identical across thread counts (the `RAYON_NUM_THREADS=1,2,8`
 //! matrix of the engine's deployment docs), across separately constructed
-//! engines replaying the same round sequence, and with failure injection on.
+//! engines replaying the same round sequence, with failure injection on, and
+//! regardless of which `WorkerPool` — private, grown, or shared between
+//! engines — the rounds dispatch on.
 //!
 //! These tests exercise all three round primitives plus `collect_samples` and
-//! `local_step`, with non-commutative state folds where possible so that any
-//! ordering difference between runs shows up as a state difference.
+//! `local_step` (itself a pooled chunk map), with non-commutative state folds
+//! where possible so that any ordering difference between runs shows up as a
+//! state difference.
 
-use gossip_net::{Engine, EngineConfig, FailureModel, Metrics, NodeRng};
+use gossip_net::{Engine, EngineConfig, FailureModel, Metrics, NodeRng, WorkerPool};
 use rand::Rng;
+use std::sync::Arc;
 
 const THREAD_MATRIX: [usize; 3] = [1, 2, 8];
 
@@ -138,6 +142,62 @@ fn collect_samples_is_thread_count_invariant() {
             run(threads),
             baseline,
             "{threads} threads changed the sample sets"
+        );
+    }
+}
+
+#[test]
+fn pool_reuse_across_engines_is_invisible_in_the_results() {
+    // One persistent pool serving a whole matrix of engines sequentially —
+    // including engines of different sizes in between — must leave every
+    // engine's execution identical to a run on a private pool.
+    let baseline = run_mixed_sequence(engine(1000, 7, FailureModel::None), 1);
+    let pool = Arc::new(WorkerPool::new(8));
+    for threads in THREAD_MATRIX {
+        let config = EngineConfig::with_seed(7).pool(Arc::clone(&pool));
+        let e = Engine::from_states((0..1000u64).map(|v| v.wrapping_mul(31)).collect(), config);
+        let run = run_mixed_sequence(e, threads);
+        assert_eq!(
+            run, baseline,
+            "{threads} threads on the shared pool diverged"
+        );
+        // Interleave an unrelated engine on the same pool between matrix
+        // entries; it must not perturb the next entry.
+        let mut other = Engine::from_states(
+            vec![3u64; 64],
+            EngineConfig::with_seed(threads as u64).pool(Arc::clone(&pool)),
+        );
+        other.set_threads(2);
+        other.push_pull_round(|_, &s| s, |_, st, m| *st = st.wrapping_add(m));
+    }
+}
+
+#[test]
+fn local_step_is_identical_across_thread_counts() {
+    // The dedicated local_step matrix: algorithm-local coins plus an
+    // order-sensitive fold of a shared read-only capture, at 1/2/8 threads.
+    let run = |threads: usize| {
+        let mut e = engine(1000, 31, FailureModel::None);
+        e.set_threads(threads);
+        let samples = e.collect_samples(2, |_, &s| s);
+        for _ in 0..5 {
+            e.local_step(|v, st, rng| {
+                for &s in &samples[v] {
+                    *st = fold_hash(*st, s);
+                }
+                if rng.gen::<f64>() < 0.5 {
+                    *st = st.rotate_left(11);
+                }
+            });
+        }
+        e.into_states()
+    };
+    let baseline = run(1);
+    for threads in THREAD_MATRIX {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "{threads}-thread local_step diverged"
         );
     }
 }

@@ -137,11 +137,12 @@ pub fn tournament_quantile<V: NodeValue>(
     }
     let eps = epsilon.min(MAX_TOURNAMENT_EPSILON);
     let mut seeds = SeedSequence::new(engine_config.seed);
-    let failure = engine_config.failure.clone();
-    let sub = |seeds: &mut SeedSequence| EngineConfig {
-        seed: seeds.next_seed(),
-        failure: failure.clone(),
-    };
+    // Sub-phases inherit the failure model and share one worker pool
+    // (materialised here if the caller didn't supply one), so each phase's
+    // engine reuses the same threads.
+    let mut engine_config = engine_config;
+    engine_config.ensure_pool_for(values.len());
+    let sub = |seeds: &mut SeedSequence| engine_config.sub(seeds.next_seed());
 
     // Phase I: shift [φ−ε, φ+ε] to the median band.
     let schedule1 = TwoTournamentSchedule::compute(phi, eps)?;

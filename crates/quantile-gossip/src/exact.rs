@@ -182,11 +182,12 @@ pub(crate) fn narrow_to_rank<V: NodeValue>(
         });
     }
     let mut seeds = SeedSequence::new(engine_config.seed);
-    let failure = engine_config.failure.clone();
-    let sub = |seeds: &mut SeedSequence| EngineConfig {
-        seed: seeds.next_seed(),
-        failure: failure.clone(),
-    };
+    // Every narrowing iteration spins up sub-engines; sharing one worker
+    // pool (materialised here if the caller didn't supply one) keeps that
+    // from re-spawning threads per iteration.
+    let mut engine_config = engine_config;
+    engine_config.ensure_pool_for(n);
+    let sub = |seeds: &mut SeedSequence| engine_config.sub(seeds.next_seed());
 
     let eps = config.iteration_epsilon_for(n);
     let counting = PushSumConfig {

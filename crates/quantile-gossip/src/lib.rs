@@ -15,11 +15,14 @@
 //! | [`exact::exact_quantile`] | Theorem 1.1 | `O(log n)` |
 //! | [`own_rank::estimate_own_quantiles`] | Corollary 1.5 | `(1/ε)·O(log log n + log 1/ε)` |
 //! | [`robust::robust_approximate_quantile`] | Theorem 1.4 | same, under failures |
+//! | [`two_tournament::run`] | Algorithm 1 (2-TOURNAMENT), Lemmas 2.3–2.11 | 2 per iteration |
+//! | [`three_tournament::run`] | Algorithm 2 (3-TOURNAMENT), Lemmas 2.12–2.17 | 3 per iteration |
+//! | [`schedule::TwoTournamentSchedule`] | the `h_{i+1} = h_i²` recursion, Lemma 2.2 | — |
+//! | [`schedule::ThreeTournamentSchedule`] | the `h_{i+1} = 3h_i² − 2h_i³` recursion, Lemma 2.12 | — |
 //!
-//! plus the building blocks: the 2-TOURNAMENT quantile-shifting dynamic
-//! ([`two_tournament`], Algorithm 1), the 3-TOURNAMENT median dynamic
-//! ([`three_tournament`], Algorithm 2) and their iteration
-//! [`schedule`]s.
+//! The full entry-point-by-theorem map — including the Appendix A baselines
+//! living in the `baselines` crate — is `docs/paper-map.md` in the repository
+//! root.
 //!
 //! All algorithms run on the [`gossip_net`] simulator and report the rounds,
 //! messages and bits they consumed, so they can be compared head-to-head with

@@ -53,7 +53,10 @@ pub fn estimate_own_quantiles<V: NodeValue>(
         });
     }
     let mut seeds = SeedSequence::new(engine_config.seed);
-    let failure = engine_config.failure.clone();
+    // All threshold computations share one worker pool (materialised here if
+    // the caller didn't supply one).
+    let mut engine_config = engine_config;
+    engine_config.ensure_pool_for(n);
 
     // Thresholds at φ = ε, 2ε, …, < 1, each computed to accuracy ε (the
     // estimate below is therefore accurate to within ~1.5ε, matching the
@@ -66,10 +69,9 @@ pub fn estimate_own_quantiles<V: NodeValue>(
 
     for j in 1..=count {
         let phi = (j as f64 * epsilon).min(1.0);
-        let sub = EngineConfig {
-            seed: seeds.next_seed(),
-            failure: failure.clone(),
-        };
+        // Each threshold computation inherits the failure model and shares
+        // the parent's worker pool.
+        let sub = engine_config.sub(seeds.next_seed());
         let out = approximate_quantile(values, phi, epsilon, &config.approx, sub)?;
         rounds += out.rounds;
         metrics = metrics + out.metrics;

@@ -37,8 +37,9 @@
 //! # }
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology and results.
+//! See `examples/` for runnable end-to-end scenarios, `README.md` for the
+//! crate map and threading knobs, and `docs/paper-map.md` for the
+//! entry-point-by-theorem map of the whole reproduction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

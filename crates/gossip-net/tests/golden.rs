@@ -1,0 +1,332 @@
+//! Golden-trajectory pins: exact fingerprints of engine executions.
+//!
+//! The determinism suite (`tests/determinism.rs`) proves runs are identical
+//! *across thread counts*; this suite pins them to fixed hex values, so a perf
+//! refactor of the round internals (pass fusion, buffer reuse, RNG keying
+//! shortcuts) can *prove* it is bit-identical to the previous engine rather
+//! than only self-consistent. If a change legitimately alters the randomness
+//! contract, these constants must be regenerated — deliberately, in the same
+//! commit, with a CHANGES.md note.
+//!
+//! Every scenario runs at `par::num_threads()` worker threads, so CI's
+//! `RAYON_NUM_THREADS=1/2/8` matrix checks each pin at all three thread
+//! counts (including, at the large sizes, the parallel CSR bucketing path).
+
+use gossip_net::{par, Engine, EngineConfig, FailureModel};
+use rand::Rng;
+
+/// SplitMix64 finalizer, re-stated here so the fingerprint is independent of
+/// the crate's internals.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive fingerprint of a state vector.
+fn fingerprint(states: &[u64]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (i, &s) in states.iter().enumerate() {
+        h = mix64(h ^ s ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    format!("{h:016x}")
+}
+
+/// Order-sensitive message fold (any reordering or content change shows up).
+fn fold_hash(state: u64, msg: u64) -> u64 {
+    (state.rotate_left(7) ^ msg).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Compact fingerprint of the metrics counters, pinned alongside the states.
+fn metrics_line(e: &Engine<u64>) -> String {
+    let m = e.metrics();
+    format!(
+        "r{} pa{} psa{} f{} d{} b{}",
+        m.rounds,
+        m.pulls_attempted,
+        m.pushes_attempted,
+        m.failed_operations,
+        m.messages_delivered,
+        m.bits_delivered
+    )
+}
+
+fn engine(n: usize, seed: u64, failure: FailureModel) -> Engine<u64> {
+    let config = EngineConfig::with_seed(seed).failure(failure);
+    let mut e = Engine::from_states((0..n as u64).map(|v| v.wrapping_mul(31)).collect(), config);
+    e.set_threads(par::num_threads());
+    e
+}
+
+fn pull_rounds(e: &mut Engine<u64>, rounds: usize) {
+    for _ in 0..rounds {
+        e.pull_round(
+            |_, &s| s,
+            |_, st, pulled| {
+                if let Some(p) = pulled {
+                    *st = fold_hash(*st, p);
+                }
+            },
+        );
+    }
+}
+
+fn push_rounds(e: &mut Engine<u64>, rounds: usize) {
+    for _ in 0..rounds {
+        e.push_round(
+            |v, &s| if v % 5 == 0 { None } else { Some(s) },
+            |_, st, msg| *st = fold_hash(*st, msg),
+            |_, st, delivered| {
+                if !delivered {
+                    *st = st.wrapping_add(1);
+                }
+            },
+        );
+    }
+}
+
+fn push_pull_rounds(e: &mut Engine<u64>, rounds: usize) {
+    for _ in 0..rounds {
+        e.push_pull_round(|_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
+    }
+}
+
+#[test]
+fn golden_pull() {
+    let mut e = engine(512, 101, FailureModel::None);
+    pull_rounds(&mut e, 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f0 d4096 b262144");
+    assert_eq!(fingerprint(e.states()), "ae3cc56cd1a65f40");
+}
+
+#[test]
+fn golden_pull_with_failures() {
+    let mut e = engine(512, 101, FailureModel::uniform(0.3).unwrap());
+    pull_rounds(&mut e, 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f1208 d2888 b184832");
+    assert_eq!(fingerprint(e.states()), "5cc28a958ed5bb0b");
+}
+
+#[test]
+fn golden_push() {
+    let mut e = engine(512, 202, FailureModel::None);
+    push_rounds(&mut e, 8);
+    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f0 d3272 b209408");
+    assert_eq!(fingerprint(e.states()), "70bd75821469e779");
+}
+
+#[test]
+fn golden_push_with_failures() {
+    let mut e = engine(512, 202, FailureModel::uniform(0.3).unwrap());
+    push_rounds(&mut e, 8);
+    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f1006 d2266 b145024");
+    assert_eq!(fingerprint(e.states()), "b26c113c63bb08b6");
+}
+
+#[test]
+fn golden_push_pull() {
+    let mut e = engine(512, 303, FailureModel::None);
+    push_pull_rounds(&mut e, 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f0 d8192 b524288");
+    assert_eq!(fingerprint(e.states()), "db3b2d32aeb47638");
+}
+
+#[test]
+fn golden_push_pull_with_failures() {
+    let mut e = engine(512, 303, FailureModel::uniform(0.3).unwrap());
+    push_pull_rounds(&mut e, 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f1190 d5812 b371968");
+    assert_eq!(fingerprint(e.states()), "a583e9ce52831840");
+}
+
+#[test]
+fn golden_collect_samples() {
+    let mut e = engine(512, 404, FailureModel::None);
+    let samples = e.collect_samples(3, |_, &s| s);
+    let mut h = 0u64;
+    for bucket in &samples {
+        h = mix64(h ^ 0x5eed);
+        for &s in bucket {
+            h = mix64(h ^ s);
+        }
+    }
+    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f0 d1536 b98304");
+    assert_eq!(format!("{h:016x}"), "72f9976bf7245804");
+    // Sampling leaves the node states untouched.
+    assert_eq!(fingerprint(e.states()), fingerprint(&initial_states(512)));
+}
+
+#[test]
+fn golden_collect_samples_with_failures() {
+    let mut e = engine(512, 404, FailureModel::uniform(0.4).unwrap());
+    let samples = e.collect_samples(3, |_, &s| s);
+    let mut h = 0u64;
+    for bucket in &samples {
+        h = mix64(h ^ 0x5eed);
+        for &s in bucket {
+            h = mix64(h ^ s);
+        }
+    }
+    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f636 d900 b57600");
+    assert_eq!(format!("{h:016x}"), "360c83eb4521da94");
+}
+
+fn initial_states(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|v| v.wrapping_mul(31)).collect()
+}
+
+#[test]
+fn golden_local_step() {
+    let mut e = engine(512, 505, FailureModel::None);
+    for _ in 0..4 {
+        e.local_step(|v, st, rng| {
+            *st = fold_hash(*st, rng.gen::<u64>() ^ v as u64);
+            if rng.gen::<f64>() < 0.25 {
+                *st = st.rotate_right(3);
+            }
+        });
+    }
+    assert_eq!(metrics_line(&e), "r0 pa0 psa0 f0 d0 b0");
+    assert_eq!(fingerprint(e.states()), "c3d212c26e4f1768");
+}
+
+#[test]
+fn golden_mixed_sequence() {
+    // One pin over an interleaving of all five primitives, failure injection
+    // on — the broadest single trajectory.
+    let mut e = engine(600, 606, FailureModel::uniform(0.2).unwrap());
+    for _ in 0..3 {
+        pull_rounds(&mut e, 1);
+        push_rounds(&mut e, 1);
+        push_pull_rounds(&mut e, 1);
+        let samples = e.collect_samples(2, |_, &s| s);
+        e.local_step(|v, st, rng| {
+            for &s in &samples[v] {
+                *st = fold_hash(*st, s);
+            }
+            if rng.gen::<f64>() < 0.25 {
+                *st = st.rotate_right(3);
+            }
+        });
+    }
+    assert_eq!(metrics_line(&e), "r15 pa7200 psa3240 f1686 d8410 b538240");
+    assert_eq!(fingerprint(e.states()), "4d66d6a6035be06a");
+}
+
+#[test]
+fn golden_large_n_covers_parallel_paths() {
+    // Big enough that multi-thread runs of the CI matrix take the parallel
+    // CSR bucketing and chunked round paths; the pins must match the
+    // sequential values bit for bit.
+    let mut e = engine(20_000, 707, FailureModel::None);
+    pull_rounds(&mut e, 2);
+    push_rounds(&mut e, 2);
+    push_pull_rounds(&mut e, 2);
+    assert_eq!(metrics_line(&e), "r6 pa80000 psa72000 f0 d152000 b9728000");
+    assert_eq!(fingerprint(e.states()), "dacf5252bb6fbfd3");
+}
+
+#[test]
+fn golden_large_n_with_failures() {
+    let mut e = engine(20_000, 808, FailureModel::uniform(0.25).unwrap());
+    pull_rounds(&mut e, 2);
+    push_rounds(&mut e, 2);
+    push_pull_rounds(&mut e, 2);
+    assert_eq!(
+        metrics_line(&e),
+        "r6 pa80000 psa72000 f27942 d114162 b7306368"
+    );
+    assert_eq!(fingerprint(e.states()), "0c3a3c5e2e310ca3");
+}
+
+/// Prints the current values of every pin above. When a change legitimately
+/// alters the randomness contract, regenerate with
+///
+/// ```text
+/// cargo test -p gossip-net --test golden dump -- --ignored --nocapture
+/// ```
+///
+/// and update the constants in the same commit.
+#[test]
+#[ignore = "generator for the pinned constants, not a check"]
+fn dump_golden_values() {
+    let scenario = |name: &str, e: &mut Engine<u64>| {
+        println!(
+            "{name}: metrics=\"{}\" fp=\"{}\"",
+            metrics_line(e),
+            fingerprint(e.states())
+        );
+    };
+    let mut e = engine(512, 101, FailureModel::None);
+    pull_rounds(&mut e, 8);
+    scenario("pull", &mut e);
+    let mut e = engine(512, 101, FailureModel::uniform(0.3).unwrap());
+    pull_rounds(&mut e, 8);
+    scenario("pull_failures", &mut e);
+    let mut e = engine(512, 202, FailureModel::None);
+    push_rounds(&mut e, 8);
+    scenario("push", &mut e);
+    let mut e = engine(512, 202, FailureModel::uniform(0.3).unwrap());
+    push_rounds(&mut e, 8);
+    scenario("push_failures", &mut e);
+    let mut e = engine(512, 303, FailureModel::None);
+    push_pull_rounds(&mut e, 8);
+    scenario("push_pull", &mut e);
+    let mut e = engine(512, 303, FailureModel::uniform(0.3).unwrap());
+    push_pull_rounds(&mut e, 8);
+    scenario("push_pull_failures", &mut e);
+    for (name, fail) in [
+        ("collect", FailureModel::None),
+        ("collect_failures", FailureModel::uniform(0.4).unwrap()),
+    ] {
+        let mut e = engine(512, 404, fail);
+        let samples = e.collect_samples(3, |_, &s| s);
+        let mut h = 0u64;
+        for bucket in &samples {
+            h = mix64(h ^ 0x5eed);
+            for &s in bucket {
+                h = mix64(h ^ s);
+            }
+        }
+        println!(
+            "{name}: metrics=\"{}\" sample_fp=\"{h:016x}\"",
+            metrics_line(&e)
+        );
+    }
+    let mut e = engine(512, 505, FailureModel::None);
+    for _ in 0..4 {
+        e.local_step(|v, st, rng| {
+            *st = fold_hash(*st, rng.gen::<u64>() ^ v as u64);
+            if rng.gen::<f64>() < 0.25 {
+                *st = st.rotate_right(3);
+            }
+        });
+    }
+    scenario("local_step", &mut e);
+    let mut e = engine(600, 606, FailureModel::uniform(0.2).unwrap());
+    for _ in 0..3 {
+        pull_rounds(&mut e, 1);
+        push_rounds(&mut e, 1);
+        push_pull_rounds(&mut e, 1);
+        let samples = e.collect_samples(2, |_, &s| s);
+        e.local_step(|v, st, rng| {
+            for &s in &samples[v] {
+                *st = fold_hash(*st, s);
+            }
+            if rng.gen::<f64>() < 0.25 {
+                *st = st.rotate_right(3);
+            }
+        });
+    }
+    scenario("mixed", &mut e);
+    let mut e = engine(20_000, 707, FailureModel::None);
+    pull_rounds(&mut e, 2);
+    push_rounds(&mut e, 2);
+    push_pull_rounds(&mut e, 2);
+    scenario("large", &mut e);
+    let mut e = engine(20_000, 808, FailureModel::uniform(0.25).unwrap());
+    pull_rounds(&mut e, 2);
+    push_rounds(&mut e, 2);
+    push_pull_rounds(&mut e, 2);
+    scenario("large_failures", &mut e);
+}

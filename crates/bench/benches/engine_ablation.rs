@@ -1,10 +1,91 @@
-//! Ablation: the per-node `ProtocolRunner` path vs the direct `Engine` rounds
-//! used by the algorithms, on the same rumor-spreading task. Demonstrates that
-//! the faster path does not change the dynamics (same rounds to convergence,
-//! statistically) while quantifying its overhead difference.
+//! Two ablations of the engine's round machinery:
+//!
+//! 1. **Per-pass round costs** (`engine_rounds`): the steady-state cost of one
+//!    round of each primitive — pull (a single fused double-buffer dispatch),
+//!    push and push–pull (sender pass + CSR bucketing + fused delivery pass),
+//!    and `local_step` — with and without failure injection, so a change to
+//!    any pass (snapshot fusion, CSR parallelisation, RNG keying, failure
+//!    specialisation) is visible per primitive instead of only through whole
+//!    benchmarks.
+//! 2. **Dispatch overhead** (`engine_ablation`): the per-node `ProtocolRunner`
+//!    path vs the direct `Engine` rounds used by the algorithms, on the same
+//!    rumor-spreading task — demonstrating that the faster path does not
+//!    change the dynamics while quantifying its overhead difference.
+//!
+//! Set `ENGINE_ABLATION_QUICK=1` (CI's bench smoke step does) to shrink the
+//! sizes and sample counts so a run finishes in seconds — enough to catch
+//! bit-rot, not enough for stable numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gossip_net::{Engine, EngineConfig, NodeProtocol, ProtocolRunner};
+use gossip_net::{Engine, EngineConfig, FailureModel, NodeProtocol, ProtocolRunner};
+
+fn quick() -> bool {
+    std::env::var_os("ENGINE_ABLATION_QUICK").is_some_and(|v| v != "0")
+}
+
+fn round_engine(n: usize, failure: FailureModel) -> Engine<u64> {
+    let config = EngineConfig::with_seed(7).failure(failure);
+    Engine::from_states((0..n as u64).collect(), config)
+}
+
+fn bench_round_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    group.sample_size(if quick() { 3 } else { 10 });
+    let sizes: &[usize] = if quick() {
+        &[1 << 12]
+    } else {
+        &[1 << 12, 1 << 14, 1 << 17]
+    };
+    for &n in sizes {
+        for (label, failure) in [
+            ("", FailureModel::None),
+            ("_mu0.2", FailureModel::uniform(0.2).expect("valid p")),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pull_round{label}"), n),
+                &n,
+                |b, _| {
+                    let mut e = round_engine(n, failure.clone());
+                    b.iter(|| {
+                        e.pull_round(
+                            |_, &s| s,
+                            |_, st, p| {
+                                if let Some(p) = p {
+                                    *st = (*st).max(p);
+                                }
+                            },
+                        )
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("push_round{label}"), n),
+                &n,
+                |b, _| {
+                    let mut e = round_engine(n, failure.clone());
+                    b.iter(|| {
+                        e.push_round(|_, &s| Some(s), |_, st, m| *st = (*st).max(m), |_, _, _| {})
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("push_pull_round{label}"), n),
+                &n,
+                |b, _| {
+                    let mut e = round_engine(n, failure.clone());
+                    b.iter(|| e.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m)));
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("local_step", n), &n, |b, _| {
+            let mut e = round_engine(n, FailureModel::None);
+            b.iter(|| {
+                e.local_step(|v, st, _| *st = st.wrapping_add(v as u64));
+            });
+        });
+    }
+    group.finish();
+}
 
 #[derive(Debug, Clone)]
 struct MaxSpread {
@@ -33,8 +114,13 @@ impl NodeProtocol for MaxSpread {
 
 fn bench_engine_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_ablation");
-    group.sample_size(10);
-    for &n in &[1usize << 12, 1 << 14] {
+    group.sample_size(if quick() { 3 } else { 10 });
+    let sizes: &[usize] = if quick() {
+        &[1 << 12]
+    } else {
+        &[1 << 12, 1 << 14]
+    };
+    for &n in sizes {
         group.bench_with_input(BenchmarkId::new("direct_engine", n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -73,5 +159,5 @@ fn bench_engine_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_ablation);
+criterion_group!(benches, bench_round_primitives, bench_engine_ablation);
 criterion_main!(benches);

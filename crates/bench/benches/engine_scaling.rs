@@ -10,7 +10,10 @@
 //!
 //! Besides the usual criterion output, this bench writes `BENCH_engine.json`
 //! (in the workspace root, or `$BENCH_ENGINE_JSON`) so future PRs have a perf
-//! trajectory to compare against:
+//! trajectory to compare against. Each JSON row reports the **median** of
+//! five warmed measurements plus their sample standard deviation (`std_1t` /
+//! `std_mt`), so regressions can be judged against run-to-run noise instead
+//! of a single best-of number:
 //!
 //! ```text
 //! cargo bench -p bench --bench engine_scaling
@@ -94,31 +97,41 @@ fn bench_engine_scaling(c: &mut Criterion) {
                 },
             );
         }
-        // A clean measurement pair for the JSON report, outside criterion's
-        // sampling so the numbers are directly comparable across PRs. Best of
-        // three repetitions per configuration: host contention shows up as
-        // slow outliers, and the trajectory should track the machine's
-        // capability, not its load.
-        let best = |threads: usize| {
-            (0..3)
+        // A clean measurement set for the JSON report, outside criterion's
+        // sampling so the numbers are directly comparable across PRs: one
+        // warm-up measurement, then five samples summarised as median ± std
+        // dev (host contention shows up as outliers the median resists, and
+        // the std dev records how noisy the run was).
+        let measure = |threads: usize| {
+            let _warmup = measure_pull_rounds_per_sec(n, threads, rounds);
+            let samples: Vec<f64> = (0..5)
                 .map(|_| measure_pull_rounds_per_sec(n, threads, rounds))
-                .fold(0.0f64, f64::max)
+                .collect();
+            criterion::stats::summary(&samples).expect("five samples")
         };
-        let single = best(1);
-        let multi = best(threads_mt);
+        let single = measure(1);
+        let multi = measure(threads_mt);
         let identical = final_states(n, 1, rounds) == final_states(n, threads_mt, rounds);
         assert!(identical, "thread count changed the execution at n = {n}");
         println!(
-            "engine_scaling n={n}: {single:.2} rounds/s @1t, {multi:.2} rounds/s @{threads_mt}t \
+            "engine_scaling n={n}: {:.2}±{:.2} rounds/s @1t, {:.2}±{:.2} rounds/s @{threads_mt}t \
              ({host_cores} host cores; speedup {:.2}x, deterministic: {identical})",
-            multi / single
+            single.median,
+            single.std_dev,
+            multi.median,
+            multi.std_dev,
+            multi.median / single.median
         );
         report_rows.push(format!(
             "    {{\"n\": {n}, \"threads\": {threads_mt}, \"host_cores\": {host_cores}, \
-             \"rounds_per_sec_1t\": {single:.3}, \
-             \"rounds_per_sec_mt\": {multi:.3}, \"speedup\": {:.3}, \
+             \"rounds_per_sec_1t\": {:.3}, \"std_1t\": {:.3}, \
+             \"rounds_per_sec_mt\": {:.3}, \"std_mt\": {:.3}, \"speedup\": {:.3}, \
              \"deterministic_across_threads\": {identical}}}",
-            multi / single
+            single.median,
+            single.std_dev,
+            multi.median,
+            multi.std_dev,
+            multi.median / single.median
         ));
     }
     group.finish();

@@ -10,7 +10,11 @@
 //!
 //! Differences from upstream, by design: no statistical outlier analysis, no
 //! HTML reports, no baseline storage — each benchmark runs `sample_size`
-//! timed iterations after one warm-up and prints min / mean / max wall time.
+//! timed iterations after a warm-up phase (up to three runs, stopping early
+//! once ~200 ms of warm-up has elapsed) and prints min / median / max wall
+//! time plus mean ± standard deviation. The [`stats`] module exposes the
+//! same summary statistics for benches that do their own measurement (e.g.
+//! the `engine_scaling` report writer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +23,55 @@ use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Summary statistics over measurement samples (no upstream counterpart as a
+/// public API; kept dependency-free for the report-writing benches).
+pub mod stats {
+    /// Five-figure summary of a sample set.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Summary {
+        /// Smallest sample.
+        pub min: f64,
+        /// Median (mean of the two central order statistics for even sizes).
+        pub median: f64,
+        /// Arithmetic mean.
+        pub mean: f64,
+        /// Sample standard deviation (the `n − 1` estimator; 0 for a single
+        /// sample).
+        pub std_dev: f64,
+        /// Largest sample.
+        pub max: f64,
+    }
+
+    /// Computes the [`Summary`] of `samples`; `None` when empty.
+    pub fn summary(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN benchmark sample"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / n;
+        let std_dev = if sorted.len() < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        };
+        Some(Summary {
+            min: sorted[0],
+            median,
+            mean,
+            std_dev,
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
 
 /// Harness entry point, mirroring `criterion::Criterion`.
 #[derive(Debug)]
@@ -107,12 +160,15 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut bencher);
-        match summarize(&bencher.samples) {
-            Some((min, mean, max)) => println!(
-                "{full:<60} time: [{} {} {}]",
-                fmt_duration(min),
-                fmt_duration(mean),
-                fmt_duration(max)
+        let secs: Vec<f64> = bencher.samples.iter().map(Duration::as_secs_f64).collect();
+        match stats::summary(&secs) {
+            Some(s) => println!(
+                "{full:<60} time: [{} {} {}] mean {} ± {}",
+                fmt_seconds(s.min),
+                fmt_seconds(s.median),
+                fmt_seconds(s.max),
+                fmt_seconds(s.mean),
+                fmt_seconds(s.std_dev),
             ),
             None => println!("{full:<60} (no samples)"),
         }
@@ -127,9 +183,23 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    /// How many warm-up runs [`Bencher::iter`] performs at most.
+    pub const MAX_WARMUP_RUNS: usize = 3;
+    /// Elapsed warm-up time after which no further warm-up runs start.
+    pub const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+
+    /// Runs a warm-up phase (up to [`Self::MAX_WARMUP_RUNS`] runs, stopping
+    /// early once [`Self::WARMUP_BUDGET`] has elapsed — caches and branch
+    /// predictors settle, and slow benchmarks are not warmed for longer than
+    /// they are measured), then `sample_size` timed iterations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        black_box(f());
+        let warmup_start = Instant::now();
+        for _ in 0..Self::MAX_WARMUP_RUNS {
+            black_box(f());
+            if warmup_start.elapsed() >= Self::WARMUP_BUDGET {
+                break;
+            }
+        }
         self.samples.clear();
         self.samples.reserve(self.sample_size);
         for _ in 0..self.sample_size {
@@ -192,26 +262,16 @@ impl From<String> for BenchmarkId {
     }
 }
 
-fn summarize(samples: &[Duration]) -> Option<(Duration, Duration, Duration)> {
-    if samples.is_empty() {
-        return None;
-    }
-    let min = *samples.iter().min().expect("non-empty");
-    let max = *samples.iter().max().expect("non-empty");
-    let total: Duration = samples.iter().sum();
-    Some((min, total / samples.len() as u32, max))
-}
-
-fn fmt_duration(d: Duration) -> String {
-    let nanos = d.as_nanos();
-    if nanos < 1_000 {
-        format!("{nanos} ns")
-    } else if nanos < 1_000_000 {
-        format!("{:.2} µs", nanos as f64 / 1e3)
-    } else if nanos < 1_000_000_000 {
-        format!("{:.2} ms", nanos as f64 / 1e6)
+fn fmt_seconds(secs: f64) -> String {
+    let nanos = secs * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.0} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1e6)
     } else {
-        format!("{:.2} s", nanos as f64 / 1e9)
+        format!("{:.2} s", nanos / 1e9)
     }
 }
 
@@ -249,7 +309,24 @@ mod tests {
         let mut runs = 0u32;
         b.iter(|| runs += 1);
         assert_eq!(b.samples.len(), 5);
-        assert_eq!(runs, 6); // warm-up + 5 samples
+        // At least one warm-up run always happens before the samples; a fast
+        // closure normally gets the full warm-up phase, but a descheduled
+        // test thread may exhaust the time budget earlier, so only bound it.
+        assert!(runs > 5 && runs <= Bencher::MAX_WARMUP_RUNS as u32 + 5);
+    }
+
+    #[test]
+    fn warmup_stops_early_for_slow_benchmarks() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 1,
+        };
+        let mut runs = 0u32;
+        b.iter(|| {
+            runs += 1;
+            std::thread::sleep(Bencher::WARMUP_BUDGET);
+        });
+        assert_eq!(runs, 2); // one warm-up run (budget exhausted) + 1 sample
     }
 
     #[test]
@@ -261,12 +338,22 @@ mod tests {
 
     #[test]
     fn summary_of_samples() {
-        let s = [Duration::from_nanos(10), Duration::from_nanos(30)];
-        let (min, mean, max) = summarize(&s).unwrap();
-        assert_eq!(min, Duration::from_nanos(10));
-        assert_eq!(mean, Duration::from_nanos(20));
-        assert_eq!(max, Duration::from_nanos(30));
-        assert!(summarize(&[]).is_none());
+        let s = stats::summary(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.5); // even size: mean of the central pair
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.max, 4.0);
+        // Sample (n−1) standard deviation of {1,2,3,4}.
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+
+        let odd = stats::summary(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(odd.median, 3.0);
+
+        let single = stats::summary(&[7.0]).unwrap();
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.median, 7.0);
+
+        assert!(stats::summary(&[]).is_none());
     }
 
     #[test]

@@ -52,7 +52,7 @@
 //! (`serve`, `make`, `apply`, `fold`, `merge`, `after`) must therefore be
 //! `Fn + Sync`, and they must uphold the gossip model's locality: a closure
 //! may only mutate the state slot it is handed (its own node) and may only
-//! *read* other nodes' states through the pre-round snapshot the engine
+//! *read* other nodes' states through the pre-round state buffer the engine
 //! passes it. `serve`/`make` may be invoked more than once per node per round
 //! (the push paths recompute messages instead of buffering them), so they
 //! must be **pure** functions of `(node, state)` — cheap, deterministic, and
@@ -63,22 +63,59 @@
 //! overhead would dominate); [`Engine::set_threads`] overrides the choice
 //! either way.
 //!
+//! ## Pass structure: double-buffered rounds
+//!
+//! The engine holds **two** state vectors — `states` (the current, pre-round
+//! values) and `next` (the back buffer). A communication round runs the
+//! minimum number of pool dispatches, each a single pass over the nodes:
+//!
+//! * **pull** — *one* dispatch: each node's task clones its pre-round state
+//!   from `states` into its `next` slot, serves/applies against it while
+//!   reading peers from the immutable `states`, and the engine swaps the two
+//!   vectors afterwards. (Earlier engines refreshed a separate snapshot in
+//!   its own dispatch first — a full extra `O(n)` pass per round.)
+//! * **push** — two dispatches around the CSR bucketing: one pass decides
+//!   every sender's outcome (silent / failed / target) into the target
+//!   scratch, the deliveries are counting-sorted receiver-major, and one
+//!   fused pass clones each receiver's state into `next`, folds its incoming
+//!   messages (ascending sender order) and runs `after`. Swap.
+//! * **push–pull** — the same two dispatches; the second pass merges the
+//!   pulled message first, then the pushed ones.
+//!
+//! Inside every pass the loop-invariant work is hoisted: the
+//! `(seed, round, stream)` RNG prefix is absorbed once per round
+//! ([`crate::rng::NodeRng::key_prefix`] — per-node keying is one
+//! xor-multiply and one finalizer instead of three finalizers), and the
+//! failure model is matched once per chunk, with a dedicated no-failure loop
+//! when the model is [`FailureModel::None`] (engines normalise never-firing
+//! models to `None` at construction).
+//!
+//! The CSR bucketing itself is sequential below [`Engine::PAR_MIN_NODES`] (two
+//! linear passes over `u32` buffers) and parallel above it: per-chunk
+//! histograms, an exclusive prefix scan over power-of-two receiver ranges,
+//! and chunk-major placement — which preserves the stable ascending-sender
+//! fold order bit for bit, because sender chunks are ascending and each chunk
+//! places its senders in ascending order within its reserved spans.
+//!
 //! ## Allocation discipline
 //!
-//! All `O(n)` scratch (contact targets, CSR delivery buckets, the pre-round
-//! state snapshot) lives in buffers owned by the engine, sized once at
-//! construction (the snapshot on the first round) and reused forever after:
+//! All `O(n)` scratch (contact targets, CSR delivery buckets, the `next`
+//! state buffer) lives in buffers owned by the engine, sized once at
+//! construction (`next` on the first round; the parallel-CSR histogram, sized
+//! `chunks × n` with the chunk count capped at 8, on the first parallel push
+//! round) and reused forever after:
 //! steady-state rounds perform **no size-`n` allocations**. The only per-round
 //! heap traffic is `O(threads)` chunk/slot bookkeeping per dispatched map —
 //! and whatever the caller's own state clones cost for non-`Copy` states.
 //!
-//! The snapshot `clone_from` is the price of running serve and apply fused in
-//! one parallel pass (closures read other nodes only through the immutable
-//! snapshot while mutating their own slot); for `Copy` states it is a
-//! parallel memcpy. States holding buffers (doubling, compactor) pay a real
-//! per-round copy — matching what their own `serve` closures already clone
-//! per message — so if a heavy-state workload ever dominates, the documented
-//! alternative is a message-buffer path specialised for cheap snapshots.
+//! The per-slot `clone_from` into `next` is the price of running serve and
+//! apply fused in one parallel pass (closures read other nodes only through
+//! the immutable front buffer while writing their own back-buffer slot); for
+//! `Copy` states it is a parallel memcpy. States holding buffers (doubling,
+//! compactor) pay a real per-round copy — matching what their own `serve`
+//! closures already clone per message — so if a heavy-state workload ever
+//! dominates, the documented alternative is a message-buffer path specialised
+//! for cheap snapshots.
 
 use crate::error::{GossipError, Result};
 use crate::failure::FailureModel;
@@ -88,6 +125,7 @@ use crate::par;
 use crate::pool::WorkerPool;
 use crate::rng::NodeRng;
 use crate::NodeId;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Sentinel in the target scratch buffer: the node failed this round.
@@ -176,12 +214,14 @@ impl Default for EngineConfig {
 ///
 /// See the [module documentation](self) for the communication, randomness and
 /// parallelism contracts.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine<S> {
+    /// The current node states (the front buffer; what peers are read from
+    /// during a round).
     states: Vec<S>,
-    /// Pre-round copy of `states`, refreshed (in place) at the start of every
-    /// communication round; what `serve`/`make` closures read.
-    snapshot: Vec<S>,
+    /// The back buffer a round writes into before the post-round swap with
+    /// `states`; lazily sized on the first communication round.
+    next: Vec<S>,
     seed: u64,
     threads: usize,
     /// The persistent worker pool rounds dispatch on; constructed once (or
@@ -194,15 +234,52 @@ pub struct Engine<S> {
     local_epochs: u64,
     /// Per-sender contact target (push target in push–pull), or a sentinel.
     scratch_targets: Vec<u32>,
-    /// Per-puller contact target in push–pull rounds; CSR cursors in push.
+    /// Per-puller contact target in push–pull rounds.
     scratch_pull: Vec<u32>,
     /// CSR bucket offsets: deliveries for receiver `u` occupy
-    /// `scratch_senders[offsets[u]..offsets[u + 1]]`.
-    scratch_offsets: Vec<u32>,
-    /// CSR placement cursors (counting-sort scratch).
-    scratch_cursors: Vec<u32>,
+    /// `scratch_senders[offsets[u]..offsets[u + 1]]`. Atomic because the
+    /// parallel bucketing passes write them from `pool.run` tasks (every slot
+    /// has exactly one writer per pass; all accesses are `Relaxed`, ordered
+    /// across passes by the pool's quiescence barrier).
+    scratch_offsets: Vec<AtomicU32>,
+    /// CSR placement cursors: `n` entries for the sequential counting sort,
+    /// grown to `chunks × n` (chunk-major) by the parallel bucketing.
+    scratch_cursors: Vec<AtomicU32>,
     /// Sender ids, grouped by receiver, in ascending sender order.
-    scratch_senders: Vec<u32>,
+    scratch_senders: Vec<AtomicU32>,
+    /// Parallel-CSR per-chunk histograms (chunk-major, `chunks × n`); empty
+    /// until the first parallel push round.
+    scratch_hist: Vec<u32>,
+}
+
+/// A zeroed atomic scratch buffer (scratch holds no cross-round state, so
+/// clones start from zero).
+fn atomic_zeroed(len: usize) -> Vec<AtomicU32> {
+    (0..len).map(|_| AtomicU32::new(0)).collect()
+}
+
+impl<S: Clone> Clone for Engine<S> {
+    fn clone(&self) -> Self {
+        Engine {
+            states: self.states.clone(),
+            // Post-swap, `next` holds stale data no round ever reads before
+            // overwriting; `ensure_next` re-sizes the empty buffer lazily.
+            next: Vec::new(),
+            seed: self.seed,
+            threads: self.threads,
+            pool: Arc::clone(&self.pool),
+            failure: self.failure.clone(),
+            metrics: self.metrics,
+            round: self.round,
+            local_epochs: self.local_epochs,
+            scratch_targets: self.scratch_targets.clone(),
+            scratch_pull: self.scratch_pull.clone(),
+            scratch_offsets: atomic_zeroed(self.scratch_offsets.len()),
+            scratch_cursors: atomic_zeroed(self.scratch_cursors.len()),
+            scratch_senders: atomic_zeroed(self.scratch_senders.len()),
+            scratch_hist: vec![0; self.scratch_hist.len()],
+        }
+    }
 }
 
 impl<S> Engine<S> {
@@ -251,19 +328,22 @@ impl<S> Engine<S> {
             .unwrap_or_else(|| Arc::new(WorkerPool::new(threads)));
         Ok(Engine {
             states,
-            snapshot: Vec::new(),
+            next: Vec::new(),
             seed: config.seed,
             threads,
             pool,
-            failure: config.failure,
+            // Models that can never fire are canonicalised to `None` here so
+            // the rounds' dedicated no-failure loops apply to them.
+            failure: config.failure.normalized(),
             metrics: Metrics::new(),
             round: 0,
             local_epochs: 0,
             scratch_targets: vec![0; n],
             scratch_pull: vec![0; n],
-            scratch_offsets: vec![0; n + 1],
-            scratch_cursors: vec![0; n],
-            scratch_senders: vec![0; n],
+            scratch_offsets: atomic_zeroed(n + 1),
+            scratch_cursors: atomic_zeroed(n),
+            scratch_senders: atomic_zeroed(n),
+            scratch_hist: Vec::new(),
         })
     }
 
@@ -369,7 +449,8 @@ impl<S: Send> Engine<S> {
         F: Fn(NodeId, &mut S, &mut NodeRng) + Sync,
     {
         self.local_epochs += 1;
-        let (seed, epoch, threads) = (self.seed, self.local_epochs, self.threads);
+        let threads = self.threads;
+        let prefix = NodeRng::key_prefix(self.seed, self.local_epochs, NodeRng::STREAM_LOCAL);
         par::for_chunks(
             &self.pool,
             &mut self.states,
@@ -378,7 +459,7 @@ impl<S: Send> Engine<S> {
             |start, chunk| {
                 for (j, state) in chunk.iter_mut().enumerate() {
                     let v = start + j;
-                    let mut rng = NodeRng::keyed(seed, epoch, v as u64, NodeRng::STREAM_LOCAL);
+                    let mut rng = prefix.node(v as u64);
                     f(v, state, &mut rng);
                 }
             },
@@ -388,25 +469,11 @@ impl<S: Send> Engine<S> {
 }
 
 impl<S: Clone + Send + Sync> Engine<S> {
-    /// Brings `snapshot` up to date with `states` (in place after the first
-    /// round; the one size-`n` allocation happens on that first call).
-    fn refresh_snapshot(&mut self) {
-        if self.snapshot.len() == self.states.len() {
-            let (snapshot, states) = (&mut self.snapshot, &self.states);
-            par::for_chunks(
-                &self.pool,
-                snapshot,
-                self.threads,
-                (),
-                |start, chunk| {
-                    for (j, slot) in chunk.iter_mut().enumerate() {
-                        slot.clone_from(&states[start + j]);
-                    }
-                },
-                |(), ()| (),
-            );
-        } else {
-            self.snapshot = self.states.clone();
+    /// Sizes the back buffer on the first communication round (the one
+    /// size-`n` allocation; every later round reuses it in place).
+    fn ensure_next(&mut self) {
+        if self.next.len() != self.states.len() {
+            self.next = self.states.clone();
         }
     }
 
@@ -414,10 +481,15 @@ impl<S: Clone + Send + Sync> Engine<S> {
     ///
     /// Every node `v` contacts a uniformly random other node `t(v)`. The
     /// message served by `t(v)` is `serve(t(v), &states[t(v)])`, computed from
-    /// the snapshot of states at the start of the round. Then
+    /// the state of `t(v)` at the start of the round. Then
     /// `apply(v, &mut states[v], Some(msg))` is called for every node that
     /// succeeded, and `apply(v, .., None)` for every node whose operation
     /// failed under the failure model.
+    ///
+    /// The whole round is **one** pool dispatch: each node's task clones its
+    /// pre-round state into the back buffer, applies the update there while
+    /// reading peers from the front buffer, and the buffers swap afterwards
+    /// (see the module docs' pass structure).
     ///
     /// `serve` must be pure (see the module docs); `apply` may only mutate the
     /// state it is handed.
@@ -432,29 +504,46 @@ impl<S: Clone + Send + Sync> Engine<S> {
         let n = self.n();
         self.metrics.record_round(RoundKind::Pull);
         self.round += 1;
-        self.refresh_snapshot();
+        self.ensure_next();
 
-        let (seed, round, threads) = (self.seed, self.round, self.threads);
-        let (snapshot, failure) = (&self.snapshot, &self.failure);
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
         let delta = par::for_chunks(
             &self.pool,
-            &mut self.states,
+            &mut self.next,
             threads,
             Metrics::default(),
             |start, chunk| {
                 let mut local = Metrics::default();
-                for (j, state) in chunk.iter_mut().enumerate() {
-                    let v = start + j;
-                    let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
-                    local.record_attempt(RoundKind::Pull);
-                    if failure.fails(v, round, &mut rng) {
-                        local.record_failure();
-                        apply(v, state, None);
-                    } else {
+                if reliable {
+                    // Dedicated no-failure loop: no coin, no model match.
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let v = start + j;
+                        slot.clone_from(&states[v]);
+                        let mut rng = prefix.node(v as u64);
+                        local.record_attempt(RoundKind::Pull);
                         let t = Self::random_other_node(&mut rng, n, v);
-                        let msg = serve(t, &snapshot[t]);
+                        let msg = serve(t, &states[t]);
                         local.record_delivery(msg.message_bits());
-                        apply(v, state, Some(msg));
+                        apply(v, slot, Some(msg));
+                    }
+                } else {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let v = start + j;
+                        slot.clone_from(&states[v]);
+                        let mut rng = prefix.node(v as u64);
+                        local.record_attempt(RoundKind::Pull);
+                        if failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            apply(v, slot, None);
+                        } else {
+                            let t = Self::random_other_node(&mut rng, n, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            apply(v, slot, Some(msg));
+                        }
                     }
                 }
                 local
@@ -462,6 +551,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
             |a, b| a + b,
         );
         self.metrics = self.metrics + delta;
+        std::mem::swap(&mut self.states, &mut self.next);
         delta.failed_operations as usize
     }
 
@@ -490,12 +580,15 @@ impl<S: Clone + Send + Sync> Engine<S> {
         let n = self.n();
         self.metrics.record_round(RoundKind::Push);
         self.round += 1;
-        self.refresh_snapshot();
+        self.ensure_next();
 
-        let (seed, round, threads) = (self.seed, self.round, self.threads);
-        let (snapshot, failure) = (&self.snapshot, &self.failure);
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
 
-        // Pass 1: every sender decides its outcome (silent / failed / target).
+        // Pass 1: every sender decides its outcome (silent / failed / target),
+        // reading its own pre-round state from the front buffer.
         let delta = par::for_chunks(
             &self.pool,
             &mut self.scratch_targets,
@@ -505,7 +598,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
                 let mut local = Metrics::default();
                 for (j, slot) in chunk.iter_mut().enumerate() {
                     let v = start + j;
-                    let msg = match make(v, &snapshot[v]) {
+                    let msg = match make(v, &states[v]) {
                         Some(m) => m,
                         None => {
                             *slot = TARGET_SILENT;
@@ -513,8 +606,8 @@ impl<S: Clone + Send + Sync> Engine<S> {
                         }
                     };
                     local.record_attempt(RoundKind::Push);
-                    let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
-                    if failure.fails(v, round, &mut rng) {
+                    let mut rng = prefix.node(v as u64);
+                    if !reliable && failure.fails(v, round, &mut rng) {
                         local.record_failure();
                         *slot = TARGET_FAILED;
                     } else {
@@ -529,14 +622,10 @@ impl<S: Clone + Send + Sync> Engine<S> {
         );
         self.metrics = self.metrics + delta;
 
-        // Bucket deliveries by receiver (CSR), then fold + after per receiver.
-        Self::build_csr(
-            &self.scratch_targets,
-            n,
-            &mut self.scratch_offsets,
-            &mut self.scratch_cursors,
-            &mut self.scratch_senders,
-        );
+        // Bucket deliveries by receiver (CSR), then clone + fold + after per
+        // receiver in one fused pass over the back buffer.
+        self.bucket_deliveries(n);
+        let states = &self.states;
         let (targets, offsets, senders) = (
             &self.scratch_targets,
             &self.scratch_offsets,
@@ -544,22 +633,27 @@ impl<S: Clone + Send + Sync> Engine<S> {
         );
         par::for_chunks(
             &self.pool,
-            &mut self.states,
+            &mut self.next,
             threads,
             (),
             |start, chunk| {
-                for (j, state) in chunk.iter_mut().enumerate() {
+                for (j, slot) in chunk.iter_mut().enumerate() {
                     let u = start + j;
-                    for &v in &senders[offsets[u] as usize..offsets[u + 1] as usize] {
-                        if let Some(msg) = make(v as usize, &snapshot[v as usize]) {
-                            fold(u, state, msg);
+                    slot.clone_from(&states[u]);
+                    let lo = offsets[u].load(Ordering::Relaxed) as usize;
+                    let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
+                    for s in &senders[lo..hi] {
+                        let v = s.load(Ordering::Relaxed) as usize;
+                        if let Some(msg) = make(v, &states[v]) {
+                            fold(u, slot, msg);
                         }
                     }
-                    after(u, state, (targets[u] as usize) < n);
+                    after(u, slot, (targets[u] as usize) < n);
                 }
             },
             |(), ()| (),
         );
+        std::mem::swap(&mut self.states, &mut self.next);
         delta.failed_operations as usize
     }
 
@@ -582,10 +676,12 @@ impl<S: Clone + Send + Sync> Engine<S> {
         let n = self.n();
         self.metrics.record_round(RoundKind::PushPull);
         self.round += 1;
-        self.refresh_snapshot();
+        self.ensure_next();
 
-        let (seed, round, threads) = (self.seed, self.round, self.threads);
-        let (snapshot, failure) = (&self.snapshot, &self.failure);
+        let (round, threads) = (self.round, self.threads);
+        let failure = &self.failure;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
 
         // Pass 1: every node draws its failure coin, pull target, push target.
         // Delivery metrics are recorded in pass 2, where the messages are
@@ -598,17 +694,28 @@ impl<S: Clone + Send + Sync> Engine<S> {
             Metrics::default(),
             |start, push_chunk, pull_chunk| {
                 let mut local = Metrics::default();
-                for j in 0..push_chunk.len() {
-                    let v = start + j;
-                    local.record_attempt(RoundKind::PushPull);
-                    let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
-                    if failure.fails(v, round, &mut rng) {
-                        local.record_failure();
-                        push_chunk[j] = TARGET_FAILED;
-                        pull_chunk[j] = TARGET_FAILED;
-                    } else {
+                if reliable {
+                    // Dedicated no-failure loop: no coin, no model match.
+                    for j in 0..push_chunk.len() {
+                        let v = start + j;
+                        local.record_attempt(RoundKind::PushPull);
+                        let mut rng = prefix.node(v as u64);
                         pull_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
                         push_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
+                    }
+                } else {
+                    for j in 0..push_chunk.len() {
+                        let v = start + j;
+                        local.record_attempt(RoundKind::PushPull);
+                        let mut rng = prefix.node(v as u64);
+                        if failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            push_chunk[j] = TARGET_FAILED;
+                            pull_chunk[j] = TARGET_FAILED;
+                        } else {
+                            pull_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
+                            push_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
+                        }
                     }
                 }
                 local
@@ -617,13 +724,8 @@ impl<S: Clone + Send + Sync> Engine<S> {
         );
         self.metrics = self.metrics + delta;
 
-        Self::build_csr(
-            &self.scratch_targets,
-            n,
-            &mut self.scratch_offsets,
-            &mut self.scratch_cursors,
-            &mut self.scratch_senders,
-        );
+        self.bucket_deliveries(n);
+        let states = &self.states;
         let (pulls, offsets, senders) = (
             &self.scratch_pull,
             &self.scratch_offsets,
@@ -631,24 +733,28 @@ impl<S: Clone + Send + Sync> Engine<S> {
         );
         let deliveries = par::for_chunks(
             &self.pool,
-            &mut self.states,
+            &mut self.next,
             threads,
             Metrics::default(),
             |start, chunk| {
                 let mut local = Metrics::default();
-                for (j, state) in chunk.iter_mut().enumerate() {
+                for (j, slot) in chunk.iter_mut().enumerate() {
                     let u = start + j;
+                    slot.clone_from(&states[u]);
                     let t_pull = pulls[u];
                     if t_pull != TARGET_FAILED {
                         let t = t_pull as usize;
-                        let msg = serve(t, &snapshot[t]);
+                        let msg = serve(t, &states[t]);
                         local.record_delivery(msg.message_bits());
-                        merge(u, state, msg);
+                        merge(u, slot, msg);
                     }
-                    for &v in &senders[offsets[u] as usize..offsets[u + 1] as usize] {
-                        let msg = serve(v as usize, &snapshot[v as usize]);
+                    let lo = offsets[u].load(Ordering::Relaxed) as usize;
+                    let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
+                    for s in &senders[lo..hi] {
+                        let v = s.load(Ordering::Relaxed) as usize;
+                        let msg = serve(v, &states[v]);
                         local.record_delivery(msg.message_bits());
-                        merge(u, state, msg);
+                        merge(u, slot, msg);
                     }
                 }
                 local
@@ -656,6 +762,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
             |a, b| a + b,
         );
         self.metrics = self.metrics + deliveries;
+        std::mem::swap(&mut self.states, &mut self.next);
         delta.failed_operations as usize
     }
 
@@ -678,8 +785,10 @@ impl<S: Clone + Send + Sync> Engine<S> {
         for _ in 0..k {
             self.metrics.record_round(RoundKind::Pull);
             self.round += 1;
-            let (seed, round) = (self.seed, self.round);
+            let round = self.round;
             let (states, failure) = (&self.states, &self.failure);
+            let reliable = failure.is_reliable();
+            let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
             let delta = par::for_chunks(
                 &self.pool,
                 &mut collected,
@@ -687,18 +796,31 @@ impl<S: Clone + Send + Sync> Engine<S> {
                 Metrics::default(),
                 |start, chunk| {
                     let mut local = Metrics::default();
-                    for (j, bucket) in chunk.iter_mut().enumerate() {
-                        let v = start + j;
-                        local.record_attempt(RoundKind::Pull);
-                        let mut rng = NodeRng::keyed(seed, round, v as u64, NodeRng::STREAM_ROUND);
-                        if failure.fails(v, round, &mut rng) {
-                            local.record_failure();
-                            continue;
+                    if reliable {
+                        // Dedicated no-failure loop: no coin, no model match.
+                        for (j, bucket) in chunk.iter_mut().enumerate() {
+                            let v = start + j;
+                            local.record_attempt(RoundKind::Pull);
+                            let mut rng = prefix.node(v as u64);
+                            let t = Self::random_other_node(&mut rng, n, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            bucket.push(msg);
                         }
-                        let t = Self::random_other_node(&mut rng, n, v);
-                        let msg = serve(t, &states[t]);
-                        local.record_delivery(msg.message_bits());
-                        bucket.push(msg);
+                    } else {
+                        for (j, bucket) in chunk.iter_mut().enumerate() {
+                            let v = start + j;
+                            local.record_attempt(RoundKind::Pull);
+                            let mut rng = prefix.node(v as u64);
+                            if failure.fails(v, round, &mut rng) {
+                                local.record_failure();
+                                continue;
+                            }
+                            let t = Self::random_other_node(&mut rng, n, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            bucket.push(msg);
+                        }
                     }
                     local
                 },
@@ -712,34 +834,187 @@ impl<S: Clone + Send + Sync> Engine<S> {
     /// Counting-sorts senders into per-receiver CSR buckets: deliveries for
     /// receiver `u` end up in `senders[offsets[u]..offsets[u + 1]]`, in
     /// ascending sender order (the sort is stable). Entries of `targets` that
-    /// are not valid node ids (the sentinels) are skipped. Sequential: two
-    /// linear passes over `u32` buffers, memory-bound and cheap next to the
-    /// parallel passes on either side.
-    fn build_csr(
-        targets: &[u32],
-        n: usize,
-        offsets: &mut [u32],
-        cursors: &mut [u32],
-        senders: &mut [u32],
-    ) {
-        debug_assert_eq!(offsets.len(), n + 1);
-        offsets.fill(0);
-        for &t in targets {
+    /// are not valid node ids (the sentinels) are skipped.
+    ///
+    /// Below [`Engine::PAR_MIN_NODES`] (or at one thread) this is the
+    /// sequential two-pass counting sort; above it, the parallel
+    /// histogram/scan/placement pipeline of [`Engine::bucket_parallel`]. Both
+    /// produce the identical `offsets`/`senders` contents, so the choice is
+    /// invisible in results.
+    fn bucket_deliveries(&mut self, n: usize) {
+        let threads = self.threads.clamp(1, n);
+        if threads > 1 && n >= Self::PAR_MIN_NODES {
+            self.bucket_parallel(n, threads);
+        } else {
+            self.bucket_sequential(n);
+        }
+    }
+
+    /// The sequential counting sort: two linear passes over `u32` buffers.
+    /// (`get_mut` accesses — this thread owns the buffers exclusively.)
+    fn bucket_sequential(&mut self, n: usize) {
+        let offsets = &mut self.scratch_offsets[..=n];
+        for o in offsets.iter_mut() {
+            *o.get_mut() = 0;
+        }
+        for &t in &self.scratch_targets {
             if (t as usize) < n {
-                offsets[t as usize + 1] += 1;
+                *offsets[t as usize + 1].get_mut() += 1;
             }
         }
         for u in 0..n {
-            offsets[u + 1] += offsets[u];
+            let prev = *offsets[u].get_mut();
+            *offsets[u + 1].get_mut() += prev;
         }
-        cursors.copy_from_slice(&offsets[..n]);
-        for (v, &t) in targets.iter().enumerate() {
+        for (cursor, offset) in self.scratch_cursors[..n].iter_mut().zip(offsets.iter_mut()) {
+            *cursor.get_mut() = *offset.get_mut();
+        }
+        for (v, &t) in self.scratch_targets.iter().enumerate() {
             if (t as usize) < n {
-                let c = cursors[t as usize];
-                senders[c as usize] = v as u32;
-                cursors[t as usize] = c + 1;
+                let c = self.scratch_cursors[t as usize].get_mut();
+                let pos = *c;
+                *c = pos + 1;
+                *self.scratch_senders[pos as usize].get_mut() = v as u32;
             }
         }
+    }
+
+    /// Caps the parallel bucketing's sender-chunk count. The scan and cursor
+    /// matrices are `chunks × n`, so the chunk count bounds both their memory
+    /// and the scan's total work (`Θ(chunks · n)`) independently of the
+    /// engine's (up to 256) worker threads; past ~8 chunks the bucketing is
+    /// memory-bound anyway, so extra chunks would add scratch and scan
+    /// traffic without adding speed.
+    const MAX_CSR_CHUNKS: usize = 8;
+
+    /// The parallel bucketing pipeline: per-chunk histograms, an exclusive
+    /// prefix scan over power-of-two receiver ranges, and chunk-major
+    /// placement.
+    ///
+    /// Stability argument: receiver `u`'s bucket is laid out as the
+    /// concatenation of per-sender-chunk spans in ascending chunk order (the
+    /// scan hands chunk `c` the cursor base `offsets[u] + Σ_{c' < c}
+    /// hist[c'][u]`), and each chunk places its senders in ascending order
+    /// within its span — so the bucket is globally ascending in sender id,
+    /// exactly what the sequential counting sort produces.
+    ///
+    /// All cross-task buffers are `AtomicU32` with `Relaxed` accesses: within
+    /// a pass every slot has exactly one writer, and the pool's quiescence
+    /// barrier orders the passes.
+    fn bucket_parallel(&mut self, n: usize, threads: usize) {
+        let chunk_len = n.div_ceil(threads.min(Self::MAX_CSR_CHUNKS));
+        let chunks = n.div_ceil(chunk_len);
+        // Power-of-two receiver ranges, so the histogram pass can bin each
+        // target into its range with a shift instead of a division.
+        let range_len = chunk_len.next_power_of_two();
+        let shift = range_len.trailing_zeros();
+        let ranges = n.div_ceil(range_len);
+
+        let hist_len = chunks * n;
+        if self.scratch_hist.len() < hist_len {
+            self.scratch_hist.resize(hist_len, 0);
+        }
+        if self.scratch_cursors.len() < hist_len {
+            self.scratch_cursors
+                .resize_with(hist_len, || AtomicU32::new(0));
+        }
+
+        // Pass A: per-chunk histograms (task `c` owns `hist[c·n .. (c+1)·n]`)
+        // plus per-range subtotals for the scan bases, returned through the
+        // chunk-order fold.
+        let targets = &self.scratch_targets;
+        let range_rows = par::for_chunks(
+            &self.pool,
+            &mut self.scratch_hist[..hist_len],
+            chunks,
+            Vec::new(),
+            |start, hist_chunk| {
+                let c = start / n;
+                hist_chunk.fill(0);
+                let mut row = vec![0u32; ranges];
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(n);
+                for &t in &targets[lo..hi] {
+                    if (t as usize) < n {
+                        hist_chunk[t as usize] += 1;
+                        row[(t >> shift) as usize] += 1;
+                    }
+                }
+                vec![row]
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+
+        // Exclusive scan of the range totals — O(threads²) sequential work.
+        let mut range_base = vec![0u32; ranges + 1];
+        for r in 0..ranges {
+            let total: u32 = range_rows.iter().map(|row| row[r]).sum();
+            range_base[r + 1] = range_base[r] + total;
+        }
+
+        // Pass B: per-range exclusive scan, writing every receiver's bucket
+        // offset and every (chunk, receiver) placement cursor. The loops run
+        // chunk-column-major so every sweep touches a contiguous slice of the
+        // chunk-major matrices (a receiver-major inner loop would make every
+        // store a stride-`n` cache miss).
+        let hist = &self.scratch_hist;
+        let offsets = &self.scratch_offsets;
+        let cursors = &self.scratch_cursors;
+        let base = &range_base;
+        self.pool.run(ranges, &|r| {
+            let lo = r << shift;
+            let hi = ((r + 1) << shift).min(n);
+            // offsets[u] ← Σ_c hist[c][u], one contiguous sweep per chunk…
+            for (offset, &h) in offsets[lo..hi].iter().zip(&hist[lo..hi]) {
+                offset.store(h, Ordering::Relaxed);
+            }
+            for c in 1..chunks {
+                for u in lo..hi {
+                    let sum = offsets[u].load(Ordering::Relaxed) + hist[c * n + u];
+                    offsets[u].store(sum, Ordering::Relaxed);
+                }
+            }
+            // …then the exclusive scan over the range…
+            let mut running = base[r];
+            for offset in &offsets[lo..hi] {
+                let total = offset.load(Ordering::Relaxed);
+                offset.store(running, Ordering::Relaxed);
+                running += total;
+            }
+            // …and the cursor columns: chunk c's base for receiver u is
+            // offsets[u] + Σ_{c' < c} hist[c'][u].
+            for u in lo..hi {
+                cursors[u].store(offsets[u].load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            for c in 1..chunks {
+                for u in lo..hi {
+                    let prev =
+                        cursors[(c - 1) * n + u].load(Ordering::Relaxed) + hist[(c - 1) * n + u];
+                    cursors[c * n + u].store(prev, Ordering::Relaxed);
+                }
+            }
+        });
+        offsets[n].store(range_base[ranges], Ordering::Relaxed);
+
+        // Pass C: chunk-major stable placement (task `c` advances only its
+        // own cursor column and writes only its senders' reserved slots).
+        let senders = &self.scratch_senders;
+        self.pool.run(chunks, &|c| {
+            let lo = c * chunk_len;
+            let hi = ((c + 1) * chunk_len).min(n);
+            for (dv, &t) in targets[lo..hi].iter().enumerate() {
+                let (v, t) = (lo + dv, t as usize);
+                if t < n {
+                    let cursor = &cursors[c * n + t];
+                    let pos = cursor.load(Ordering::Relaxed);
+                    senders[pos as usize].store(v as u32, Ordering::Relaxed);
+                    cursor.store(pos + 1, Ordering::Relaxed);
+                }
+            }
+        });
     }
 }
 
@@ -885,6 +1160,23 @@ mod tests {
         let total: u64 = e.states().iter().sum();
         assert_eq!(total, 10);
         assert_eq!(e.metrics().pushes_attempted, 10);
+    }
+
+    #[test]
+    fn never_firing_failure_models_normalize_to_none_at_construction() {
+        // The enum variants are public, so a literal `Uniform(0.0)` (which
+        // `FailureModel::uniform` would have canonicalised) must still land
+        // on the engine's no-failure fast loops.
+        let config = EngineConfig::with_seed(1).failure(FailureModel::Uniform(0.0));
+        let e = Engine::from_states(vec![0u64; 4], config);
+        assert!(e.failure_model().is_reliable());
+        let per_node = FailureModel::per_node(vec![0.0; 4]).unwrap();
+        let e = Engine::from_states(vec![0u64; 4], EngineConfig::with_seed(1).failure(per_node));
+        assert!(e.failure_model().is_reliable());
+        // A model that can fire survives normalisation.
+        let config = EngineConfig::with_seed(1).failure(FailureModel::uniform(0.5).unwrap());
+        let e = Engine::from_states(vec![0u64; 4], config);
+        assert!(!e.failure_model().is_reliable());
     }
 
     #[test]

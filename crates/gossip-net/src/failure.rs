@@ -119,6 +119,23 @@ impl FailureModel {
     pub fn is_reliable(&self) -> bool {
         matches!(self, FailureModel::None)
     }
+
+    /// Canonicalises models that can never fire into [`FailureModel::None`].
+    ///
+    /// [`FailureModel::uniform`] already returns `None` for `p = 0`, but the
+    /// enum variants are public, so `FailureModel::Uniform(0.0)` (and an
+    /// all-zero [`FailureModel::PerNode`]) can be constructed directly — and
+    /// would steer the engine onto its per-node coin path for a probability
+    /// that can never fire. The engine normalises its model at construction
+    /// so those models take the dedicated no-failure round loops.
+    /// [`FailureModel::Schedule`] cannot be inspected and is left as-is.
+    pub fn normalized(self) -> Self {
+        match &self {
+            FailureModel::Uniform(p) if *p <= 0.0 => FailureModel::None,
+            FailureModel::PerNode(ps) if ps.iter().all(|&p| p <= 0.0) => FailureModel::None,
+            _ => self,
+        }
+    }
 }
 
 impl fmt::Debug for FailureModel {
@@ -159,6 +176,23 @@ mod tests {
         let m = FailureModel::uniform(0.0).unwrap();
         assert!(m.is_reliable());
         assert_eq!(m.mu_upper_bound(), Some(0.0));
+    }
+
+    #[test]
+    fn normalized_collapses_never_firing_models() {
+        assert!(FailureModel::Uniform(0.0).normalized().is_reliable());
+        assert!(FailureModel::Uniform(-0.5).normalized().is_reliable());
+        assert!(!FailureModel::Uniform(0.1).normalized().is_reliable());
+        assert!(FailureModel::PerNode(Arc::new(vec![0.0; 8]))
+            .normalized()
+            .is_reliable());
+        assert!(!FailureModel::per_node(vec![0.0, 0.2])
+            .unwrap()
+            .normalized()
+            .is_reliable());
+        // Schedules are opaque and must be preserved even when always-zero.
+        let sched = FailureModel::schedule(|_, _| 0.0).normalized();
+        assert!(matches!(sched, FailureModel::Schedule(_)));
     }
 
     #[test]

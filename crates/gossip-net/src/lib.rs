@@ -71,7 +71,7 @@ pub use message::MessageSize;
 pub use metrics::{Metrics, RoundKind};
 pub use pool::WorkerPool;
 pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner};
-pub use rng::{NodeRng, SeedSequence};
+pub use rng::{KeyPrefix, NodeRng, SeedSequence};
 pub use value::{NodeValue, OrderedF64};
 
 /// Identifier of a node in the simulated network (an index in `0..n`).

@@ -79,24 +79,45 @@ where
     F: Fn(usize, &mut [T]) -> A + Sync,
     R: Fn(A, A) -> A,
 {
-    // Delegate to the two-buffer variant with a zero-sized companion, so the
-    // dispatch protocol exists in exactly one place. `Vec<()>` never
-    // allocates and its chunks carry no data.
-    let mut unit = vec![(); data.len()];
-    for_chunks2(
-        pool,
-        data,
-        &mut unit,
-        threads,
-        identity,
-        |start, chunk, _| map(start, chunk),
-        reduce,
-    )
+    // Direct single-buffer dispatch: every engine round runs through here,
+    // so it does not detour through `for_chunks2` with a unit companion (the
+    // companion's chunk table and closure indirection are pure overhead on
+    // the hot path).
+    let n = data.len();
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return reduce(identity, map(0, data));
+    }
+    let chunk = n.div_ceil(threads);
+    // Hand each chunk to its task through a once-takeable cell, and collect
+    // each task's accumulator in its own slot — O(threads) bookkeeping, the
+    // only per-map allocation.
+    let chunks: Vec<Mutex<Option<&mut [T]>>> = data
+        .chunks_mut(chunk)
+        .map(|c| Mutex::new(Some(c)))
+        .collect();
+    let slots: Vec<Mutex<Option<A>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    pool.run(chunks.len(), &|i| {
+        let c = take(&chunks[i]).expect("pool ran a chunk task twice");
+        *slots[i].lock().expect("slot mutex poisoned") = Some(map(i * chunk, c));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let a = take_inner(slot).expect("pool skipped a chunk task");
+        acc = reduce(acc, a);
+    }
+    acc
 }
 
 /// Like [`for_chunks`], but over two equal-length buffers split at the same
 /// boundaries, so `a[start + j]` and `b[start + j]` always land in the same
-/// closure invocation.
+/// closure invocation. Both helpers implement the same dispatch protocol
+/// (once-takeable chunk cells, per-task accumulator slots, chunk-order fold);
+/// [`for_chunks`] keeps a direct single-buffer copy because it is the round
+/// hot path.
 pub fn for_chunks2<T, U, A, F, R>(
     pool: &WorkerPool,
     a: &mut [T],

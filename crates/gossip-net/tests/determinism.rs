@@ -203,6 +203,39 @@ fn local_step_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn parallel_csr_bucketing_is_thread_count_invariant() {
+    // Above Engine::PAR_MIN_NODES, multi-thread push paths bucket deliveries
+    // with the parallel histogram/scan/placement pipeline; 1 thread uses the
+    // sequential counting sort. Both must yield the identical execution.
+    let run = |threads: usize| {
+        let mut e = engine(20_000, 17, FailureModel::uniform(0.15).unwrap());
+        e.set_threads(threads);
+        for _ in 0..2 {
+            e.push_round(
+                |v, &s| if v % 7 == 0 { None } else { Some(s) },
+                |_, st, msg| *st = fold_hash(*st, msg),
+                |_, st, delivered| {
+                    if delivered {
+                        *st = st.rotate_left(1);
+                    }
+                },
+            );
+            e.push_pull_round(|_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
+        }
+        let metrics = e.metrics();
+        (e.into_states(), metrics)
+    };
+    let baseline = run(1);
+    for threads in THREAD_MATRIX {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "{threads}-thread CSR bucketing diverged"
+        );
+    }
+}
+
+#[test]
 fn node_rng_streams_are_independent_of_order_of_use() {
     // Drawing from node 5's stream never perturbs node 6's stream — the
     // property that makes per-chunk execution order irrelevant.

@@ -5,8 +5,14 @@
 //! `std::thread::scope` workers while keeping the seed of each trial a pure
 //! function of the master seed and the trial index, so a single number
 //! reproduces any reported row.
+//!
+//! [`run_topology_trials`] adds the topology axis: the same trial grid
+//! repeated per communication [`Topology`], with **identical per-trial seeds
+//! across topologies** — so topology comparisons are paired (same inputs,
+//! same gossip coins, only the graph differs), the design the
+//! `topology_quantile` bench and `examples/topology_sweep.rs` report from.
 
-use gossip_net::SeedSequence;
+use gossip_net::{SeedSequence, Topology};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -87,6 +93,26 @@ where
         .collect()
 }
 
+/// Runs the full trial grid once per topology and returns the results in
+/// topology-major order (`result[t][i]` is trial `i` under `topologies[t]`).
+///
+/// Trial `i` receives the **same** seed under every topology, so per-trial
+/// differences between topologies are attributable to the graph alone.
+///
+/// # Panics
+///
+/// Panics if any trial panics.
+pub fn run_topology_trials<T, F>(spec: &TrialSpec, topologies: &[Topology], f: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(&Topology, usize, u64) -> T + Sync,
+{
+    topologies
+        .iter()
+        .map(|topology| run_trials(spec, |i, seed| f(topology, i, seed)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +147,27 @@ mod tests {
         };
         let out: Vec<u64> = run_trials(&spec, |_, s| s);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn topology_trials_pair_seeds_across_topologies() {
+        let spec = TrialSpec {
+            master_seed: 5,
+            trials: 8,
+            threads: 4,
+        };
+        let topologies = [Topology::Complete, Topology::ring(2), Topology::Torus2D];
+        let out = run_topology_trials(&spec, &topologies, |t, i, seed| (*t, i, seed));
+        assert_eq!(out.len(), 3);
+        for (t, rows) in out.iter().enumerate() {
+            assert_eq!(rows.len(), 8);
+            for (i, &(topo, trial, seed)) in rows.iter().enumerate() {
+                assert_eq!(topo, topologies[t]);
+                assert_eq!(trial, i);
+                // Same trial index ⇒ same seed under every topology.
+                assert_eq!(seed, out[0][i].2);
+            }
+        }
     }
 
     #[test]

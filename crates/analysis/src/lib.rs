@@ -22,7 +22,7 @@ pub mod report;
 pub mod stats;
 pub mod workload;
 
-pub use experiment::{run_trials, TrialSpec};
+pub use experiment::{run_topology_trials, run_trials, TrialSpec};
 pub use rank::RankOracle;
 pub use report::{Csv, Table};
 pub use stats::Summary;

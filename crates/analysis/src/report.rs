@@ -2,7 +2,10 @@
 //!
 //! The `reproduce` binary prints one table per experiment; EXPERIMENTS.md is
 //! assembled from these tables. CSV output is provided for plotting.
+//! [`round_budget_table`] renders the per-primitive round breakdown that
+//! [`Metrics`] meters (`pull_rounds` / `push_rounds` / `push_pull_rounds`).
 
+use gossip_net::Metrics;
 use std::fmt::Write as _;
 
 /// A simple fixed-width text table.
@@ -78,6 +81,38 @@ impl Table {
     }
 }
 
+/// Renders labelled [`Metrics`] as a round-budget table broken down per
+/// primitive — one row per entry, with total rounds, the per-kind round
+/// counts, and the message/bit totals. This is how an experiment shows
+/// *where* an algorithm's round budget goes (e.g. the exact algorithm's mix
+/// of push-sum pull rounds vs rumor-spreading push–pull rounds).
+pub fn round_budget_table(title: impl Into<String>, entries: &[(String, Metrics)]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "algorithm",
+            "rounds",
+            "pull",
+            "push",
+            "push-pull",
+            "messages",
+            "bits",
+        ],
+    );
+    for (label, m) in entries {
+        table.add_row(&[
+            label.clone(),
+            m.rounds.to_string(),
+            m.pull_rounds.to_string(),
+            m.push_rounds.to_string(),
+            m.push_pull_rounds.to_string(),
+            m.messages_delivered.to_string(),
+            m.bits_delivered.to_string(),
+        ]);
+    }
+    table
+}
+
 /// A minimal CSV writer (comma-separated, quotes fields containing commas).
 #[derive(Debug, Clone, Default)]
 pub struct Csv {
@@ -149,6 +184,24 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new("x", &["a", "b"]);
         t.add_row(&["only one".into()]);
+    }
+
+    #[test]
+    fn round_budget_table_breaks_rounds_down_per_kind() {
+        use gossip_net::{Engine, EngineConfig};
+        let mut e = Engine::from_states((0..32u64).collect(), EngineConfig::with_seed(1));
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        e.push_round(|_, &s| Some(s), |_, _, _| {}, |_, _, _| {});
+        e.push_pull_round(|_, &s| s, |_, _, _| {});
+        let table = round_budget_table("round budget", &[("mixed".to_string(), e.metrics())]);
+        let out = table.render();
+        assert!(out.contains("push-pull"));
+        let row = out.lines().last().unwrap();
+        // rounds=4, pull=2, push=1, push-pull=1.
+        assert!(row.contains("| 4"), "{row}");
+        assert!(row.contains("| 2"), "{row}");
+        assert_eq!(table.len(), 1);
     }
 
     #[test]

@@ -23,10 +23,15 @@
 //!   the closest prior dynamic to the paper's 3-TOURNAMENT.
 //!
 //! Every algorithm takes its input values and an
-//! [`EngineConfig`](gossip_net::EngineConfig) (seed + failure model), runs on
-//! its own [`Engine`](gossip_net::Engine) and reports per-node outputs together
+//! [`EngineConfig`](gossip_net::EngineConfig) (seed + failure model +
+//! communication [`Topology`](gossip_net::Topology)), runs on its own
+//! [`Engine`](gossip_net::Engine) and reports per-node outputs together
 //! with the [`Metrics`](gossip_net::Metrics) it consumed, so round counts and
-//! message bits are directly comparable with the paper's algorithms.
+//! message bits are directly comparable with the paper's algorithms. Like the
+//! paper's algorithms, the baselines run unchanged on non-complete
+//! topologies — their classic `O(log n)` bounds (rumor spreading, push-sum)
+//! hold on expanders but degrade to `Θ(diameter)` behaviour on rings and
+//! grids, which `tests/topology.rs` pins for the rumor baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

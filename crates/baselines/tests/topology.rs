@@ -1,0 +1,39 @@
+//! Baselines off the complete graph: the topology configured on the
+//! [`EngineConfig`] flows through every baseline unchanged, and the classic
+//! complete-graph bounds stop holding exactly where mixing slows down.
+//! (Everything is seed-deterministic, so these are replay checks.)
+
+use baselines::rumor::{spread_min_max, SpreadRounds};
+use gossip_net::{EngineConfig, Topology};
+
+#[test]
+fn rumor_spreading_completes_on_an_expander_in_logarithmic_rounds() {
+    let n = 2_048usize;
+    let values: Vec<u64> = (0..n as u64).collect();
+    // The default 4·log2 n budget, proved for the complete graph, still
+    // suffices on a bounded-degree random regular graph.
+    let config = EngineConfig::with_seed(3).topology(Topology::random_regular(8, 5));
+    let out = spread_min_max(&values, SpreadRounds::default(), config).unwrap();
+    assert!(
+        out.complete,
+        "expander spread incomplete after {} rounds",
+        out.rounds
+    );
+    assert_eq!(out.coverage(0, (n - 1) as u64), 1.0);
+}
+
+#[test]
+fn rumor_spreading_on_a_thin_ring_misses_the_logarithmic_budget() {
+    let n = 2_048usize;
+    let values: Vec<u64> = (0..n as u64).collect();
+    // On a k=1 ring the extrema move O(1) hops per round; the 4·log2 n ≈ 44
+    // round budget cannot cover the Θ(n) diameter.
+    let config = EngineConfig::with_seed(3).topology(Topology::ring(1));
+    let out = spread_min_max(&values, SpreadRounds::default(), config).unwrap();
+    assert!(
+        !out.complete,
+        "ring spread unexpectedly completed in {} rounds",
+        out.rounds
+    );
+    assert!(out.coverage(0, (n - 1) as u64) < 0.5);
+}

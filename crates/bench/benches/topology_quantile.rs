@@ -1,0 +1,208 @@
+//! Approximate-quantile accuracy and round counts per communication topology
+//! — quantifying exactly where the paper's complete-graph assumption is
+//! load-bearing.
+//!
+//! For every topology (complete graph, random-regular expander, ring, 2D
+//! torus) and every n ∈ {1k, 10k, 100k}, this bench runs the Theorem 2.1
+//! tournament algorithm (φ = 0.5, ε = 0.05) over seed-paired trials and
+//! records:
+//!
+//! * the **rank accuracy** of the outputs (mean and max error as fractions
+//!   of n, plus the fraction of nodes within ε) — the tournament schedule
+//!   fixes the round count, so accuracy is where topology shows up;
+//! * the **rumor-spreading round count** (push–pull max-spread to
+//!   completion, capped at `4·⌈log₂ n⌉²` rounds) — the round-count signal:
+//!   `O(log n)` on the complete graph and the expander, `Θ(diameter)` on
+//!   ring and torus, where it hits the cap.
+//!
+//! Expected picture (pinned loosely by `quantile-gossip/tests/topology.rs`):
+//! the expander tracks the complete graph on both signals; ring and torus
+//! visibly degrade.
+//!
+//! Each cell reports the median of 5 trials with a sample standard
+//! deviation (`std_*` columns), written to `BENCH_topology.json` in the
+//! workspace root (override with `$BENCH_TOPOLOGY_JSON`). Set
+//! `TOPOLOGY_QUANTILE_QUICK=1` (CI's bench smoke step does) to shrink sizes
+//! and trial counts to a bit-rot check:
+//!
+//! ```text
+//! cargo bench -p bench --bench topology_quantile
+//! ```
+
+use analysis::{run_topology_trials, RankOracle, TrialSpec, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::{Engine, EngineConfig, Topology};
+use quantile_gossip::approx::{tournament_quantile, TournamentConfig};
+
+const PHI: f64 = 0.5;
+const EPS: f64 = 0.05;
+
+fn quick() -> bool {
+    std::env::var_os("TOPOLOGY_QUANTILE_QUICK").is_some_and(|v| v != "0")
+}
+
+/// The four scenarios, in reporting order. The expander's graph seed is
+/// keyed by n so every size gets its own (deterministic) graph; the gossip
+/// seeds vary per trial instead.
+fn topologies(n: usize) -> [Topology; 4] {
+    [
+        Topology::Complete,
+        Topology::random_regular(16, n as u64),
+        Topology::ring(2),
+        Topology::Torus2D,
+    ]
+}
+
+/// Round cap for the rumor-spread measurement: generous for `O(log n)`
+/// spreaders, far below the `Θ(n)` a thin ring needs — a capped cell *is*
+/// the degradation signal.
+fn spread_cap(n: usize) -> u64 {
+    let log2 = (usize::BITS - n.leading_zeros()) as u64;
+    4 * log2 * log2
+}
+
+/// One trial: tournament accuracy plus capped rumor-spread rounds.
+struct TrialResult {
+    rounds: f64,
+    mean_err: f64,
+    max_err: f64,
+    within_eps: f64,
+    spread_rounds: f64,
+}
+
+fn run_trial(topology: &Topology, n: usize, seed: u64) -> TrialResult {
+    let values = Workload::UniformDistinct.generate(n, seed);
+    let oracle = RankOracle::new(&values);
+    let target = (PHI * n as f64).ceil();
+    let config = EngineConfig::with_seed(seed).topology(*topology);
+    let out = tournament_quantile(&values, PHI, EPS, &TournamentConfig::default(), config)
+        .expect("valid parameters");
+    let errs: Vec<f64> = out
+        .outputs
+        .iter()
+        .map(|o| (oracle.rank(o) as f64 - target).abs() / n as f64)
+        .collect();
+    let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+    let max_err = errs.iter().cloned().fold(0.0, f64::max);
+    let within_eps = errs.iter().filter(|&&e| e <= EPS).count() as f64 / errs.len() as f64;
+
+    // Rumor spreading: push–pull max-spread to completion, capped.
+    let cap = spread_cap(n);
+    let config = EngineConfig::with_seed(seed ^ 0x5eed).topology(*topology);
+    let mut engine = Engine::from_states((0..n as u64).collect(), config);
+    let mut spread_rounds = 0u64;
+    while engine.states().iter().any(|&v| v != (n - 1) as u64) && spread_rounds < cap {
+        engine.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+        spread_rounds += 1;
+    }
+
+    TrialResult {
+        rounds: out.rounds as f64,
+        mean_err,
+        max_err,
+        within_eps,
+        spread_rounds: spread_rounds as f64,
+    }
+}
+
+fn bench_topology_quantile(c: &mut Criterion) {
+    let quick = quick();
+    let sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let trials = if quick { 2 } else { 5 };
+
+    // Criterion timing rows at the smallest size, so the per-topology cost
+    // of a whole tournament run is tracked like the other benches.
+    let mut group = c.benchmark_group("topology_quantile");
+    group.sample_size(if quick { 2 } else { 5 });
+    for topology in topologies(sizes[0]) {
+        group.bench_with_input(
+            BenchmarkId::new("tournament", topology.to_string()),
+            &topology,
+            |b, topology| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_trial(topology, sizes[0], seed).mean_err
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The JSON report: seed-paired trials per (topology, n) cell, median ±
+    // std dev over trials — directly comparable across PRs.
+    let mut report_rows = Vec::new();
+    for &n in sizes {
+        let spec = TrialSpec::new(42, trials);
+        let per_topology = run_topology_trials(&spec, &topologies(n), |topology, _i, seed| {
+            run_trial(topology, n, seed)
+        });
+        for (topology, results) in topologies(n).iter().zip(&per_topology) {
+            let stat = |f: &dyn Fn(&TrialResult) -> f64| {
+                let samples: Vec<f64> = results.iter().map(f).collect();
+                criterion::stats::summary(&samples).expect("at least one trial")
+            };
+            let rounds = stat(&|r| r.rounds);
+            let mean_err = stat(&|r| r.mean_err);
+            let max_err = stat(&|r| r.max_err);
+            let within = stat(&|r| r.within_eps);
+            let spread = stat(&|r| r.spread_rounds);
+            println!(
+                "topology_quantile n={n} {topology}: rounds={:.0} mean_err={:.4}±{:.4} \
+                 within_eps={:.3} spread_rounds={:.0}±{:.1} (cap {})",
+                rounds.median,
+                mean_err.median,
+                mean_err.std_dev,
+                within.median,
+                spread.median,
+                spread.std_dev,
+                spread_cap(n)
+            );
+            report_rows.push(format!(
+                "    {{\"topology\": \"{topology}\", \"n\": {n}, \"phi\": {PHI}, \
+                 \"epsilon\": {EPS}, \"trials\": {trials}, \
+                 \"rounds\": {:.1}, \"std_rounds\": {:.3}, \
+                 \"mean_rank_err\": {:.5}, \"std_mean_rank_err\": {:.5}, \
+                 \"max_rank_err\": {:.5}, \"std_max_rank_err\": {:.5}, \
+                 \"within_eps\": {:.5}, \"std_within_eps\": {:.5}, \
+                 \"spread_rounds\": {:.1}, \"std_spread_rounds\": {:.3}, \
+                 \"spread_cap\": {}}}",
+                rounds.median,
+                rounds.std_dev,
+                mean_err.median,
+                mean_err.std_dev,
+                max_err.median,
+                max_err.std_dev,
+                within.median,
+                within.std_dev,
+                spread.median,
+                spread.std_dev,
+                spread_cap(n)
+            ));
+        }
+    }
+
+    // Anchor the report in the workspace root (cargo runs benches with the
+    // package directory as CWD), like BENCH_engine.json.
+    let path = std::env::var("BENCH_TOPOLOGY_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_topology.json").into()
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"topology_quantile\",\n  \"algorithm\": \
+         \"tournament_quantile(phi=0.5, eps=0.05) + push-pull max-spread\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        report_rows.join(",\n")
+    );
+    if let Err(err) = std::fs::write(&path, &json) {
+        eprintln!("could not write {path}: {err}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_topology_quantile);
+criterion_main!(benches);

@@ -2,12 +2,16 @@
 //!
 //! [`Engine`] owns one state per node and advances the network one round at a
 //! time. It is deliberately *not* a general message-passing framework: the
-//! uniform gossip model of the paper is exactly "each node contacts one
-//! uniformly random other node per round", and the engine exposes that and
-//! nothing more. All algorithms of the reproduction — the tournament
-//! algorithms of Section 2, the exact algorithm of Section 3, the baselines of
-//! Appendix A and \[KDG03\] — are written against this interface, so their round
-//! counts are measured identically.
+//! gossip model is exactly "each node contacts one uniformly random neighbour
+//! per round", and the engine exposes that and nothing more. Under the
+//! default [`Topology::Complete`] the neighbourhood is all other nodes — the
+//! paper's uniform-gossip model verbatim; [`EngineConfig::topology`] swaps in
+//! restricted communication graphs (random regular expander, ring, torus; see
+//! [`crate::topology`]) without touching any algorithm code. All algorithms
+//! of the reproduction — the tournament algorithms of Section 2, the exact
+//! algorithm of Section 3, the baselines of Appendix A and \[KDG03\] — are
+//! written against this interface, so their round counts are measured
+//! identically.
 //!
 //! Two entry points cover the model:
 //!
@@ -28,7 +32,11 @@
 //! counter-based [`NodeRng`] keyed by `(seed, round, node, stream)`:
 //!
 //! * in a communication round, node `v` draws its failure coin and then its
-//!   contact target(s) from `NodeRng::keyed(seed, round, v, STREAM_ROUND)`;
+//!   contact target(s) from `NodeRng::keyed(seed, round, v, STREAM_ROUND)` —
+//!   each contact is a single uniform *neighbour-index* draw against the
+//!   configured topology (for the complete graph: an index into the implicit
+//!   list of the `n − 1` other nodes), so the draw count per node is
+//!   topology-independent;
 //! * in a [`local_step`](Engine::local_step), node `v` receives
 //!   `NodeRng::keyed(seed, epoch, v, STREAM_LOCAL)` (one epoch per call) for
 //!   its algorithm-local coins.
@@ -85,10 +93,13 @@
 //! Inside every pass the loop-invariant work is hoisted: the
 //! `(seed, round, stream)` RNG prefix is absorbed once per round
 //! ([`crate::rng::NodeRng::key_prefix`] — per-node keying is one
-//! xor-multiply and one finalizer instead of three finalizers), and the
+//! xor-multiply and one finalizer instead of three finalizers), the
 //! failure model is matched once per chunk, with a dedicated no-failure loop
 //! when the model is [`FailureModel::None`] (engines normalise never-firing
-//! models to `None` at construction).
+//! models to `None` at construction), and the topology is dispatched once
+//! per round — each primitive's body is monomorphised over the concrete
+//! sampler type, so the complete-graph loop carries no per-draw topology
+//! branch (see [`crate::topology`]).
 //!
 //! The CSR bucketing itself is sequential below [`Engine::PAR_MIN_NODES`] (two
 //! linear passes over `u32` buffers) and parallel above it: per-chunk
@@ -124,6 +135,9 @@ use crate::metrics::{Metrics, RoundKind};
 use crate::par;
 use crate::pool::WorkerPool;
 use crate::rng::NodeRng;
+use crate::topology::{
+    AdjacencyCache, CompleteSampler, CsrSampler, PeerSampler, Sampler, Topology,
+};
 use crate::NodeId;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -142,27 +156,47 @@ pub struct EngineConfig {
     pub seed: u64,
     /// The failure model applied to every operation (default: no failures).
     pub failure: FailureModel,
+    /// The communication graph peer sampling runs on (default:
+    /// [`Topology::Complete`], the paper's uniform-gossip model). See
+    /// [`crate::topology`] for the available graphs and the sampling
+    /// contract; the graph is materialised once at engine construction.
+    pub topology: Topology,
     /// A [`WorkerPool`] for the engine to run its rounds on, shared with
     /// whoever else holds the `Arc`. `None` (the default) gives the engine a
     /// pool of its own, sized by the policy described on
     /// [`Engine::PAR_MIN_NODES`]. Pools are pure scheduling state: sharing
     /// one never couples two engines' results.
     pub pool: Option<Arc<WorkerPool>>,
+    /// Cache of materialised topology adjacencies, shared (like the pool)
+    /// with every configuration derived via [`EngineConfig::sub`]/`clone` —
+    /// sub-engines reuse their parent's graph instead of rebuilding it.
+    /// Graph construction is deterministic, so sharing is
+    /// behaviour-invisible.
+    pub graph_cache: Arc<AdjacencyCache>,
 }
 
 impl EngineConfig {
-    /// Configuration with the given seed, no failures, and a private pool.
+    /// Configuration with the given seed, no failures, the complete-graph
+    /// topology, and a private pool.
     pub fn with_seed(seed: u64) -> Self {
         EngineConfig {
             seed,
             failure: FailureModel::None,
+            topology: Topology::Complete,
             pool: None,
+            graph_cache: Arc::new(AdjacencyCache::default()),
         }
     }
 
     /// Replaces the failure model.
     pub fn failure(mut self, failure: FailureModel) -> Self {
         self.failure = failure;
+        self
+    }
+
+    /// Replaces the communication topology (default: [`Topology::Complete`]).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -173,9 +207,11 @@ impl EngineConfig {
     }
 
     /// Configuration for a sub-computation: a fresh seed, the same failure
-    /// model, and the **same worker pool** — so an algorithm that runs many
-    /// short-lived sub-engines (e.g. the exact-quantile narrowing loop) pays
-    /// for thread creation once, not once per phase.
+    /// model, the **same topology** (an algorithm's sub-phases run on the
+    /// same communication graph as its main phase), and the **same worker
+    /// pool** — so an algorithm that runs many short-lived sub-engines
+    /// (e.g. the exact-quantile narrowing loop) pays for thread creation
+    /// once, not once per phase.
     ///
     /// Sharing only happens if this configuration *has* a pool; an algorithm
     /// that fans out into sub-engines should first call
@@ -184,7 +220,9 @@ impl EngineConfig {
         EngineConfig {
             seed,
             failure: self.failure.clone(),
+            topology: self.topology,
             pool: self.pool.clone(),
+            graph_cache: Arc::clone(&self.graph_cache),
         }
     }
 
@@ -229,6 +267,12 @@ pub struct Engine<S> {
     /// Cloning the engine shares the pool.
     pool: Arc<WorkerPool>,
     failure: FailureModel,
+    /// The topology specification (as configured; kept for reporting).
+    topology: Topology,
+    /// The materialised peer sampler rounds draw contacts from; built once at
+    /// construction (non-complete topologies share their adjacency via `Arc`
+    /// when the engine is cloned).
+    sampler: PeerSampler,
     metrics: Metrics,
     round: u64,
     local_epochs: u64,
@@ -269,6 +313,8 @@ impl<S: Clone> Clone for Engine<S> {
             threads: self.threads,
             pool: Arc::clone(&self.pool),
             failure: self.failure.clone(),
+            topology: self.topology,
+            sampler: self.sampler.clone(),
             metrics: self.metrics,
             round: self.round,
             local_epochs: self.local_epochs,
@@ -303,8 +349,10 @@ impl<S> Engine<S> {
     /// # Errors
     ///
     /// Returns [`GossipError::TooFewNodes`] if fewer than two states are
-    /// supplied, and [`GossipError::InvalidParameter`] if more than
-    /// `u32::MAX - 2` are (contact targets are stored as `u32`).
+    /// supplied, [`GossipError::InvalidParameter`] if more than
+    /// `u32::MAX - 2` are (contact targets are stored as `u32`), or the
+    /// topology's own validation error if [`EngineConfig::topology`] cannot
+    /// be realised on this network size.
     pub fn try_from_states(states: Vec<S>, config: EngineConfig) -> Result<Self> {
         let n = states.len();
         if n < 2 {
@@ -316,6 +364,7 @@ impl<S> Engine<S> {
                 reason: format!("at most {} nodes are supported, got {n}", u32::MAX - 2),
             });
         }
+        let sampler = config.topology.materialize(n, &config.graph_cache)?;
         let threads = if n >= Self::PAR_MIN_NODES {
             par::num_threads()
         } else {
@@ -335,6 +384,8 @@ impl<S> Engine<S> {
             // Models that can never fire are canonicalised to `None` here so
             // the rounds' dedicated no-failure loops apply to them.
             failure: config.failure.normalized(),
+            topology: config.topology,
+            sampler,
             metrics: Metrics::new(),
             round: 0,
             local_epochs: 0,
@@ -388,6 +439,11 @@ impl<S> Engine<S> {
         &self.failure
     }
 
+    /// The communication topology peer sampling runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
     /// Number of worker threads rounds run on.
     pub fn threads(&self) -> usize {
         self.threads
@@ -419,17 +475,6 @@ impl<S> Engine<S> {
     /// Consumes the engine and returns the final node states.
     pub fn into_states(self) -> Vec<S> {
         self.states
-    }
-
-    /// Samples a uniformly random node other than `exclude`.
-    fn random_other_node(rng: &mut NodeRng, n: usize, exclude: NodeId) -> NodeId {
-        debug_assert!(n >= 2);
-        let t = rng.next_below((n - 1) as u64) as usize;
-        if t >= exclude {
-            t + 1
-        } else {
-            t
-        }
     }
 }
 
@@ -468,6 +513,27 @@ impl<S: Send> Engine<S> {
     }
 }
 
+/// Dispatches `$body` with `$sp` bound to the engine's concrete sampler
+/// type — **once per round**, so the node loops monomorphise over
+/// [`CompleteSampler`] / [`CsrSampler`] instead of matching the topology
+/// enum per draw (which measurably cost throughput at n = 10⁶, where the
+/// complete-graph loop must keep `n` in a register).
+macro_rules! with_sampler {
+    ($self:ident, $sp:ident => $body:expr) => {
+        // Cheap per-round clone: a usize or an Arc bump.
+        match $self.sampler.clone() {
+            PeerSampler::Complete { n } => {
+                let $sp = CompleteSampler { n };
+                $body
+            }
+            PeerSampler::Sparse(adj) => {
+                let $sp = CsrSampler::new(adj);
+                $body
+            }
+        }
+    };
+}
+
 impl<S: Clone + Send + Sync> Engine<S> {
     /// Sizes the back buffer on the first communication round (the one
     /// size-`n` allocation; every later round reuses it in place).
@@ -479,7 +545,8 @@ impl<S: Clone + Send + Sync> Engine<S> {
 
     /// One synchronous **pull** round.
     ///
-    /// Every node `v` contacts a uniformly random other node `t(v)`. The
+    /// Every node `v` contacts a uniformly random neighbour `t(v)` (under the
+    /// default [`Topology::Complete`]: a uniformly random other node). The
     /// message served by `t(v)` is `serve(t(v), &states[t(v)])`, computed from
     /// the state of `t(v)` at the start of the round. Then
     /// `apply(v, &mut states[v], Some(msg))` is called for every node that
@@ -501,13 +568,24 @@ impl<S: Clone + Send + Sync> Engine<S> {
         F: Fn(NodeId, &S) -> M + Sync,
         G: Fn(NodeId, &mut S, Option<M>) + Sync,
     {
-        let n = self.n();
+        with_sampler!(self, sp => self.pull_round_with(sp, serve, apply))
+    }
+
+    /// [`Engine::pull_round`], monomorphised over the sampler type.
+    fn pull_round_with<SP, M, F, G>(&mut self, sampler: SP, serve: F, apply: G) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
+    {
         self.metrics.record_round(RoundKind::Pull);
         self.round += 1;
         self.ensure_next();
 
         let (round, threads) = (self.round, self.threads);
         let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
         let reliable = failure.is_reliable();
         let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
         let delta = par::for_chunks(
@@ -524,7 +602,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
                         slot.clone_from(&states[v]);
                         let mut rng = prefix.node(v as u64);
                         local.record_attempt(RoundKind::Pull);
-                        let t = Self::random_other_node(&mut rng, n, v);
+                        let t = sampler.sample(&mut rng, v);
                         let msg = serve(t, &states[t]);
                         local.record_delivery(msg.message_bits());
                         apply(v, slot, Some(msg));
@@ -539,7 +617,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
                             local.record_failure();
                             apply(v, slot, None);
                         } else {
-                            let t = Self::random_other_node(&mut rng, n, v);
+                            let t = sampler.sample(&mut rng, v);
                             let msg = serve(t, &states[t]);
                             local.record_delivery(msg.message_bits());
                             apply(v, slot, Some(msg));
@@ -577,6 +655,18 @@ impl<S: Clone + Send + Sync> Engine<S> {
         G: Fn(NodeId, &mut S, M) + Sync,
         H: Fn(NodeId, &mut S, bool) + Sync,
     {
+        with_sampler!(self, sp => self.push_round_with(sp, make, fold, after))
+    }
+
+    /// [`Engine::push_round`], monomorphised over the sampler type.
+    fn push_round_with<SP, M, F, G, H>(&mut self, sampler: SP, make: F, fold: G, after: H) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> Option<M> + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+        H: Fn(NodeId, &mut S, bool) + Sync,
+    {
         let n = self.n();
         self.metrics.record_round(RoundKind::Push);
         self.round += 1;
@@ -584,6 +674,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
 
         let (round, threads) = (self.round, self.threads);
         let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
         let reliable = failure.is_reliable();
         let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
 
@@ -611,7 +702,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
                         local.record_failure();
                         *slot = TARGET_FAILED;
                     } else {
-                        let t = Self::random_other_node(&mut rng, n, v);
+                        let t = sampler.sample(&mut rng, v);
                         local.record_delivery(msg.message_bits());
                         *slot = t as u32;
                     }
@@ -673,6 +764,17 @@ impl<S: Clone + Send + Sync> Engine<S> {
         F: Fn(NodeId, &S) -> M + Sync,
         G: Fn(NodeId, &mut S, M) + Sync,
     {
+        with_sampler!(self, sp => self.push_pull_round_with(sp, serve, merge))
+    }
+
+    /// [`Engine::push_pull_round`], monomorphised over the sampler type.
+    fn push_pull_round_with<SP, M, F, G>(&mut self, sampler: SP, serve: F, merge: G) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+    {
         let n = self.n();
         self.metrics.record_round(RoundKind::PushPull);
         self.round += 1;
@@ -680,6 +782,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
 
         let (round, threads) = (self.round, self.threads);
         let failure = &self.failure;
+        let sampler = &sampler;
         let reliable = failure.is_reliable();
         let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
 
@@ -700,8 +803,8 @@ impl<S: Clone + Send + Sync> Engine<S> {
                         let v = start + j;
                         local.record_attempt(RoundKind::PushPull);
                         let mut rng = prefix.node(v as u64);
-                        pull_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
-                        push_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
+                        pull_chunk[j] = sampler.sample(&mut rng, v) as u32;
+                        push_chunk[j] = sampler.sample(&mut rng, v) as u32;
                     }
                 } else {
                     for j in 0..push_chunk.len() {
@@ -713,8 +816,8 @@ impl<S: Clone + Send + Sync> Engine<S> {
                             push_chunk[j] = TARGET_FAILED;
                             pull_chunk[j] = TARGET_FAILED;
                         } else {
-                            pull_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
-                            push_chunk[j] = Self::random_other_node(&mut rng, n, v) as u32;
+                            pull_chunk[j] = sampler.sample(&mut rng, v) as u32;
+                            push_chunk[j] = sampler.sample(&mut rng, v) as u32;
                         }
                     }
                 }
@@ -779,6 +882,16 @@ impl<S: Clone + Send + Sync> Engine<S> {
         M: MessageSize + Send,
         F: Fn(NodeId, &S) -> M + Sync,
     {
+        with_sampler!(self, sp => self.collect_samples_with(sp, k, serve))
+    }
+
+    /// [`Engine::collect_samples`], monomorphised over the sampler type.
+    fn collect_samples_with<SP, M, F>(&mut self, sampler: SP, k: usize, serve: F) -> Vec<Vec<M>>
+    where
+        SP: Sampler,
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
+    {
         let n = self.n();
         let threads = self.threads;
         let mut collected: Vec<Vec<M>> = (0..n).map(|_| Vec::with_capacity(k)).collect();
@@ -787,6 +900,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
             self.round += 1;
             let round = self.round;
             let (states, failure) = (&self.states, &self.failure);
+            let sampler = &sampler;
             let reliable = failure.is_reliable();
             let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
             let delta = par::for_chunks(
@@ -802,7 +916,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
                             let v = start + j;
                             local.record_attempt(RoundKind::Pull);
                             let mut rng = prefix.node(v as u64);
-                            let t = Self::random_other_node(&mut rng, n, v);
+                            let t = sampler.sample(&mut rng, v);
                             let msg = serve(t, &states[t]);
                             local.record_delivery(msg.message_bits());
                             bucket.push(msg);
@@ -816,7 +930,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
                                 local.record_failure();
                                 continue;
                             }
-                            let t = Self::random_other_node(&mut rng, n, v);
+                            let t = sampler.sample(&mut rng, v);
                             let msg = serve(t, &states[t]);
                             local.record_delivery(msg.message_bits());
                             bucket.push(msg);
@@ -1294,12 +1408,15 @@ mod tests {
     }
 
     #[test]
-    fn random_other_node_is_roughly_uniform() {
+    fn complete_peer_sampling_is_roughly_uniform() {
+        let sampler = Topology::Complete
+            .materialize(5, &AdjacencyCache::default())
+            .expect("valid");
         let mut rng = NodeRng::keyed(77, 0, 2, NodeRng::STREAM_ROUND);
         let n = 5;
         let mut counts = vec![0u32; n];
         for _ in 0..40_000 {
-            let t = Engine::<u64>::random_other_node(&mut rng, n, 2);
+            let t = sampler.sample(&mut rng, 2);
             counts[t] += 1;
         }
         assert_eq!(counts[2], 0);
@@ -1308,5 +1425,38 @@ mod tests {
                 assert!((c as f64 - 10_000.0).abs() < 500.0, "node {i}: {c}");
             }
         }
+    }
+
+    #[test]
+    fn ring_topology_pulls_only_from_neighbours() {
+        let config = EngineConfig::with_seed(5).topology(Topology::ring(1));
+        let mut e = Engine::from_states((0..32u64).collect(), config);
+        assert_eq!(e.topology(), &Topology::ring(1));
+        for _ in 0..50 {
+            e.pull_round(
+                |t, _| t as u64,
+                |v, _, pulled| {
+                    let t = pulled.expect("no failures configured") as i64;
+                    let d = (t - v as i64).rem_euclid(32);
+                    assert!(d == 1 || d == 31, "node {v} pulled non-neighbour {t}");
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_topology_is_rejected_at_construction() {
+        let config = EngineConfig::with_seed(1).topology(Topology::ring(40));
+        let err = Engine::try_from_states(vec![0u64; 16], config).unwrap_err();
+        assert!(matches!(
+            err,
+            GossipError::InvalidParameter { name: "k", .. }
+        ));
+    }
+
+    #[test]
+    fn sub_config_inherits_the_topology() {
+        let config = EngineConfig::with_seed(1).topology(Topology::Torus2D);
+        assert_eq!(config.sub(9).topology, Topology::Torus2D);
     }
 }

@@ -62,6 +62,7 @@ pub mod par;
 pub mod pool;
 pub mod protocol;
 pub mod rng;
+pub mod topology;
 pub mod value;
 
 pub use engine::{Engine, EngineConfig};
@@ -72,6 +73,7 @@ pub use metrics::{Metrics, RoundKind};
 pub use pool::WorkerPool;
 pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner};
 pub use rng::{KeyPrefix, NodeRng, SeedSequence};
+pub use topology::{Adjacency, AdjacencyCache, Topology};
 pub use value::{NodeValue, OrderedF64};
 
 /// Identifier of a node in the simulated network (an index in `0..n`).

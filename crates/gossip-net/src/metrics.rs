@@ -35,6 +35,12 @@ impl std::fmt::Display for RoundKind {
 pub struct Metrics {
     /// Number of synchronous rounds executed.
     pub rounds: u64,
+    /// Rounds that were pull rounds (includes `collect_samples` rounds).
+    pub pull_rounds: u64,
+    /// Rounds that were push rounds.
+    pub push_rounds: u64,
+    /// Rounds that were push–pull rounds (both directions, one round).
+    pub push_pull_rounds: u64,
     /// Number of pull operations attempted (one per active node per pull round).
     pub pulls_attempted: u64,
     /// Number of push operations attempted.
@@ -56,8 +62,32 @@ impl Metrics {
     }
 
     /// Records the start of a round of the given kind.
-    pub(crate) fn record_round(&mut self, _kind: RoundKind) {
+    pub(crate) fn record_round(&mut self, kind: RoundKind) {
         self.rounds += 1;
+        match kind {
+            RoundKind::Pull => self.pull_rounds += 1,
+            RoundKind::Push => self.push_rounds += 1,
+            RoundKind::PushPull => self.push_pull_rounds += 1,
+        }
+    }
+
+    /// Rounds executed of the given kind.
+    pub fn rounds_of(&self, kind: RoundKind) -> u64 {
+        match kind {
+            RoundKind::Pull => self.pull_rounds,
+            RoundKind::Push => self.push_rounds,
+            RoundKind::PushPull => self.push_pull_rounds,
+        }
+    }
+
+    /// The round budget broken down per primitive, in declaration order —
+    /// what `analysis::report` renders as per-kind round columns.
+    pub fn rounds_by_kind(&self) -> [(RoundKind, u64); 3] {
+        [
+            (RoundKind::Pull, self.pull_rounds),
+            (RoundKind::Push, self.push_rounds),
+            (RoundKind::PushPull, self.push_pull_rounds),
+        ]
     }
 
     /// Records an extra round for the same logical operation (e.g. push–pull
@@ -94,6 +124,9 @@ impl Metrics {
     pub fn snapshot_delta(&self, earlier: &Metrics) -> Metrics {
         Metrics {
             rounds: self.rounds - earlier.rounds,
+            pull_rounds: self.pull_rounds - earlier.pull_rounds,
+            push_rounds: self.push_rounds - earlier.push_rounds,
+            push_pull_rounds: self.push_pull_rounds - earlier.push_pull_rounds,
             pulls_attempted: self.pulls_attempted - earlier.pulls_attempted,
             pushes_attempted: self.pushes_attempted - earlier.pushes_attempted,
             failed_operations: self.failed_operations - earlier.failed_operations,
@@ -129,6 +162,9 @@ impl std::ops::Add for Metrics {
     fn add(self, rhs: Metrics) -> Metrics {
         Metrics {
             rounds: self.rounds + rhs.rounds,
+            pull_rounds: self.pull_rounds + rhs.pull_rounds,
+            push_rounds: self.push_rounds + rhs.push_rounds,
+            push_pull_rounds: self.push_pull_rounds + rhs.push_pull_rounds,
             pulls_attempted: self.pulls_attempted + rhs.pulls_attempted,
             pushes_attempted: self.pushes_attempted + rhs.pushes_attempted,
             failed_operations: self.failed_operations + rhs.failed_operations,
@@ -200,6 +236,26 @@ mod tests {
         m.record_attempt(RoundKind::PushPull);
         assert_eq!(m.pulls_attempted, 1);
         assert_eq!(m.pushes_attempted, 1);
+    }
+
+    #[test]
+    fn rounds_are_counted_per_kind() {
+        let mut m = Metrics::new();
+        m.record_round(RoundKind::Pull);
+        m.record_round(RoundKind::Pull);
+        m.record_round(RoundKind::Push);
+        m.record_round(RoundKind::PushPull);
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.rounds_of(RoundKind::Pull), 2);
+        assert_eq!(m.rounds_of(RoundKind::Push), 1);
+        assert_eq!(m.rounds_of(RoundKind::PushPull), 1);
+        let total: u64 = m.rounds_by_kind().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, m.rounds);
+        // The per-kind counters survive delta and addition like `rounds` does.
+        let snapshot = m;
+        m.record_round(RoundKind::Push);
+        assert_eq!(m.snapshot_delta(&snapshot).push_rounds, 1);
+        assert_eq!((m + m).push_pull_rounds, 2);
     }
 
     #[test]

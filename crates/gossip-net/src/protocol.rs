@@ -5,20 +5,29 @@
 //! fast at millions of nodes. For users who want to plug in their own gossip
 //! dynamics — and for the engine-fidelity ablation (`engine_ablation` bench) —
 //! this module provides a small per-node state-machine interface: a
-//! [`NodeProtocol`] describes what a single node serves and how it reacts to a
-//! pulled value, and [`ProtocolRunner`] drives one instance per node through
-//! synchronous pull rounds.
+//! [`NodeProtocol`] describes what a single node serves and how it reacts to
+//! pulled (or pushed) values, and [`ProtocolRunner`] drives one instance per
+//! node through synchronous rounds — pull rounds by default, push rounds via
+//! [`ProtocolRunner::step_push`] / [`ProtocolRunner::run_push`].
+//!
+//! The runner inherits everything from its [`EngineConfig`], including the
+//! communication [`Topology`]: a protocol written once runs
+//! unchanged on the complete graph, an expander, a ring or a torus.
 
 use crate::engine::{Engine, EngineConfig};
 use crate::message::MessageSize;
 use crate::metrics::Metrics;
+use crate::topology::Topology;
 
-/// The behaviour of a single node in a pull-based gossip protocol.
+/// The behaviour of a single node in a gossip protocol.
 ///
-/// One instance exists per node. In every round, the runner asks each node
-/// what it [serves](NodeProtocol::serve), delivers to each non-failed node the
-/// message served by a uniformly random other node, and then asks whether the
-/// node considers itself [finished](NodeProtocol::is_finished).
+/// One instance exists per node. In every pull round, the runner asks each
+/// node what it [serves](NodeProtocol::serve), delivers to each non-failed
+/// node the message served by a uniformly random neighbour, and then asks
+/// whether the node considers itself [finished](NodeProtocol::is_finished).
+/// In a push round (see [`ProtocolRunner::step_push`]) the direction flips:
+/// each node's served message is delivered to a uniformly random neighbour,
+/// which receives it through [`on_push`](NodeProtocol::on_push).
 ///
 /// Because rounds execute data-parallel (see the
 /// [engine docs](crate::engine)), protocol instances must be
@@ -30,12 +39,25 @@ pub trait NodeProtocol {
     /// The value a node outputs once the protocol has finished.
     type Output;
 
-    /// The message this node would serve to anyone contacting it this round.
+    /// The message this node would serve to anyone contacting it this round
+    /// (and the message it pushes in a push round).
     fn serve(&self) -> Self::Message;
 
     /// Handles the message pulled this round; `None` means this node's pull
     /// failed (see [`FailureModel`](crate::FailureModel)).
     fn on_pull(&mut self, round: u64, pulled: Option<Self::Message>);
+
+    /// Handles one message pushed to this node this round (invoked once per
+    /// delivered message, in ascending sender order).
+    ///
+    /// The default ignores pushed messages; override it when driving the
+    /// protocol with [`ProtocolRunner::step_push`] / [`run_push`]
+    /// (a protocol that ignores pushes never converges under them).
+    ///
+    /// [`run_push`]: ProtocolRunner::run_push
+    fn on_push(&mut self, round: u64, pushed: Self::Message) {
+        let _ = (round, pushed);
+    }
 
     /// Whether this node has converged. The runner stops once every node has.
     fn is_finished(&self) -> bool {
@@ -59,7 +81,7 @@ pub struct ProtocolOutcome<O> {
     pub converged: bool,
 }
 
-/// Drives one [`NodeProtocol`] instance per node through synchronous pull rounds.
+/// Drives one [`NodeProtocol`] instance per node through synchronous rounds.
 #[derive(Debug)]
 pub struct ProtocolRunner<P> {
     engine: Engine<P>,
@@ -68,18 +90,53 @@ pub struct ProtocolRunner<P> {
 impl<P: NodeProtocol + Clone + Send + Sync> ProtocolRunner<P> {
     /// Creates a runner over the given per-node protocol instances.
     ///
+    /// The configuration's [`Topology`] decides which neighbours nodes
+    /// contact; the default is the complete graph.
+    ///
     /// # Panics
     ///
-    /// Panics if fewer than two instances are supplied.
+    /// Panics if fewer than two instances are supplied or the configured
+    /// topology cannot be realised on this network size; use
+    /// [`ProtocolRunner::try_new`] for a fallible constructor.
     pub fn new(nodes: Vec<P>, config: EngineConfig) -> Self {
         ProtocolRunner {
             engine: Engine::from_states(nodes, config),
         }
     }
 
+    /// Fallible variant of [`ProtocolRunner::new`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`Engine::try_from_states`] errors (too few nodes,
+    /// unrealisable topology).
+    pub fn try_new(nodes: Vec<P>, config: EngineConfig) -> crate::Result<Self> {
+        Ok(ProtocolRunner {
+            engine: Engine::try_from_states(nodes, config)?,
+        })
+    }
+
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.engine.n()
+    }
+
+    /// The communication topology the runner's rounds sample peers from.
+    pub fn topology(&self) -> &Topology {
+        self.engine.topology()
+    }
+
+    /// Communication metrics accumulated **so far** — readable mid-run, so a
+    /// driver loop can meter round/message budgets while the protocol is
+    /// still converging (the final snapshot is also on the
+    /// [`ProtocolOutcome`]).
+    pub fn metrics(&self) -> Metrics {
+        self.engine.metrics()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.engine.round()
     }
 
     /// Runs one synchronous pull round.
@@ -91,11 +148,34 @@ impl<P: NodeProtocol + Clone + Send + Sync> ProtocolRunner<P> {
         );
     }
 
-    /// Runs until every node is finished or `max_rounds` have elapsed.
-    pub fn run(mut self, max_rounds: u64) -> ProtocolOutcome<P::Output> {
+    /// Runs one synchronous push round: every node's served message is
+    /// delivered to a uniformly random neighbour, which folds it in through
+    /// [`NodeProtocol::on_push`] (ascending sender order).
+    pub fn step_push(&mut self) {
+        let round = self.engine.round() + 1;
+        self.engine.push_round(
+            |_, node| Some(node.serve()),
+            |_, node, pushed| node.on_push(round, pushed),
+            |_, _, _| {},
+        );
+    }
+
+    /// Runs pull rounds until every node is finished or `max_rounds` have
+    /// elapsed.
+    pub fn run(self, max_rounds: u64) -> ProtocolOutcome<P::Output> {
+        self.run_with(max_rounds, ProtocolRunner::step)
+    }
+
+    /// Runs **push** rounds until every node is finished or `max_rounds`
+    /// have elapsed.
+    pub fn run_push(self, max_rounds: u64) -> ProtocolOutcome<P::Output> {
+        self.run_with(max_rounds, ProtocolRunner::step_push)
+    }
+
+    fn run_with(mut self, max_rounds: u64, step: impl Fn(&mut Self)) -> ProtocolOutcome<P::Output> {
         let mut converged = self.all_finished();
         while !converged && self.engine.round() < max_rounds {
-            self.step();
+            step(&mut self);
             converged = self.all_finished();
         }
         let rounds = self.engine.round();
@@ -144,6 +224,10 @@ mod tests {
             }
         }
 
+        fn on_push(&mut self, _round: u64, pushed: u64) {
+            self.current = self.current.max(pushed);
+        }
+
         fn is_finished(&self) -> bool {
             self.current == self.target
         }
@@ -153,22 +237,75 @@ mod tests {
         }
     }
 
-    #[test]
-    fn protocol_runner_spreads_max_to_all_nodes() {
-        let n = 512;
-        let nodes: Vec<MaxSpread> = (0..n)
+    fn max_spread_nodes(n: usize) -> Vec<MaxSpread> {
+        (0..n)
             .map(|v| MaxSpread {
                 current: v as u64,
                 target: (n - 1) as u64,
             })
-            .collect();
-        let runner = ProtocolRunner::new(nodes, EngineConfig::with_seed(13));
+            .collect()
+    }
+
+    #[test]
+    fn protocol_runner_spreads_max_to_all_nodes() {
+        let n = 512;
+        let runner = ProtocolRunner::new(max_spread_nodes(n), EngineConfig::with_seed(13));
         let outcome = runner.run(200);
         assert!(outcome.converged);
         assert!(outcome.outputs.iter().all(|&v| v == (n - 1) as u64));
         // Pull-only spreading of a single rumor takes O(log n) rounds.
         assert!(outcome.rounds <= 60, "rounds = {}", outcome.rounds);
         assert_eq!(outcome.metrics.rounds, outcome.rounds);
+    }
+
+    #[test]
+    fn push_rounds_also_spread_the_max() {
+        let n = 512;
+        let runner = ProtocolRunner::new(max_spread_nodes(n), EngineConfig::with_seed(29));
+        let outcome = runner.run_push(200);
+        assert!(outcome.converged);
+        assert!(outcome.outputs.iter().all(|&v| v == (n - 1) as u64));
+        // Push-only single-rumor spreading is Θ(log n) too (coupon phase).
+        assert!(outcome.rounds <= 80, "rounds = {}", outcome.rounds);
+        assert_eq!(outcome.metrics.push_rounds, outcome.rounds);
+        assert_eq!(outcome.metrics.pull_rounds, 0);
+    }
+
+    #[test]
+    fn metrics_are_readable_mid_run() {
+        let mut runner = ProtocolRunner::new(max_spread_nodes(64), EngineConfig::with_seed(3));
+        assert_eq!(runner.metrics().rounds, 0);
+        runner.step();
+        runner.step_push();
+        let mid = runner.metrics();
+        assert_eq!(mid.rounds, 2);
+        assert_eq!(mid.pull_rounds, 1);
+        assert_eq!(mid.push_rounds, 1);
+        assert_eq!(runner.rounds(), 2);
+        assert_eq!(mid.pulls_attempted, 64);
+        assert_eq!(mid.pushes_attempted, 64);
+    }
+
+    #[test]
+    fn runner_honours_the_configured_topology() {
+        use crate::Topology;
+        let n = 64;
+        let config = EngineConfig::with_seed(7).topology(Topology::ring(1));
+        let runner = ProtocolRunner::new(max_spread_nodes(n), config);
+        assert_eq!(runner.topology(), &Topology::ring(1));
+        let outcome = runner.run(3 * n as u64);
+        // On a k=1 ring information moves one hop per round: the max needs
+        // ≥ n/2 rounds to reach everyone — far above the complete graph's
+        // O(log n) — but it does converge within the diameter-bound budget.
+        assert!(outcome.converged);
+        assert!(
+            outcome.rounds >= (n / 2) as u64,
+            "ring spread faster than its diameter: {}",
+            outcome.rounds
+        );
+        // And the unrealisable case fails cleanly through try_new.
+        let bad = EngineConfig::with_seed(7).topology(Topology::ring(40));
+        assert!(ProtocolRunner::try_new(max_spread_nodes(16), bad).is_err());
     }
 
     #[test]

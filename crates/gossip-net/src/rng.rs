@@ -107,6 +107,10 @@ impl NodeRng {
     /// Stream id for algorithm-local coins handed out by
     /// [`local_step`](crate::Engine::local_step).
     pub const STREAM_LOCAL: u64 = 2;
+    /// Stream id for topology construction (the seeded random-regular graph
+    /// builder of [`crate::topology`]); disjoint from the round and local
+    /// streams so graph construction never perturbs round randomness.
+    pub const STREAM_TOPOLOGY: u64 = 3;
 
     /// Creates the stream for the given key.
     ///

@@ -10,7 +10,7 @@
 //! where possible so that any ordering difference between runs shows up as a
 //! state difference.
 
-use gossip_net::{Engine, EngineConfig, FailureModel, Metrics, NodeRng, WorkerPool};
+use gossip_net::{Engine, EngineConfig, FailureModel, Metrics, NodeRng, Topology, WorkerPool};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -231,6 +231,75 @@ fn parallel_csr_bucketing_is_thread_count_invariant() {
             run(threads),
             baseline,
             "{threads}-thread CSR bucketing diverged"
+        );
+    }
+}
+
+#[test]
+fn non_complete_topologies_are_thread_count_invariant() {
+    // The full mixed-primitive sequence (pull, push, push–pull, sampling,
+    // local steps), with failure injection on, for each restricted topology:
+    // peer sampling through the materialised adjacency must be exactly as
+    // thread-count-independent as the complete graph's implicit one.
+    // n = 600 factorises as a 24 × 25 torus and comfortably hosts an
+    // 8-regular graph.
+    for topology in [
+        Topology::random_regular(8, 5),
+        Topology::ring(3),
+        Topology::Torus2D,
+    ] {
+        let make = || {
+            let config = EngineConfig::with_seed(23)
+                .failure(FailureModel::uniform(0.2).unwrap())
+                .topology(topology);
+            Engine::from_states((0..600u64).map(|v| v.wrapping_mul(31)).collect(), config)
+        };
+        let baseline = run_mixed_sequence(make(), 1);
+        assert!(baseline.1.failed_operations > 0, "failures did not fire");
+        for threads in THREAD_MATRIX {
+            let run = run_mixed_sequence(make(), threads);
+            assert_eq!(
+                run, baseline,
+                "{topology}: {threads} threads diverged from the 1-thread run"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_csr_bucketing_with_sparse_topology_is_thread_count_invariant() {
+    // Push paths above Engine::PAR_MIN_NODES bucket deliveries with the
+    // parallel CSR pipeline; sparse peer sampling concentrates receivers
+    // (every delivery lands in a small neighbourhood), which must not
+    // perturb the stable placement at any thread count.
+    let run = |threads: usize| {
+        let config = EngineConfig::with_seed(31)
+            .failure(FailureModel::uniform(0.15).unwrap())
+            .topology(Topology::random_regular(8, 11));
+        let mut e =
+            Engine::from_states((0..20_000u64).map(|v| v.wrapping_mul(31)).collect(), config);
+        e.set_threads(threads);
+        for _ in 0..2 {
+            e.push_round(
+                |v, &s| if v % 7 == 0 { None } else { Some(s) },
+                |_, st, msg| *st = fold_hash(*st, msg),
+                |_, st, delivered| {
+                    if delivered {
+                        *st = st.rotate_left(1);
+                    }
+                },
+            );
+            e.push_pull_round(|_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
+        }
+        let metrics = e.metrics();
+        (e.into_states(), metrics)
+    };
+    let baseline = run(1);
+    for threads in THREAD_MATRIX {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "{threads}-thread sparse-topology CSR bucketing diverged"
         );
     }
 }

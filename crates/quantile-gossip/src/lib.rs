@@ -29,6 +29,16 @@
 //! the [`baselines`] crate (Kempe et al. push-sum and selection, naive
 //! sampling, the doubling/compaction algorithms of Appendix A).
 //!
+//! Every entry point takes an [`EngineConfig`], and with it a communication
+//! [`Topology`]: the paper's complete-graph uniform gossip by default, or a
+//! restricted graph (random regular expander, ring, torus). Sub-phases and
+//! sub-engines inherit the configured topology, so e.g.
+//! [`approx::approximate_quantile`] runs both tournament phases on the same
+//! graph. The paper's guarantees are proved for the complete graph only —
+//! `bench/benches/topology_quantile.rs` measures how each algorithm degrades
+//! away from it (see `docs/paper-map.md`, "Where the complete-graph
+//! assumption enters").
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -73,4 +83,6 @@ pub use three_tournament::FinalVote;
 
 // Re-export the substrate types that appear in this crate's public API so that
 // downstream users only need one dependency.
-pub use gossip_net::{EngineConfig, FailureModel, GossipError, Metrics, NodeValue, Result};
+pub use gossip_net::{
+    EngineConfig, FailureModel, GossipError, Metrics, NodeValue, Result, Topology,
+};

@@ -59,7 +59,9 @@ pub use lower_bound as bound;
 /// Measurement substrate (re-export of [`analysis`]).
 pub use analysis as measure;
 
-pub use gossip_net::{EngineConfig, FailureModel, GossipError, Metrics, NodeValue, Result};
+pub use gossip_net::{
+    EngineConfig, FailureModel, GossipError, Metrics, NodeValue, Result, Topology,
+};
 pub use quantile_gossip::{
     approximate_quantile, estimate_own_quantiles, exact_quantile, robust_approximate_quantile,
     ApproxConfig, ApproxOutcome, ExactOutcome, NarrowingConfig, OwnRankConfig, RobustConfig,

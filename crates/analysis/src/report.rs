@@ -83,9 +83,12 @@ impl Table {
 
 /// Renders labelled [`Metrics`] as a round-budget table broken down per
 /// primitive — one row per entry, with total rounds, the per-kind round
-/// counts, and the message/bit totals. This is how an experiment shows
-/// *where* an algorithm's round budget goes (e.g. the exact algorithm's mix
-/// of push-sum pull rounds vs rumor-spreading push–pull rounds).
+/// counts, the participant accounting (mean active nodes per round and the
+/// single-round maximum — where an algorithm's sparse phases show up as
+/// `mean-active ≪ max-active`), and the message/bit totals. This is how an
+/// experiment shows *where* an algorithm's round budget goes (e.g. the exact
+/// algorithm's mix of push-sum pull rounds vs rumor-spreading push–pull
+/// rounds, or a token-scattering phase touching only `o(n)` senders).
 pub fn round_budget_table(title: impl Into<String>, entries: &[(String, Metrics)]) -> Table {
     let mut table = Table::new(
         title,
@@ -95,6 +98,8 @@ pub fn round_budget_table(title: impl Into<String>, entries: &[(String, Metrics)
             "pull",
             "push",
             "push-pull",
+            "mean-active",
+            "max-active",
             "messages",
             "bits",
         ],
@@ -106,6 +111,8 @@ pub fn round_budget_table(title: impl Into<String>, entries: &[(String, Metrics)
             m.pull_rounds.to_string(),
             m.push_rounds.to_string(),
             m.push_pull_rounds.to_string(),
+            format!("{:.1}", m.mean_active()),
+            m.max_active.to_string(),
             m.messages_delivered.to_string(),
             m.bits_delivered.to_string(),
         ]);
@@ -197,11 +204,29 @@ mod tests {
         let table = round_budget_table("round budget", &[("mixed".to_string(), e.metrics())]);
         let out = table.render();
         assert!(out.contains("push-pull"));
+        assert!(out.contains("mean-active"));
+        assert!(out.contains("max-active"));
         let row = out.lines().last().unwrap();
-        // rounds=4, pull=2, push=1, push-pull=1.
+        // rounds=4, pull=2, push=1, push-pull=1; all rounds dense → active=32.
         assert!(row.contains("| 4"), "{row}");
         assert!(row.contains("| 2"), "{row}");
+        assert!(row.contains("| 32.0"), "{row}");
+        assert!(row.contains("| 32 "), "{row}");
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn round_budget_table_shows_sparse_activity() {
+        use gossip_net::{ActiveSet, Engine, EngineConfig};
+        let mut e = Engine::from_states((0..64u64).collect(), EngineConfig::with_seed(2));
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        let active = ActiveSet::from_members(64, 0..8).unwrap();
+        e.pull_round_on(&active, |_, &s| s, |_, _, _| {});
+        let table = round_budget_table("sparse budget", &[("mixed".to_string(), e.metrics())]);
+        let row = table.render().lines().last().unwrap().to_string();
+        // (64 + 8) participants over 2 rounds → mean 36, max 64.
+        assert!(row.contains("| 36.0"), "{row}");
+        assert!(row.contains("| 64 "), "{row}");
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub use doubling::{DoublingConfig, DoublingOutcome};
 pub use kdg_selection::{KdgSelectionConfig, KdgSelectionOutcome};
 pub use median_rule::{MedianRuleConfig, MedianRuleOutcome};
 pub use push_sum::{PushSumConfig, PushSumOutcome};
-pub use rumor::{SpreadOutcome, SpreadRounds};
+pub use rumor::{RumorOutcome, SpreadOutcome, SpreadRounds};
 pub use sampling::{SamplingConfig, SamplingOutcome};

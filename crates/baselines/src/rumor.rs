@@ -9,8 +9,22 @@
 //! The implementation here spreads the minimum and maximum simultaneously
 //! (the message is the pair `(min, max)`, still `O(log n)` bits) using
 //! push–pull rounds.
+//!
+//! [`spread_rumor`] is the *single-rumor* process the classic analyses are
+//! actually about: only **informed** nodes act, so round `r` touches
+//! `~min(2^r·|sources|, n)` nodes. It runs on the engine's sparse
+//! [`push_round_on`](gossip_net::Engine::push_round_on) path with the
+//! informed set as the [`ActiveSet`], grown in place from each round's
+//! receiver list — per-round engine cost proportional to the informed
+//! population. Total push activity to inform *everyone* is still
+//! `Θ(n log n)` (the coupon-collector tail rounds each have `≈ n` informed
+//! senders; that lower bound is about messages, not simulation overhead) —
+//! what the sparse path eliminates is the dense engine's `Θ(n)`-per-round
+//! cost during the doubling phase, where only `2^r` nodes actually act.
+//! ([`spread_min_max`] stays dense: in min/max aggregation every node holds
+//! information from round 0, so there is no sparse phase to exploit.)
 
-use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
+use gossip_net::{ActiveSet, Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
 
 /// How long to run the spreading process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,12 +46,29 @@ impl Default for SpreadRounds {
 
 impl SpreadRounds {
     /// Number of rounds for a network of `n` nodes.
+    ///
+    /// The logarithmic budget **saturates** on pathological factors rather
+    /// than trusting a raw `f64 → u64` cast: a `NaN` factor falls back to the
+    /// one-round minimum, negative and sub-one products clamp to 1, and
+    /// non-finite or `> u64::MAX` products clamp to `u64::MAX` (a budget the
+    /// caller's loop will treat as "run forever", which is the honest reading
+    /// of an infinite factor — not the wrapped/garbage count an unchecked
+    /// cast could produce).
     pub fn rounds_for(&self, n: usize) -> u64 {
         match self {
             SpreadRounds::Fixed(r) => *r,
             SpreadRounds::LogarithmicWithFactor(f) => {
                 let n = n.max(2) as f64;
-                (f * n.log2()).ceil().max(1.0) as u64
+                let rounds = (f * n.log2()).ceil();
+                if rounds.is_nan() {
+                    1
+                } else if rounds >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    // In-range cast: rounds < 2^64 here, so only the lower
+                    // clamp can fire.
+                    rounds.max(1.0) as u64
+                }
             }
         }
     }
@@ -126,6 +157,100 @@ pub fn spread_min_max<V: NodeValue>(
         min_at,
         max_at,
         rounds: total_rounds,
+        metrics,
+        complete,
+    })
+}
+
+/// Outcome of spreading a single rumor from a source set.
+#[derive(Debug, Clone)]
+pub struct RumorOutcome {
+    /// Whether each node is informed after the run.
+    pub informed: Vec<bool>,
+    /// Number of informed nodes after each executed round (index 0 is the
+    /// state *before* the first round, i.e. the source count) — the `~2^r`
+    /// growth curve the paper's `O(log n)` spreading bound describes.
+    pub informed_per_round: Vec<usize>,
+    /// Rounds executed (stops early once everyone is informed).
+    pub rounds: u64,
+    /// Communication metrics. Push rounds here are **sparse**: the per-round
+    /// active count is the informed-set size, so `metrics.active_push_nodes`
+    /// is the area under the informed curve — near zero through the doubling
+    /// phase, `≈ n` per round in the completion tail.
+    pub metrics: Metrics,
+    /// Whether every node was informed within the budget.
+    pub complete: bool,
+}
+
+/// Spreads a single rumor from `sources` by **push** gossip in which only
+/// informed nodes act: round `r` costs `O(informed_r)` engine work, not
+/// `O(n)` — the textbook "`~2^r` informed nodes in round `r`" process
+/// \[FG85, Pit87\], executed on the engine's sparse
+/// [`push_round_on`](gossip_net::Engine::push_round_on) path with the
+/// informed [`ActiveSet`] grown in place from each round's receiver list.
+///
+/// Stops as soon as every node is informed (or after `rounds.rounds_for(n)`
+/// rounds, whichever is first).
+///
+/// # Errors
+///
+/// Returns [`GossipError::TooFewNodes`] if `n < 2`, or
+/// [`GossipError::InvalidParameter`] if `sources` is empty or names a node
+/// `>= n`.
+pub fn spread_rumor(
+    n: usize,
+    sources: &[usize],
+    rounds: SpreadRounds,
+    engine_config: EngineConfig,
+) -> Result<RumorOutcome> {
+    if n < 2 {
+        return Err(GossipError::TooFewNodes { requested: n });
+    }
+    if sources.is_empty() {
+        return Err(GossipError::InvalidParameter {
+            name: "sources",
+            reason: "rumor spreading needs at least one source".to_string(),
+        });
+    }
+    let states: Vec<bool> = {
+        let mut informed = vec![false; n];
+        for &s in sources {
+            if s >= n {
+                return Err(GossipError::InvalidParameter {
+                    name: "sources",
+                    reason: format!("source {s} is out of range for an {n}-node network"),
+                });
+            }
+            informed[s] = true;
+        }
+        informed
+    };
+    let mut active = ActiveSet::from_members(n, sources.iter().copied())?;
+    let mut engine = Engine::from_states(states, engine_config);
+    let budget = rounds.rounds_for(n);
+    let mut informed_per_round = vec![active.len()];
+
+    let mut executed = 0u64;
+    while executed < budget && active.len() < n {
+        let out = engine.push_round_on(
+            &active,
+            // Every informed node pushes the one-bit rumor.
+            |_, _| Some(true),
+            |_, st, _| *st = true,
+            |_, _, _| {},
+        );
+        executed += 1;
+        active.union_sorted(&out.receivers);
+        informed_per_round.push(active.len());
+    }
+
+    let metrics = engine.metrics();
+    let informed = engine.into_states();
+    let complete = active.len() == n;
+    Ok(RumorOutcome {
+        informed,
+        informed_per_round,
+        rounds: executed,
         metrics,
         complete,
     })
@@ -237,5 +362,123 @@ mod tests {
         assert_eq!(r.rounds_for(1 << 10), 30);
         assert_eq!(r.rounds_for(1 << 20), 60);
         assert_eq!(SpreadRounds::Fixed(7).rounds_for(1 << 20), 7);
+    }
+
+    #[test]
+    fn rounds_for_saturates_on_pathological_factors() {
+        // Non-finite and out-of-range factors must clamp, never wrap or
+        // produce a garbage budget.
+        assert_eq!(
+            SpreadRounds::LogarithmicWithFactor(f64::NAN).rounds_for(1 << 10),
+            1
+        );
+        assert_eq!(
+            SpreadRounds::LogarithmicWithFactor(f64::INFINITY).rounds_for(1 << 10),
+            u64::MAX
+        );
+        assert_eq!(
+            SpreadRounds::LogarithmicWithFactor(f64::NEG_INFINITY).rounds_for(1 << 10),
+            1
+        );
+        assert_eq!(
+            SpreadRounds::LogarithmicWithFactor(-5.0).rounds_for(1 << 10),
+            1
+        );
+        assert_eq!(SpreadRounds::LogarithmicWithFactor(0.0).rounds_for(4), 1);
+        // Huge-but-finite factors land on the saturation ceiling too:
+        // 1e30 · log2(1024) = 1e31 > u64::MAX.
+        assert_eq!(
+            SpreadRounds::LogarithmicWithFactor(1e30).rounds_for(1 << 10),
+            u64::MAX
+        );
+        // Values just inside the range still round up normally.
+        assert_eq!(SpreadRounds::LogarithmicWithFactor(0.05).rounds_for(4), 1);
+        assert_eq!(SpreadRounds::LogarithmicWithFactor(1.5).rounds_for(4), 3);
+    }
+
+    #[test]
+    fn rumor_reaches_everyone_and_counts_sparse_activity() {
+        let n = 4096;
+        let out = spread_rumor(
+            n,
+            &[17],
+            SpreadRounds::default(),
+            EngineConfig::with_seed(9),
+        )
+        .unwrap();
+        assert!(out.complete);
+        assert!(out.informed.iter().all(|&i| i));
+        // O(log n) rounds with a healthy margin.
+        assert!(out.rounds <= 48, "rounds = {}", out.rounds);
+        // The growth curve starts at the source count, is monotone, and ends
+        // at n.
+        assert_eq!(out.informed_per_round[0], 1);
+        assert!(out.informed_per_round.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*out.informed_per_round.last().unwrap(), n);
+        // Sparse accounting: total push activity is the area under the
+        // informed curve. The completion tail is coupon-collector (near-full
+        // rounds), but the 2^r doubling phase is nearly free — so the total
+        // is well below the dense n-per-round cost, and the first half of the
+        // run is almost entirely saved.
+        let m = out.metrics;
+        assert_eq!(m.push_rounds, out.rounds);
+        assert!(
+            m.active_push_nodes < out.rounds * n as u64 * 3 / 4,
+            "active pushes {} vs dense {}",
+            m.active_push_nodes,
+            out.rounds * n as u64
+        );
+        let first_half: usize = out.informed_per_round[..out.informed_per_round.len() / 2]
+            .iter()
+            .sum();
+        assert!(
+            (first_half as u64) < n as u64,
+            "doubling phase touched {first_half} node-rounds"
+        );
+        assert!(m.max_active <= n as u64);
+        // Doubling phase really is exponential at the start.
+        assert!(out.informed_per_round[6] <= 64);
+    }
+
+    #[test]
+    fn rumor_spreading_is_deterministic_and_stops_early() {
+        let run = || {
+            spread_rumor(
+                2048,
+                &[0, 1000],
+                SpreadRounds::Fixed(10_000),
+                EngineConfig::with_seed(4),
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.informed_per_round, b.informed_per_round);
+        assert_eq!(a.rounds, b.rounds);
+        // A huge Fixed budget still stops as soon as everyone is informed.
+        assert!(a.complete);
+        assert!(a.rounds < 60, "rounds = {}", a.rounds);
+    }
+
+    #[test]
+    fn rumor_validates_inputs() {
+        let cfg = EngineConfig::with_seed(0);
+        assert!(spread_rumor(1, &[0], SpreadRounds::default(), cfg.clone()).is_err());
+        assert!(spread_rumor(8, &[], SpreadRounds::default(), cfg.clone()).is_err());
+        assert!(spread_rumor(8, &[8], SpreadRounds::default(), cfg).is_err());
+    }
+
+    #[test]
+    fn rumor_respects_a_tight_round_budget() {
+        let out = spread_rumor(
+            1024,
+            &[0],
+            SpreadRounds::Fixed(3),
+            EngineConfig::with_seed(2),
+        )
+        .unwrap();
+        assert_eq!(out.rounds, 3);
+        assert!(!out.complete);
+        // At most 2^3 = 8 nodes can be informed after 3 push rounds.
+        assert!(*out.informed_per_round.last().unwrap() <= 8);
     }
 }

@@ -136,20 +136,10 @@ fn bench_engine_scaling(c: &mut Criterion) {
     }
     group.finish();
 
-    // Cargo runs benches with the package directory as CWD; anchor the report
-    // in the workspace root so every PR's artifact lands in the same place.
-    let path = std::env::var("BENCH_ENGINE_JSON")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into());
-    let json = format!(
-        "{{\n  \"bench\": \"engine_scaling\",\n  \"primitive\": \"pull_round(max-spread, u64)\",\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
-        report_rows.join(",\n")
-    );
-    if let Err(err) = std::fs::write(&path, &json) {
-        eprintln!("could not write {path}: {err}");
-    } else {
-        println!("wrote {path}");
-    }
+    // Anchored in the workspace root (or $BENCH_ENGINE_JSON) so every PR's
+    // artifact lands in the same place; the section writer preserves the
+    // `active_set` rows contributed by the engine_ablation bench.
+    bench::report_json::write_section("results", &report_rows);
 }
 
 criterion_group!(benches, bench_engine_scaling);

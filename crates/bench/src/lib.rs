@@ -11,5 +11,6 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod report_json;
 
 pub use experiments::*;

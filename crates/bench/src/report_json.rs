@@ -1,0 +1,135 @@
+//! Section-preserving writer for `BENCH_engine.json`.
+//!
+//! Two benches contribute to the same perf record: `engine_scaling` writes
+//! the `"results"` rows (dense pull throughput per `n`) and `engine_ablation`
+//! writes the `"active_set"` rows (dense vs sparse rounds per active
+//! fraction). Either may run alone, so each updates *its* section in place
+//! and leaves the other's untouched. There is no JSON parser in the offline
+//! dependency set; instead the file format is fixed (2-space-indented
+//! sections of one-line rows, exactly what [`update_section`] emits), and the
+//! merge is plain string surgery over that format — with unit tests pinning
+//! the round-trip.
+
+use std::path::PathBuf;
+
+/// The canonical report path: `$BENCH_ENGINE_JSON`, or `BENCH_engine.json`
+/// in the workspace root.
+pub fn bench_engine_json_path() -> PathBuf {
+    std::env::var("BENCH_ENGINE_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_engine.json"
+            ))
+        })
+}
+
+/// The empty skeleton a section is inserted into when no report exists yet.
+fn skeleton() -> String {
+    "{\n  \"bench\": \"engine\",\n  \"primitive\": \"pull_round(max-spread, u64)\"\n}\n".to_string()
+}
+
+/// Returns `existing` (or a fresh skeleton if `None`/unusable) with the
+/// `key` section replaced by `rows` — other sections and the header keys are
+/// preserved verbatim.
+pub fn update_section(existing: Option<&str>, key: &str, rows: &[String]) -> String {
+    let existing = match existing {
+        Some(s) if s.trim_start().starts_with('{') && s.contains('}') => s.to_string(),
+        _ => skeleton(),
+    };
+    let section = format!("  \"{key}\": [\n{}\n  ]", rows.join(",\n"));
+    let marker = format!("\"{key}\": [");
+    if let Some(start) = existing.find(&marker) {
+        if let Some(end_rel) = existing[start..].find("\n  ]") {
+            let line_start = existing[..start].rfind('\n').map_or(0, |i| i + 1);
+            let end = start + end_rel + "\n  ]".len();
+            return format!("{}{}{}", &existing[..line_start], section, &existing[end..]);
+        }
+    }
+    // No such section yet: insert before the final closing brace.
+    match existing.rfind('}') {
+        Some(pos) => {
+            let before = existing[..pos].trim_end();
+            format!("{before},\n{section}\n}}\n")
+        }
+        None => format!("{{\n{section}\n}}\n"),
+    }
+}
+
+/// Reads the current report (if any), updates the `key` section with `rows`,
+/// and writes it back. Errors are reported to stderr, never fatal — a bench
+/// run should not die on a read-only checkout.
+pub fn write_section(key: &str, rows: &[String]) {
+    let path = bench_engine_json_path();
+    let existing = std::fs::read_to_string(&path).ok();
+    let updated = update_section(existing.as_deref(), key, rows);
+    match std::fs::write(&path, &updated) {
+        Ok(()) => println!("wrote {} section of {}", key, path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: u64) -> String {
+        format!("    {{\"n\": {i}}}")
+    }
+
+    #[test]
+    fn creates_a_skeleton_with_the_section() {
+        let out = update_section(None, "results", &[row(1), row(2)]);
+        assert!(out.starts_with("{\n  \"bench\": \"engine\""));
+        assert!(out.contains("\"results\": [\n    {\"n\": 1},\n    {\"n\": 2}\n  ]"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn adds_a_second_section_preserving_the_first() {
+        let first = update_section(None, "results", &[row(1)]);
+        let both = update_section(Some(&first), "active_set", &[row(7)]);
+        assert!(both.contains("\"results\": [\n    {\"n\": 1}\n  ]"));
+        assert!(both.contains("\"active_set\": [\n    {\"n\": 7}\n  ]"));
+        // Sections are comma-separated, single trailing brace.
+        assert_eq!(
+            both.matches('}').count() - both.matches("{\"n\"").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn replaces_a_section_in_place() {
+        let first = update_section(None, "results", &[row(1)]);
+        let both = update_section(Some(&first), "active_set", &[row(7)]);
+        let replaced = update_section(Some(&both), "results", &[row(2), row(3)]);
+        assert!(!replaced.contains("{\"n\": 1}"));
+        assert!(replaced.contains("{\"n\": 2},\n    {\"n\": 3}"));
+        assert!(replaced.contains("{\"n\": 7}"), "other section lost");
+        // Replacing the last section keeps the structure intact too.
+        let replaced2 = update_section(Some(&replaced), "active_set", &[row(8)]);
+        assert!(replaced2.contains("{\"n\": 8}"));
+        assert!(replaced2.contains("{\"n\": 2}"));
+        assert!(!replaced2.contains("{\"n\": 7}"));
+    }
+
+    #[test]
+    fn survives_the_pre_section_legacy_format() {
+        // The PR-3/PR-4 file shape: header + results only, written wholesale.
+        let legacy = "{\n  \"bench\": \"engine_scaling\",\n  \"primitive\": \
+                      \"pull_round(max-spread, u64)\",\n  \"results\": [\n    \
+                      {\"n\": 1000}\n  ]\n}\n";
+        let updated = update_section(Some(legacy), "active_set", &[row(9)]);
+        assert!(updated.contains("\"bench\": \"engine_scaling\""));
+        assert!(updated.contains("{\"n\": 1000}"));
+        assert!(updated.contains("\"active_set\": [\n    {\"n\": 9}\n  ]"));
+    }
+
+    #[test]
+    fn garbage_input_falls_back_to_the_skeleton() {
+        let out = update_section(Some("not json"), "results", &[row(4)]);
+        assert!(out.contains("\"bench\": \"engine\""));
+        assert!(out.contains("{\"n\": 4}"));
+    }
+}

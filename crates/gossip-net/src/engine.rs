@@ -128,6 +128,7 @@
 //! dominates, the documented alternative is a message-buffer path specialised
 //! for cheap snapshots.
 
+use crate::active::ActiveSet;
 use crate::error::{GossipError, Result};
 use crate::failure::FailureModel;
 use crate::message::MessageSize;
@@ -146,6 +147,26 @@ use std::sync::Arc;
 const TARGET_FAILED: u32 = u32::MAX;
 /// Sentinel in the target scratch buffer: the node stayed silent (no message).
 const TARGET_SILENT: u32 = u32::MAX - 1;
+
+/// What a sparse push-style round ([`Engine::push_round_on`] /
+/// [`Engine::push_pull_round_on`]) did, beyond the dense primitives' failed
+/// count: the set of nodes that received at least one message this round.
+///
+/// Receivers are how sparse activity *grows* — a rumor-spreading loop unions
+/// them into its informed [`ActiveSet`]
+/// ([`ActiveSet::union_sorted`]), a token-scattering loop into its holder set
+/// — so the engine reports them instead of forcing callers into an `O(n)`
+/// scan for changed states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePushOutcome {
+    /// Number of active nodes whose push failed under the failure model.
+    pub failed: usize,
+    /// Nodes that had at least one message delivered to them this round,
+    /// sorted ascending, duplicate-free. Receivers are sampled from the whole
+    /// topology neighbourhood, so they need **not** be members of the active
+    /// set.
+    pub receivers: Vec<NodeId>,
+}
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone)]
@@ -294,6 +315,23 @@ pub struct Engine<S> {
     /// Parallel-CSR per-chunk histograms (chunk-major, `chunks × n`); empty
     /// until the first parallel push round.
     scratch_hist: Vec<u32>,
+    /// Compact per-active-sender contact targets of the sparse push paths
+    /// (aligned with the round's `ActiveSet::indices`); grown to the largest
+    /// active set seen.
+    scratch_compact: Vec<u32>,
+    /// Compact per-active-node pull targets of sparse push–pull rounds.
+    scratch_compact2: Vec<u32>,
+    /// Sparse delivery list: `(receiver, sender)` pairs, sorted
+    /// receiver-major with ascending senders — the CSR of a sparse push,
+    /// sized by the number of messages instead of `n`.
+    scratch_pairs: Vec<(u32, u32)>,
+    /// The written set of the current sparse round (active ∪ receivers),
+    /// sorted — what the copy-on-write commit pass swaps into the front
+    /// buffer.
+    scratch_written: Vec<u32>,
+    /// Sorted unique receivers of the current sparse push round (the dedup
+    /// of `scratch_pairs`' receiver column), reused across rounds.
+    scratch_receivers: Vec<u32>,
 }
 
 /// A zeroed atomic scratch buffer (scratch holds no cross-round state, so
@@ -324,6 +362,14 @@ impl<S: Clone> Clone for Engine<S> {
             scratch_cursors: atomic_zeroed(self.scratch_cursors.len()),
             scratch_senders: atomic_zeroed(self.scratch_senders.len()),
             scratch_hist: vec![0; self.scratch_hist.len()],
+            // Like the atomic scratches above: no cross-round state, so the
+            // clone starts empty instead of memcpying stale ids (the sparse
+            // paths resize/clear these before every use).
+            scratch_compact: Vec::new(),
+            scratch_compact2: Vec::new(),
+            scratch_pairs: Vec::new(),
+            scratch_written: Vec::new(),
+            scratch_receivers: Vec::new(),
         }
     }
 }
@@ -395,6 +441,11 @@ impl<S> Engine<S> {
             scratch_cursors: atomic_zeroed(n),
             scratch_senders: atomic_zeroed(n),
             scratch_hist: Vec::new(),
+            scratch_compact: Vec::new(),
+            scratch_compact2: Vec::new(),
+            scratch_pairs: Vec::new(),
+            scratch_written: Vec::new(),
+            scratch_receivers: Vec::new(),
         })
     }
 
@@ -511,6 +562,81 @@ impl<S: Send> Engine<S> {
             |(), ()| (),
         );
     }
+
+    /// [`Engine::local_step`] restricted to an [`ActiveSet`]: only the
+    /// members' closures run, dispatched over the active indices so the cost
+    /// is `O(|active|)`, not `O(n)`.
+    ///
+    /// Each member receives exactly the [`NodeRng`] stream it would have
+    /// received from the dense `local_step` at the same epoch (the epoch
+    /// counter advances either way), so a sparse step over the **full** set is
+    /// bit-identical to the dense one.
+    pub fn local_step_on<F>(&mut self, active: &ActiveSet, f: F)
+    where
+        F: Fn(NodeId, &mut S, &mut NodeRng) + Sync,
+    {
+        self.assert_active(active);
+        self.local_epochs += 1;
+        let threads = self.threads;
+        let prefix = NodeRng::key_prefix(self.seed, self.local_epochs, NodeRng::STREAM_LOCAL);
+        par::for_sparse(
+            &self.pool,
+            &mut self.states,
+            active.indices(),
+            threads,
+            (),
+            |ids, base, sub| {
+                for &id in ids {
+                    let v = id as usize;
+                    let mut rng = prefix.node(v as u64);
+                    f(v, &mut sub[v - base], &mut rng);
+                }
+            },
+            |(), ()| (),
+        );
+    }
+}
+
+impl<S> Engine<S> {
+    /// Sparse rounds take the engine's `ActiveSet` by reference; it must have
+    /// been built for this network size.
+    fn assert_active(&self, active: &ActiveSet) {
+        assert_eq!(
+            active.n(),
+            self.n(),
+            "ActiveSet was built for a {}-node network, engine has {} nodes",
+            active.n(),
+            self.n()
+        );
+    }
+}
+
+/// Merges two sorted, duplicate-free id lists into `out` (also sorted and
+/// duplicate-free) — how a sparse push round assembles its written set
+/// (active senders ∪ receivers) in `O(|a| + |b|)`.
+fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 /// Dispatches `$body` with `$sp` bound to the engine's concrete sampler
@@ -579,7 +705,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         F: Fn(NodeId, &S) -> M + Sync,
         G: Fn(NodeId, &mut S, Option<M>) + Sync,
     {
-        self.metrics.record_round(RoundKind::Pull);
+        self.metrics.record_round(RoundKind::Pull, self.n() as u64);
         self.round += 1;
         self.ensure_next();
 
@@ -668,7 +794,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         H: Fn(NodeId, &mut S, bool) + Sync,
     {
         let n = self.n();
-        self.metrics.record_round(RoundKind::Push);
+        self.metrics.record_round(RoundKind::Push, n as u64);
         self.round += 1;
         self.ensure_next();
 
@@ -776,7 +902,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         G: Fn(NodeId, &mut S, M) + Sync,
     {
         let n = self.n();
-        self.metrics.record_round(RoundKind::PushPull);
+        self.metrics.record_round(RoundKind::PushPull, n as u64);
         self.round += 1;
         self.ensure_next();
 
@@ -896,7 +1022,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         let threads = self.threads;
         let mut collected: Vec<Vec<M>> = (0..n).map(|_| Vec::with_capacity(k)).collect();
         for _ in 0..k {
-            self.metrics.record_round(RoundKind::Pull);
+            self.metrics.record_round(RoundKind::Pull, n as u64);
             self.round += 1;
             let round = self.round;
             let (states, failure) = (&self.states, &self.failure);
@@ -1129,6 +1255,554 @@ impl<S: Clone + Send + Sync> Engine<S> {
                 }
             }
         });
+    }
+}
+
+/// ## Sparse rounds: active sets and copy-on-write buffers
+///
+/// The `*_on` primitives are the participant-proportional counterparts of the
+/// dense rounds: they take an [`ActiveSet`] and dispatch pool chunks over the
+/// active indices only ([`crate::par::for_sparse`]), so a round over `a`
+/// participants costs `O(a)` (plus `O(messages)` delivery work on the push
+/// paths) instead of `O(n)`. Peer *targets* are still sampled from the full
+/// topology neighbourhood — sparseness restricts who acts, not who can be
+/// contacted.
+///
+/// Instead of the dense rounds' whole-buffer clone into `next`, sparse rounds
+/// are **copy-on-write**: only the round's *written set* — the active nodes
+/// (pull) or active ∪ receivers (push paths) — is cloned into the back
+/// buffer, updated there against the immutable front buffer, and committed by
+/// swapping exactly those slots back (an `O(|written|)` pass;
+/// [`crate::par::for_sparse2`]). The front buffer therefore stays fully
+/// current at all times — dense and sparse rounds interleave freely — and
+/// untouched slots are never cloned, read, or written. (A design with an
+/// `O(1)` whole-buffer swap plus per-node epoch stamps was rejected: resolving
+/// stale slots through stamps makes peer reads alias the buffer being
+/// written, which cannot be expressed under this crate's `deny(unsafe_code)`
+/// discipline — and the slot-swap commit is already proportional to the
+/// participants, which is the property that matters.)
+///
+/// Push deliveries are bucketed over the **sparse message set**: a
+/// `(receiver, sender)` pair list sized by the number of messages, sorted
+/// receiver-major (unique keys, so the unstable sort is deterministic and
+/// yields the dense paths' ascending-sender fold order) — never the dense
+/// `O(n)` CSR offsets array.
+///
+/// A sparse round over [`ActiveSet::full`] is **bit-identical** to its dense
+/// counterpart — same RNG keys per node, same fold order, same metrics — as
+/// pinned against the golden trajectories by `tests/sparse.rs`.
+impl<S: Clone + Send + Sync> Engine<S> {
+    /// [`Engine::pull_round`] restricted to an [`ActiveSet`]: only active
+    /// nodes pull (each contacting a uniformly random neighbour and folding
+    /// the served message through `apply`); every other node's state is
+    /// carried over untouched. Cost: `O(|active|)`.
+    ///
+    /// Returns the number of active nodes whose pull failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` was built for a different network size.
+    pub fn pull_round_on<M, F, G>(&mut self, active: &ActiveSet, serve: F, apply: G) -> usize
+    where
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
+    {
+        with_sampler!(self, sp => self.pull_round_on_with(sp, active, serve, apply))
+    }
+
+    /// [`Engine::pull_round_on`], monomorphised over the sampler type.
+    fn pull_round_on_with<SP, M, F, G>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        serve: F,
+        apply: G,
+    ) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
+    {
+        self.assert_active(active);
+        self.metrics
+            .record_round(RoundKind::Pull, active.len() as u64);
+        self.round += 1;
+        self.ensure_next();
+
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let delta = par::for_sparse(
+            &self.pool,
+            &mut self.next,
+            active.indices(),
+            threads,
+            Metrics::default(),
+            |ids, base, sub| {
+                let mut local = Metrics::default();
+                if reliable {
+                    for &id in ids {
+                        let v = id as usize;
+                        let slot = &mut sub[v - base];
+                        slot.clone_from(&states[v]);
+                        let mut rng = prefix.node(v as u64);
+                        local.record_attempt(RoundKind::Pull);
+                        let t = sampler.sample(&mut rng, v);
+                        let msg = serve(t, &states[t]);
+                        local.record_delivery(msg.message_bits());
+                        apply(v, slot, Some(msg));
+                    }
+                } else {
+                    for &id in ids {
+                        let v = id as usize;
+                        let slot = &mut sub[v - base];
+                        slot.clone_from(&states[v]);
+                        let mut rng = prefix.node(v as u64);
+                        local.record_attempt(RoundKind::Pull);
+                        if failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            apply(v, slot, None);
+                        } else {
+                            let t = sampler.sample(&mut rng, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            apply(v, slot, Some(msg));
+                        }
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+        self.commit_written(active.indices());
+        delta.failed_operations as usize
+    }
+
+    /// [`Engine::push_round`] restricted to an [`ActiveSet`]: only active
+    /// nodes derive and push messages; receivers (any node of the network)
+    /// fold what they were sent, and `after` runs for the **active** nodes
+    /// only. Cost: `O(|active| + messages)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` was built for a different network size.
+    pub fn push_round_on<M, F, G, H>(
+        &mut self,
+        active: &ActiveSet,
+        make: F,
+        fold: G,
+        after: H,
+    ) -> SparsePushOutcome
+    where
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> Option<M> + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+        H: Fn(NodeId, &mut S, bool) + Sync,
+    {
+        with_sampler!(self, sp => self.push_round_on_with(sp, active, make, fold, after))
+    }
+
+    /// [`Engine::push_round_on`], monomorphised over the sampler type.
+    fn push_round_on_with<SP, M, F, G, H>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        make: F,
+        fold: G,
+        after: H,
+    ) -> SparsePushOutcome
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> Option<M> + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+        H: Fn(NodeId, &mut S, bool) + Sync,
+    {
+        self.assert_active(active);
+        let n = self.n();
+        let m = active.len();
+        self.metrics.record_round(RoundKind::Push, m as u64);
+        self.round += 1;
+        self.ensure_next();
+        if self.scratch_compact.len() < m {
+            self.scratch_compact.resize(m, 0);
+        }
+
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ids = active.indices();
+
+        // Pass 1: every active sender decides its outcome (silent / failed /
+        // target) into the compact scratch, aligned with the active indices.
+        let delta = par::for_chunks(
+            &self.pool,
+            &mut self.scratch_compact[..m],
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let v = ids[start + j] as usize;
+                    let msg = match make(v, &states[v]) {
+                        Some(m) => m,
+                        None => {
+                            *slot = TARGET_SILENT;
+                            continue;
+                        }
+                    };
+                    local.record_attempt(RoundKind::Push);
+                    let mut rng = prefix.node(v as u64);
+                    if !reliable && failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        *slot = TARGET_FAILED;
+                    } else {
+                        let t = sampler.sample(&mut rng, v);
+                        local.record_delivery(msg.message_bits());
+                        *slot = t as u32;
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+
+        // Bucket the sparse message set and assemble the written set.
+        let receivers = self.bucket_sparse(active);
+
+        // Pass 2: clone every written node into the back buffer, fold its
+        // deliveries (ascending sender order), and run `after` on the active
+        // members.
+        let states = &self.states;
+        let (pairs, compact) = (&self.scratch_pairs, &self.scratch_compact[..m]);
+        par::for_sparse(
+            &self.pool,
+            &mut self.next,
+            &self.scratch_written,
+            threads,
+            (),
+            |wids, base, sub| {
+                for &id in wids {
+                    let u = id as usize;
+                    let slot = &mut sub[u - base];
+                    slot.clone_from(&states[u]);
+                    let lo = pairs.partition_point(|&(r, _)| r < id);
+                    let hi = pairs.partition_point(|&(r, _)| r <= id);
+                    for &(_, s) in &pairs[lo..hi] {
+                        let v = s as usize;
+                        if let Some(msg) = make(v, &states[v]) {
+                            fold(u, slot, msg);
+                        }
+                    }
+                    if let Some(rank) = active.rank(u) {
+                        after(u, slot, (compact[rank] as usize) < n);
+                    }
+                }
+            },
+            |(), ()| (),
+        );
+        let written = std::mem::take(&mut self.scratch_written);
+        self.commit_written(&written);
+        self.scratch_written = written;
+        SparsePushOutcome {
+            failed: delta.failed_operations as usize,
+            receivers,
+        }
+    }
+
+    /// [`Engine::push_pull_round`] restricted to an [`ActiveSet`]: only
+    /// active nodes push **and** pull this round (one round on the meter,
+    /// both directions); receivers of pushes fold the served messages as in
+    /// the dense primitive. Cost: `O(|active| + messages)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` was built for a different network size.
+    pub fn push_pull_round_on<M, F, G>(
+        &mut self,
+        active: &ActiveSet,
+        serve: F,
+        merge: G,
+    ) -> SparsePushOutcome
+    where
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+    {
+        with_sampler!(self, sp => self.push_pull_round_on_with(sp, active, serve, merge))
+    }
+
+    /// [`Engine::push_pull_round_on`], monomorphised over the sampler type.
+    fn push_pull_round_on_with<SP, M, F, G>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        serve: F,
+        merge: G,
+    ) -> SparsePushOutcome
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+    {
+        self.assert_active(active);
+        let m = active.len();
+        self.metrics.record_round(RoundKind::PushPull, m as u64);
+        self.round += 1;
+        self.ensure_next();
+        if self.scratch_compact.len() < m {
+            self.scratch_compact.resize(m, 0);
+        }
+        if self.scratch_compact2.len() < m {
+            self.scratch_compact2.resize(m, 0);
+        }
+
+        let (round, threads) = (self.round, self.threads);
+        let failure = &self.failure;
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ids = active.indices();
+
+        // Pass 1: every active node draws its failure coin, pull target, push
+        // target (the dense primitive's draw order), into the compact
+        // scratches.
+        let delta = par::for_chunks2(
+            &self.pool,
+            &mut self.scratch_compact[..m],
+            &mut self.scratch_compact2[..m],
+            threads,
+            Metrics::default(),
+            |start, push_chunk, pull_chunk| {
+                let mut local = Metrics::default();
+                if reliable {
+                    for j in 0..push_chunk.len() {
+                        let v = ids[start + j] as usize;
+                        local.record_attempt(RoundKind::PushPull);
+                        let mut rng = prefix.node(v as u64);
+                        pull_chunk[j] = sampler.sample(&mut rng, v) as u32;
+                        push_chunk[j] = sampler.sample(&mut rng, v) as u32;
+                    }
+                } else {
+                    for j in 0..push_chunk.len() {
+                        let v = ids[start + j] as usize;
+                        local.record_attempt(RoundKind::PushPull);
+                        let mut rng = prefix.node(v as u64);
+                        if failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            push_chunk[j] = TARGET_FAILED;
+                            pull_chunk[j] = TARGET_FAILED;
+                        } else {
+                            pull_chunk[j] = sampler.sample(&mut rng, v) as u32;
+                            push_chunk[j] = sampler.sample(&mut rng, v) as u32;
+                        }
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+
+        let receivers = self.bucket_sparse(active);
+
+        // Pass 2: clone every written node, merge its pulled message first
+        // (active members only), then the pushed ones in ascending sender
+        // order.
+        let states = &self.states;
+        let (pairs, pulls) = (&self.scratch_pairs, &self.scratch_compact2[..m]);
+        let deliveries = par::for_sparse(
+            &self.pool,
+            &mut self.next,
+            &self.scratch_written,
+            threads,
+            Metrics::default(),
+            |wids, base, sub| {
+                let mut local = Metrics::default();
+                for &id in wids {
+                    let u = id as usize;
+                    let slot = &mut sub[u - base];
+                    slot.clone_from(&states[u]);
+                    if let Some(rank) = active.rank(u) {
+                        let t_pull = pulls[rank];
+                        if t_pull != TARGET_FAILED {
+                            let t = t_pull as usize;
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            merge(u, slot, msg);
+                        }
+                    }
+                    let lo = pairs.partition_point(|&(r, _)| r < id);
+                    let hi = pairs.partition_point(|&(r, _)| r <= id);
+                    for &(_, s) in &pairs[lo..hi] {
+                        let v = s as usize;
+                        let msg = serve(v, &states[v]);
+                        local.record_delivery(msg.message_bits());
+                        merge(u, slot, msg);
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + deliveries;
+        let written = std::mem::take(&mut self.scratch_written);
+        self.commit_written(&written);
+        self.scratch_written = written;
+        SparsePushOutcome {
+            failed: delta.failed_operations as usize,
+            receivers,
+        }
+    }
+
+    /// [`Engine::collect_samples`] restricted to an [`ActiveSet`]: `k`
+    /// consecutive pull rounds in which only the active nodes sample. Cost:
+    /// `O(k·|active|)`.
+    ///
+    /// Returns one bucket per **active** node, aligned with
+    /// [`ActiveSet::indices`] (use [`ActiveSet::rank`] to look a member's
+    /// bucket up by node id); over the full set the layout coincides with the
+    /// dense primitive's per-node vector. Node states are untouched.
+    pub fn collect_samples_on<M, F>(
+        &mut self,
+        active: &ActiveSet,
+        k: usize,
+        serve: F,
+    ) -> Vec<Vec<M>>
+    where
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
+    {
+        with_sampler!(self, sp => self.collect_samples_on_with(sp, active, k, serve))
+    }
+
+    /// [`Engine::collect_samples_on`], monomorphised over the sampler type.
+    fn collect_samples_on_with<SP, M, F>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        k: usize,
+        serve: F,
+    ) -> Vec<Vec<M>>
+    where
+        SP: Sampler,
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
+    {
+        self.assert_active(active);
+        let m = active.len();
+        let threads = self.threads;
+        let ids = active.indices();
+        let mut collected: Vec<Vec<M>> = (0..m).map(|_| Vec::with_capacity(k)).collect();
+        for _ in 0..k {
+            self.metrics.record_round(RoundKind::Pull, m as u64);
+            self.round += 1;
+            let round = self.round;
+            let (states, failure) = (&self.states, &self.failure);
+            let sampler = &sampler;
+            let reliable = failure.is_reliable();
+            let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+            let delta = par::for_chunks(
+                &self.pool,
+                &mut collected,
+                threads,
+                Metrics::default(),
+                |start, chunk| {
+                    let mut local = Metrics::default();
+                    if reliable {
+                        for (j, bucket) in chunk.iter_mut().enumerate() {
+                            let v = ids[start + j] as usize;
+                            local.record_attempt(RoundKind::Pull);
+                            let mut rng = prefix.node(v as u64);
+                            let t = sampler.sample(&mut rng, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            bucket.push(msg);
+                        }
+                    } else {
+                        for (j, bucket) in chunk.iter_mut().enumerate() {
+                            let v = ids[start + j] as usize;
+                            local.record_attempt(RoundKind::Pull);
+                            let mut rng = prefix.node(v as u64);
+                            if failure.fails(v, round, &mut rng) {
+                                local.record_failure();
+                                continue;
+                            }
+                            let t = sampler.sample(&mut rng, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            bucket.push(msg);
+                        }
+                    }
+                    local
+                },
+                |a, b| a + b,
+            );
+            self.metrics = self.metrics + delta;
+        }
+        collected
+    }
+
+    /// Buckets the current sparse round's deliveries: reads the compact
+    /// per-active targets, builds the `(receiver, sender)` pair list sorted
+    /// receiver-major with ascending senders, assembles the written set
+    /// (active ∪ receivers) into `scratch_written`, and returns the sorted
+    /// receiver list. `O(messages log messages + |active|)` — never `O(n)`.
+    fn bucket_sparse(&mut self, active: &ActiveSet) -> Vec<NodeId> {
+        let n = self.n();
+        self.scratch_pairs.clear();
+        for (j, &id) in active.indices().iter().enumerate() {
+            let t = self.scratch_compact[j];
+            if (t as usize) < n {
+                self.scratch_pairs.push((t, id));
+            }
+        }
+        // Keys are unique (one push per sender), so the unstable sort is
+        // deterministic; receiver-major lexicographic order gives each
+        // receiver its senders ascending — the dense fold order.
+        self.scratch_pairs.sort_unstable();
+        // Dedup into the reusable u32 scratch; the only per-round allocation
+        // is the receiver list handed back to the caller.
+        self.scratch_receivers.clear();
+        for &(r, _) in &self.scratch_pairs {
+            if self.scratch_receivers.last() != Some(&r) {
+                self.scratch_receivers.push(r);
+            }
+        }
+        let mut written = std::mem::take(&mut self.scratch_written);
+        merge_sorted_into(active.indices(), &self.scratch_receivers, &mut written);
+        self.scratch_written = written;
+        self.scratch_receivers.iter().map(|&r| r as usize).collect()
+    }
+
+    /// The copy-on-write commit: swaps every written slot between the back
+    /// and front buffers, so the front buffer is fully current again after an
+    /// `O(|written|)` pass (the sparse counterpart of the dense rounds'
+    /// `O(1)` whole-vector swap).
+    fn commit_written(&mut self, written: &[u32]) {
+        let threads = self.threads;
+        par::for_sparse2(
+            &self.pool,
+            &mut self.states,
+            &mut self.next,
+            written,
+            threads,
+            |ids, base, front, back| {
+                for &id in ids {
+                    let i = id as usize - base;
+                    std::mem::swap(&mut front[i], &mut back[i]);
+                }
+            },
+        );
     }
 }
 

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod active;
 pub mod engine;
 pub mod error;
 pub mod failure;
@@ -65,7 +66,8 @@ pub mod rng;
 pub mod topology;
 pub mod value;
 
-pub use engine::{Engine, EngineConfig};
+pub use active::ActiveSet;
+pub use engine::{Engine, EngineConfig, SparsePushOutcome};
 pub use error::{GossipError, Result};
 pub use failure::FailureModel;
 pub use message::MessageSize;

@@ -41,6 +41,19 @@ pub struct Metrics {
     pub push_rounds: u64,
     /// Rounds that were push–pull rounds (both directions, one round).
     pub push_pull_rounds: u64,
+    /// Total participants across all rounds: a dense round contributes `n`,
+    /// a sparse `*_on` round contributes the size of its
+    /// [`ActiveSet`](crate::ActiveSet). `active_nodes_total / rounds` is the
+    /// mean per-round activity.
+    pub active_nodes_total: u64,
+    /// Largest single-round participant count observed.
+    pub max_active: u64,
+    /// Participants in pull rounds (includes `collect_samples` rounds).
+    pub active_pull_nodes: u64,
+    /// Participants in push rounds.
+    pub active_push_nodes: u64,
+    /// Participants in push–pull rounds.
+    pub active_push_pull_nodes: u64,
     /// Number of pull operations attempted (one per active node per pull round).
     pub pulls_attempted: u64,
     /// Number of push operations attempted.
@@ -61,13 +74,46 @@ impl Metrics {
         Self::default()
     }
 
-    /// Records the start of a round of the given kind.
-    pub(crate) fn record_round(&mut self, kind: RoundKind) {
+    /// Records the start of a round of the given kind with `active`
+    /// participating nodes (`n` for a dense round, the active-set size for a
+    /// sparse one).
+    pub(crate) fn record_round(&mut self, kind: RoundKind, active: u64) {
         self.rounds += 1;
+        self.active_nodes_total += active;
+        if active > self.max_active {
+            self.max_active = active;
+        }
         match kind {
-            RoundKind::Pull => self.pull_rounds += 1,
-            RoundKind::Push => self.push_rounds += 1,
-            RoundKind::PushPull => self.push_pull_rounds += 1,
+            RoundKind::Pull => {
+                self.pull_rounds += 1;
+                self.active_pull_nodes += active;
+            }
+            RoundKind::Push => {
+                self.push_rounds += 1;
+                self.active_push_nodes += active;
+            }
+            RoundKind::PushPull => {
+                self.push_pull_rounds += 1;
+                self.active_push_pull_nodes += active;
+            }
+        }
+    }
+
+    /// Total participants in rounds of the given kind.
+    pub fn active_of(&self, kind: RoundKind) -> u64 {
+        match kind {
+            RoundKind::Pull => self.active_pull_nodes,
+            RoundKind::Push => self.active_push_nodes,
+            RoundKind::PushPull => self.active_push_pull_nodes,
+        }
+    }
+
+    /// Mean participants per round, or 0 with no rounds.
+    pub fn mean_active(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.active_nodes_total as f64 / self.rounds as f64
         }
     }
 
@@ -127,6 +173,11 @@ impl Metrics {
             pull_rounds: self.pull_rounds - earlier.pull_rounds,
             push_rounds: self.push_rounds - earlier.push_rounds,
             push_pull_rounds: self.push_pull_rounds - earlier.push_pull_rounds,
+            active_nodes_total: self.active_nodes_total - earlier.active_nodes_total,
+            max_active: self.max_active.max(earlier.max_active),
+            active_pull_nodes: self.active_pull_nodes - earlier.active_pull_nodes,
+            active_push_nodes: self.active_push_nodes - earlier.active_push_nodes,
+            active_push_pull_nodes: self.active_push_pull_nodes - earlier.active_push_pull_nodes,
             pulls_attempted: self.pulls_attempted - earlier.pulls_attempted,
             pushes_attempted: self.pushes_attempted - earlier.pushes_attempted,
             failed_operations: self.failed_operations - earlier.failed_operations,
@@ -165,6 +216,11 @@ impl std::ops::Add for Metrics {
             pull_rounds: self.pull_rounds + rhs.pull_rounds,
             push_rounds: self.push_rounds + rhs.push_rounds,
             push_pull_rounds: self.push_pull_rounds + rhs.push_pull_rounds,
+            active_nodes_total: self.active_nodes_total + rhs.active_nodes_total,
+            max_active: self.max_active.max(rhs.max_active),
+            active_pull_nodes: self.active_pull_nodes + rhs.active_pull_nodes,
+            active_push_nodes: self.active_push_nodes + rhs.active_push_nodes,
+            active_push_pull_nodes: self.active_push_pull_nodes + rhs.active_push_pull_nodes,
             pulls_attempted: self.pulls_attempted + rhs.pulls_attempted,
             pushes_attempted: self.pushes_attempted + rhs.pushes_attempted,
             failed_operations: self.failed_operations + rhs.failed_operations,
@@ -182,11 +238,11 @@ mod tests {
     #[test]
     fn record_and_delta() {
         let mut m = Metrics::new();
-        m.record_round(RoundKind::Pull);
+        m.record_round(RoundKind::Pull, 10);
         m.record_attempt(RoundKind::Pull);
         m.record_delivery(64);
         let snapshot = m;
-        m.record_round(RoundKind::Push);
+        m.record_round(RoundKind::Push, 10);
         m.record_attempt(RoundKind::Push);
         m.record_failure();
         m.record_delivery(128);
@@ -218,10 +274,10 @@ mod tests {
     #[test]
     fn add_combines_counters() {
         let mut a = Metrics::new();
-        a.record_round(RoundKind::Pull);
+        a.record_round(RoundKind::Pull, 10);
         a.record_delivery(8);
         let mut b = Metrics::new();
-        b.record_round(RoundKind::Push);
+        b.record_round(RoundKind::Push, 10);
         b.record_delivery(16);
         let c = a + b;
         assert_eq!(c.rounds, 2);
@@ -241,10 +297,10 @@ mod tests {
     #[test]
     fn rounds_are_counted_per_kind() {
         let mut m = Metrics::new();
-        m.record_round(RoundKind::Pull);
-        m.record_round(RoundKind::Pull);
-        m.record_round(RoundKind::Push);
-        m.record_round(RoundKind::PushPull);
+        m.record_round(RoundKind::Pull, 10);
+        m.record_round(RoundKind::Pull, 10);
+        m.record_round(RoundKind::Push, 10);
+        m.record_round(RoundKind::PushPull, 10);
         assert_eq!(m.rounds, 4);
         assert_eq!(m.rounds_of(RoundKind::Pull), 2);
         assert_eq!(m.rounds_of(RoundKind::Push), 1);
@@ -253,9 +309,35 @@ mod tests {
         assert_eq!(total, m.rounds);
         // The per-kind counters survive delta and addition like `rounds` does.
         let snapshot = m;
-        m.record_round(RoundKind::Push);
+        m.record_round(RoundKind::Push, 10);
         assert_eq!(m.snapshot_delta(&snapshot).push_rounds, 1);
         assert_eq!((m + m).push_pull_rounds, 2);
+    }
+
+    #[test]
+    fn active_counts_accumulate_per_round_and_per_kind() {
+        let mut m = Metrics::new();
+        m.record_round(RoundKind::Pull, 1000);
+        m.record_round(RoundKind::Push, 30);
+        m.record_round(RoundKind::PushPull, 500);
+        m.record_round(RoundKind::Push, 0);
+        assert_eq!(m.active_nodes_total, 1530);
+        assert_eq!(m.max_active, 1000);
+        assert_eq!(m.active_of(RoundKind::Pull), 1000);
+        assert_eq!(m.active_of(RoundKind::Push), 30);
+        assert_eq!(m.active_of(RoundKind::PushPull), 500);
+        assert_eq!(m.mean_active(), 1530.0 / 4.0);
+        // Delta subtracts totals but keeps the max (like max_message_bits).
+        let snapshot = m;
+        m.record_round(RoundKind::Pull, 200);
+        let delta = m.snapshot_delta(&snapshot);
+        assert_eq!(delta.active_nodes_total, 200);
+        assert_eq!(delta.max_active, 1000);
+        // Addition sums totals and maxes the maxima.
+        let sum = m + m;
+        assert_eq!(sum.active_nodes_total, 2 * m.active_nodes_total);
+        assert_eq!(sum.max_active, 1000);
+        assert_eq!(Metrics::new().mean_active(), 0.0);
     }
 
     #[test]

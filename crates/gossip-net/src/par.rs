@@ -166,6 +166,146 @@ where
     acc
 }
 
+/// Runs `map` over `threads` contiguous chunks of a **sorted, duplicate-free**
+/// index list, handing each task mutable access to exactly the slice of
+/// `data` its indices fall in.
+///
+/// This is the sparse counterpart of [`for_chunks`]: the engine's `*_on`
+/// round primitives dispatch over the active indices only, so per-round cost
+/// is proportional to the number of participants, not to `data.len()`.
+/// Safety falls out of the index order: chunk `j` of the index list covers
+/// the slot range `[ids[j·chunk], ids[(j+1)·chunk])`, and because the indices
+/// are strictly increasing these ranges are disjoint — `data` is carved into
+/// per-task sub-slices with `split_at_mut`, no interior mutability needed.
+///
+/// `map` receives `(ids, base, sub)` where `sub` is the task's sub-slice of
+/// `data` starting at global index `base`: the slot of index `i ∈ ids` is
+/// `sub[i - base]`. Results are folded in chunk order, exactly like
+/// [`for_chunks`]; chunk boundaries depend only on `ids.len()` and `threads`.
+///
+/// # Panics
+///
+/// Debug-asserts that `ids` is strictly increasing and in bounds; release
+/// builds index out of bounds (a panic) on a malformed list rather than
+/// corrupting memory.
+pub fn for_sparse<T, A, F, R>(
+    pool: &WorkerPool,
+    data: &mut [T],
+    ids: &[u32],
+    threads: usize,
+    identity: A,
+    map: F,
+    reduce: R,
+) -> A
+where
+    T: Send,
+    A: Send,
+    F: Fn(&[u32], usize, &mut [T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    debug_assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "sparse index list must be strictly increasing"
+    );
+    debug_assert!(ids
+        .last()
+        .map_or(true, |&last| (last as usize) < data.len()));
+    let m = ids.len();
+    if m == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, m);
+    if threads == 1 {
+        return reduce(identity, map(ids, 0, data));
+    }
+    let chunk = m.div_ceil(threads);
+    // Carve `data` at each chunk's first index; chunk j's last index is
+    // strictly below chunk j+1's first, so every id lands in its own task's
+    // sub-slice.
+    #[allow(clippy::type_complexity)]
+    let mut tasks: Vec<Mutex<Option<(&[u32], usize, &mut [T])>>> = Vec::new();
+    let mut rest = data;
+    let mut carved_to = 0usize;
+    for (j, id_chunk) in ids.chunks(chunk).enumerate() {
+        let base = id_chunk[0] as usize;
+        let (_, tail) = std::mem::take(&mut rest).split_at_mut(base - carved_to);
+        let end = ids
+            .get((j + 1) * chunk)
+            .map_or(tail.len(), |&next| next as usize - base);
+        let (sub, tail) = tail.split_at_mut(end);
+        rest = tail;
+        carved_to = base + end;
+        tasks.push(Mutex::new(Some((id_chunk, base, sub))));
+    }
+    let slots: Vec<Mutex<Option<A>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    pool.run(tasks.len(), &|i| {
+        let (ids, base, sub) = take(&tasks[i]).expect("pool ran a sparse task twice");
+        *slots[i].lock().expect("slot mutex poisoned") = Some(map(ids, base, sub));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let a = take_inner(slot).expect("pool skipped a sparse task");
+        acc = reduce(acc, a);
+    }
+    acc
+}
+
+/// Like [`for_sparse`], but over two equal-length buffers carved at the same
+/// index boundaries, so `a[i]` and `b[i]` always land in the same task (the
+/// engine's copy-on-write swap-back pass exchanges front/back slots of the
+/// written set through this).
+pub fn for_sparse2<T, U, F>(
+    pool: &WorkerPool,
+    a: &mut [T],
+    b: &mut [U],
+    ids: &[u32],
+    threads: usize,
+    map: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(&[u32], usize, &mut [T], &mut [U]) + Sync,
+{
+    debug_assert_eq!(
+        a.len(),
+        b.len(),
+        "for_sparse2 requires equal-length buffers"
+    );
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    let m = ids.len();
+    if m == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, m);
+    if threads == 1 {
+        map(ids, 0, a, b);
+        return;
+    }
+    let chunk = m.div_ceil(threads);
+    #[allow(clippy::type_complexity)]
+    let mut tasks: Vec<Mutex<Option<(&[u32], usize, &mut [T], &mut [U])>>> = Vec::new();
+    let (mut rest_a, mut rest_b) = (a, b);
+    let mut carved_to = 0usize;
+    for (j, id_chunk) in ids.chunks(chunk).enumerate() {
+        let base = id_chunk[0] as usize;
+        let (_, tail_a) = std::mem::take(&mut rest_a).split_at_mut(base - carved_to);
+        let (_, tail_b) = std::mem::take(&mut rest_b).split_at_mut(base - carved_to);
+        let end = ids
+            .get((j + 1) * chunk)
+            .map_or(tail_a.len(), |&next| next as usize - base);
+        let (sub_a, tail_a) = tail_a.split_at_mut(end);
+        let (sub_b, tail_b) = tail_b.split_at_mut(end);
+        rest_a = tail_a;
+        rest_b = tail_b;
+        carved_to = base + end;
+        tasks.push(Mutex::new(Some((id_chunk, base, sub_a, sub_b))));
+    }
+    pool.run(tasks.len(), &|i| {
+        let (ids, base, sub_a, sub_b) = take(&tasks[i]).expect("pool ran a sparse task twice");
+        map(ids, base, sub_a, sub_b);
+    });
+}
+
 /// Takes the value out of a shared once-cell.
 fn take<T>(cell: &Mutex<Option<T>>) -> Option<T> {
     cell.lock().expect("chunk mutex poisoned").take()
@@ -270,6 +410,90 @@ mod tests {
             |a, b| a + b,
         );
         assert_eq!(acc, 1);
+    }
+
+    #[test]
+    fn for_sparse_touches_exactly_the_listed_indices() {
+        let pool = WorkerPool::new(4);
+        let ids: Vec<u32> = vec![0, 3, 4, 9, 17, 18, 40, 99];
+        for threads in [1, 2, 3, 8, 64] {
+            let mut data: Vec<u64> = vec![0; 100];
+            let count = for_sparse(
+                &pool,
+                &mut data,
+                &ids,
+                threads,
+                0usize,
+                |ids, base, sub| {
+                    for &i in ids {
+                        sub[i as usize - base] = i as u64 + 1;
+                    }
+                    ids.len()
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(count, ids.len());
+            for (i, &v) in data.iter().enumerate() {
+                let expected = if ids.contains(&(i as u32)) {
+                    i as u64 + 1
+                } else {
+                    0
+                };
+                assert_eq!(v, expected, "slot {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn for_sparse_reduces_in_chunk_order_and_handles_edges() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0u8; 10];
+        // Empty index list: identity untouched.
+        let acc = for_sparse(
+            &pool,
+            &mut data,
+            &[],
+            4,
+            7u32,
+            |_, _, _| unreachable!(),
+            |a, _b| a,
+        );
+        assert_eq!(acc, 7);
+        // Chunk-order fold over a dense-ish list.
+        let ids: Vec<u32> = (0..10).collect();
+        let order = for_sparse(
+            &pool,
+            &mut data,
+            &ids,
+            5,
+            Vec::new(),
+            |ids, base, _| vec![(ids[0], base)],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        assert_eq!(order, vec![(0, 0), (2, 2), (4, 4), (6, 6), (8, 8)]);
+    }
+
+    #[test]
+    fn for_sparse2_swaps_aligned_slots() {
+        let pool = WorkerPool::new(4);
+        let ids: Vec<u32> = vec![1, 5, 6, 30, 49];
+        for threads in [1, 2, 7] {
+            let mut a: Vec<u64> = (0..50).collect();
+            let mut b: Vec<u64> = (0..50).map(|i| 100 + i).collect();
+            for_sparse2(&pool, &mut a, &mut b, &ids, threads, |ids, base, sa, sb| {
+                for &i in ids {
+                    std::mem::swap(&mut sa[i as usize - base], &mut sb[i as usize - base]);
+                }
+            });
+            for i in 0..50u64 {
+                let swapped = ids.contains(&(i as u32));
+                assert_eq!(a[i as usize], if swapped { 100 + i } else { i });
+                assert_eq!(b[i as usize], if swapped { i } else { 100 + i });
+            }
+        }
     }
 
     #[test]

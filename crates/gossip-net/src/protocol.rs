@@ -14,7 +14,8 @@
 //! communication [`Topology`]: a protocol written once runs
 //! unchanged on the complete graph, an expander, a ring or a torus.
 
-use crate::engine::{Engine, EngineConfig};
+use crate::active::ActiveSet;
+use crate::engine::{Engine, EngineConfig, SparsePushOutcome};
 use crate::message::MessageSize;
 use crate::metrics::Metrics;
 use crate::topology::Topology;
@@ -160,6 +161,27 @@ impl<P: NodeProtocol + Clone + Send + Sync> ProtocolRunner<P> {
         );
     }
 
+    /// Runs one **sparse** push round: only the members of `active` push
+    /// (their served messages are delivered through
+    /// [`NodeProtocol::on_push`]); engine cost is proportional to the
+    /// active-set size, not `n`. Returns the round's
+    /// [`SparsePushOutcome`], whose `receivers` list lets a driver loop grow
+    /// its active set the way single-rumor spreading does
+    /// ([`ActiveSet::union_sorted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` was built for a different network size.
+    pub fn step_push_on(&mut self, active: &ActiveSet) -> SparsePushOutcome {
+        let round = self.engine.round() + 1;
+        self.engine.push_round_on(
+            active,
+            |_, node| Some(node.serve()),
+            |_, node, pushed| node.on_push(round, pushed),
+            |_, _, _| {},
+        )
+    }
+
     /// Runs pull rounds until every node is finished or `max_rounds` have
     /// elapsed.
     pub fn run(self, max_rounds: u64) -> ProtocolOutcome<P::Output> {
@@ -269,6 +291,35 @@ mod tests {
         assert!(outcome.rounds <= 80, "rounds = {}", outcome.rounds);
         assert_eq!(outcome.metrics.push_rounds, outcome.rounds);
         assert_eq!(outcome.metrics.pull_rounds, 0);
+    }
+
+    #[test]
+    fn sparse_push_steps_spread_a_rumor_from_one_source() {
+        // Single-rumor spreading through the runner's sparse driver: the
+        // informed set is the active set, grown per round from the reported
+        // receivers. Engine activity tracks the informed curve, not n.
+        let n = 512;
+        let nodes: Vec<MaxSpread> = (0..n)
+            .map(|v| MaxSpread {
+                current: u64::from(v == 0),
+                target: 1,
+            })
+            .collect();
+        let mut runner = ProtocolRunner::new(nodes, EngineConfig::with_seed(41));
+        let mut informed = ActiveSet::from_members(n, [0]).unwrap();
+        let mut rounds = 0;
+        while informed.len() < n && rounds < 200 {
+            let out = runner.step_push_on(&informed);
+            informed.union_sorted(&out.receivers);
+            rounds += 1;
+        }
+        assert_eq!(informed.len(), n, "rumor did not spread");
+        assert!(rounds <= 80, "rounds = {rounds}");
+        let m = runner.metrics();
+        assert_eq!(m.push_rounds, rounds);
+        // Total activity is the area under the informed curve — well below
+        // the dense cost of rounds × n.
+        assert!(m.active_push_nodes < rounds * n as u64 * 3 / 4);
     }
 
     #[test]

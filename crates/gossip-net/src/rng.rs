@@ -111,6 +111,14 @@ impl NodeRng {
     /// builder of [`crate::topology`]); disjoint from the round and local
     /// streams so graph construction never perturbs round randomness.
     pub const STREAM_TOPOLOGY: u64 = 3;
+    /// Stream id for **participation coins**: algorithm-level draws that
+    /// decide *whether* a node takes part in a sparse phase (e.g. the
+    /// probability-δ final iteration of the tournament schedules) before any
+    /// round of the phase runs. Disjoint from the round/local streams so
+    /// membership selection never perturbs the rounds' randomness, and keyed
+    /// per `(seed, phase-index, node)` so a run replays identically at any
+    /// thread count.
+    pub const STREAM_PARTICIPATION: u64 = 4;
 
     /// Creates the stream for the given key.
     ///

@@ -10,7 +10,9 @@
 //! where possible so that any ordering difference between runs shows up as a
 //! state difference.
 
-use gossip_net::{Engine, EngineConfig, FailureModel, Metrics, NodeRng, Topology, WorkerPool};
+use gossip_net::{
+    ActiveSet, Engine, EngineConfig, FailureModel, Metrics, NodeRng, Topology, WorkerPool,
+};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -300,6 +302,54 @@ fn parallel_csr_bucketing_with_sparse_topology_is_thread_count_invariant() {
             run(threads),
             baseline,
             "{threads}-thread sparse-topology CSR bucketing diverged"
+        );
+    }
+}
+
+#[test]
+fn sparse_push_at_20k_is_thread_count_invariant() {
+    // The sparse execution path at the size where the *dense* push takes the
+    // parallel-CSR pipeline: an active subset pushes through push_round_on
+    // (pair-sort bucketing, copy-on-write commit), interleaved with a dense
+    // pull so sparse-written and densely-written buffers mix. Results and the
+    // reported receiver sets must be identical at 1/2/8 threads.
+    let run = |threads: usize| {
+        let n = 20_000;
+        let active = ActiveSet::from_fn(n, |v| v % 11 == 0);
+        let mut e = engine(n, 47, FailureModel::uniform(0.15).unwrap());
+        e.set_threads(threads);
+        let mut receiver_log = Vec::new();
+        for _ in 0..3 {
+            let out = e.push_round_on(
+                &active,
+                |v, &s| if v % 5 == 0 { None } else { Some(s) },
+                |_, st, msg| *st = fold_hash(*st, msg),
+                |_, st, delivered| {
+                    if delivered {
+                        *st = st.rotate_left(1);
+                    }
+                },
+            );
+            receiver_log.push(out);
+            e.pull_round(
+                |_, &s| s,
+                |_, st, p| {
+                    if let Some(p) = p {
+                        *st = fold_hash(*st, p);
+                    }
+                },
+            );
+        }
+        let metrics = e.metrics();
+        (e.into_states(), metrics, receiver_log)
+    };
+    let baseline = run(1);
+    assert!(baseline.1.failed_operations > 0, "failures did not fire");
+    for threads in THREAD_MATRIX {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "{threads}-thread sparse push diverged"
         );
     }
 }

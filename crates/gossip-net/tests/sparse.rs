@@ -1,0 +1,444 @@
+//! Sparse/dense equivalence pins and active-set round properties.
+//!
+//! Two layers of evidence that the sparse execution paths are faithful:
+//!
+//! 1. **Equivalence pins** — every `*_on` primitive, run over
+//!    [`ActiveSet::full`], reproduces the *same* golden fingerprints pinned in
+//!    `tests/golden.rs` for the dense engine. The constants are copied here
+//!    verbatim: if a dense refactor regenerates the pins, these must be
+//!    regenerated in the same commit (the scenarios are identical).
+//! 2. **Property tests** — over partial active sets: inactive nodes are
+//!    untouched (pull), push receivers are exactly the reported set, sparse
+//!    and dense runs agree wherever dense activity is emulated with silent
+//!    senders, and metrics count participants instead of `n`.
+//!
+//! Every test runs at `par::num_threads()` workers, so CI's 1/2/8-thread
+//! matrix exercises the sparse dispatch at each thread count.
+
+use gossip_net::{par, ActiveSet, Engine, EngineConfig, FailureModel, RoundKind};
+use rand::Rng;
+
+/// SplitMix64 finalizer (restated, as in `tests/golden.rs`).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive fingerprint of a state vector (identical to golden.rs).
+fn fingerprint(states: &[u64]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (i, &s) in states.iter().enumerate() {
+        h = mix64(h ^ s ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    format!("{h:016x}")
+}
+
+/// Order-sensitive message fold (identical to golden.rs).
+fn fold_hash(state: u64, msg: u64) -> u64 {
+    (state.rotate_left(7) ^ msg).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Compact metrics fingerprint (identical to golden.rs).
+fn metrics_line(e: &Engine<u64>) -> String {
+    let m = e.metrics();
+    format!(
+        "r{} pa{} psa{} f{} d{} b{}",
+        m.rounds,
+        m.pulls_attempted,
+        m.pushes_attempted,
+        m.failed_operations,
+        m.messages_delivered,
+        m.bits_delivered
+    )
+}
+
+fn engine(n: usize, seed: u64, failure: FailureModel) -> Engine<u64> {
+    let config = EngineConfig::with_seed(seed).failure(failure);
+    let mut e = Engine::from_states((0..n as u64).map(|v| v.wrapping_mul(31)).collect(), config);
+    e.set_threads(par::num_threads());
+    e
+}
+
+fn sparse_pull_rounds(e: &mut Engine<u64>, active: &ActiveSet, rounds: usize) {
+    for _ in 0..rounds {
+        e.pull_round_on(
+            active,
+            |_, &s| s,
+            |_, st, pulled| {
+                if let Some(p) = pulled {
+                    *st = fold_hash(*st, p);
+                }
+            },
+        );
+    }
+}
+
+fn sparse_push_rounds(e: &mut Engine<u64>, active: &ActiveSet, rounds: usize) {
+    for _ in 0..rounds {
+        e.push_round_on(
+            active,
+            |v, &s| if v % 5 == 0 { None } else { Some(s) },
+            |_, st, msg| *st = fold_hash(*st, msg),
+            |_, st, delivered| {
+                if !delivered {
+                    *st = st.wrapping_add(1);
+                }
+            },
+        );
+    }
+}
+
+fn sparse_push_pull_rounds(e: &mut Engine<u64>, active: &ActiveSet, rounds: usize) {
+    for _ in 0..rounds {
+        e.push_pull_round_on(active, |_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence pins: sparse over the FULL set == the dense golden constants.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn full_set_pull_matches_dense_golden_pin() {
+    let mut e = engine(512, 101, FailureModel::None);
+    sparse_pull_rounds(&mut e, &ActiveSet::full(512), 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f0 d4096 b262144");
+    assert_eq!(fingerprint(e.states()), "ae3cc56cd1a65f40");
+}
+
+#[test]
+fn full_set_pull_with_failures_matches_dense_golden_pin() {
+    let mut e = engine(512, 101, FailureModel::uniform(0.3).unwrap());
+    sparse_pull_rounds(&mut e, &ActiveSet::full(512), 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f1208 d2888 b184832");
+    assert_eq!(fingerprint(e.states()), "5cc28a958ed5bb0b");
+}
+
+#[test]
+fn full_set_push_matches_dense_golden_pin() {
+    let mut e = engine(512, 202, FailureModel::None);
+    sparse_push_rounds(&mut e, &ActiveSet::full(512), 8);
+    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f0 d3272 b209408");
+    assert_eq!(fingerprint(e.states()), "70bd75821469e779");
+}
+
+#[test]
+fn full_set_push_with_failures_matches_dense_golden_pin() {
+    let mut e = engine(512, 202, FailureModel::uniform(0.3).unwrap());
+    sparse_push_rounds(&mut e, &ActiveSet::full(512), 8);
+    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f1006 d2266 b145024");
+    assert_eq!(fingerprint(e.states()), "b26c113c63bb08b6");
+}
+
+#[test]
+fn full_set_push_pull_matches_dense_golden_pin() {
+    let mut e = engine(512, 303, FailureModel::None);
+    sparse_push_pull_rounds(&mut e, &ActiveSet::full(512), 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f0 d8192 b524288");
+    assert_eq!(fingerprint(e.states()), "db3b2d32aeb47638");
+}
+
+#[test]
+fn full_set_push_pull_with_failures_matches_dense_golden_pin() {
+    let mut e = engine(512, 303, FailureModel::uniform(0.3).unwrap());
+    sparse_push_pull_rounds(&mut e, &ActiveSet::full(512), 8);
+    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f1190 d5812 b371968");
+    assert_eq!(fingerprint(e.states()), "a583e9ce52831840");
+}
+
+#[test]
+fn full_set_collect_samples_matches_dense_golden_pin() {
+    let mut e = engine(512, 404, FailureModel::None);
+    let samples = e.collect_samples_on(&ActiveSet::full(512), 3, |_, &s| s);
+    let mut h = 0u64;
+    for bucket in &samples {
+        h = mix64(h ^ 0x5eed);
+        for &s in bucket {
+            h = mix64(h ^ s);
+        }
+    }
+    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f0 d1536 b98304");
+    assert_eq!(format!("{h:016x}"), "72f9976bf7245804");
+}
+
+#[test]
+fn full_set_collect_samples_with_failures_matches_dense_golden_pin() {
+    let mut e = engine(512, 404, FailureModel::uniform(0.4).unwrap());
+    let samples = e.collect_samples_on(&ActiveSet::full(512), 3, |_, &s| s);
+    let mut h = 0u64;
+    for bucket in &samples {
+        h = mix64(h ^ 0x5eed);
+        for &s in bucket {
+            h = mix64(h ^ s);
+        }
+    }
+    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f636 d900 b57600");
+    assert_eq!(format!("{h:016x}"), "360c83eb4521da94");
+}
+
+#[test]
+fn full_set_local_step_matches_dense_golden_pin() {
+    let mut e = engine(512, 505, FailureModel::None);
+    let full = ActiveSet::full(512);
+    for _ in 0..4 {
+        e.local_step_on(&full, |v, st, rng| {
+            *st = fold_hash(*st, rng.gen::<u64>() ^ v as u64);
+            if rng.gen::<f64>() < 0.25 {
+                *st = st.rotate_right(3);
+            }
+        });
+    }
+    assert_eq!(metrics_line(&e), "r0 pa0 psa0 f0 d0 b0");
+    assert_eq!(fingerprint(e.states()), "c3d212c26e4f1768");
+}
+
+#[test]
+fn full_set_large_n_matches_dense_golden_pin() {
+    // The 20k scenario of golden.rs: at multi-thread runs of the CI matrix,
+    // the *dense* engine takes the parallel CSR path here; the sparse full-set
+    // run must land on the identical trajectory through its pair-sort
+    // bucketing.
+    let mut e = engine(20_000, 707, FailureModel::None);
+    let full = ActiveSet::full(20_000);
+    sparse_pull_rounds(&mut e, &full, 2);
+    sparse_push_rounds(&mut e, &full, 2);
+    sparse_push_pull_rounds(&mut e, &full, 2);
+    assert_eq!(metrics_line(&e), "r6 pa80000 psa72000 f0 d152000 b9728000");
+    assert_eq!(fingerprint(e.states()), "dacf5252bb6fbfd3");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over partial active sets.
+// ---------------------------------------------------------------------------
+
+/// A dense run in which inactive nodes are *explicitly* idle must match the
+/// sparse run over the active subset exactly: dense push with `make -> None`
+/// for inactive nodes draws nothing for them, which is precisely what the
+/// sparse path skips.
+#[test]
+fn sparse_push_matches_dense_with_silent_inactive_senders() {
+    let n = 1000;
+    let active = ActiveSet::from_fn(n, |v| v % 3 == 0);
+    let is_active = |v: usize| v % 3 == 0;
+
+    let mut dense = engine(n, 99, FailureModel::uniform(0.2).unwrap());
+    for _ in 0..5 {
+        dense.push_round(
+            |v, &s| if is_active(v) { Some(s) } else { None },
+            |_, st, msg| *st = fold_hash(*st, msg),
+            |v, st, delivered| {
+                if is_active(v) && !delivered {
+                    *st = st.wrapping_add(1);
+                }
+            },
+        );
+    }
+
+    let mut sparse = engine(n, 99, FailureModel::uniform(0.2).unwrap());
+    for _ in 0..5 {
+        sparse.push_round_on(
+            &active,
+            |_, &s| Some(s),
+            |_, st, msg| *st = fold_hash(*st, msg),
+            |_, st, delivered| {
+                if !delivered {
+                    *st = st.wrapping_add(1);
+                }
+            },
+        );
+    }
+
+    assert_eq!(dense.states(), sparse.states());
+    let (dm, sm) = (dense.metrics(), sparse.metrics());
+    assert_eq!(dm.pushes_attempted, sm.pushes_attempted);
+    assert_eq!(dm.messages_delivered, sm.messages_delivered);
+    assert_eq!(dm.failed_operations, sm.failed_operations);
+    // The *activity* accounting differs by design: dense rounds count n
+    // participants, sparse rounds count the active-set size.
+    assert_eq!(dm.active_nodes_total, 5 * n as u64);
+    assert_eq!(sm.active_nodes_total, 5 * active.len() as u64);
+    assert_eq!(sm.max_active, active.len() as u64);
+}
+
+#[test]
+fn sparse_pull_leaves_inactive_nodes_untouched() {
+    let n = 600;
+    let active = ActiveSet::from_members(n, (0..n).filter(|v| v % 7 == 1)).unwrap();
+    let mut e = engine(n, 5, FailureModel::None);
+    let before = e.states().to_vec();
+    for _ in 0..4 {
+        e.pull_round_on(
+            &active,
+            |_, &s| s,
+            |_, st, p| {
+                if let Some(p) = p {
+                    *st = fold_hash(*st, p);
+                }
+            },
+        );
+    }
+    let mut changed = 0;
+    for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
+        if active.contains(v) {
+            changed += usize::from(a != b);
+        } else {
+            assert_eq!(a, b, "inactive node {v} was written");
+        }
+    }
+    // Pulling folds a hash; active nodes all change with overwhelming
+    // probability.
+    assert_eq!(changed, active.len());
+    assert_eq!(
+        e.metrics().active_of(RoundKind::Pull),
+        4 * active.len() as u64
+    );
+}
+
+#[test]
+fn sparse_push_reports_exactly_the_changed_receivers() {
+    let n = 800;
+    let active = ActiveSet::from_members(n, (0..40).map(|j| j * 17)).unwrap();
+    let mut e = Engine::from_states(vec![0u64; n], EngineConfig::with_seed(31));
+    e.set_threads(par::num_threads());
+    let before = e.states().to_vec();
+    let out = e.push_round_on(
+        &active,
+        |v, _| Some(v as u64 + 1),
+        |_, st, msg| *st += msg,
+        |_, _, _| {},
+    );
+    assert_eq!(out.failed, 0);
+    // Receivers are sorted, unique, and exactly the nodes whose state moved.
+    assert!(out.receivers.windows(2).all(|w| w[0] < w[1]));
+    for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
+        assert_eq!(a != b, out.receivers.contains(&v), "node {v}");
+    }
+    // Conservation: every active sender's message landed somewhere.
+    let total: u64 = e.states().iter().sum();
+    let expected: u64 = active.iter().map(|v| v as u64 + 1).sum();
+    assert_eq!(total, expected);
+}
+
+#[test]
+fn sparse_push_pull_only_actives_pull_but_anyone_receives() {
+    let n = 400;
+    let active = ActiveSet::from_members(n, (0..20).map(|j| j * 3)).unwrap();
+    let mut e = Engine::from_states(vec![Vec::<u64>::new(); n], EngineConfig::with_seed(77));
+    e.set_threads(par::num_threads());
+    let out = e.push_pull_round_on(&active, |t, _| t as u64, |_, st, msg| st.push(msg));
+    assert_eq!(out.failed, 0);
+    for (v, st) in e.states().iter().enumerate() {
+        let pulled = usize::from(active.contains(v));
+        let pushed = usize::from(out.receivers.contains(&v));
+        assert_eq!(
+            st.len(),
+            pulled + pushed,
+            "node {v}: merges expected from pull={pulled} push={pushed}"
+        );
+    }
+    let m = e.metrics();
+    assert_eq!(m.pulls_attempted, active.len() as u64);
+    assert_eq!(m.pushes_attempted, active.len() as u64);
+    assert_eq!(m.active_of(RoundKind::PushPull), active.len() as u64);
+}
+
+#[test]
+fn collect_samples_on_returns_compact_buckets() {
+    let n = 300;
+    let active = ActiveSet::from_members(n, [5, 17, 100, 299]).unwrap();
+    let mut e = engine(n, 23, FailureModel::None);
+    let initial = e.states().to_vec();
+    let samples = e.collect_samples_on(&active, 3, |_, &s| s);
+    assert_eq!(samples.len(), active.len());
+    assert!(samples.iter().all(|b| b.len() == 3));
+    assert_eq!(e.metrics().rounds, 3);
+    assert_eq!(e.metrics().active_nodes_total, 3 * active.len() as u64);
+    // Rank lookup maps node ids into the compact layout.
+    assert_eq!(active.rank(100), Some(2));
+    // States untouched.
+    assert_eq!(e.states(), initial.as_slice());
+}
+
+#[test]
+fn local_step_on_runs_only_the_members() {
+    let n = 128;
+    let active = ActiveSet::from_fn(n, |v| v < 10);
+    let mut e = engine(n, 1, FailureModel::None);
+    let before = e.states().to_vec();
+    e.local_step_on(&active, |v, st, _| *st = v as u64);
+    for (v, &b) in before.iter().enumerate() {
+        if v < 10 {
+            assert_eq!(e.states()[v], v as u64);
+        } else {
+            assert_eq!(e.states()[v], b);
+        }
+    }
+}
+
+#[test]
+fn empty_active_set_rounds_are_no_ops_that_still_count_rounds() {
+    let n = 64;
+    let empty = ActiveSet::from_members(n, std::iter::empty()).unwrap();
+    let mut e = engine(n, 2, FailureModel::None);
+    let before = e.states().to_vec();
+    let failed = e.pull_round_on(&empty, |_, &s| s, |_, _, _| {});
+    assert_eq!(failed, 0);
+    let out = e.push_round_on(&empty, |_, &s| Some(s), |_, _, _| {}, |_, _, _| {});
+    assert!(out.receivers.is_empty());
+    assert_eq!(e.states(), before.as_slice());
+    assert_eq!(e.round(), 2);
+    assert_eq!(e.metrics().rounds, 2);
+    assert_eq!(e.metrics().active_nodes_total, 0);
+    assert_eq!(e.metrics().max_active, 0);
+}
+
+#[test]
+fn sparse_and_dense_rounds_interleave_freely() {
+    // The copy-on-write commit must leave the front buffer fully current, so
+    // a dense round after a sparse one (and vice versa) sees every node's
+    // latest value. Compare against an all-dense emulation.
+    let n = 500;
+    let active = ActiveSet::from_fn(n, |v| v % 4 == 0);
+    let is_active = |v: usize| v % 4 == 0;
+
+    let run_mixed = |sparse: bool| {
+        let mut e = engine(n, 404, FailureModel::uniform(0.1).unwrap());
+        for _ in 0..3 {
+            // Dense pull (all nodes).
+            e.pull_round(
+                |_, &s| s,
+                |_, st, p| {
+                    if let Some(p) = p {
+                        *st = fold_hash(*st, p);
+                    }
+                },
+            );
+            // Sparse push from the subset vs dense push with silent others.
+            if sparse {
+                e.push_round_on(
+                    &active,
+                    |_, &s| Some(s),
+                    |_, st, msg| *st = fold_hash(*st, msg),
+                    |_, _, _| {},
+                );
+            } else {
+                e.push_round(
+                    |v, &s| if is_active(v) { Some(s) } else { None },
+                    |_, st, msg| *st = fold_hash(*st, msg),
+                    |_, _, _| {},
+                );
+            }
+        }
+        e.into_states()
+    };
+    assert_eq!(run_mixed(true), run_mixed(false));
+}
+
+#[test]
+#[should_panic(expected = "ActiveSet was built for a")]
+fn mismatched_active_set_size_panics() {
+    let mut e = engine(64, 1, FailureModel::None);
+    let wrong = ActiveSet::full(65);
+    e.pull_round_on(&wrong, |_, &s| s, |_, _, _| {});
+}

@@ -41,7 +41,8 @@ use crate::approx::{tournament_quantile, TournamentConfig};
 use baselines::push_sum::{self, PushSumConfig};
 use baselines::rumor::SpreadRounds;
 use gossip_net::{
-    Engine, EngineConfig, GossipError, MessageSize, Metrics, NodeValue, Result, SeedSequence,
+    ActiveSet, Engine, EngineConfig, GossipError, MessageSize, Metrics, NodeValue, Result,
+    SeedSequence,
 };
 
 /// A node's working value: either a (value, tag) key or "valueless" (`∞`).
@@ -443,6 +444,15 @@ struct TokenState<V> {
 /// Duplicates every valued key `m` times and scatters the copies so that every
 /// node ends up holding at most one copy (Step 7 of Algorithm 3).
 ///
+/// Only **token holders** act in this process — initially the valued nodes
+/// (`o(n)` of them in the regime Step 7 exists for), growing by each round's
+/// push receivers — so every pass (the settled check, the outbox local step,
+/// the push round itself) runs on the holder [`ActiveSet`] via the engine's
+/// sparse primitives, at `O(|holders|)` per round instead of `O(n)`. The
+/// active set is exactly the dense path's "`make` returned `Some`" sender
+/// set, so the trajectory is bit-identical to a dense execution of the same
+/// process.
+///
 /// Returns the value assigned to every node (or `None` for nodes left
 /// valueless), the number of rounds used, and the metrics.
 fn distribute_tokens<V: NodeValue>(
@@ -462,16 +472,29 @@ fn distribute_tokens<V: NodeValue>(
             outbox: None,
         })
         .collect();
+    // Nodes holding at least one token; holders never drop to zero tokens,
+    // so the set only grows (by push receivers).
+    let mut holders = ActiveSet::from_members(
+        n,
+        keys.iter()
+            .enumerate()
+            .filter(|(_, slot)| !matches!(slot, Slot::Empty))
+            .map(|(v, _)| v),
+    )?;
     let mut engine = Engine::from_states(states, engine_config);
     let max_rounds =
         8 * (n.max(2) as f64).log2().ceil() as u64 + 4 * (m as f64).log2().ceil() as u64 + 64;
 
+    // One reusable per-round sender set: `clear` + `union_sorted` touch only
+    // the members, so rebuilding it each round is O(|holders|), never O(n).
+    let mut senders = ActiveSet::from_members(n, std::iter::empty())?;
+    let mut sender_ids: Vec<usize> = Vec::new();
     let mut executed = 0u64;
     loop {
-        let settled = engine
-            .states()
-            .iter()
-            .all(|st| st.tokens.len() <= 1 && st.tokens.iter().all(|&(_, w)| w == 1));
+        let settled = holders.iter().all(|v| {
+            let st = &engine.states()[v];
+            st.tokens.len() <= 1 && st.tokens.iter().all(|&(_, w)| w == 1)
+        });
         if settled {
             break;
         }
@@ -481,9 +504,11 @@ fn distribute_tokens<V: NodeValue>(
                 phase: "token distribution (Algorithm 3, Step 7)",
             });
         }
-        // Local step: pick what to send this round — half of a heavy token, or
-        // a surplus token if the node holds more than one.
-        engine.local_step(|_, st, _rng| {
+        // Local step over the holders only: pick what to send this round —
+        // half of a heavy token, or a surplus token if the node holds more
+        // than one. (Non-holders have nothing to send and an already-clear
+        // outbox.)
+        engine.local_step_on(&holders, |_, st, _rng| {
             st.outbox = None;
             if let Some(idx) = st.tokens.iter().position(|&(_, w)| w > 1) {
                 let (value, weight) = st.tokens[idx];
@@ -494,7 +519,19 @@ fn distribute_tokens<V: NodeValue>(
                 st.outbox = st.tokens.pop();
             }
         });
-        engine.push_round(
+        // Senders this round: holders with a loaded outbox (already in
+        // ascending order, so the sorted-union repopulation is a single
+        // merge pass).
+        sender_ids.clear();
+        sender_ids.extend(
+            holders
+                .iter()
+                .filter(|&v| engine.states()[v].outbox.is_some()),
+        );
+        senders.clear();
+        senders.union_sorted(&sender_ids);
+        let out = engine.push_round_on(
+            &senders,
             |_, st| st.outbox,
             |_, st, token| st.tokens.push(token),
             |_, st, delivered| {
@@ -506,6 +543,7 @@ fn distribute_tokens<V: NodeValue>(
                 st.outbox = None;
             },
         );
+        holders.union_sorted(&out.receivers);
         executed += 1;
     }
 
@@ -616,6 +654,36 @@ mod tests {
         let rank = values.iter().filter(|&&v| v <= approx.answer).count() as i64;
         assert!((rank - (n / 2) as i64).unsigned_abs() <= tol, "rank {rank}");
         assert!(approx.rounds <= exact.rounds);
+    }
+
+    #[test]
+    fn token_distribution_activity_tracks_holders_not_n() {
+        // 8 valued keys over 4096 nodes, duplicated 16× = 128 tokens: every
+        // round's participants are the token holders, so total push activity
+        // is bounded by rounds × final-holder-count — far below rounds × n.
+        let n = 4096usize;
+        let keys: Vec<Slot<u64>> = (0..n)
+            .map(|v| {
+                if v % 512 == 0 {
+                    Slot::Value(v as u64, v as u64)
+                } else {
+                    Slot::Empty
+                }
+            })
+            .collect();
+        let (assigned, rounds, metrics) =
+            distribute_tokens(&keys, 16, n, EngineConfig::with_seed(6)).unwrap();
+        assert_eq!(assigned.iter().filter(|a| a.is_some()).count(), 8 * 16);
+        assert!(
+            metrics.max_active <= 128,
+            "max_active {}",
+            metrics.max_active
+        );
+        assert!(
+            metrics.active_nodes_total <= rounds * 128,
+            "activity {} over {rounds} rounds",
+            metrics.active_nodes_total
+        );
     }
 
     #[test]

@@ -121,6 +121,15 @@ pub struct ThreeTournamentSchedule {
     pub masses: Vec<f64>,
     /// The stopping threshold `T = n^{-1/3}`.
     pub threshold: f64,
+    /// The probability with which a node performs the three-sample tournament
+    /// in the **final** iteration (1.0 in every earlier iteration) — the same
+    /// δ-truncation the 2-TOURNAMENT schedule applies to its last step: a
+    /// node that sits the final iteration out copies a single random sample
+    /// instead, so the expected mass lands on `T` exactly
+    /// (`(1−δ)·h + δ·g(h) = T` for `δ = (h − T)/(h − g(h))`) rather than
+    /// overshooting below it, and only a δ-fraction of nodes does the full
+    /// three-sample work. 1.0 when the schedule is empty.
+    pub final_delta: f64,
 }
 
 impl ThreeTournamentSchedule {
@@ -150,7 +159,25 @@ impl ThreeTournamentSchedule {
                 break;
             }
         }
-        Ok(ThreeTournamentSchedule { masses, threshold })
+        // δ-truncation of the last iteration (see the field docs): the
+        // interpolation between keeping one sample and the full tournament
+        // that lands the expected mass on T exactly.
+        let final_delta = match masses.last() {
+            Some(&last) => {
+                let next = 3.0 * last * last - 2.0 * last.powi(3);
+                if last - next > 0.0 {
+                    ((last - threshold) / (last - next)).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        Ok(ThreeTournamentSchedule {
+            masses,
+            threshold,
+            final_delta,
+        })
     }
 
     /// Number of iterations `t`.
@@ -276,6 +303,32 @@ mod tests {
         let last = *s.masses.last().unwrap();
         let next = 3.0 * last * last - 2.0 * last.powi(3);
         assert!(next <= s.threshold);
+    }
+
+    #[test]
+    fn three_tournament_final_delta_lands_on_the_threshold() {
+        for &(eps, n) in &[(0.05, 1usize << 10), (0.1, 1 << 16), (0.01, 1 << 20)] {
+            let s = ThreeTournamentSchedule::compute(eps, n).unwrap();
+            assert!(
+                s.final_delta > 0.0 && s.final_delta <= 1.0,
+                "eps={eps} n={n}: delta {}",
+                s.final_delta
+            );
+            if let Some(&last) = s.masses.last() {
+                let next = 3.0 * last * last - 2.0 * last.powi(3);
+                let expected = (1.0 - s.final_delta) * last + s.final_delta * next;
+                // δ < 1 interpolates exactly onto T; δ = 1 means even the full
+                // tournament cannot overshoot (next ≥ T is impossible here) or
+                // the step barely crosses.
+                if s.final_delta < 1.0 {
+                    assert!((expected - s.threshold).abs() < 1e-12, "eps={eps} n={n}");
+                }
+            }
+        }
+        // An empty schedule reports δ = 1 (nothing to truncate).
+        let tiny = ThreeTournamentSchedule::compute(0.49, 2).unwrap();
+        assert!(tiny.is_empty());
+        assert_eq!(tiny.final_delta, 1.0);
     }
 
     #[test]

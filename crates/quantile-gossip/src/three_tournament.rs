@@ -9,9 +9,19 @@
 //! 2.12–2.16). A final sampling step — every node samples `K = O(1)` values
 //! and outputs their median — then returns an ε-approximate median at every
 //! node w.h.p. (Lemma 2.17).
+//!
+//! The last tournament iteration is δ-truncated
+//! ([`ThreeTournamentSchedule::final_delta`], the analogue of Algorithm 1's
+//! final-step probability): only a δ-fraction of nodes runs the three-sample
+//! tournament, so that iteration's second and third sampling rounds run
+//! **sparsely** on the participating subset
+//! ([`Engine::collect_samples_on`]), with the participation coin drawn on
+//! [`NodeRng::STREAM_PARTICIPATION`].
 
 use crate::schedule::ThreeTournamentSchedule;
-use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
+use gossip_net::{
+    ActiveSet, Engine, EngineConfig, GossipError, Metrics, NodeRng, NodeValue, Result,
+};
 
 /// Configuration of the final `K`-sample vote of Algorithm 2 (line 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,21 +79,58 @@ pub fn run<V: NodeValue>(
             reason: "the final vote needs at least one sample".to_string(),
         });
     }
+    let n = values.len();
     let mut engine = Engine::from_states(values.to_vec(), engine_config);
+    let seed = engine.seed();
 
-    for _ in 0..schedule.len() {
-        let samples = engine.collect_samples(3, |_, &v| v);
-        engine.local_step(|v, state, _rng| {
-            let s = &samples[v];
-            *state = match s.len() {
-                3 => median3(s[0], s[1], s[2]),
-                // Failure fallbacks: degrade gracefully to the information we
-                // actually received this iteration.
-                2 => median3(s[0], s[1], *state),
-                1 => median3(s[0], *state, *state),
-                _ => *state,
-            };
-        });
+    let iterations = schedule.len();
+    for iteration in 0..iterations {
+        let delta = if iteration + 1 == iterations {
+            schedule.final_delta
+        } else {
+            1.0
+        };
+        if delta >= 1.0 {
+            let samples = engine.collect_samples(3, |_, &v| v);
+            engine.local_step(|v, state, _rng| {
+                let s = &samples[v];
+                *state = match s.len() {
+                    3 => median3(s[0], s[1], s[2]),
+                    // Failure fallbacks: degrade gracefully to the information
+                    // we actually received this iteration.
+                    2 => median3(s[0], s[1], *state),
+                    1 => median3(s[0], *state, *state),
+                    _ => *state,
+                };
+            });
+        } else {
+            // δ-truncated final iteration (ThreeTournamentSchedule::final_delta):
+            // only a δ-fraction of nodes runs the three-sample tournament;
+            // everyone else copies a single fresh sample. The second and
+            // third sampling rounds therefore run on the participating
+            // subset only — O(δn) engine work — with the participation coin
+            // drawn up front on the dedicated STREAM_PARTICIPATION stream so
+            // the trajectory is a pure function of the seed.
+            let prefix = NodeRng::key_prefix(seed, iteration as u64, NodeRng::STREAM_PARTICIPATION);
+            let active = ActiveSet::from_fn(n, |v| prefix.node(v as u64).next_f64() < delta);
+            let first = engine.collect_samples(1, |_, &v| v);
+            let rest = engine.collect_samples_on(&active, 2, |_, &v| v);
+            engine.local_step(|v, state, _rng| {
+                let s0 = first[v].first().copied();
+                let extra = active.rank(v).map(|r| rest[r].as_slice());
+                *state = match (s0, extra) {
+                    (Some(a), Some(&[b, c])) => median3(a, b, c),
+                    // δ-branch: replace the value with the single sample.
+                    (Some(a), None) => a,
+                    // Failure fallbacks, mirroring the dense arm.
+                    (Some(a), Some(&[b])) => median3(a, b, *state),
+                    (Some(a), Some(_)) => median3(a, *state, *state),
+                    (None, Some(&[b, c])) => median3(b, c, *state),
+                    (None, Some(&[b])) => median3(b, *state, *state),
+                    _ => *state,
+                };
+            });
+        }
     }
     let converged_values = engine.states().to_vec();
 
@@ -201,6 +248,29 @@ mod tests {
             / n as f64;
         let bound = 10.0 * (n as f64).powf(-1.0 / 3.0);
         assert!(outside <= bound, "outside mass {outside}, bound {bound}");
+    }
+
+    #[test]
+    fn final_delta_iteration_samples_sparsely() {
+        let n: u64 = 1 << 13;
+        let values: Vec<u64> = (0..n).collect();
+        let s = ThreeTournamentSchedule::compute(0.05, n as usize).unwrap();
+        if s.final_delta >= 1.0 {
+            return; // nothing truncated for these parameters
+        }
+        let vote = FinalVote { samples: 5 };
+        let out = run(&values, &s, vote, EngineConfig::with_seed(11)).unwrap();
+        // Dense rounds: 3 per full iteration, plus the final iteration's one
+        // dense sampling round, plus the vote; the final iteration's two
+        // sparse rounds carry only the δ-fraction participants.
+        let m = out.metrics;
+        let dense_rounds = 3 * (s.len() as u64 - 1) + 1 + 5;
+        let sparse_active = m.active_nodes_total - dense_rounds * n;
+        let expected = 2.0 * s.final_delta * n as f64;
+        assert!(
+            (sparse_active as f64) > 0.5 * expected && (sparse_active as f64) < 1.5 * expected,
+            "sparse activity {sparse_active}, expected ≈ {expected}"
+        );
     }
 
     #[test]

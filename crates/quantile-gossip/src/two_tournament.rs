@@ -13,10 +13,19 @@
 //! keeps mass at least `7ε/4`, i.e. the target quantile band is *shifted to
 //! the median* so that Phase II ([`crate::three_tournament`]) can finish the
 //! job.
+//!
+//! The final schedule step applies the tournament only with probability
+//! `δ < 1`; non-participants need just one fresh sample, so that iteration's
+//! second sampling round runs **sparsely** on the participating subset
+//! ([`Engine::collect_samples_on`]) — `O(δn)` engine work — with the
+//! participation coin drawn up front on the dedicated
+//! [`NodeRng::STREAM_PARTICIPATION`] stream (deterministic in the seed,
+//! disjoint from round randomness).
 
 use crate::schedule::{ShrinkSide, TwoTournamentSchedule};
-use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
-use rand::Rng;
+use gossip_net::{
+    ActiveSet, Engine, EngineConfig, GossipError, Metrics, NodeRng, NodeValue, Result,
+};
 
 /// Result of running Phase I.
 #[derive(Debug, Clone)]
@@ -49,31 +58,62 @@ pub fn run<V: NodeValue>(
             requested: values.len(),
         });
     }
+    let n = values.len();
     let mut engine = Engine::from_states(values.to_vec(), engine_config);
     let side = schedule.side;
+    let seed = engine.seed();
 
-    for step in &schedule.steps {
-        // Two sampling rounds against the iteration-start snapshot.
-        let samples = engine.collect_samples(2, |_, &v| v);
-        let delta = step.delta;
-        // The probability-δ branch is a node-local coin: each node draws it
-        // from the deterministic per-node stream the engine hands out, so a
-        // run is fully reproducible from one seed at any thread count.
-        engine.local_step(|v, state, rng| {
-            let s = &samples[v];
-            let tournament = delta >= 1.0 || rng.gen::<f64>() < delta;
-            *state = match (tournament, s.len()) {
-                // Normal case: the two-sample tournament.
-                (true, 2) => extremum(side, s[0], s[1]),
-                // δ-branch: copy a single random sample.
-                (false, 1) | (false, 2) => s[0],
-                // Failure fallbacks (only reachable under a failure model):
-                // with one sample run the degenerate tournament against it,
-                // with none keep the current value.
-                (true, 1) => extremum(side, s[0], *state),
-                _ => *state,
-            };
-        });
+    for (iteration, step) in schedule.steps.iter().enumerate() {
+        if step.delta >= 1.0 {
+            // Full iteration: two sampling rounds against the iteration-start
+            // snapshot, every node runs the tournament.
+            let samples = engine.collect_samples(2, |_, &v| v);
+            engine.local_step(|v, state, _rng| {
+                let s = &samples[v];
+                *state = match s.len() {
+                    // Normal case: the two-sample tournament.
+                    2 => extremum(side, s[0], s[1]),
+                    // Failure fallbacks (only reachable under a failure
+                    // model): with one sample run the degenerate tournament
+                    // against it, with none keep the current value.
+                    1 => extremum(side, s[0], *state),
+                    _ => *state,
+                };
+            });
+        } else {
+            // Probabilistic final iteration: only a δ-fraction of nodes runs
+            // the tournament, and only *they* need the second sample — so
+            // the second sampling round executes on the participating subset
+            // (`collect_samples_on`), costing O(δn) instead of O(n). The
+            // participation coin is drawn on the dedicated
+            // `STREAM_PARTICIPATION` stream, keyed by the iteration index,
+            // *before* any round of the iteration runs — deterministic in
+            // the seed at any thread count, and disjoint from the rounds'
+            // randomness.
+            let delta = step.delta;
+            let prefix = NodeRng::key_prefix(seed, iteration as u64, NodeRng::STREAM_PARTICIPATION);
+            let active = ActiveSet::from_fn(n, |v| prefix.node(v as u64).next_f64() < delta);
+            // Everyone resamples once (both branches of Algorithm 1 replace
+            // the value with fresh samples)…
+            let first = engine.collect_samples(1, |_, &v| v);
+            // …but the second sample is collected by the participants only.
+            let second = engine.collect_samples_on(&active, 1, |_, &v| v);
+            engine.local_step(|v, state, _rng| {
+                let s0 = first[v].first().copied();
+                let s1 = active.rank(v).and_then(|r| second[r].first().copied());
+                *state = match (s0, s1) {
+                    // Participant with both samples: the tournament.
+                    (Some(a), Some(b)) => extremum(side, a, b),
+                    // δ-branch: copy the single fresh sample.
+                    (Some(a), None) if !active.contains(v) => a,
+                    // Failure fallbacks: degenerate tournament against the
+                    // current value, or keep it with no samples at all.
+                    (Some(a), None) => extremum(side, a, *state),
+                    (None, Some(b)) => extremum(side, b, *state),
+                    (None, None) => *state,
+                };
+            });
+        }
     }
 
     let metrics = engine.metrics();
@@ -181,6 +221,28 @@ mod tests {
         let out = run(&values, &s, EngineConfig::with_seed(3)).unwrap();
         let band = mass_in_band(&out.values, n, 0.5 - eps, 0.5 + eps);
         assert!(band >= 1.6 * eps, "band mass {band}");
+    }
+
+    #[test]
+    fn final_delta_iteration_samples_sparsely() {
+        let n = 1 << 13;
+        let values: Vec<u64> = (0..n).collect();
+        let s = TwoTournamentSchedule::compute(0.25, 0.05).unwrap();
+        let last = s.steps.last().unwrap();
+        assert!(last.delta < 1.0, "schedule has no truncated final step");
+        let out = run(&values, &s, EngineConfig::with_seed(6)).unwrap();
+        // All rounds but the final sparse one are dense; the final round's
+        // activity is the δ-fraction participant set (binomial, generous
+        // bounds).
+        let m = out.metrics;
+        let dense_rounds = 2 * (s.len() as u64) - 1;
+        let sparse_active = m.active_nodes_total - dense_rounds * n;
+        let expected = last.delta * n as f64;
+        assert!(
+            (sparse_active as f64) > 0.5 * expected && (sparse_active as f64) < 1.5 * expected,
+            "sparse round activity {sparse_active}, expected ≈ {expected}"
+        );
+        assert_eq!(m.max_active, n);
     }
 
     #[test]

@@ -120,6 +120,42 @@ pub fn round_budget_table(title: impl Into<String>, entries: &[(String, Metrics)
     table
 }
 
+/// Renders labelled [`Metrics`] as a fault-injection table — one row per
+/// entry, with the operation attempts, the terminal outcomes the fault plan
+/// inflicted (crashed node-rounds, dropped and delayed messages, failed
+/// operations), and the resulting per-round disturbance rate (the measured
+/// `μ̂` an adaptive schedule compensates for). This is how a robustness
+/// experiment shows *how much* chaos a run actually absorbed, next to the
+/// accuracy it still achieved.
+pub fn fault_table(title: impl Into<String>, entries: &[(String, Metrics)]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "algorithm",
+            "attempts",
+            "crashed",
+            "dropped",
+            "delayed",
+            "failed",
+            "delivered",
+            "disturbance",
+        ],
+    );
+    for (label, m) in entries {
+        table.add_row(&[
+            label.clone(),
+            (m.pulls_attempted + m.pushes_attempted).to_string(),
+            m.crashed_operations.to_string(),
+            m.messages_dropped.to_string(),
+            m.messages_delayed.to_string(),
+            m.failed_operations.to_string(),
+            m.messages_delivered.to_string(),
+            format!("{:.4}", m.disturbance_rate()),
+        ]);
+    }
+    table
+}
+
 /// A minimal CSV writer (comma-separated, quotes fields containing commas).
 #[derive(Debug, Clone, Default)]
 pub struct Csv {
@@ -227,6 +263,34 @@ mod tests {
         // (64 + 8) participants over 2 rounds → mean 36, max 64.
         assert!(row.contains("| 36.0"), "{row}");
         assert!(row.contains("| 64 "), "{row}");
+    }
+
+    #[test]
+    fn fault_table_renders_the_fault_counters() {
+        use gossip_net::{ChurnModel, Engine, EngineConfig, FaultPlan, LossModel, StragglerModel};
+        let plan = FaultPlan::none()
+            .with_churn(ChurnModel::with_rejoin(0.1, 2).unwrap())
+            .with_loss(LossModel::uniform(0.2).unwrap())
+            .with_stragglers(StragglerModel::uniform(0.2, 2).unwrap());
+        let mut e = Engine::from_states(
+            (0..512u64).collect(),
+            EngineConfig::with_seed(3).fault(plan),
+        );
+        for _ in 0..4 {
+            e.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+        }
+        let m = e.metrics();
+        assert!(m.messages_dropped > 0 && m.messages_delayed > 0);
+        let table = fault_table("chaos", &[("push-pull".to_string(), m)]);
+        let out = table.render();
+        assert!(out.contains("disturbance"));
+        let row = out.lines().last().unwrap();
+        assert!(row.contains(&m.messages_dropped.to_string()), "{row}");
+        assert!(row.contains(&m.messages_delayed.to_string()), "{row}");
+        assert!(
+            row.contains(&format!("{:.4}", m.disturbance_rate())),
+            "{row}"
+        );
     }
 
     #[test]

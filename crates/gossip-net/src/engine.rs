@@ -131,11 +131,12 @@
 use crate::active::ActiveSet;
 use crate::error::{GossipError, Result};
 use crate::failure::FailureModel;
+use crate::fault::FaultPlan;
 use crate::message::MessageSize;
 use crate::metrics::{Metrics, RoundKind};
 use crate::par;
 use crate::pool::WorkerPool;
-use crate::rng::NodeRng;
+use crate::rng::{KeyPrefix, NodeRng};
 use crate::topology::{
     AdjacencyCache, CompleteSampler, CsrSampler, PeerSampler, Sampler, Topology,
 };
@@ -147,6 +148,90 @@ use std::sync::Arc;
 const TARGET_FAILED: u32 = u32::MAX;
 /// Sentinel in the target scratch buffer: the node stayed silent (no message).
 const TARGET_SILENT: u32 = u32::MAX - 1;
+/// Sentinel in the target scratch buffer: the node pushed, but the delivery
+/// did not land this round — dropped in flight by a fault-plan coin, sent to
+/// a crashed node, or buffered by the straggler model. Like the other
+/// sentinels it is `>= n` (engines reject `n > u32::MAX - 2`), so the
+/// bucketing passes skip it and `after` sees `delivered = false`.
+const TARGET_DROPPED: u32 = u32::MAX - 2;
+
+/// A push contact buffered by the straggler model: it lands in the first
+/// push-capable round at or after round `due`, where the message is
+/// re-derived from the sender's state at arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DelayedContact {
+    due: u64,
+    receiver: u32,
+    sender: u32,
+}
+
+/// Per-round fault context: the loop-invariant pieces of the active
+/// [`FaultPlan`], hoisted once per fault-aware round (the RNG prefixes of the
+/// loss and delay streams, and the churn model's down-until view).
+struct FaultCtx<'a> {
+    round: u64,
+    /// Round until which each node is down (`down[v] > round` = crashed this
+    /// round); empty when the plan has no churn.
+    down: &'a [u64],
+    loss: Option<(KeyPrefix, f64)>,
+    delay: Option<(KeyPrefix, f64, u64)>,
+}
+
+impl FaultCtx<'_> {
+    fn new<'a>(seed: u64, round: u64, down: &'a [u64], fault: &FaultPlan) -> FaultCtx<'a> {
+        FaultCtx {
+            round,
+            down,
+            loss: fault.loss().map(|l| {
+                (
+                    NodeRng::key_prefix(seed, round, NodeRng::STREAM_FAULT_LOSS),
+                    l.drop_probability(),
+                )
+            }),
+            delay: fault.stragglers().map(|s| {
+                (
+                    NodeRng::key_prefix(seed, round, NodeRng::STREAM_FAULT_DELAY),
+                    s.straggle_probability(),
+                    s.max_delay(),
+                )
+            }),
+        }
+    }
+
+    /// Whether `v` participates this round (not down under churn).
+    #[inline]
+    fn alive(&self, v: usize) -> bool {
+        self.down.is_empty() || self.down[v] <= self.round
+    }
+
+    /// Draws the per-contact loss coin for `sender → receiver` this round.
+    /// The coin is keyed by the packed `(sender, receiver)` pair, so the two
+    /// directions of a push–pull round are independent.
+    #[inline]
+    fn lost(&self, sender: usize, receiver: usize) -> bool {
+        match self.loss {
+            Some((prefix, p)) => {
+                let key = ((sender as u64) << 32) | receiver as u64;
+                let mut rng = prefix.node(key);
+                rng.next_f64() < p
+            }
+            None => false,
+        }
+    }
+
+    /// Draws the straggler coin for `sender` this round; `Some(d)` means the
+    /// push lands `d >= 1` rounds late.
+    #[inline]
+    fn delay_of(&self, sender: usize) -> Option<u64> {
+        let (prefix, p, max_delay) = self.delay?;
+        let mut rng = prefix.node(sender as u64);
+        if rng.next_f64() < p {
+            Some(1 + rng.next_below(max_delay))
+        } else {
+            None
+        }
+    }
+}
 
 /// What a sparse push-style round ([`Engine::push_round_on`] /
 /// [`Engine::push_pull_round_on`]) did, beyond the dense primitives' failed
@@ -175,8 +260,12 @@ pub struct EngineConfig {
     /// the same initial states and the same sequence of round calls produce
     /// identical executions — at any thread count.
     pub seed: u64,
-    /// The failure model applied to every operation (default: no failures).
-    pub failure: FailureModel,
+    /// The fault plan applied to the engine's rounds (default:
+    /// [`FaultPlan::none`]). This subsumes the failure model: configure a
+    /// plain [`FailureModel`] through [`EngineConfig::failure`], or a full
+    /// plan (churn, message loss, stragglers) through
+    /// [`EngineConfig::fault`].
+    pub fault: FaultPlan,
     /// The communication graph peer sampling runs on (default:
     /// [`Topology::Complete`], the paper's uniform-gossip model). See
     /// [`crate::topology`] for the available graphs and the sampling
@@ -202,16 +291,24 @@ impl EngineConfig {
     pub fn with_seed(seed: u64) -> Self {
         EngineConfig {
             seed,
-            failure: FailureModel::None,
+            fault: FaultPlan::none(),
             topology: Topology::Complete,
             pool: None,
             graph_cache: Arc::new(AdjacencyCache::default()),
         }
     }
 
-    /// Replaces the failure model.
+    /// Replaces the failure-model combinator of the fault plan (sugar for
+    /// `fault(self.fault.with_failure(model))`; any configured churn, loss or
+    /// straggler combinators are kept).
     pub fn failure(mut self, failure: FailureModel) -> Self {
-        self.failure = failure;
+        self.fault = self.fault.clone().with_failure(failure);
+        self
+    }
+
+    /// Replaces the whole fault plan (see [`FaultPlan`]).
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -227,10 +324,11 @@ impl EngineConfig {
         self
     }
 
-    /// Configuration for a sub-computation: a fresh seed, the same failure
-    /// model, the **same topology** (an algorithm's sub-phases run on the
-    /// same communication graph as its main phase), and the **same worker
-    /// pool** — so an algorithm that runs many short-lived sub-engines
+    /// Configuration for a sub-computation: a fresh seed, the same fault
+    /// plan (churn *state* does not transfer — a sub-engine starts with every
+    /// node alive), the **same topology** (an algorithm's sub-phases run on
+    /// the same communication graph as its main phase), and the **same
+    /// worker pool** — so an algorithm that runs many short-lived sub-engines
     /// (e.g. the exact-quantile narrowing loop) pays for thread creation
     /// once, not once per phase.
     ///
@@ -240,7 +338,7 @@ impl EngineConfig {
     pub fn sub(&self, seed: u64) -> Self {
         EngineConfig {
             seed,
-            failure: self.failure.clone(),
+            fault: self.fault.clone(),
             topology: self.topology,
             pool: self.pool.clone(),
             graph_cache: Arc::clone(&self.graph_cache),
@@ -288,6 +386,21 @@ pub struct Engine<S> {
     /// Cloning the engine shares the pool.
     pool: Arc<WorkerPool>,
     failure: FailureModel,
+    /// The normalised fault plan in effect. `failure` above is its
+    /// failure-model combinator, kept as a separate field so the dedicated
+    /// failure loops (and their golden pins) are untouched by the plan.
+    fault: FaultPlan,
+    /// Churn state: the first round node `v` is alive again (`0` = alive,
+    /// `u64::MAX` = crashed permanently). Empty until the plan's churn model
+    /// first advances.
+    down_until: Vec<u64>,
+    /// Straggled push contacts not yet due (or due in a round that cannot
+    /// deliver them — only push-capable rounds drain this buffer).
+    pending_delayed: Vec<DelayedContact>,
+    /// Per-round drain scratch: `(receiver, sender)` pairs due this round,
+    /// sorted receiver-major (stable, so a receiver folds its late arrivals
+    /// in send order).
+    due_scratch: Vec<(u32, u32)>,
     /// The topology specification (as configured; kept for reporting).
     topology: Topology,
     /// The materialised peer sampler rounds draw contacts from; built once at
@@ -351,6 +464,12 @@ impl<S: Clone> Clone for Engine<S> {
             threads: self.threads,
             pool: Arc::clone(&self.pool),
             failure: self.failure.clone(),
+            fault: self.fault.clone(),
+            // Churn state and in-flight stragglers are real trajectory state
+            // (unlike scratch) and must survive a clone.
+            down_until: self.down_until.clone(),
+            pending_delayed: self.pending_delayed.clone(),
+            due_scratch: Vec::new(),
             topology: self.topology,
             sampler: self.sampler.clone(),
             metrics: self.metrics,
@@ -410,6 +529,12 @@ impl<S> Engine<S> {
                 reason: format!("at most {} nodes are supported, got {n}", u32::MAX - 2),
             });
         }
+        config.fault.validate_for(n)?;
+        // Combinators that can never fire are stripped so plans built from
+        // zero intensities keep the dedicated fast/failure loops (and their
+        // bit-exact golden trajectories).
+        let fault = config.fault.normalized();
+        let failure = fault.failure().clone();
         let sampler = config.topology.materialize(n, &config.graph_cache)?;
         let threads = if n >= Self::PAR_MIN_NODES {
             par::num_threads()
@@ -427,9 +552,11 @@ impl<S> Engine<S> {
             seed: config.seed,
             threads,
             pool,
-            // Models that can never fire are canonicalised to `None` here so
-            // the rounds' dedicated no-failure loops apply to them.
-            failure: config.failure.normalized(),
+            failure,
+            fault,
+            down_until: Vec::new(),
+            pending_delayed: Vec::new(),
+            due_scratch: Vec::new(),
             topology: config.topology,
             sampler,
             metrics: Metrics::new(),
@@ -485,9 +612,35 @@ impl<S> Engine<S> {
         self.seed
     }
 
-    /// The failure model in effect.
+    /// The failure model in effect (the failure combinator of the fault
+    /// plan, normalised at construction).
     pub fn failure_model(&self) -> &FailureModel {
         &self.failure
+    }
+
+    /// The fault plan in effect (normalised at construction: combinators
+    /// that can never fire are stripped).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// The nodes that were down (crashed by the plan's churn model) during
+    /// the most recently executed round, in ascending id order. Empty when
+    /// the plan has no churn or no round has run yet.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        let round = self.round;
+        self.down_until
+            .iter()
+            .enumerate()
+            .filter(|&(_, &down)| down > round)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Number of straggled push contacts currently in flight (sent, but not
+    /// yet folded into a push-capable round's deliveries).
+    pub fn delayed_in_flight(&self) -> usize {
+        self.pending_delayed.len()
     }
 
     /// The communication topology peer sampling runs on.
@@ -705,6 +858,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         F: Fn(NodeId, &S) -> M + Sync,
         G: Fn(NodeId, &mut S, Option<M>) + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.pull_round_faulty(sampler, serve, apply);
+        }
         self.metrics.record_round(RoundKind::Pull, self.n() as u64);
         self.round += 1;
         self.ensure_next();
@@ -793,6 +949,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         G: Fn(NodeId, &mut S, M) + Sync,
         H: Fn(NodeId, &mut S, bool) + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.push_round_faulty(sampler, make, fold, after);
+        }
         let n = self.n();
         self.metrics.record_round(RoundKind::Push, n as u64);
         self.round += 1;
@@ -901,6 +1060,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         F: Fn(NodeId, &S) -> M + Sync,
         G: Fn(NodeId, &mut S, M) + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.push_pull_round_faulty(sampler, serve, merge);
+        }
         let n = self.n();
         self.metrics.record_round(RoundKind::PushPull, n as u64);
         self.round += 1;
@@ -1018,6 +1180,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         M: MessageSize + Send,
         F: Fn(NodeId, &S) -> M + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.collect_samples_faulty(sampler, k, serve);
+        }
         let n = self.n();
         let threads = self.threads;
         let mut collected: Vec<Vec<M>> = (0..n).map(|_| Vec::with_capacity(k)).collect();
@@ -1061,6 +1226,492 @@ impl<S: Clone + Send + Sync> Engine<S> {
                             local.record_delivery(msg.message_bits());
                             bucket.push(msg);
                         }
+                    }
+                    local
+                },
+                |a, b| a + b,
+            );
+            self.metrics = self.metrics + delta;
+        }
+        collected
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-aware round bodies.
+    //
+    // A disruptive [`FaultPlan`] (churn, message loss, or stragglers) routes
+    // every primitive through the dedicated `_faulty` variant below instead
+    // of threading extra branches through the hot loops: the fast and
+    // failure-only loops above stay byte-identical (and so do their golden
+    // trajectories), and all fault coins come from the dedicated RNG streams
+    // (`STREAM_FAULT_*`), so the algorithm's own draws on `STREAM_ROUND` are
+    // exactly the ones a fault-free run would make.
+    //
+    // Per-contact decision order (also documented on [`FaultPlan`]):
+    // sender crashed → failure coin → target sampling → straggler coin
+    // (push directions only) → loss coin → receiver crashed. Pull contacts
+    // never straggle (a pull is a request/response within the round);
+    // straggled pushes are buffered in `pending_delayed` and folded into the
+    // first push-capable round at or after their due round, with the message
+    // re-derived from the sender's state at arrival.
+    // ------------------------------------------------------------------
+
+    /// Advances the churn model to `round`: every currently-alive node draws
+    /// its crash coin (from `STREAM_FAULT_CRASH`); nodes already down draw
+    /// nothing until their rejoin round passes. Sequential `O(n)` — churn is
+    /// an explicitly-opted-into fault mode, and the scan is a trivial
+    /// fraction of a round's work.
+    fn advance_churn(&mut self, round: u64) {
+        let Some(churn) = self.fault.churn() else {
+            return;
+        };
+        let p = churn.crash_probability();
+        let rejoin = churn.rejoin_after();
+        let n = self.states.len();
+        if self.down_until.len() != n {
+            self.down_until = vec![0; n];
+        }
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_FAULT_CRASH);
+        for (v, down) in self.down_until.iter_mut().enumerate() {
+            if *down > round {
+                continue;
+            }
+            let mut rng = prefix.node(v as u64);
+            if rng.next_f64() < p {
+                *down = rejoin.map_or(u64::MAX, |k| round.saturating_add(k));
+            }
+        }
+    }
+
+    /// Moves the straggled contacts due at `round` from `pending_delayed`
+    /// into `due_scratch`, sorted receiver-major (stable: a receiver folds
+    /// its late arrivals in send order). Contacts due to a crashed receiver
+    /// are dropped here and counted as [`Metrics::messages_dropped`].
+    fn collect_due(&mut self, round: u64) {
+        self.due_scratch.clear();
+        if self.pending_delayed.is_empty() {
+            return;
+        }
+        let due = &mut self.due_scratch;
+        let down = &self.down_until;
+        let mut dropped = 0u64;
+        self.pending_delayed.retain(|c| {
+            if c.due > round {
+                return true;
+            }
+            if down.is_empty() || down[c.receiver as usize] <= round {
+                due.push((c.receiver, c.sender));
+            } else {
+                dropped += 1;
+            }
+            false
+        });
+        due.sort_by_key(|&(receiver, _)| receiver);
+        for _ in 0..dropped {
+            self.metrics.record_drop();
+        }
+    }
+
+    /// [`Engine::pull_round`] under a disruptive fault plan.
+    fn pull_round_faulty<SP, M, F, G>(&mut self, sampler: SP, serve: F, apply: G) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
+    {
+        self.metrics.record_round(RoundKind::Pull, self.n() as u64);
+        self.round += 1;
+        self.ensure_next();
+        self.advance_churn(self.round);
+
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+        let ctx = &ctx;
+        let delta = par::for_chunks(
+            &self.pool,
+            &mut self.next,
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let v = start + j;
+                    // Crashed nodes keep their state (they resume from it on
+                    // rejoin) but perform no operation.
+                    slot.clone_from(&states[v]);
+                    if !ctx.alive(v) {
+                        local.record_crash();
+                        continue;
+                    }
+                    let mut rng = prefix.node(v as u64);
+                    local.record_attempt(RoundKind::Pull);
+                    if !reliable && failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        apply(v, slot, None);
+                        continue;
+                    }
+                    let t = sampler.sample(&mut rng, v);
+                    if !ctx.alive(t) || ctx.lost(t, v) {
+                        local.record_drop();
+                        apply(v, slot, None);
+                        continue;
+                    }
+                    let msg = serve(t, &states[t]);
+                    local.record_delivery(msg.message_bits());
+                    apply(v, slot, Some(msg));
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+        std::mem::swap(&mut self.states, &mut self.next);
+        delta.failed_operations as usize
+    }
+
+    /// [`Engine::push_round`] under a disruptive fault plan.
+    fn push_round_faulty<SP, M, F, G, H>(
+        &mut self,
+        sampler: SP,
+        make: F,
+        fold: G,
+        after: H,
+    ) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> Option<M> + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+        H: Fn(NodeId, &mut S, bool) + Sync,
+    {
+        let n = self.n();
+        self.metrics.record_round(RoundKind::Push, n as u64);
+        self.round += 1;
+        self.ensure_next();
+        self.advance_churn(self.round);
+
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+        let ctx = &ctx;
+
+        // Pass 1: as the reliable pass, plus the fault decisions. Straggled
+        // pushes are collected per chunk and concatenated in chunk order by
+        // the fold, so `pending_delayed` grows in ascending sender order at
+        // any thread count.
+        let (delta, mut new_pending) = par::for_chunks(
+            &self.pool,
+            &mut self.scratch_targets,
+            threads,
+            (Metrics::default(), Vec::new()),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                let mut pending: Vec<DelayedContact> = Vec::new();
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let v = start + j;
+                    if !ctx.alive(v) {
+                        *slot = TARGET_SILENT;
+                        local.record_crash();
+                        continue;
+                    }
+                    let msg = match make(v, &states[v]) {
+                        Some(m) => m,
+                        None => {
+                            *slot = TARGET_SILENT;
+                            continue;
+                        }
+                    };
+                    local.record_attempt(RoundKind::Push);
+                    let mut rng = prefix.node(v as u64);
+                    if !reliable && failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        *slot = TARGET_FAILED;
+                        continue;
+                    }
+                    let t = sampler.sample(&mut rng, v);
+                    if let Some(d) = ctx.delay_of(v) {
+                        pending.push(DelayedContact {
+                            due: round + d,
+                            receiver: t as u32,
+                            sender: v as u32,
+                        });
+                        *slot = TARGET_DROPPED;
+                        local.record_delay();
+                        continue;
+                    }
+                    if !ctx.alive(t) || ctx.lost(v, t) {
+                        *slot = TARGET_DROPPED;
+                        local.record_drop();
+                        continue;
+                    }
+                    local.record_delivery(msg.message_bits());
+                    *slot = t as u32;
+                }
+                (local, pending)
+            },
+            |(ma, mut va), (mb, mut vb)| {
+                va.append(&mut vb);
+                (ma + mb, va)
+            },
+        );
+        self.metrics = self.metrics + delta;
+        // New entries are due strictly after `round`, so appending before the
+        // drain is safe — they cannot be picked up by it.
+        self.pending_delayed.append(&mut new_pending);
+        self.collect_due(round);
+
+        self.bucket_deliveries(n);
+        let states = &self.states;
+        let (targets, offsets, senders) = (
+            &self.scratch_targets,
+            &self.scratch_offsets,
+            &self.scratch_senders,
+        );
+        let due = &self.due_scratch;
+        let down = &self.down_until;
+        let arrivals = par::for_chunks(
+            &self.pool,
+            &mut self.next,
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let u = start + j;
+                    slot.clone_from(&states[u]);
+                    let lo = offsets[u].load(Ordering::Relaxed) as usize;
+                    let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
+                    for s in &senders[lo..hi] {
+                        let v = s.load(Ordering::Relaxed) as usize;
+                        if let Some(msg) = make(v, &states[v]) {
+                            fold(u, slot, msg);
+                        }
+                    }
+                    if !due.is_empty() {
+                        // Late arrivals land after this round's in-time
+                        // deliveries, in send order; the message is
+                        // re-derived from the sender's *current* state (a
+                        // sender answering `None` now means the late message
+                        // evaporates).
+                        let dlo = due.partition_point(|&(r, _)| (r as usize) < u);
+                        for &(_, s) in due[dlo..].iter().take_while(|&&(r, _)| (r as usize) == u) {
+                            let v = s as usize;
+                            if let Some(msg) = make(v, &states[v]) {
+                                local.record_delivery(msg.message_bits());
+                                fold(u, slot, msg);
+                            }
+                        }
+                    }
+                    // A crashed node performed nothing this round, so its
+                    // `after` hook does not run.
+                    if down.is_empty() || down[u] <= round {
+                        after(u, slot, (targets[u] as usize) < n);
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + arrivals;
+        std::mem::swap(&mut self.states, &mut self.next);
+        delta.failed_operations as usize
+    }
+
+    /// [`Engine::push_pull_round`] under a disruptive fault plan.
+    fn push_pull_round_faulty<SP, M, F, G>(&mut self, sampler: SP, serve: F, merge: G) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+    {
+        let n = self.n();
+        self.metrics.record_round(RoundKind::PushPull, n as u64);
+        self.round += 1;
+        self.ensure_next();
+        self.advance_churn(self.round);
+
+        let (round, threads) = (self.round, self.threads);
+        let failure = &self.failure;
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+        let ctx = &ctx;
+
+        // Pass 1: failure coin, pull target, push target — then the fault
+        // decisions per direction. The two directions draw independent loss
+        // coins (the pair key is ordered sender-then-receiver).
+        let (delta, mut new_pending) = par::for_chunks2(
+            &self.pool,
+            &mut self.scratch_targets,
+            &mut self.scratch_pull,
+            threads,
+            (Metrics::default(), Vec::new()),
+            |start, push_chunk, pull_chunk| {
+                let mut local = Metrics::default();
+                let mut pending: Vec<DelayedContact> = Vec::new();
+                for j in 0..push_chunk.len() {
+                    let v = start + j;
+                    if !ctx.alive(v) {
+                        push_chunk[j] = TARGET_SILENT;
+                        pull_chunk[j] = TARGET_SILENT;
+                        local.record_crash();
+                        continue;
+                    }
+                    local.record_attempt(RoundKind::PushPull);
+                    let mut rng = prefix.node(v as u64);
+                    if !reliable && failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        push_chunk[j] = TARGET_FAILED;
+                        pull_chunk[j] = TARGET_FAILED;
+                        continue;
+                    }
+                    let t_pull = sampler.sample(&mut rng, v);
+                    let t_push = sampler.sample(&mut rng, v);
+                    // Pull direction: the server `t_pull` answers `v`; pulls
+                    // never straggle.
+                    if !ctx.alive(t_pull) || ctx.lost(t_pull, v) {
+                        local.record_drop();
+                        pull_chunk[j] = TARGET_DROPPED;
+                    } else {
+                        pull_chunk[j] = t_pull as u32;
+                    }
+                    // Push direction: may straggle.
+                    if let Some(d) = ctx.delay_of(v) {
+                        pending.push(DelayedContact {
+                            due: round + d,
+                            receiver: t_push as u32,
+                            sender: v as u32,
+                        });
+                        push_chunk[j] = TARGET_DROPPED;
+                        local.record_delay();
+                    } else if !ctx.alive(t_push) || ctx.lost(v, t_push) {
+                        push_chunk[j] = TARGET_DROPPED;
+                        local.record_drop();
+                    } else {
+                        push_chunk[j] = t_push as u32;
+                    }
+                }
+                (local, pending)
+            },
+            |(ma, mut va), (mb, mut vb)| {
+                va.append(&mut vb);
+                (ma + mb, va)
+            },
+        );
+        self.metrics = self.metrics + delta;
+        self.pending_delayed.append(&mut new_pending);
+        self.collect_due(round);
+
+        self.bucket_deliveries(n);
+        let states = &self.states;
+        let (pulls, offsets, senders) = (
+            &self.scratch_pull,
+            &self.scratch_offsets,
+            &self.scratch_senders,
+        );
+        let due = &self.due_scratch;
+        let deliveries = par::for_chunks(
+            &self.pool,
+            &mut self.next,
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let u = start + j;
+                    slot.clone_from(&states[u]);
+                    let t_pull = pulls[u];
+                    if (t_pull as usize) < n {
+                        let t = t_pull as usize;
+                        let msg = serve(t, &states[t]);
+                        local.record_delivery(msg.message_bits());
+                        merge(u, slot, msg);
+                    }
+                    let lo = offsets[u].load(Ordering::Relaxed) as usize;
+                    let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
+                    for s in &senders[lo..hi] {
+                        let v = s.load(Ordering::Relaxed) as usize;
+                        let msg = serve(v, &states[v]);
+                        local.record_delivery(msg.message_bits());
+                        merge(u, slot, msg);
+                    }
+                    if !due.is_empty() {
+                        let dlo = due.partition_point(|&(r, _)| (r as usize) < u);
+                        for &(_, s) in due[dlo..].iter().take_while(|&&(r, _)| (r as usize) == u) {
+                            let v = s as usize;
+                            let msg = serve(v, &states[v]);
+                            local.record_delivery(msg.message_bits());
+                            merge(u, slot, msg);
+                        }
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + deliveries;
+        std::mem::swap(&mut self.states, &mut self.next);
+        delta.failed_operations as usize
+    }
+
+    /// [`Engine::collect_samples`] under a disruptive fault plan.
+    fn collect_samples_faulty<SP, M, F>(&mut self, sampler: SP, k: usize, serve: F) -> Vec<Vec<M>>
+    where
+        SP: Sampler,
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
+    {
+        let n = self.n();
+        let threads = self.threads;
+        let mut collected: Vec<Vec<M>> = (0..n).map(|_| Vec::with_capacity(k)).collect();
+        for _ in 0..k {
+            self.metrics.record_round(RoundKind::Pull, n as u64);
+            self.round += 1;
+            self.advance_churn(self.round);
+            let round = self.round;
+            let (states, failure) = (&self.states, &self.failure);
+            let sampler = &sampler;
+            let reliable = failure.is_reliable();
+            let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+            let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+            let ctx = &ctx;
+            let delta = par::for_chunks(
+                &self.pool,
+                &mut collected,
+                threads,
+                Metrics::default(),
+                |start, chunk| {
+                    let mut local = Metrics::default();
+                    for (j, bucket) in chunk.iter_mut().enumerate() {
+                        let v = start + j;
+                        if !ctx.alive(v) {
+                            local.record_crash();
+                            continue;
+                        }
+                        local.record_attempt(RoundKind::Pull);
+                        let mut rng = prefix.node(v as u64);
+                        if !reliable && failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            continue;
+                        }
+                        let t = sampler.sample(&mut rng, v);
+                        if !ctx.alive(t) || ctx.lost(t, v) {
+                            local.record_drop();
+                            continue;
+                        }
+                        let msg = serve(t, &states[t]);
+                        local.record_delivery(msg.message_bits());
+                        bucket.push(msg);
                     }
                     local
                 },
@@ -1325,6 +1976,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         F: Fn(NodeId, &S) -> M + Sync,
         G: Fn(NodeId, &mut S, Option<M>) + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.pull_round_on_faulty(sampler, active, serve, apply);
+        }
         self.assert_active(active);
         self.metrics
             .record_round(RoundKind::Pull, active.len() as u64);
@@ -1423,6 +2077,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         G: Fn(NodeId, &mut S, M) + Sync,
         H: Fn(NodeId, &mut S, bool) + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.push_round_on_faulty(sampler, active, make, fold, after);
+        }
         self.assert_active(active);
         let n = self.n();
         let m = active.len();
@@ -1554,6 +2211,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         F: Fn(NodeId, &S) -> M + Sync,
         G: Fn(NodeId, &mut S, M) + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.push_pull_round_on_faulty(sampler, active, serve, merge);
+        }
         self.assert_active(active);
         let m = active.len();
         self.metrics.record_round(RoundKind::PushPull, m as u64);
@@ -1698,6 +2358,9 @@ impl<S: Clone + Send + Sync> Engine<S> {
         M: MessageSize + Send,
         F: Fn(NodeId, &S) -> M + Sync,
     {
+        if self.fault.is_disruptive() {
+            return self.collect_samples_on_faulty(sampler, active, k, serve);
+        }
         self.assert_active(active);
         let m = active.len();
         let threads = self.threads;
@@ -1750,6 +2413,494 @@ impl<S: Clone + Send + Sync> Engine<S> {
             self.metrics = self.metrics + delta;
         }
         collected
+    }
+
+    /// [`Engine::pull_round_on`] under a disruptive fault plan. Crash
+    /// bookkeeping is restricted to the active members (a crashed *inactive*
+    /// node does nothing either way, so nothing is counted for it).
+    fn pull_round_on_faulty<SP, M, F, G>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        serve: F,
+        apply: G,
+    ) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
+    {
+        self.assert_active(active);
+        self.metrics
+            .record_round(RoundKind::Pull, active.len() as u64);
+        self.round += 1;
+        self.ensure_next();
+        self.advance_churn(self.round);
+
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+        let ctx = &ctx;
+        let delta = par::for_sparse(
+            &self.pool,
+            &mut self.next,
+            active.indices(),
+            threads,
+            Metrics::default(),
+            |ids, base, sub| {
+                let mut local = Metrics::default();
+                for &id in ids {
+                    let v = id as usize;
+                    let slot = &mut sub[v - base];
+                    slot.clone_from(&states[v]);
+                    if !ctx.alive(v) {
+                        local.record_crash();
+                        continue;
+                    }
+                    let mut rng = prefix.node(v as u64);
+                    local.record_attempt(RoundKind::Pull);
+                    if !reliable && failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        apply(v, slot, None);
+                        continue;
+                    }
+                    let t = sampler.sample(&mut rng, v);
+                    if !ctx.alive(t) || ctx.lost(t, v) {
+                        local.record_drop();
+                        apply(v, slot, None);
+                        continue;
+                    }
+                    let msg = serve(t, &states[t]);
+                    local.record_delivery(msg.message_bits());
+                    apply(v, slot, Some(msg));
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+        self.commit_written(active.indices());
+        delta.failed_operations as usize
+    }
+
+    /// [`Engine::push_round_on`] under a disruptive fault plan.
+    fn push_round_on_faulty<SP, M, F, G, H>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        make: F,
+        fold: G,
+        after: H,
+    ) -> SparsePushOutcome
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> Option<M> + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+        H: Fn(NodeId, &mut S, bool) + Sync,
+    {
+        self.assert_active(active);
+        let n = self.n();
+        let m = active.len();
+        self.metrics.record_round(RoundKind::Push, m as u64);
+        self.round += 1;
+        self.ensure_next();
+        self.advance_churn(self.round);
+        if self.scratch_compact.len() < m {
+            self.scratch_compact.resize(m, 0);
+        }
+
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ids = active.indices();
+        let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+        let ctx = &ctx;
+
+        let (delta, mut new_pending) = par::for_chunks(
+            &self.pool,
+            &mut self.scratch_compact[..m],
+            threads,
+            (Metrics::default(), Vec::new()),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                let mut pending: Vec<DelayedContact> = Vec::new();
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let v = ids[start + j] as usize;
+                    if !ctx.alive(v) {
+                        *slot = TARGET_SILENT;
+                        local.record_crash();
+                        continue;
+                    }
+                    let msg = match make(v, &states[v]) {
+                        Some(m) => m,
+                        None => {
+                            *slot = TARGET_SILENT;
+                            continue;
+                        }
+                    };
+                    local.record_attempt(RoundKind::Push);
+                    let mut rng = prefix.node(v as u64);
+                    if !reliable && failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        *slot = TARGET_FAILED;
+                        continue;
+                    }
+                    let t = sampler.sample(&mut rng, v);
+                    if let Some(d) = ctx.delay_of(v) {
+                        pending.push(DelayedContact {
+                            due: round + d,
+                            receiver: t as u32,
+                            sender: v as u32,
+                        });
+                        *slot = TARGET_DROPPED;
+                        local.record_delay();
+                        continue;
+                    }
+                    if !ctx.alive(t) || ctx.lost(v, t) {
+                        *slot = TARGET_DROPPED;
+                        local.record_drop();
+                        continue;
+                    }
+                    local.record_delivery(msg.message_bits());
+                    *slot = t as u32;
+                }
+                (local, pending)
+            },
+            |(ma, mut va), (mb, mut vb)| {
+                va.append(&mut vb);
+                (ma + mb, va)
+            },
+        );
+        self.metrics = self.metrics + delta;
+        self.pending_delayed.append(&mut new_pending);
+        self.collect_due(round);
+
+        let receivers = self.bucket_sparse(active);
+        let receivers = self.merge_due_receivers(receivers);
+
+        let states = &self.states;
+        let (pairs, compact) = (&self.scratch_pairs, &self.scratch_compact[..m]);
+        let due = &self.due_scratch;
+        let down = &self.down_until;
+        let arrivals = par::for_sparse(
+            &self.pool,
+            &mut self.next,
+            &self.scratch_written,
+            threads,
+            Metrics::default(),
+            |wids, base, sub| {
+                let mut local = Metrics::default();
+                for &id in wids {
+                    let u = id as usize;
+                    let slot = &mut sub[u - base];
+                    slot.clone_from(&states[u]);
+                    let lo = pairs.partition_point(|&(r, _)| r < id);
+                    let hi = pairs.partition_point(|&(r, _)| r <= id);
+                    for &(_, s) in &pairs[lo..hi] {
+                        let v = s as usize;
+                        if let Some(msg) = make(v, &states[v]) {
+                            fold(u, slot, msg);
+                        }
+                    }
+                    if !due.is_empty() {
+                        let dlo = due.partition_point(|&(r, _)| r < id);
+                        for &(_, s) in due[dlo..].iter().take_while(|&&(r, _)| r == id) {
+                            let v = s as usize;
+                            if let Some(msg) = make(v, &states[v]) {
+                                local.record_delivery(msg.message_bits());
+                                fold(u, slot, msg);
+                            }
+                        }
+                    }
+                    if let Some(rank) = active.rank(u) {
+                        if down.is_empty() || down[u] <= round {
+                            after(u, slot, (compact[rank] as usize) < n);
+                        }
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + arrivals;
+        let written = std::mem::take(&mut self.scratch_written);
+        self.commit_written(&written);
+        self.scratch_written = written;
+        SparsePushOutcome {
+            failed: delta.failed_operations as usize,
+            receivers,
+        }
+    }
+
+    /// [`Engine::push_pull_round_on`] under a disruptive fault plan.
+    fn push_pull_round_on_faulty<SP, M, F, G>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        serve: F,
+        merge: G,
+    ) -> SparsePushOutcome
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, M) + Sync,
+    {
+        self.assert_active(active);
+        let n = self.n();
+        let m = active.len();
+        self.metrics.record_round(RoundKind::PushPull, m as u64);
+        self.round += 1;
+        self.ensure_next();
+        self.advance_churn(self.round);
+        if self.scratch_compact.len() < m {
+            self.scratch_compact.resize(m, 0);
+        }
+        if self.scratch_compact2.len() < m {
+            self.scratch_compact2.resize(m, 0);
+        }
+
+        let (round, threads) = (self.round, self.threads);
+        let failure = &self.failure;
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let ids = active.indices();
+        let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+        let ctx = &ctx;
+
+        let (delta, mut new_pending) = par::for_chunks2(
+            &self.pool,
+            &mut self.scratch_compact[..m],
+            &mut self.scratch_compact2[..m],
+            threads,
+            (Metrics::default(), Vec::new()),
+            |start, push_chunk, pull_chunk| {
+                let mut local = Metrics::default();
+                let mut pending: Vec<DelayedContact> = Vec::new();
+                for j in 0..push_chunk.len() {
+                    let v = ids[start + j] as usize;
+                    if !ctx.alive(v) {
+                        push_chunk[j] = TARGET_SILENT;
+                        pull_chunk[j] = TARGET_SILENT;
+                        local.record_crash();
+                        continue;
+                    }
+                    local.record_attempt(RoundKind::PushPull);
+                    let mut rng = prefix.node(v as u64);
+                    if !reliable && failure.fails(v, round, &mut rng) {
+                        local.record_failure();
+                        push_chunk[j] = TARGET_FAILED;
+                        pull_chunk[j] = TARGET_FAILED;
+                        continue;
+                    }
+                    let t_pull = sampler.sample(&mut rng, v);
+                    let t_push = sampler.sample(&mut rng, v);
+                    if !ctx.alive(t_pull) || ctx.lost(t_pull, v) {
+                        local.record_drop();
+                        pull_chunk[j] = TARGET_DROPPED;
+                    } else {
+                        pull_chunk[j] = t_pull as u32;
+                    }
+                    if let Some(d) = ctx.delay_of(v) {
+                        pending.push(DelayedContact {
+                            due: round + d,
+                            receiver: t_push as u32,
+                            sender: v as u32,
+                        });
+                        push_chunk[j] = TARGET_DROPPED;
+                        local.record_delay();
+                    } else if !ctx.alive(t_push) || ctx.lost(v, t_push) {
+                        push_chunk[j] = TARGET_DROPPED;
+                        local.record_drop();
+                    } else {
+                        push_chunk[j] = t_push as u32;
+                    }
+                }
+                (local, pending)
+            },
+            |(ma, mut va), (mb, mut vb)| {
+                va.append(&mut vb);
+                (ma + mb, va)
+            },
+        );
+        self.metrics = self.metrics + delta;
+        self.pending_delayed.append(&mut new_pending);
+        self.collect_due(round);
+
+        let receivers = self.bucket_sparse(active);
+        let receivers = self.merge_due_receivers(receivers);
+
+        let states = &self.states;
+        let (pairs, pulls) = (&self.scratch_pairs, &self.scratch_compact2[..m]);
+        let due = &self.due_scratch;
+        let deliveries = par::for_sparse(
+            &self.pool,
+            &mut self.next,
+            &self.scratch_written,
+            threads,
+            Metrics::default(),
+            |wids, base, sub| {
+                let mut local = Metrics::default();
+                for &id in wids {
+                    let u = id as usize;
+                    let slot = &mut sub[u - base];
+                    slot.clone_from(&states[u]);
+                    if let Some(rank) = active.rank(u) {
+                        let t_pull = pulls[rank];
+                        if (t_pull as usize) < n {
+                            let t = t_pull as usize;
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            merge(u, slot, msg);
+                        }
+                    }
+                    let lo = pairs.partition_point(|&(r, _)| r < id);
+                    let hi = pairs.partition_point(|&(r, _)| r <= id);
+                    for &(_, s) in &pairs[lo..hi] {
+                        let v = s as usize;
+                        let msg = serve(v, &states[v]);
+                        local.record_delivery(msg.message_bits());
+                        merge(u, slot, msg);
+                    }
+                    if !due.is_empty() {
+                        let dlo = due.partition_point(|&(r, _)| r < id);
+                        for &(_, s) in due[dlo..].iter().take_while(|&&(r, _)| r == id) {
+                            let v = s as usize;
+                            let msg = serve(v, &states[v]);
+                            local.record_delivery(msg.message_bits());
+                            merge(u, slot, msg);
+                        }
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + deliveries;
+        let written = std::mem::take(&mut self.scratch_written);
+        self.commit_written(&written);
+        self.scratch_written = written;
+        SparsePushOutcome {
+            failed: delta.failed_operations as usize,
+            receivers,
+        }
+    }
+
+    /// [`Engine::collect_samples_on`] under a disruptive fault plan.
+    fn collect_samples_on_faulty<SP, M, F>(
+        &mut self,
+        sampler: SP,
+        active: &ActiveSet,
+        k: usize,
+        serve: F,
+    ) -> Vec<Vec<M>>
+    where
+        SP: Sampler,
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
+    {
+        self.assert_active(active);
+        let m = active.len();
+        let threads = self.threads;
+        let ids = active.indices();
+        let mut collected: Vec<Vec<M>> = (0..m).map(|_| Vec::with_capacity(k)).collect();
+        for _ in 0..k {
+            self.metrics.record_round(RoundKind::Pull, m as u64);
+            self.round += 1;
+            self.advance_churn(self.round);
+            let round = self.round;
+            let (states, failure) = (&self.states, &self.failure);
+            let sampler = &sampler;
+            let reliable = failure.is_reliable();
+            let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+            let ctx = FaultCtx::new(self.seed, round, &self.down_until, &self.fault);
+            let ctx = &ctx;
+            let delta = par::for_chunks(
+                &self.pool,
+                &mut collected,
+                threads,
+                Metrics::default(),
+                |start, chunk| {
+                    let mut local = Metrics::default();
+                    for (j, bucket) in chunk.iter_mut().enumerate() {
+                        let v = ids[start + j] as usize;
+                        if !ctx.alive(v) {
+                            local.record_crash();
+                            continue;
+                        }
+                        local.record_attempt(RoundKind::Pull);
+                        let mut rng = prefix.node(v as u64);
+                        if !reliable && failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            continue;
+                        }
+                        let t = sampler.sample(&mut rng, v);
+                        if !ctx.alive(t) || ctx.lost(t, v) {
+                            local.record_drop();
+                            continue;
+                        }
+                        let msg = serve(t, &states[t]);
+                        local.record_delivery(msg.message_bits());
+                        bucket.push(msg);
+                    }
+                    local
+                },
+                |a, b| a + b,
+            );
+            self.metrics = self.metrics + delta;
+        }
+        collected
+    }
+
+    /// Extends the sparse round's written set and receiver list with the
+    /// receivers of straggled messages due this round (`due_scratch`), so
+    /// pass 2 clones and commits them like any other receiver. No-op without
+    /// due arrivals.
+    fn merge_due_receivers(&mut self, receivers: Vec<NodeId>) -> Vec<NodeId> {
+        if self.due_scratch.is_empty() {
+            return receivers;
+        }
+        let mut due_recv: Vec<u32> = Vec::with_capacity(self.due_scratch.len());
+        for &(r, _) in &self.due_scratch {
+            if due_recv.last() != Some(&r) {
+                due_recv.push(r);
+            }
+        }
+        let prev = std::mem::take(&mut self.scratch_written);
+        let mut merged = Vec::with_capacity(prev.len() + due_recv.len());
+        merge_sorted_into(&prev, &due_recv, &mut merged);
+        self.scratch_written = merged;
+        let mut out = Vec::with_capacity(receivers.len() + due_recv.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < receivers.len() && j < due_recv.len() {
+            let b = due_recv[j] as usize;
+            match receivers[i].cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    out.push(receivers[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(receivers[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&receivers[i..]);
+        out.extend(due_recv[j..].iter().map(|&r| r as usize));
+        out
     }
 
     /// Buckets the current sparse round's deliveries: reads the compact
@@ -2132,5 +3283,236 @@ mod tests {
     fn sub_config_inherits_the_topology() {
         let config = EngineConfig::with_seed(1).topology(Topology::Torus2D);
         assert_eq!(config.sub(9).topology, Topology::Torus2D);
+    }
+
+    // ---- fault-plan behaviour -------------------------------------------
+
+    use crate::fault::{ChurnModel, LossModel, StragglerModel};
+
+    fn faulty_engine(n: usize, seed: u64, fault: FaultPlan) -> Engine<u64> {
+        Engine::from_states(
+            (0..n as u64).collect(),
+            EngineConfig::with_seed(seed).fault(fault),
+        )
+    }
+
+    #[test]
+    fn zero_intensity_fault_plan_normalizes_away_at_construction() {
+        let plan = FaultPlan::none()
+            .with_churn(ChurnModel::crash_stop(0.0).unwrap())
+            .with_loss(LossModel::uniform(0.0).unwrap())
+            .with_stragglers(StragglerModel::uniform(0.0, 4).unwrap());
+        let e = faulty_engine(16, 1, plan);
+        assert!(e.fault_plan().is_none());
+        // And the golden-pinned fast loops therefore produce identical
+        // trajectories: same fingerprint inputs as a plain engine.
+        let mut a = faulty_engine(64, 9, FaultPlan::none());
+        let mut b = Engine::from_states((0..64u64).collect(), EngineConfig::with_seed(9));
+        for _ in 0..4 {
+            a.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+            b.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+        }
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn per_node_failure_length_is_validated_against_n() {
+        let per_node = FailureModel::per_node(vec![0.1; 8]).unwrap();
+        let err =
+            Engine::try_from_states(vec![0u64; 16], EngineConfig::with_seed(1).failure(per_node))
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            GossipError::InvalidParameter {
+                name: "failure",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn crash_stop_churn_is_permanent_and_monotone() {
+        let plan = FaultPlan::none().with_churn(ChurnModel::crash_stop(0.05).unwrap());
+        let mut e = faulty_engine(400, 3, plan);
+        let mut prev: Vec<NodeId> = Vec::new();
+        for _ in 0..12 {
+            e.pull_round(|_, &s| s, |_, _, _| {});
+            let crashed = e.crashed_nodes();
+            // Crash-stop: once down, forever down — the crashed set only grows.
+            assert!(prev.iter().all(|v| crashed.contains(v)));
+            // Ascending order.
+            assert!(crashed.windows(2).all(|w| w[0] < w[1]));
+            prev = crashed;
+        }
+        assert!(!prev.is_empty(), "p=0.05 over 12 rounds on 400 nodes");
+        assert!(e.metrics().crashed_operations > 0);
+        // Crashed nodes perform no operation at all.
+        let m = e.metrics();
+        assert!(m.pulls_attempted < 12 * 400);
+        assert_eq!(
+            m.pulls_attempted + m.crashed_operations,
+            12 * 400,
+            "every node either attempts or is counted crashed"
+        );
+    }
+
+    #[test]
+    fn churn_with_rejoin_brings_nodes_back_after_k_rounds() {
+        let plan = FaultPlan::none().with_churn(ChurnModel::with_rejoin(0.5, 2).unwrap());
+        let mut e = faulty_engine(200, 7, plan);
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        let first = e.crashed_nodes();
+        assert!(!first.is_empty(), "p=0.5 on 200 nodes");
+        // A node crashed in round r (down_until = r + 2) is down for rounds
+        // r and r+1 and eligible again in r+2. Run two more rounds: every
+        // node from `first` has either rejoined or re-crashed; none can be
+        // down *because of* the round-1 coin any more.
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        let second = e.crashed_nodes();
+        // Still down one round later (down_until = 1 + 2 = 3 > 2).
+        assert!(first.iter().all(|v| second.contains(v)));
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        // With p = 0.5 and rejoin, the population never collapses: some
+        // nodes must be alive and attempting in every round.
+        let m = e.metrics();
+        assert!(m.pulls_attempted > 0);
+        assert!(m.crashed_operations > 0);
+    }
+
+    #[test]
+    fn uniform_loss_drops_messages_and_conserves_the_push_ledger() {
+        let plan = FaultPlan::none().with_loss(LossModel::uniform(0.3).unwrap());
+        let mut e = faulty_engine(1000, 5, plan);
+        e.push_round(|v, _| Some(v as u64), |_, st, _| *st += 1, |_, _, _| {});
+        let m = e.metrics();
+        assert_eq!(m.pushes_attempted, 1000);
+        assert!(m.messages_dropped > 150 && m.messages_dropped < 450);
+        // No churn, no stragglers, no failure model: every attempted push
+        // is either delivered or dropped.
+        assert_eq!(m.messages_delivered + m.messages_dropped, 1000);
+        assert_eq!(e.delayed_in_flight(), 0);
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_contact() {
+        let plan = || FaultPlan::none().with_loss(LossModel::uniform(0.4).unwrap());
+        let mut a = faulty_engine(300, 21, plan());
+        let mut b = faulty_engine(300, 21, plan());
+        b.set_threads(4);
+        for _ in 0..5 {
+            a.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+            b.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+        }
+        assert_eq!(a.states(), b.states());
+        assert_eq!(a.metrics().messages_dropped, b.metrics().messages_dropped);
+    }
+
+    #[test]
+    fn stragglers_buffer_across_rounds_and_drain_on_push_capable_rounds() {
+        let plan = FaultPlan::none().with_stragglers(StragglerModel::uniform(0.5, 3).unwrap());
+        let mut e = faulty_engine(500, 13, plan);
+        e.push_round(|v, _| Some(v as u64), |_, st, _| *st += 1, |_, _, _| {});
+        let in_flight = e.delayed_in_flight();
+        assert!(in_flight > 100, "p=0.5 on 500 pushes, got {in_flight}");
+        assert_eq!(e.metrics().messages_delayed as usize, in_flight);
+        // Pull rounds are not push-capable: nothing drains there.
+        e.pull_round(|_, &s| s, |_, _, _| {});
+        assert!(e.delayed_in_flight() >= in_flight.saturating_sub(0));
+        let before_drain = e.delayed_in_flight();
+        // Every pending contact has delay <= 3; three push rounds later the
+        // original batch has fully drained (new stragglers may be pending).
+        let delivered_before = e.metrics().messages_delivered;
+        for _ in 0..3 {
+            e.push_round(|v, _| Some(v as u64), |_, st, _| *st += 1, |_, _, _| {});
+        }
+        assert!(e.metrics().messages_delivered > delivered_before);
+        assert!(before_drain > 0);
+    }
+
+    #[test]
+    fn straggled_contacts_sent_during_final_rounds_stay_in_flight() {
+        let plan = FaultPlan::none().with_stragglers(StragglerModel::uniform(0.99, 5).unwrap());
+        let mut e = faulty_engine(50, 2, plan);
+        e.push_round(|v, _| Some(v as u64), |_, st, _| *st += 1, |_, _, _| {});
+        // Nearly everything straggles; with no loss or churn the ledger is
+        // exact: attempted = delivered in-round + delayed in-flight.
+        let m = e.metrics();
+        assert_eq!(m.messages_delivered + m.messages_delayed, 50);
+        assert_eq!(e.delayed_in_flight() as u64, m.messages_delayed);
+        assert!(m.messages_delayed >= 40, "{}", m.messages_delayed);
+    }
+
+    #[test]
+    fn combined_plan_matches_itself_across_thread_counts() {
+        let plan = || {
+            FaultPlan::none()
+                .with_churn(ChurnModel::with_rejoin(0.1, 2).unwrap())
+                .with_loss(LossModel::uniform(0.2).unwrap())
+                .with_stragglers(StragglerModel::uniform(0.2, 2).unwrap())
+                .with_failure(FailureModel::uniform(0.1).unwrap())
+        };
+        let mut fingerprints = Vec::new();
+        for threads in [1usize, 3, 8] {
+            let mut e = faulty_engine(600, 31, plan());
+            e.set_threads(threads);
+            for _ in 0..6 {
+                e.push_pull_round(|_, &s| s, |_, st, m| *st = (*st).max(m));
+            }
+            let m = e.metrics();
+            fingerprints.push((
+                e.states().to_vec(),
+                e.crashed_nodes(),
+                e.delayed_in_flight(),
+                m.messages_dropped,
+                m.messages_delayed,
+                m.crashed_operations,
+                m.failed_operations,
+            ));
+        }
+        assert_eq!(fingerprints[0], fingerprints[1]);
+        assert_eq!(fingerprints[0], fingerprints[2]);
+    }
+
+    #[test]
+    fn clone_preserves_churn_and_straggler_state_but_sub_resets() {
+        let plan = FaultPlan::none()
+            .with_churn(ChurnModel::crash_stop(0.2).unwrap())
+            .with_stragglers(StragglerModel::uniform(0.5, 4).unwrap());
+        let config = EngineConfig::with_seed(19).fault(plan);
+        let mut e = Engine::from_states((0..300u64).collect(), config.clone());
+        for _ in 0..3 {
+            e.push_round(|v, _| Some(v as u64), |_, st, _| *st += 1, |_, _, _| {});
+        }
+        assert!(!e.crashed_nodes().is_empty());
+        let clone = e.clone();
+        assert_eq!(clone.crashed_nodes(), e.crashed_nodes());
+        assert_eq!(clone.delayed_in_flight(), e.delayed_in_flight());
+        // A sub-engine built from the config starts with everyone alive.
+        let sub = Engine::from_states(vec![0u64; 10], config.sub(77));
+        assert!(sub.crashed_nodes().is_empty());
+        assert_eq!(sub.delayed_in_flight(), 0);
+        // The clone continues deterministically in lockstep with the original.
+        let mut clone = clone;
+        e.push_round(|v, _| Some(v as u64), |_, st, _| *st += 1, |_, _, _| {});
+        clone.push_round(|v, _| Some(v as u64), |_, st, _| *st += 1, |_, _, _| {});
+        assert_eq!(e.states(), clone.states());
+        assert_eq!(e.crashed_nodes(), clone.crashed_nodes());
+    }
+
+    #[test]
+    fn collect_samples_under_faults_still_reports_inner_rounds() {
+        let plan = FaultPlan::none()
+            .with_churn(ChurnModel::with_rejoin(0.2, 1).unwrap())
+            .with_loss(LossModel::uniform(0.3).unwrap());
+        let mut e = faulty_engine(400, 23, plan);
+        let samples = e.collect_samples(3, |_, &s| s);
+        assert_eq!(samples.len(), 400);
+        assert_eq!(e.metrics().rounds, 3);
+        // Faults thin the samples but cannot invent them.
+        let total: usize = samples.iter().map(Vec::len).sum();
+        assert!(total < 3 * 400);
+        assert!(total > 0);
+        assert!(samples.iter().all(|s| s.len() <= 3));
     }
 }

@@ -57,6 +57,7 @@ pub mod active;
 pub mod engine;
 pub mod error;
 pub mod failure;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod par;
@@ -70,10 +71,11 @@ pub use active::ActiveSet;
 pub use engine::{Engine, EngineConfig, SparsePushOutcome};
 pub use error::{GossipError, Result};
 pub use failure::FailureModel;
+pub use fault::{ChurnModel, FaultPlan, LossModel, StragglerModel};
 pub use message::MessageSize;
 pub use metrics::{Metrics, RoundKind};
 pub use pool::WorkerPool;
-pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner};
+pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner, StepReport};
 pub use rng::{KeyPrefix, NodeRng, SeedSequence};
 pub use topology::{Adjacency, AdjacencyCache, Topology};
 pub use value::{NodeValue, OrderedF64};

@@ -60,6 +60,21 @@ pub struct Metrics {
     pub pushes_attempted: u64,
     /// Number of operations that failed due to the failure model.
     pub failed_operations: u64,
+    /// Operations skipped because the node was crashed (down under a
+    /// [`ChurnModel`](crate::fault::ChurnModel)) that round. A crashed node
+    /// performs nothing: no attempt is recorded for it.
+    pub crashed_operations: u64,
+    /// Messages dropped in flight: a per-contact loss coin fired, the contact
+    /// targeted a crashed node, or a delayed message could not be delivered
+    /// at arrival. Distinct from `failed_operations` (the sender never acted)
+    /// — here the sender acted and this one delivery was lost.
+    pub messages_dropped: u64,
+    /// Push contacts that straggled: buffered by a
+    /// [`StragglerModel`](crate::fault::StragglerModel) to land in a later
+    /// round. Counted at send time; a delayed message that is eventually
+    /// delivered also counts in `messages_delivered` (at arrival), and one
+    /// dropped at arrival counts in `messages_dropped`.
+    pub messages_delayed: u64,
     /// Number of messages successfully delivered.
     pub messages_delivered: u64,
     /// Total payload size of successfully delivered messages, in bits.
@@ -154,6 +169,22 @@ impl Metrics {
         self.failed_operations += 1;
     }
 
+    /// Records an operation skipped because the node was crashed.
+    pub(crate) fn record_crash(&mut self) {
+        self.crashed_operations += 1;
+    }
+
+    /// Records a message dropped in flight (loss coin, crashed target, or an
+    /// undeliverable delayed message).
+    pub(crate) fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Records a push contact buffered to land in a later round.
+    pub(crate) fn record_delay(&mut self) {
+        self.messages_delayed += 1;
+    }
+
     /// Records a successfully delivered message of the given size.
     pub(crate) fn record_delivery(&mut self, bits: u64) {
         self.messages_delivered += 1;
@@ -181,6 +212,9 @@ impl Metrics {
             pulls_attempted: self.pulls_attempted - earlier.pulls_attempted,
             pushes_attempted: self.pushes_attempted - earlier.pushes_attempted,
             failed_operations: self.failed_operations - earlier.failed_operations,
+            crashed_operations: self.crashed_operations - earlier.crashed_operations,
+            messages_dropped: self.messages_dropped - earlier.messages_dropped,
+            messages_delayed: self.messages_delayed - earlier.messages_delayed,
             messages_delivered: self.messages_delivered - earlier.messages_delivered,
             bits_delivered: self.bits_delivered - earlier.bits_delivered,
             max_message_bits: self.max_message_bits.max(earlier.max_message_bits),
@@ -205,6 +239,22 @@ impl Metrics {
             self.failed_operations as f64 / attempts as f64
         }
     }
+
+    /// Fraction of attempted operations whose delivery did not happen on
+    /// time: failure-model skips, in-flight drops, and straggled contacts,
+    /// over attempts. This is the *measured* `μ̂` that an adaptive round
+    /// budget (the paper's `O(1/(1−μ))` compensation, driven by observation
+    /// instead of assumption) divides by. Crashed nodes make no attempts, so
+    /// they are invisible here — track them via `crashed_operations`.
+    pub fn disturbance_rate(&self) -> f64 {
+        let attempts = self.pulls_attempted + self.pushes_attempted;
+        if attempts == 0 {
+            0.0
+        } else {
+            let disturbed = self.failed_operations + self.messages_dropped + self.messages_delayed;
+            disturbed as f64 / attempts as f64
+        }
+    }
 }
 
 impl std::ops::Add for Metrics {
@@ -224,6 +274,9 @@ impl std::ops::Add for Metrics {
             pulls_attempted: self.pulls_attempted + rhs.pulls_attempted,
             pushes_attempted: self.pushes_attempted + rhs.pushes_attempted,
             failed_operations: self.failed_operations + rhs.failed_operations,
+            crashed_operations: self.crashed_operations + rhs.crashed_operations,
+            messages_dropped: self.messages_dropped + rhs.messages_dropped,
+            messages_delayed: self.messages_delayed + rhs.messages_delayed,
             messages_delivered: self.messages_delivered + rhs.messages_delivered,
             bits_delivered: self.bits_delivered + rhs.bits_delivered,
             max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
@@ -338,6 +391,39 @@ mod tests {
         assert_eq!(sum.active_nodes_total, 2 * m.active_nodes_total);
         assert_eq!(sum.max_active, 1000);
         assert_eq!(Metrics::new().mean_active(), 0.0);
+    }
+
+    #[test]
+    fn fault_counters_survive_delta_addition_and_rates() {
+        let mut m = Metrics::new();
+        m.record_attempt(RoundKind::Pull);
+        m.record_attempt(RoundKind::Push);
+        m.record_attempt(RoundKind::Push);
+        m.record_attempt(RoundKind::Push);
+        m.record_crash();
+        m.record_drop();
+        m.record_drop();
+        m.record_delay();
+        m.record_failure();
+        assert_eq!(m.crashed_operations, 1);
+        assert_eq!(m.messages_dropped, 2);
+        assert_eq!(m.messages_delayed, 1);
+        // 1 failed + 2 dropped + 1 delayed over 4 attempts.
+        assert_eq!(m.disturbance_rate(), 1.0);
+        assert_eq!(m.failure_rate(), 0.25);
+        let snapshot = m;
+        m.record_drop();
+        m.record_delay();
+        m.record_crash();
+        let delta = m.snapshot_delta(&snapshot);
+        assert_eq!(delta.messages_dropped, 1);
+        assert_eq!(delta.messages_delayed, 1);
+        assert_eq!(delta.crashed_operations, 1);
+        let sum = m + m;
+        assert_eq!(sum.messages_dropped, 6);
+        assert_eq!(sum.messages_delayed, 4);
+        assert_eq!(sum.crashed_operations, 4);
+        assert_eq!(Metrics::new().disturbance_rate(), 0.0);
     }
 
     #[test]

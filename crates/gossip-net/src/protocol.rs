@@ -82,6 +82,22 @@ pub struct ProtocolOutcome<O> {
     pub converged: bool,
 }
 
+/// What one `step_*_reporting` round did under the engine's fault plan: which
+/// nodes sat the round out crashed, and the round's metrics delta (fault
+/// counters included) — enough for a driver loop to implement retry or
+/// budget-inflation logic per round instead of per run.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Nodes that were down (crashed under the fault plan's churn model)
+    /// during the round, in ascending id order. Empty without churn.
+    pub crashed: Vec<crate::NodeId>,
+    /// The round's metrics delta: attempts, deliveries, and the
+    /// [`Metrics::failed_operations`] / [`Metrics::crashed_operations`] /
+    /// [`Metrics::messages_dropped`] / [`Metrics::messages_delayed`] fault
+    /// counters it incurred.
+    pub delta: Metrics,
+}
+
 /// Drives one [`NodeProtocol`] instance per node through synchronous rounds.
 #[derive(Debug)]
 pub struct ProtocolRunner<P> {
@@ -159,6 +175,30 @@ impl<P: NodeProtocol + Clone + Send + Sync> ProtocolRunner<P> {
             |_, node, pushed| node.on_push(round, pushed),
             |_, _, _| {},
         );
+    }
+
+    /// [`ProtocolRunner::step`] with a per-round fault report: which nodes
+    /// were crashed during the round, and the round's metrics delta. Use this
+    /// from driver loops that need to react to faults round-by-round (retry
+    /// a round's worth of work, inflate a budget, exclude churned nodes).
+    pub fn step_reporting(&mut self) -> StepReport {
+        let before = self.engine.metrics();
+        self.step();
+        StepReport {
+            crashed: self.engine.crashed_nodes(),
+            delta: self.engine.metrics().snapshot_delta(&before),
+        }
+    }
+
+    /// [`ProtocolRunner::step_push`] with a per-round fault report (see
+    /// [`ProtocolRunner::step_reporting`]).
+    pub fn step_push_reporting(&mut self) -> StepReport {
+        let before = self.engine.metrics();
+        self.step_push();
+        StepReport {
+            crashed: self.engine.crashed_nodes(),
+            delta: self.engine.metrics().snapshot_delta(&before),
+        }
     }
 
     /// Runs one **sparse** push round: only the members of `active` push
@@ -335,6 +375,52 @@ mod tests {
         assert_eq!(runner.rounds(), 2);
         assert_eq!(mid.pulls_attempted, 64);
         assert_eq!(mid.pushes_attempted, 64);
+    }
+
+    #[test]
+    fn reporting_steps_surface_crashes_and_fault_deltas() {
+        use crate::fault::{ChurnModel, FaultPlan, LossModel};
+        let plan = FaultPlan::none()
+            .with_churn(ChurnModel::with_rejoin(0.2, 2).unwrap())
+            .with_loss(LossModel::uniform(0.3).unwrap());
+        let config = EngineConfig::with_seed(17).fault(plan);
+        let mut runner = ProtocolRunner::new(max_spread_nodes(256), config);
+        let mut saw_crash = false;
+        let mut saw_drop = false;
+        for i in 0..12 {
+            let report = if i % 2 == 0 {
+                runner.step_reporting()
+            } else {
+                runner.step_push_reporting()
+            };
+            assert_eq!(report.delta.rounds, 1);
+            assert_eq!(report.crashed.len() as u64, report.delta.crashed_operations);
+            assert!(report.crashed.windows(2).all(|w| w[0] < w[1]));
+            // Crashed nodes make no attempts.
+            assert_eq!(
+                report.delta.pulls_attempted + report.delta.pushes_attempted,
+                256 - report.delta.crashed_operations
+            );
+            saw_crash |= !report.crashed.is_empty();
+            saw_drop |= report.delta.messages_dropped > 0;
+        }
+        assert!(saw_crash, "20% churn over 12 rounds produced no crash");
+        assert!(saw_drop, "30% loss over 12 rounds dropped nothing");
+        // The mid-run cumulative metrics carry the fault counters too.
+        let m = runner.metrics();
+        assert!(m.crashed_operations > 0);
+        assert!(m.messages_dropped > 0);
+    }
+
+    #[test]
+    fn reporting_steps_without_faults_report_nothing() {
+        let mut runner = ProtocolRunner::new(max_spread_nodes(64), EngineConfig::with_seed(5));
+        let report = runner.step_reporting();
+        assert!(report.crashed.is_empty());
+        assert_eq!(report.delta.crashed_operations, 0);
+        assert_eq!(report.delta.messages_dropped, 0);
+        assert_eq!(report.delta.messages_delayed, 0);
+        assert_eq!(report.delta.pulls_attempted, 64);
     }
 
     #[test]

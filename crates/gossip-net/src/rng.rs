@@ -119,6 +119,23 @@ impl NodeRng {
     /// per `(seed, phase-index, node)` so a run replays identically at any
     /// thread count.
     pub const STREAM_PARTICIPATION: u64 = 4;
+    /// Stream id for **crash coins**: the per-`(node, round)` draws of a
+    /// [`ChurnModel`](crate::fault::ChurnModel) deciding whether a node
+    /// crashes this round. Disjoint from every other stream so enabling churn
+    /// never perturbs the algorithm's own randomness — a
+    /// [`FaultPlan::none()`](crate::fault::FaultPlan::none) run is
+    /// bit-identical to a run without the fault layer at all.
+    pub const STREAM_FAULT_CRASH: u64 = 5;
+    /// Stream id for **per-contact loss coins**: one draw per
+    /// `(sender, receiver, round)` deciding whether a delivery is dropped in
+    /// flight ([`LossModel`](crate::fault::LossModel)). Keyed by a packed
+    /// `(sender, receiver)` pair so the two directions of a push–pull round
+    /// get independent coins.
+    pub const STREAM_FAULT_LOSS: u64 = 6;
+    /// Stream id for **straggler coins**: the per-`(sender, round)` draws of a
+    /// [`StragglerModel`](crate::fault::StragglerModel) deciding whether a
+    /// push lands late and by how many rounds.
+    pub const STREAM_FAULT_DELAY: u64 = 7;
 
     /// Creates the stream for the given key.
     ///

@@ -11,7 +11,8 @@
 //! state difference.
 
 use gossip_net::{
-    ActiveSet, Engine, EngineConfig, FailureModel, Metrics, NodeRng, Topology, WorkerPool,
+    ActiveSet, ChurnModel, Engine, EngineConfig, FailureModel, FaultPlan, LossModel, Metrics,
+    NodeRng, StragglerModel, Topology, WorkerPool,
 };
 use rand::Rng;
 use std::sync::Arc;
@@ -350,6 +351,120 @@ fn sparse_push_at_20k_is_thread_count_invariant() {
             run(threads),
             baseline,
             "{threads}-thread sparse push diverged"
+        );
+    }
+}
+
+/// The full fault plan: churn with rejoin, message loss, stragglers, and the
+/// Section 5 failure model, all active at once.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_churn(ChurnModel::with_rejoin(0.1, 2).unwrap())
+        .with_loss(LossModel::uniform(0.15).unwrap())
+        .with_stragglers(StragglerModel::uniform(0.2, 2).unwrap())
+        .with_failure(FailureModel::uniform(0.1).unwrap())
+}
+
+fn fault_engine(n: usize, seed: u64) -> Engine<u64> {
+    let config = EngineConfig::with_seed(seed).fault(chaos_plan());
+    Engine::from_states((0..n as u64).map(|v| v.wrapping_mul(31)).collect(), config)
+}
+
+#[test]
+fn mixed_rounds_are_identical_across_thread_counts_with_fault_injection() {
+    // The faulty execution paths (churn scans, loss coins, straggler
+    // buffering and drain) must be exactly as thread-count-independent as
+    // the pinned fast loops.
+    let baseline = run_mixed_sequence(fault_engine(1000, 43), 1);
+    assert!(baseline.1.crashed_operations > 0, "churn did not fire");
+    assert!(baseline.1.messages_dropped > 0, "loss did not fire");
+    assert!(baseline.1.messages_delayed > 0, "stragglers did not fire");
+    assert!(baseline.1.failed_operations > 0, "failures did not fire");
+    for threads in THREAD_MATRIX {
+        let run = run_mixed_sequence(fault_engine(1000, 43), threads);
+        assert_eq!(run, baseline, "{threads} threads diverged under faults");
+    }
+}
+
+#[test]
+fn large_n_fault_injection_is_thread_count_invariant() {
+    // Above the parallel-CSR threshold, the faulty push passes concatenate
+    // straggled contacts chunk-by-chunk and fold due arrivals after the
+    // in-round deliveries; both must be invisible to the thread count.
+    let run = |threads: usize| {
+        let mut e = fault_engine(20_000, 71);
+        e.set_threads(threads);
+        for _ in 0..3 {
+            e.push_round(
+                |v, &s| if v % 7 == 0 { None } else { Some(s) },
+                |_, st, msg| *st = fold_hash(*st, msg),
+                |_, st, delivered| {
+                    if delivered {
+                        *st = st.rotate_left(1);
+                    }
+                },
+            );
+            e.push_pull_round(|_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
+        }
+        let metrics = e.metrics();
+        let crashed = e.crashed_nodes();
+        let in_flight = e.delayed_in_flight();
+        (e.into_states(), metrics, crashed, in_flight)
+    };
+    let baseline = run(1);
+    assert!(baseline.1.messages_delayed > 0, "stragglers did not fire");
+    for threads in THREAD_MATRIX {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "{threads}-thread faulty CSR path diverged"
+        );
+    }
+}
+
+#[test]
+fn sparse_rounds_with_fault_injection_are_thread_count_invariant() {
+    // Active-set rounds under the full chaos plan: the sparse faulty passes
+    // merge due straggler receivers into the copy-on-write written set; the
+    // reported receiver log must also be identical at every thread count.
+    let run = |threads: usize| {
+        let n = 4000;
+        let active = ActiveSet::from_fn(n, |v| v % 5 == 0);
+        let mut e = fault_engine(n, 53);
+        e.set_threads(threads);
+        let mut receiver_log = Vec::new();
+        for _ in 0..4 {
+            let out = e.push_round_on(
+                &active,
+                |_, &s| Some(s),
+                |_, st, msg| *st = fold_hash(*st, msg),
+                |_, st, delivered| {
+                    if delivered {
+                        *st = st.rotate_left(1);
+                    }
+                },
+            );
+            receiver_log.push(out);
+            e.pull_round_on(
+                &active,
+                |_, &s| s,
+                |_, st, p| {
+                    if let Some(p) = p {
+                        *st = fold_hash(*st, p);
+                    }
+                },
+            );
+        }
+        let metrics = e.metrics();
+        (e.into_states(), metrics, receiver_log)
+    };
+    let baseline = run(1);
+    assert!(baseline.1.messages_dropped > 0, "loss did not fire");
+    for threads in THREAD_MATRIX {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "{threads}-thread sparse faulty rounds diverged"
         );
     }
 }

@@ -12,7 +12,9 @@
 //! `RAYON_NUM_THREADS=1/2/8` matrix checks each pin at all three thread
 //! counts (including, at the large sizes, the parallel CSR bucketing path).
 
-use gossip_net::{par, Engine, EngineConfig, FailureModel};
+use gossip_net::{
+    par, ChurnModel, Engine, EngineConfig, FailureModel, FaultPlan, LossModel, StragglerModel,
+};
 use rand::Rng;
 
 /// SplitMix64 finalizer, re-stated here so the fingerprint is independent of
@@ -175,6 +177,59 @@ fn initial_states(n: usize) -> Vec<u64> {
     (0..n as u64).map(|v| v.wrapping_mul(31)).collect()
 }
 
+/// The fault counters, pinned alongside the classic metrics line for the
+/// faulted trajectory.
+fn fault_metrics_line(e: &Engine<u64>) -> String {
+    let m = e.metrics();
+    format!(
+        "c{} dr{} dl{}",
+        m.crashed_operations, m.messages_dropped, m.messages_delayed
+    )
+}
+
+/// The full fault plan of the faulted golden pin: churn with rejoin, message
+/// loss, stragglers, and the Section 5 failure model all at once.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_churn(ChurnModel::with_rejoin(0.1, 2).unwrap())
+        .with_loss(LossModel::uniform(0.15).unwrap())
+        .with_stragglers(StragglerModel::uniform(0.2, 2).unwrap())
+        .with_failure(FailureModel::uniform(0.1).unwrap())
+}
+
+fn faulted_mixed(n: usize, seed: u64) -> Engine<u64> {
+    let config = EngineConfig::with_seed(seed).fault(chaos_plan());
+    let mut e = Engine::from_states(initial_states(n), config);
+    e.set_threads(par::num_threads());
+    for _ in 0..3 {
+        pull_rounds(&mut e, 1);
+        push_rounds(&mut e, 1);
+        push_pull_rounds(&mut e, 1);
+        let samples = e.collect_samples(2, |_, &s| s);
+        e.local_step(|v, st, rng| {
+            for &s in &samples[v] {
+                *st = fold_hash(*st, s);
+            }
+            if rng.gen::<f64>() < 0.25 {
+                *st = st.rotate_right(3);
+            }
+        });
+    }
+    e
+}
+
+#[test]
+fn golden_faulted_mixed_sequence() {
+    // One pin over all five primitives with the full fault plan active —
+    // churn, loss, stragglers and failures together. This freezes the
+    // fault-injection randomness contract: the per-contact coin streams,
+    // the straggler buffering order, and the churn scan.
+    let e = faulted_mixed(600, 909);
+    assert_eq!(metrics_line(&e), "r15 pa5958 psa2664 f753 d5343 b341952");
+    assert_eq!(fault_metrics_line(&e), "c1559 dr2212 dl472");
+    assert_eq!(fingerprint(e.states()), "ed74a06557460d5c");
+}
+
 #[test]
 fn golden_local_step() {
     let mut e = engine(512, 505, FailureModel::None);
@@ -319,6 +374,13 @@ fn dump_golden_values() {
         });
     }
     scenario("mixed", &mut e);
+    let e = faulted_mixed(600, 909);
+    println!(
+        "faulted_mixed: metrics=\"{}\" faults=\"{}\" fp=\"{}\"",
+        metrics_line(&e),
+        fault_metrics_line(&e),
+        fingerprint(e.states())
+    );
     let mut e = engine(20_000, 707, FailureModel::None);
     pull_rounds(&mut e, 2);
     push_rounds(&mut e, 2);

@@ -15,7 +15,10 @@
 //! Every test runs at `par::num_threads()` workers, so CI's 1/2/8-thread
 //! matrix exercises the sparse dispatch at each thread count.
 
-use gossip_net::{par, ActiveSet, Engine, EngineConfig, FailureModel, RoundKind};
+use gossip_net::{
+    par, ActiveSet, ChurnModel, Engine, EngineConfig, FailureModel, FaultPlan, LossModel,
+    RoundKind, StragglerModel,
+};
 use rand::Rng;
 
 /// SplitMix64 finalizer (restated, as in `tests/golden.rs`).
@@ -433,6 +436,148 @@ fn sparse_and_dense_rounds_interleave_freely() {
         e.into_states()
     };
     assert_eq!(run_mixed(true), run_mixed(false));
+}
+
+// ---------------------------------------------------------------------------
+// Fault-active scenarios: the sparse faulty paths against the dense ones.
+// ---------------------------------------------------------------------------
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_churn(ChurnModel::with_rejoin(0.1, 2).unwrap())
+        .with_loss(LossModel::uniform(0.15).unwrap())
+        .with_stragglers(StragglerModel::uniform(0.2, 2).unwrap())
+        .with_failure(FailureModel::uniform(0.1).unwrap())
+}
+
+fn fault_engine(n: usize, seed: u64) -> Engine<u64> {
+    let config = EngineConfig::with_seed(seed).fault(chaos_plan());
+    let mut e = Engine::from_states((0..n as u64).map(|v| v.wrapping_mul(31)).collect(), config);
+    e.set_threads(par::num_threads());
+    e
+}
+
+/// Sparse rounds over the FULL active set take the same per-contact fault
+/// decisions (same counter-keyed coins) as the dense engine, so the two
+/// trajectories must be bit-identical — including the straggler buffers.
+#[test]
+fn full_set_fault_rounds_match_dense_fault_rounds() {
+    let n = 1000;
+    let full = ActiveSet::full(n);
+
+    let mut dense = fault_engine(n, 77);
+    let mut sparse = fault_engine(n, 77);
+    for _ in 0..4 {
+        dense.pull_round(
+            |_, &s| s,
+            |_, st, p| {
+                if let Some(p) = p {
+                    *st = fold_hash(*st, p);
+                }
+            },
+        );
+        sparse.pull_round_on(
+            &full,
+            |_, &s| s,
+            |_, st, p| {
+                if let Some(p) = p {
+                    *st = fold_hash(*st, p);
+                }
+            },
+        );
+        dense.push_round(
+            |v, &s| if v % 5 == 0 { None } else { Some(s) },
+            |_, st, msg| *st = fold_hash(*st, msg),
+            |_, st, delivered| {
+                if !delivered {
+                    *st = st.wrapping_add(1);
+                }
+            },
+        );
+        sparse.push_round_on(
+            &full,
+            |v, &s| if v % 5 == 0 { None } else { Some(s) },
+            |_, st, msg| *st = fold_hash(*st, msg),
+            |_, st, delivered| {
+                if !delivered {
+                    *st = st.wrapping_add(1);
+                }
+            },
+        );
+        dense.push_pull_round(|_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
+        sparse.push_pull_round_on(&full, |_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
+    }
+
+    assert_eq!(dense.states(), sparse.states());
+    assert_eq!(dense.crashed_nodes(), sparse.crashed_nodes());
+    assert_eq!(dense.delayed_in_flight(), sparse.delayed_in_flight());
+    let (dm, sm) = (dense.metrics(), sparse.metrics());
+    assert!(dm.crashed_operations > 0, "churn did not fire");
+    assert!(dm.messages_dropped > 0, "loss did not fire");
+    assert!(dm.messages_delayed > 0, "stragglers did not fire");
+    assert_eq!(dm.crashed_operations, sm.crashed_operations);
+    assert_eq!(dm.messages_dropped, sm.messages_dropped);
+    assert_eq!(dm.messages_delayed, sm.messages_delayed);
+    assert_eq!(dm.messages_delivered, sm.messages_delivered);
+    assert_eq!(dm.failed_operations, sm.failed_operations);
+}
+
+/// Under stragglers, a sparse push round's reported receivers include the
+/// late arrivals drained that round — still sorted, unique, and exactly the
+/// nodes whose state changed.
+#[test]
+fn sparse_push_receivers_include_drained_stragglers() {
+    let n = 600;
+    let active = ActiveSet::from_fn(n, |v| v % 3 == 0);
+    let plan = FaultPlan::none().with_stragglers(StragglerModel::uniform(0.5, 1).unwrap());
+    let mut e = Engine::from_states(vec![0u64; n], EngineConfig::with_seed(13).fault(plan));
+    e.set_threads(par::num_threads());
+    let mut total_received = 0u64;
+    for _ in 0..4 {
+        let before = e.states().to_vec();
+        let out = e.push_round_on(
+            &active,
+            |_, _| Some(1u64),
+            |_, st, msg| *st += msg,
+            |_, _, _| {},
+        );
+        assert!(out.receivers.windows(2).all(|w| w[0] < w[1]));
+        for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
+            assert_eq!(a != b, out.receivers.contains(&v), "node {v}");
+        }
+        total_received = e.states().iter().sum();
+    }
+    // Every delivery (in-round or drained) incremented exactly one counter.
+    assert_eq!(total_received, e.metrics().messages_delivered);
+    // With delay 1 and four rounds, something straggled and something
+    // drained.
+    assert!(e.metrics().messages_delayed > 0);
+    assert!(total_received > 0);
+}
+
+/// Sparse collect_samples under churn and loss: buckets stay within `k`,
+/// states untouched, and the crashed set is visible mid-protocol.
+#[test]
+fn collect_samples_on_under_faults_thins_buckets() {
+    let n = 500;
+    let active = ActiveSet::from_fn(n, |v| v % 2 == 0);
+    let plan = FaultPlan::none()
+        .with_churn(ChurnModel::with_rejoin(0.2, 1).unwrap())
+        .with_loss(LossModel::uniform(0.3).unwrap());
+    let mut e = Engine::from_states(
+        (0..n as u64).collect(),
+        EngineConfig::with_seed(29).fault(plan),
+    );
+    e.set_threads(par::num_threads());
+    let initial = e.states().to_vec();
+    let samples = e.collect_samples_on(&active, 4, |_, &s| s);
+    assert_eq!(samples.len(), active.len());
+    assert!(samples.iter().all(|b| b.len() <= 4));
+    let total: usize = samples.iter().map(Vec::len).sum();
+    assert!(total < 4 * active.len());
+    assert!(total > 0);
+    assert_eq!(e.states(), initial.as_slice());
+    assert!(e.metrics().messages_dropped > 0);
 }
 
 #[test]

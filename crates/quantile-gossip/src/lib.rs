@@ -78,11 +78,14 @@ pub use approx::{
 pub use exact::{exact_quantile, ExactOutcome, NarrowingConfig};
 pub use own_rank::{estimate_own_quantiles, OwnRankConfig, OwnRankOutcome};
 pub use robust::{robust_approximate_quantile, RobustConfig, RobustOutcome};
-pub use schedule::{ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule};
+pub use schedule::{
+    AdaptiveRoundBudget, ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule,
+};
 pub use three_tournament::FinalVote;
 
 // Re-export the substrate types that appear in this crate's public API so that
 // downstream users only need one dependency.
 pub use gossip_net::{
-    EngineConfig, FailureModel, GossipError, Metrics, NodeValue, Result, Topology,
+    ChurnModel, EngineConfig, FailureModel, FaultPlan, GossipError, LossModel, Metrics, NodeValue,
+    Result, StragglerModel, Topology,
 };

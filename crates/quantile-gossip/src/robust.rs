@@ -14,7 +14,9 @@
 //! every node that obtained `K` good pulls; `t` additional learning rounds
 //! then deliver the answer to all but `≈ n·2^{-t}` of the remaining nodes.
 
-use crate::schedule::{ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule};
+use crate::schedule::{
+    AdaptiveRoundBudget, ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule,
+};
 use crate::three_tournament::median3;
 use gossip_net::{Engine, EngineConfig, GossipError, Metrics, NodeValue, Result};
 use rand::Rng;
@@ -23,7 +25,8 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct RobustConfig {
     /// Upper bound `μ` on the per-round failure probability. `None` derives it
-    /// from the engine's failure model where possible (and errors otherwise).
+    /// from the engine's fault plan where possible (and errors otherwise,
+    /// unless [`RobustConfig::adaptive`] is set).
     pub mu: Option<f64>,
     /// Number of pulls per tournament iteration. `None` selects the
     /// Lemma 5.2 default `⌈4/(1−μ)·ln(4/(1−μ))⌉ + 1`.
@@ -33,6 +36,15 @@ pub struct RobustConfig {
     /// `t`: extra learning rounds after the vote; all but `≈ n·2^{-t}` nodes
     /// end up with an answer.
     pub learning_rounds: u64,
+    /// Adapt the per-iteration pull budget to the **observed** failure mass
+    /// instead of the assumed bound: each iteration's metrics delta feeds an
+    /// [`AdaptiveRoundBudget`], and the next iteration re-evaluates the
+    /// Lemma 5.2 budget at the smoothed estimate `μ̂`. This is the paper's
+    /// `O(1/(1−μ))` compensation driven by measurement — under a fault plan
+    /// whose intensity is unknown (or lower than a pessimistic bound) it
+    /// spends fewer rounds, and with no derivable bound at all it still runs
+    /// (starting from `μ̂ = 0`, or [`RobustConfig::mu`] if given).
+    pub adaptive: bool,
 }
 
 impl Default for RobustConfig {
@@ -42,6 +54,7 @@ impl Default for RobustConfig {
             pulls_per_iteration: None,
             final_vote_samples: 15,
             learning_rounds: 10,
+            adaptive: false,
         }
     }
 }
@@ -79,6 +92,9 @@ pub struct RobustOutcome<V> {
     /// Fraction of nodes still *good* after the tournament iterations
     /// (Lemma 5.2 guarantees a constant fraction).
     pub good_fraction: f64,
+    /// The failure estimate the run ended on: the observed `μ̂` in adaptive
+    /// mode, the assumed bound otherwise.
+    pub estimated_mu: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -117,8 +133,11 @@ pub fn robust_approximate_quantile<V: NodeValue>(
             reason: format!("must be positive, got {epsilon}"),
         });
     }
-    let mu = match config.mu.or_else(|| engine_config.failure.mu_upper_bound()) {
+    let mu = match config.mu.or_else(|| engine_config.fault.mu_upper_bound()) {
         Some(m) if m < 1.0 => m,
+        // Adaptive mode needs no a-priori bound: it starts from μ̂ = 0 and
+        // sizes later iterations from what it measures.
+        None if config.adaptive => 0.0,
         _ => {
             return Err(GossipError::InvalidParameter {
                 name: "mu",
@@ -127,7 +146,8 @@ pub fn robust_approximate_quantile<V: NodeValue>(
         }
     };
     let eps = epsilon.min(crate::approx::MAX_TOURNAMENT_EPSILON);
-    let pulls = config.pulls_for(mu);
+    let fixed_pulls = config.pulls_for(mu);
+    let mut budget = AdaptiveRoundBudget::with_initial_mu(mu);
 
     let states: Vec<RobustState<V>> = values
         .iter()
@@ -143,7 +163,16 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     let schedule1 = TwoTournamentSchedule::compute(phi, eps)?;
     let side = schedule1.side;
     for step in &schedule1.steps {
+        let pulls = if config.adaptive {
+            config.pulls_for(budget.mu_hat())
+        } else {
+            fixed_pulls
+        };
+        let before = engine.metrics();
         let samples = engine.collect_samples(pulls, |_, st| (st.value, st.good));
+        if config.adaptive {
+            budget.observe(engine.metrics().snapshot_delta(&before).disturbance_rate());
+        }
         let delta = step.delta;
         engine.local_step(|v, st, rng| {
             let good_pulls: Vec<V> = samples[v]
@@ -172,7 +201,16 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     // Phase II: robust 3-TOURNAMENT.
     let schedule2 = ThreeTournamentSchedule::compute(eps / 4.0, n)?;
     for _ in 0..schedule2.len() {
+        let pulls = if config.adaptive {
+            config.pulls_for(budget.mu_hat())
+        } else {
+            fixed_pulls
+        };
+        let before = engine.metrics();
         let samples = engine.collect_samples(pulls, |_, st| (st.value, st.good));
+        if config.adaptive {
+            budget.observe(engine.metrics().snapshot_delta(&before).disturbance_rate());
+        }
         engine.local_step(|v, st, _rng| {
             let good_pulls: Vec<V> = samples[v]
                 .iter()
@@ -189,7 +227,11 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     let good_fraction = engine.states().iter().filter(|st| st.good).count() as f64 / n as f64;
 
     // Final vote: sample until K good pulls are collected.
-    let final_pulls = config.final_pulls_for(mu);
+    let final_pulls = if config.adaptive {
+        config.final_pulls_for(budget.mu_hat())
+    } else {
+        config.final_pulls_for(mu)
+    };
     let k = config.final_vote_samples.max(1);
     let samples = engine.collect_samples(final_pulls, |_, st| (st.value, st.good));
     engine.local_step(|v, st, _rng| {
@@ -234,6 +276,7 @@ pub fn robust_approximate_quantile<V: NodeValue>(
         rounds: metrics.rounds,
         metrics,
         good_fraction,
+        estimated_mu: if config.adaptive { budget.mu_hat() } else { mu },
     })
 }
 
@@ -333,6 +376,59 @@ mod tests {
         }
         assert!(checked > 0);
         assert!(out.metrics.failed_operations > 0);
+    }
+
+    #[test]
+    fn adaptive_budget_measures_fault_plans_without_a_bound() {
+        use gossip_net::{FaultPlan, LossModel, StragglerModel};
+        let n: u64 = 20_000;
+        let values: Vec<u64> = (0..n).collect();
+        // Loss + stragglers: mu_upper_bound is derivable here, but pretend it
+        // is not by keeping `mu: None` with a schedule-free plan — adaptive
+        // mode must measure the disturbance instead of assuming it.
+        let plan = FaultPlan::none()
+            .with_loss(LossModel::uniform(0.3).unwrap())
+            .with_stragglers(StragglerModel::uniform(0.1, 3).unwrap());
+        let ec = EngineConfig::with_seed(11).fault(plan);
+        let cfg = RobustConfig {
+            adaptive: true,
+            ..Default::default()
+        };
+        let out = robust_approximate_quantile(&values, 0.5, 0.1, &cfg, ec).unwrap();
+        // The measured estimate reflects the injected ~40% disturbance mass.
+        assert!(
+            out.estimated_mu > 0.15 && out.estimated_mu < 0.99,
+            "measured mu {}",
+            out.estimated_mu
+        );
+        assert!(
+            out.answered_fraction > 0.9,
+            "answered {}",
+            out.answered_fraction
+        );
+        assert!(out.metrics.messages_dropped > 0);
+        // The robust algorithm is pull-only and pull contacts never straggle,
+        // so the straggler combinator is inert here by design.
+        assert_eq!(out.metrics.messages_delayed, 0);
+        for o in out.outputs.iter().flatten() {
+            let q = rank_of(&values, *o);
+            assert!((q - 0.5).abs() <= 0.13, "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn adaptive_mode_requires_no_derivable_bound() {
+        // A schedule-based failure model has no mu_upper_bound; adaptive mode
+        // runs anyway, the fixed mode errors (as pinned above).
+        let values: Vec<u64> = (0..5_000u64).collect();
+        let ec = EngineConfig::with_seed(3).failure(FailureModel::schedule(|_, _| 0.2));
+        let cfg = RobustConfig {
+            adaptive: true,
+            ..Default::default()
+        };
+        let out = robust_approximate_quantile(&values, 0.5, 0.1, &cfg, ec).unwrap();
+        assert!(out.answered_fraction > 0.9);
+        assert!(out.estimated_mu > 0.05, "measured mu {}", out.estimated_mu);
     }
 
     #[test]

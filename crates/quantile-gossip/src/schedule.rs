@@ -199,6 +199,75 @@ impl ThreeTournamentSchedule {
     }
 }
 
+/// Self-adapting failure estimate driving the robust tournament's round
+/// budget (Section 5 compensation, measured instead of assumed).
+///
+/// Lemma 5.2's over-sampling budget `Θ(1/(1−μ)·log 1/(1−μ))` takes the
+/// failure bound `μ` as given. Under a fault plan whose intensity is unknown
+/// (or drifting), this tracker estimates `μ̂` from the engine's *observed*
+/// disturbance instead: after each tournament iteration, feed it the
+/// [`gossip_net::Metrics::disturbance_rate`] of that iteration's metrics
+/// delta, and read back the smoothed estimate via
+/// [`AdaptiveRoundBudget::mu_hat`] to size the next iteration's pulls.
+///
+/// The estimate is an exponential moving average (the first observation
+/// seeds it exactly), clamped to `[0, 0.99]` so the derived budget
+/// `1/(1−μ̂)` stays finite. The tracker is pure data — determinism of the
+/// containing algorithm is untouched.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRoundBudget {
+    mu_hat: f64,
+    smoothing: f64,
+    observed: bool,
+}
+
+impl AdaptiveRoundBudget {
+    /// A tracker starting from `μ̂ = 0` (no disturbance assumed until
+    /// observed).
+    pub fn new() -> Self {
+        AdaptiveRoundBudget::with_initial_mu(0.0)
+    }
+
+    /// A tracker seeded with a prior estimate (e.g. a fault plan's
+    /// analytical `mu_upper_bound`), refined by observations.
+    pub fn with_initial_mu(mu: f64) -> Self {
+        AdaptiveRoundBudget {
+            mu_hat: mu.clamp(0.0, 0.99),
+            smoothing: 0.5,
+            observed: false,
+        }
+    }
+
+    /// Folds one iteration's observed disturbance rate into the estimate.
+    pub fn observe(&mut self, rate: f64) {
+        let rate = rate.clamp(0.0, 0.99);
+        if self.observed {
+            self.mu_hat = (1.0 - self.smoothing) * self.mu_hat + self.smoothing * rate;
+        } else {
+            // The first real observation replaces the prior outright — a
+            // stale analytical bound should not linger once data exists.
+            self.mu_hat = rate;
+            self.observed = true;
+        }
+    }
+
+    /// The current smoothed failure estimate `μ̂ ∈ [0, 0.99]`.
+    pub fn mu_hat(&self) -> f64 {
+        self.mu_hat
+    }
+
+    /// The paper's compensation factor `1/(1−μ̂)` at the current estimate.
+    pub fn inflation(&self) -> f64 {
+        1.0 / (1.0 - self.mu_hat)
+    }
+}
+
+impl Default for AdaptiveRoundBudget {
+    fn default() -> Self {
+        AdaptiveRoundBudget::new()
+    }
+}
+
 /// Hard cap on schedule lengths, far above anything the lemmas allow; purely a
 /// guard against pathological floating-point behaviour.
 const MAX_SCHEDULE_LEN: usize = 4096;
@@ -346,6 +415,29 @@ mod tests {
         let s = ThreeTournamentSchedule::compute(0.05, 1 << 20).unwrap();
         let below_quarter = s.masses.iter().filter(|&&m| m < 0.25).count();
         assert!(below_quarter <= 6, "tail iterations: {below_quarter}");
+    }
+
+    #[test]
+    fn adaptive_budget_tracks_observations() {
+        let mut b = AdaptiveRoundBudget::new();
+        assert_eq!(b.mu_hat(), 0.0);
+        assert_eq!(b.inflation(), 1.0);
+        // The first observation seeds the estimate exactly.
+        b.observe(0.4);
+        assert!((b.mu_hat() - 0.4).abs() < 1e-12);
+        // Later ones are smoothed towards the new rate.
+        b.observe(0.0);
+        assert!(b.mu_hat() > 0.0 && b.mu_hat() < 0.4);
+        // A prior is replaced by the first real observation.
+        let mut seeded = AdaptiveRoundBudget::with_initial_mu(0.9);
+        assert!((seeded.mu_hat() - 0.9).abs() < 1e-12);
+        assert!(seeded.inflation() > 9.0);
+        seeded.observe(0.1);
+        assert!((seeded.mu_hat() - 0.1).abs() < 1e-12);
+        // Clamping keeps the inflation finite.
+        seeded.observe(5.0);
+        assert!(seeded.mu_hat() <= 0.99);
+        assert!(seeded.inflation().is_finite());
     }
 
     /// The schedule always terminates below the threshold and never exceeds

@@ -60,7 +60,8 @@ pub use lower_bound as bound;
 pub use analysis as measure;
 
 pub use gossip_net::{
-    EngineConfig, FailureModel, GossipError, Metrics, NodeValue, Result, Topology,
+    ChurnModel, EngineConfig, FailureModel, FaultPlan, GossipError, LossModel, Metrics, NodeValue,
+    Result, StragglerModel, Topology,
 };
 pub use quantile_gossip::{
     approximate_quantile, estimate_own_quantiles, exact_quantile, robust_approximate_quantile,

@@ -24,6 +24,6 @@ pub mod workload;
 
 pub use experiment::{run_topology_trials, run_trials, TrialSpec};
 pub use rank::RankOracle;
-pub use report::{Csv, Table};
+pub use report::{Csv, ServiceQueryRow, Table};
 pub use stats::Summary;
 pub use workload::Workload;

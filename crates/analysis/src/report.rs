@@ -3,7 +3,9 @@
 //! The `reproduce` binary prints one table per experiment; EXPERIMENTS.md is
 //! assembled from these tables. CSV output is provided for plotting.
 //! [`round_budget_table`] renders the per-primitive round breakdown that
-//! [`Metrics`] meters (`pull_rounds` / `push_rounds` / `push_pull_rounds`).
+//! [`Metrics`] meters (`pull_rounds` / `push_rounds` / `push_pull_rounds`);
+//! [`service_table`] renders the per-lane amortisation of a batched
+//! multi-query epoch.
 
 use gossip_net::Metrics;
 use std::fmt::Write as _;
@@ -156,6 +158,68 @@ pub fn fault_table(title: impl Into<String>, entries: &[(String, Metrics)]) -> T
     table
 }
 
+/// One query lane of a batched multi-query epoch, for [`service_table`].
+///
+/// Plain numbers rather than a service type: `analysis` is the measurement
+/// substrate and stays independent of the algorithm crates above `gossip-net`.
+#[derive(Debug, Clone)]
+pub struct ServiceQueryRow {
+    /// Human label for the lane, e.g. `"phi=0.50 eps=0.05"`.
+    pub label: String,
+    /// Phase I iterations of the lane's solo schedule.
+    pub phase1_iterations: usize,
+    /// Phase II iterations of the lane's solo schedule.
+    pub phase2_iterations: usize,
+    /// Rounds a solo run of this query alone would spend.
+    pub solo_rounds: u64,
+}
+
+/// Renders a batched multi-query epoch as a table: one row per query lane
+/// with its solo round cost, then a `batched epoch` summary row with the
+/// shared rounds the epoch actually spent and the amortisation factor
+/// `Σᵢ solo_roundsᵢ / shared_rounds`. This is how an experiment shows the
+/// q-fold round saving of answering a query vector through shared
+/// tournament rounds instead of back-to-back solo runs.
+pub fn service_table(
+    title: impl Into<String>,
+    shared_rounds: u64,
+    lanes: &[ServiceQueryRow],
+) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "query",
+            "phase-I iters",
+            "phase-II iters",
+            "rounds",
+            "amortisation",
+        ],
+    );
+    for lane in lanes {
+        table.add_row(&[
+            lane.label.clone(),
+            lane.phase1_iterations.to_string(),
+            lane.phase2_iterations.to_string(),
+            lane.solo_rounds.to_string(),
+            "-".to_string(),
+        ]);
+    }
+    let solo_total: u64 = lanes.iter().map(|l| l.solo_rounds).sum();
+    let amortisation = if shared_rounds == 0 {
+        0.0
+    } else {
+        solo_total as f64 / shared_rounds as f64
+    };
+    table.add_row(&[
+        format!("batched epoch ({} queries)", lanes.len()),
+        "-".to_string(),
+        "-".to_string(),
+        shared_rounds.to_string(),
+        format!("{amortisation:.1}x"),
+    ]);
+    table
+}
+
 /// A minimal CSV writer (comma-separated, quotes fields containing commas).
 #[derive(Debug, Clone, Default)]
 pub struct Csv {
@@ -291,6 +355,41 @@ mod tests {
             row.contains(&format!("{:.4}", m.disturbance_rate())),
             "{row}"
         );
+    }
+
+    #[test]
+    fn service_table_sums_solo_rounds_into_the_amortisation_row() {
+        let lanes = vec![
+            ServiceQueryRow {
+                label: "phi=0.25 eps=0.05".into(),
+                phase1_iterations: 5,
+                phase2_iterations: 6,
+                solo_rounds: 43,
+            },
+            ServiceQueryRow {
+                label: "phi=0.75 eps=0.05".into(),
+                phase1_iterations: 5,
+                phase2_iterations: 6,
+                solo_rounds: 43,
+            },
+        ];
+        let table = service_table("batched service", 43, &lanes);
+        let out = table.render();
+        assert!(out.contains("## batched service"));
+        assert!(out.contains("amortisation"));
+        let summary = out.lines().last().unwrap();
+        // 86 solo rounds answered in 43 shared rounds → 2.0x.
+        assert!(summary.contains("batched epoch (2 queries)"), "{summary}");
+        assert!(summary.contains("| 43"), "{summary}");
+        assert!(summary.contains("2.0x"), "{summary}");
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn service_table_handles_zero_shared_rounds() {
+        let table = service_table("empty", 0, &[]);
+        let out = table.render();
+        assert!(out.lines().last().unwrap().contains("0.0x"));
     }
 
     #[test]

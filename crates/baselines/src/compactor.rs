@@ -106,6 +106,24 @@ impl<V: NodeValue> CompactorSketch<V> {
         }
     }
 
+    /// The configured capacity (maximum entries after a merge).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ingests one new observation into the sketch — the streaming entry
+    /// point a holder uses between gossip epochs (the `quantile-gossip`
+    /// service layer feeds per-holder updates through this).
+    ///
+    /// Equivalent to merging a weight-1 singleton: the new value joins the
+    /// buffer at the sketch's current weight semantics, compacting as needed,
+    /// so a holder's local stream and gossip-merged summaries go through the
+    /// identical Appendix A.1 machinery (and the Corollary A.4 error bound
+    /// applies unchanged).
+    pub fn insert(&mut self, value: V) {
+        self.merge(CompactorSketch::singleton(value, self.capacity));
+    }
+
     /// The (weighted) number of represented values that are `≤ z`.
     pub fn rank(&self, z: &V) -> u64 {
         self.weight * self.entries.iter().filter(|&e| e <= z).count() as u64
@@ -289,6 +307,31 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn capacity_below_two_panics() {
         let _ = CompactorSketch::singleton(1u64, 1);
+    }
+
+    #[test]
+    fn insert_is_singleton_merge() {
+        let cap = 16;
+        let mut streamed = CompactorSketch::empty(cap);
+        let mut merged = CompactorSketch::empty(cap);
+        for v in 0..500u64 {
+            streamed.insert(v * 7 % 101);
+            merged.merge(CompactorSketch::singleton(v * 7 % 101, cap));
+        }
+        assert_eq!(streamed, merged);
+        assert!(streamed.len() <= cap);
+        assert_eq!(streamed.capacity(), cap);
+        // Corollary A.4 keeps the streamed sketch's rank answers useful: the
+        // median of 500 ingested values stays within the compaction error
+        // bound n'/(2k)·log2(n'/k) of the true median.
+        let q = streamed.quantile(0.5).expect("non-empty");
+        let exact: Vec<u64> = (0..500u64).map(|v| v * 7 % 101).collect();
+        let true_rank = exact.iter().filter(|&&e| e <= q).count() as f64;
+        let bound = 500.0 / (2.0 * cap as f64) * (500.0f64 / cap as f64).log2();
+        assert!(
+            (true_rank - 250.0).abs() <= bound + 250.0 * 0.25,
+            "rank {true_rank} too far from 250 (bound {bound})"
+        );
     }
 
     #[test]

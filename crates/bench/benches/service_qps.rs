@@ -1,0 +1,361 @@
+//! Multi-query service throughput: round amortisation, payload cost, and
+//! incremental-recompute speedup.
+//!
+//! Three experiments, all on the batched [`QuantileService`]:
+//!
+//! * **Batch grid** — for every n ∈ {10k, 100k, 1M} and query-vector size
+//!   q ∈ {1, 8, 64}: one epoch answering all q queries through shared
+//!   tournament rounds. Reports rounds, wall-clock, queries/second, the
+//!   payload cost in bytes per node per round
+//!   ([`Metrics::mean_bits_per_node_round`]), and the round amortisation
+//!   `Σᵢ solo_roundsᵢ / rounds`.
+//! * **Batch vs sequential** — the same q queries as q back-to-back
+//!   [`tournament_quantile`] runs. Measured directly up to n = 100k; at
+//!   n = 1M the sequential wall-clock is extrapolated as `q ×` the measured
+//!   single-query run (the JSON row says which, in `seq_mode` — nothing is
+//!   silently dropped).
+//! * **Incremental vs full** — at n = 100k, q = 8: epoch, mutate a dirty
+//!   fraction ∈ {0.1%, 1%, 10%} of holders, then time the sparse incremental
+//!   epoch against a from-scratch recompute of the same inputs.
+//!
+//! Results land in `BENCH_service.json` in the workspace root (override with
+//! `$BENCH_SERVICE_JSON`). Set `SERVICE_QPS_QUICK=1` (CI's bench smoke step
+//! does) to shrink the grid to a bit-rot check:
+//!
+//! ```text
+//! cargo bench -p bench --bench service_qps
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::EngineConfig;
+use quantile_gossip::{
+    tournament_quantile, EpochMode, QuantileQuery, QuantileService, ServiceConfig, TournamentConfig,
+};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var_os("SERVICE_QPS_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Distinct pseudorandom holder values.
+fn values(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+/// The q-query vector: quantile targets spread over [0.25, 0.75] at ε = 5%,
+/// so every lane's schedule has comparable length and the shared round
+/// window stays close to a single query's.
+fn query_vector(q: usize) -> Vec<QuantileQuery> {
+    (0..q)
+        .map(|i| {
+            let phi = if q == 1 {
+                0.5
+            } else {
+                0.25 + 0.5 * i as f64 / (q - 1) as f64
+            };
+            QuantileQuery::new(phi, 0.05)
+        })
+        .collect()
+}
+
+struct BatchCell {
+    n: usize,
+    q: usize,
+    rounds: u64,
+    solo_rounds_total: u64,
+    amortisation: f64,
+    epoch_secs: f64,
+    qps: f64,
+    bytes_per_node_round: f64,
+    seq_secs: f64,
+    seq_rounds: u64,
+    seq_mode: &'static str,
+}
+
+/// One batched epoch plus the sequential comparison.
+fn run_batch_cell(n: usize, q: usize, seed: u64, measure_sequential: bool) -> BatchCell {
+    let vals = values(n);
+    let queries = query_vector(q);
+    let ec = EngineConfig::with_seed(seed);
+    let mut svc = QuantileService::new(&vals, &queries, ServiceConfig::default(), ec.clone())
+        .expect("valid service parameters");
+    let t = Instant::now();
+    let out = svc.epoch().expect("epoch");
+    let epoch_secs = t.elapsed().as_secs_f64();
+
+    let (seq_secs, seq_rounds, seq_mode) = if measure_sequential {
+        let t = Instant::now();
+        let mut rounds = 0u64;
+        for query in &queries {
+            let solo = tournament_quantile(
+                &vals,
+                query.phi,
+                query.epsilon,
+                &TournamentConfig::default(),
+                ec.clone(),
+            )
+            .expect("solo run");
+            rounds += solo.rounds;
+        }
+        (t.elapsed().as_secs_f64(), rounds, "measured")
+    } else {
+        // One solo run, scaled by q: the q runs are independent and
+        // identically sized, so the extrapolation is linear by construction.
+        let t = Instant::now();
+        tournament_quantile(
+            &vals,
+            queries[0].phi,
+            queries[0].epsilon,
+            &TournamentConfig::default(),
+            ec.clone(),
+        )
+        .expect("solo run");
+        let one = t.elapsed().as_secs_f64();
+        (
+            one * q as f64,
+            out.per_query.iter().map(|c| c.solo_rounds).sum(),
+            "extrapolated",
+        )
+    };
+
+    BatchCell {
+        n,
+        q,
+        rounds: out.rounds,
+        solo_rounds_total: out.per_query.iter().map(|c| c.solo_rounds).sum(),
+        amortisation: out.amortisation(),
+        epoch_secs,
+        qps: q as f64 / epoch_secs.max(1e-9),
+        bytes_per_node_round: out.metrics.mean_bits_per_node_round() / 8.0,
+        seq_secs,
+        seq_rounds,
+        seq_mode,
+    }
+}
+
+/// How the dirty holders' values move between epochs. The dirty *closure* —
+/// and with it the incremental speedup — depends on this, not just on the
+/// dirty count: a small drift rarely changes any tournament comparison, so
+/// the replay stays local, while replacing values with fresh random draws
+/// can move the converged quantile value itself, which dirties every node's
+/// trajectory tail and forces a near-full (engine-free) dataflow replay.
+#[derive(Clone, Copy)]
+enum Perturbation {
+    /// Each dirty holder's value moves by +1 — a sensor-style small drift.
+    Drift,
+    /// Each dirty holder's value is replaced by a fresh random draw.
+    Replace,
+}
+
+impl Perturbation {
+    fn label(self) -> &'static str {
+        match self {
+            Perturbation::Drift => "drift",
+            Perturbation::Replace => "replace",
+        }
+    }
+}
+
+struct IncrementalCell {
+    n: usize,
+    q: usize,
+    dirty_fraction: f64,
+    dirty_nodes: usize,
+    perturbation: Perturbation,
+    rounds: u64,
+    inc_secs: f64,
+    full_secs: f64,
+    speedup: f64,
+}
+
+/// Epoch, dirty a fraction of holders, and time incremental vs full.
+fn run_incremental_cell(
+    n: usize,
+    q: usize,
+    dirty_fraction: f64,
+    perturbation: Perturbation,
+    seed: u64,
+) -> IncrementalCell {
+    let mut vals = values(n);
+    let queries = query_vector(q);
+    let ec = EngineConfig::with_seed(seed);
+    let mut svc = QuantileService::new(&vals, &queries, ServiceConfig::default(), ec.clone())
+        .expect("valid service parameters");
+    svc.epoch().expect("warm-up epoch");
+
+    let k = ((n as f64 * dirty_fraction).round() as usize).max(1);
+    // Spread the edits over the id space.
+    for j in 0..k {
+        let node = (j * n) / k;
+        let value = match perturbation {
+            Perturbation::Drift => vals[node].wrapping_add(1),
+            Perturbation::Replace => (node as u64)
+                .wrapping_mul(0xD134_2543_DE82_EF95)
+                .wrapping_add(seed),
+        };
+        svc.set_value(node, value).expect("in range");
+        vals[node] = value;
+    }
+    let dirty_nodes = svc.dirty_nodes();
+
+    let t = Instant::now();
+    let inc = svc.epoch().expect("incremental epoch");
+    let inc_secs = t.elapsed().as_secs_f64();
+    assert!(
+        matches!(inc.mode, EpochMode::Incremental { .. }),
+        "dirty fraction {dirty_fraction} unexpectedly exceeded the threshold"
+    );
+
+    let mut fresh = QuantileService::new(&vals, &queries, ServiceConfig::default(), ec)
+        .expect("valid service parameters");
+    let t = Instant::now();
+    let full = fresh.epoch().expect("full epoch");
+    let full_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        inc.answers, full.answers,
+        "incremental epoch diverged from the full recompute"
+    );
+
+    IncrementalCell {
+        n,
+        q,
+        dirty_fraction,
+        dirty_nodes,
+        perturbation,
+        rounds: inc.rounds,
+        inc_secs,
+        full_secs,
+        speedup: full_secs / inc_secs.max(1e-9),
+    }
+}
+
+fn bench_service_qps(c: &mut Criterion) {
+    let quick = quick();
+    let sizes: &[usize] = if quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let qs: &[usize] = if quick { &[1, 8] } else { &[1, 8, 64] };
+    // Sequential timing is measured directly where affordable; above this
+    // the JSON row is marked "extrapolated".
+    let seq_measure_cap: usize = 100_000;
+
+    // Criterion timing rows at the smallest size: the cost of one batched
+    // epoch per query-vector size.
+    let mut group = c.benchmark_group("service_qps");
+    group.sample_size(2);
+    for &q in qs {
+        group.bench_with_input(BenchmarkId::new("epoch", q), &q, |b, &q| {
+            let vals = values(sizes[0]);
+            let queries = query_vector(q);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut svc = QuantileService::new(
+                    &vals,
+                    &queries,
+                    ServiceConfig::default(),
+                    EngineConfig::with_seed(seed),
+                )
+                .expect("valid service parameters");
+                svc.epoch().expect("epoch").rounds
+            });
+        });
+    }
+    group.finish();
+
+    let mut rows = Vec::new();
+
+    for &n in sizes {
+        for &q in qs {
+            let cell = run_batch_cell(n, q, 42, n <= seq_measure_cap);
+            println!(
+                "service_qps n={n} q={q}: rounds={} (solo total {}), amortisation={:.1}x, \
+                 epoch={:.3}s qps={:.1} payload={:.1} B/node/round, sequential={:.3}s ({})",
+                cell.rounds,
+                cell.solo_rounds_total,
+                cell.amortisation,
+                cell.epoch_secs,
+                cell.qps,
+                cell.bytes_per_node_round,
+                cell.seq_secs,
+                cell.seq_mode
+            );
+            rows.push(format!(
+                "    {{\"kind\": \"batch\", \"n\": {}, \"q\": {}, \"rounds\": {}, \
+                 \"solo_rounds_total\": {}, \"amortisation\": {:.3}, \
+                 \"epoch_secs\": {:.6}, \"qps\": {:.3}, \
+                 \"bytes_per_node_round\": {:.3}, \"seq_secs\": {:.6}, \
+                 \"seq_rounds\": {}, \"seq_mode\": \"{}\", \"wall_speedup\": {:.3}}}",
+                cell.n,
+                cell.q,
+                cell.rounds,
+                cell.solo_rounds_total,
+                cell.amortisation,
+                cell.epoch_secs,
+                cell.qps,
+                cell.bytes_per_node_round,
+                cell.seq_secs,
+                cell.seq_rounds,
+                cell.seq_mode,
+                cell.seq_secs / cell.epoch_secs.max(1e-9),
+            ));
+        }
+    }
+
+    let inc_n = if quick { 10_000 } else { 100_000 };
+    let fractions: &[f64] = if quick { &[0.01] } else { &[0.001, 0.01, 0.1] };
+    for &fraction in fractions {
+        for perturbation in [Perturbation::Drift, Perturbation::Replace] {
+            let cell = run_incremental_cell(inc_n, 8, fraction, perturbation, 1337);
+            println!(
+                "service_qps incremental n={} q=8 dirty={:.3}% ({} holders, {}): \
+                 inc={:.3}s full={:.3}s speedup={:.1}x",
+                cell.n,
+                100.0 * cell.dirty_fraction,
+                cell.dirty_nodes,
+                cell.perturbation.label(),
+                cell.inc_secs,
+                cell.full_secs,
+                cell.speedup
+            );
+            rows.push(format!(
+                "    {{\"kind\": \"incremental\", \"n\": {}, \"q\": {}, \
+                 \"dirty_fraction\": {}, \"dirty_nodes\": {}, \
+                 \"perturbation\": \"{}\", \"rounds\": {}, \
+                 \"inc_secs\": {:.6}, \"full_secs\": {:.6}, \"speedup\": {:.3}}}",
+                cell.n,
+                cell.q,
+                cell.dirty_fraction,
+                cell.dirty_nodes,
+                cell.perturbation.label(),
+                cell.rounds,
+                cell.inc_secs,
+                cell.full_secs,
+                cell.speedup,
+            ));
+        }
+    }
+
+    // Anchor the report in the workspace root, like the other BENCH_*.json.
+    let path = std::env::var("BENCH_SERVICE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json").into()
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"service_qps\",\n  \"algorithm\": \
+         \"QuantileService batched epochs (eps=0.05, phi spread over [0.25, 0.75])\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(err) = std::fs::write(&path, &json) {
+        eprintln!("could not write {path}: {err}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_service_qps);
+criterion_main!(benches);

@@ -1,0 +1,887 @@
+//! Minimal offline stand-in for the subset of [`proptest`] this workspace
+//! uses: a seeded case generator with shrink-on-failure.
+//!
+//! The API mirrors proptest's shape — [`Strategy`] / [`ValueTree`] /
+//! [`TestRunner`] plus the [`proptest!`], [`prop_assert!`] and
+//! [`prop_assert_eq!`] macros — but implements only what the workspace's
+//! property tests need:
+//!
+//! * integer range strategies (`lo..hi` for `u64`/`usize`/`u32`),
+//!   an `f64` unit-interval strategy, [`Just`], tuples up to arity 3,
+//!   [`collection::vec`] and [`Strategy::prop_map`];
+//! * deterministic, seeded case generation (override with the
+//!   `PROPTEST_SEED` environment variable);
+//! * binary-search shrinking toward the range origin, element dropping and
+//!   element-wise shrinking for vectors.
+//!
+//! There is no persistence file, no regression registry and no fork support.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, proptest, Config, Just, Strategy, TestCaseError,
+        TestCaseResult, TestError, TestRunner,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration and RNG
+// ---------------------------------------------------------------------------
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required before the property passes.
+    pub cases: u32,
+    /// Upper bound on shrink iterations once a failing case is found.
+    pub max_shrink_iters: u32,
+    /// Seed for the deterministic case generator.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed_cafe_f00d_0001);
+        Self {
+            cases: 32,
+            max_shrink_iters: 1024,
+            seed,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases with the default seed.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator feeding case generation.
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-case results and errors
+// ---------------------------------------------------------------------------
+
+/// Failure of a single test case (see [`prop_assert!`]).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result of one test-case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Failure of a whole property: the message plus the minimal failing input.
+#[derive(Debug, Clone)]
+pub enum TestError<V> {
+    /// The property failed; carries the shrunk input.
+    Fail(String, V),
+}
+
+impl<V: fmt::Debug> fmt::Display for TestError<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let TestError::Fail(msg, value) = self;
+        write!(
+            f,
+            "property failed: {msg}; minimal failing input: {value:?}"
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy / ValueTree
+// ---------------------------------------------------------------------------
+
+/// A generator of shrinkable values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The shrink tree produced per case.
+    type Tree: ValueTree;
+
+    /// Generates one fresh tree from the runner's RNG.
+    fn new_tree(&self, runner: &mut TestRunner) -> Self::Tree;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(<Self::Tree as ValueTree>::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A generated value plus its shrink state, mirroring
+/// `proptest::strategy::ValueTree`.
+pub trait ValueTree {
+    /// The value type produced.
+    type Value: Clone + fmt::Debug;
+
+    /// The current candidate value.
+    fn current(&self) -> Self::Value;
+
+    /// Moves to a simpler candidate. Returns `false` when exhausted.
+    fn simplify(&mut self) -> bool;
+
+    /// Reacts to the last candidate *passing*: moves part-way back toward
+    /// the last known-failing value. Returns `false` when exhausted.
+    fn complicate(&mut self) -> bool;
+}
+
+// --- integer ranges --------------------------------------------------------
+
+/// Shrink tree for an integer drawn from a half-open range: binary search
+/// toward the low end.
+#[derive(Debug, Clone)]
+pub struct NumTree {
+    lo: u64,
+    hi: u64,
+    value: u64,
+}
+
+impl NumTree {
+    fn new(origin: u64, value: u64) -> Self {
+        Self {
+            lo: origin,
+            hi: value,
+            value,
+        }
+    }
+}
+
+impl ValueTree for NumTree {
+    type Value = u64;
+
+    fn current(&self) -> u64 {
+        self.value
+    }
+
+    fn simplify(&mut self) -> bool {
+        // The current value failed; try halfway between it and the low bound.
+        self.hi = self.value;
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        if mid == self.value {
+            return false;
+        }
+        self.value = mid;
+        true
+    }
+
+    fn complicate(&mut self) -> bool {
+        // The current value passed; move back toward the failing end.
+        if self.value == self.hi {
+            return false;
+        }
+        self.lo = self.value + 1;
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        if mid == self.value || mid > self.hi {
+            return false;
+        }
+        self.value = mid;
+        true
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Tree = MapTree<NumTree, fn(u64) -> $t>;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> Self::Tree {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as u64;
+                let hi = self.end as u64;
+                let value = lo + runner.rng.below(hi - lo);
+                MapTree {
+                    inner: NumTree::new(lo, value),
+                    f: |v| v as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u64, usize, u32, u16);
+
+// --- f64 unit interval -----------------------------------------------------
+
+/// Strategy producing an `f64` in `[lo, hi)`, shrinking toward `lo`.
+#[derive(Debug, Clone)]
+pub struct UnitF64 {
+    lo: f64,
+    hi: f64,
+}
+
+/// An `f64` drawn uniformly from `[lo, hi)`, shrinking toward `lo`.
+pub fn f64_range(lo: f64, hi: f64) -> UnitF64 {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite());
+    UnitF64 { lo, hi }
+}
+
+/// Shrink tree for [`f64_range`].
+#[derive(Debug, Clone)]
+pub struct F64Tree {
+    lo: f64,
+    hi: f64,
+    value: f64,
+}
+
+impl ValueTree for F64Tree {
+    type Value = f64;
+
+    fn current(&self) -> f64 {
+        self.value
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.hi = self.value;
+        let mid = self.lo + (self.hi - self.lo) / 2.0;
+        if (self.value - mid).abs() < 1e-9 {
+            return false;
+        }
+        self.value = mid;
+        true
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.lo = self.value;
+        let mid = self.lo + (self.hi - self.lo) / 2.0;
+        if (self.value - mid).abs() < 1e-9 {
+            return false;
+        }
+        self.value = mid;
+        true
+    }
+}
+
+impl Strategy for UnitF64 {
+    type Tree = F64Tree;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> F64Tree {
+        let value = self.lo + runner.rng.next_f64() * (self.hi - self.lo);
+        F64Tree {
+            lo: self.lo,
+            hi: self.hi,
+            value,
+        }
+    }
+}
+
+// --- Just ------------------------------------------------------------------
+
+/// A strategy that always produces the same value and never shrinks.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+/// Shrink tree for [`Just`].
+#[derive(Debug, Clone)]
+pub struct JustTree<T>(T);
+
+impl<T: Clone + fmt::Debug> ValueTree for JustTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Tree = JustTree<T>;
+
+    fn new_tree(&self, _runner: &mut TestRunner) -> JustTree<T> {
+        JustTree(self.0.clone())
+    }
+}
+
+// --- prop_map --------------------------------------------------------------
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+/// Shrink tree for [`Map`]: shrinks the underlying tree, maps on read.
+#[derive(Debug, Clone)]
+pub struct MapTree<T, F> {
+    inner: T,
+    f: F,
+}
+
+impl<T, F, U> ValueTree for MapTree<T, F>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> U,
+    U: Clone + fmt::Debug,
+{
+    type Value = U;
+
+    fn current(&self) -> U {
+        (self.f)(self.inner.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(<S::Tree as ValueTree>::Value) -> U + Clone,
+    U: Clone + fmt::Debug,
+{
+    type Tree = MapTree<S::Tree, F>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Self::Tree {
+        MapTree {
+            inner: self.inner.new_tree(runner),
+            f: self.f.clone(),
+        }
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+/// Shrink tree for a 1-tuple (the `proptest!` macro's single-binding form).
+#[derive(Debug, Clone)]
+pub struct Tuple1Tree<A>(A);
+
+impl<A: ValueTree> ValueTree for Tuple1Tree<A> {
+    type Value = (A::Value,);
+
+    fn current(&self) -> Self::Value {
+        (self.0.current(),)
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.0.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.0.complicate()
+    }
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Tree = Tuple1Tree<A::Tree>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Self::Tree {
+        Tuple1Tree(self.0.new_tree(runner))
+    }
+}
+
+/// Shrink tree for a pair: shrinks components left to right.
+#[derive(Debug, Clone)]
+pub struct Tuple2Tree<A, B> {
+    a: A,
+    b: B,
+    last: u8,
+}
+
+impl<A: ValueTree, B: ValueTree> ValueTree for Tuple2Tree<A, B> {
+    type Value = (A::Value, B::Value);
+
+    fn current(&self) -> Self::Value {
+        (self.a.current(), self.b.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.a.simplify() {
+            self.last = 0;
+            return true;
+        }
+        if self.b.simplify() {
+            self.last = 1;
+            return true;
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.last {
+            0 => self.a.complicate(),
+            1 => self.b.complicate(),
+            _ => false,
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Tree = Tuple2Tree<A::Tree, B::Tree>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Self::Tree {
+        Tuple2Tree {
+            a: self.0.new_tree(runner),
+            b: self.1.new_tree(runner),
+            last: u8::MAX,
+        }
+    }
+}
+
+/// Shrink tree for a triple: shrinks components left to right.
+#[derive(Debug, Clone)]
+pub struct Tuple3Tree<A, B, C> {
+    a: A,
+    b: B,
+    c: C,
+    last: u8,
+}
+
+impl<A: ValueTree, B: ValueTree, C: ValueTree> ValueTree for Tuple3Tree<A, B, C> {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn current(&self) -> Self::Value {
+        (self.a.current(), self.b.current(), self.c.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.a.simplify() {
+            self.last = 0;
+            return true;
+        }
+        if self.b.simplify() {
+            self.last = 1;
+            return true;
+        }
+        if self.c.simplify() {
+            self.last = 2;
+            return true;
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.last {
+            0 => self.a.complicate(),
+            1 => self.b.complicate(),
+            2 => self.c.complicate(),
+            _ => false,
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Tree = Tuple3Tree<A::Tree, B::Tree, C::Tree>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> Self::Tree {
+        Tuple3Tree {
+            a: self.0.new_tree(runner),
+            b: self.1.new_tree(runner),
+            c: self.2.new_tree(runner),
+            last: u8::MAX,
+        }
+    }
+}
+
+// --- collections -----------------------------------------------------------
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come from
+    /// `elem`; shrinks by dropping elements, then element-wise.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Tree = VecTree<S::Tree>;
+
+        fn new_tree(&self, runner: &mut TestRunner) -> Self::Tree {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + runner.rng.below(span) as usize;
+            let elems = (0..n).map(|_| self.elem.new_tree(runner)).collect();
+            VecTree {
+                elems,
+                min_len: self.len.start,
+                next_remove: n,
+                reinsert: None,
+                elem_idx: 0,
+                last_was_elem: false,
+            }
+        }
+    }
+
+    /// Shrink tree for [`VecStrategy`]: first tries dropping each element
+    /// (highest index first, each index at most once), then simplifies the
+    /// surviving elements in order.
+    #[derive(Debug)]
+    pub struct VecTree<T: ValueTree> {
+        elems: Vec<T>,
+        min_len: usize,
+        /// One past the next removal candidate; counts down and never resets.
+        next_remove: usize,
+        reinsert: Option<(usize, T)>,
+        elem_idx: usize,
+        last_was_elem: bool,
+    }
+
+    impl<T: ValueTree> ValueTree for VecTree<T> {
+        type Value = Vec<T::Value>;
+
+        fn current(&self) -> Self::Value {
+            self.elems.iter().map(ValueTree::current).collect()
+        }
+
+        fn simplify(&mut self) -> bool {
+            while self.next_remove > 0 && self.elems.len() > self.min_len {
+                self.next_remove -= 1;
+                if self.next_remove < self.elems.len() {
+                    let t = self.elems.remove(self.next_remove);
+                    self.reinsert = Some((self.next_remove, t));
+                    self.last_was_elem = false;
+                    return true;
+                }
+            }
+            while self.elem_idx < self.elems.len() {
+                if self.elems[self.elem_idx].simplify() {
+                    self.last_was_elem = true;
+                    return true;
+                }
+                self.elem_idx += 1;
+            }
+            false
+        }
+
+        fn complicate(&mut self) -> bool {
+            if self.last_was_elem {
+                if self.elem_idx < self.elems.len() {
+                    return self.elems[self.elem_idx].complicate();
+                }
+                return false;
+            }
+            if let Some((idx, t)) = self.reinsert.take() {
+                self.elems.insert(idx, t);
+                return true;
+            }
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TestRunner
+// ---------------------------------------------------------------------------
+
+/// Runs a property over many generated cases, shrinking on failure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    rng: CaseRng,
+}
+
+impl TestRunner {
+    /// Creates a runner from `config`.
+    pub fn new(config: Config) -> Self {
+        let rng = CaseRng::new(config.seed);
+        Self { config, rng }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs. On the first
+    /// failure the input is shrunk and the minimal failing value returned in
+    /// [`TestError::Fail`].
+    pub fn run<S, F>(
+        &mut self,
+        strategy: &S,
+        test: F,
+    ) -> Result<(), TestError<<S::Tree as ValueTree>::Value>>
+    where
+        S: Strategy,
+        F: Fn(<S::Tree as ValueTree>::Value) -> TestCaseResult,
+    {
+        for _ in 0..self.config.cases {
+            let mut tree = strategy.new_tree(self);
+            let first = test(tree.current());
+            if let Err(err) = first {
+                return Err(self.shrink(&mut tree, &test, err));
+            }
+        }
+        Ok(())
+    }
+
+    fn shrink<T, F>(
+        &mut self,
+        tree: &mut T,
+        test: &F,
+        first_err: TestCaseError,
+    ) -> TestError<T::Value>
+    where
+        T: ValueTree,
+        F: Fn(T::Value) -> TestCaseResult,
+    {
+        let mut best_value = tree.current();
+        let mut best_err = first_err;
+        let mut budget = self.config.max_shrink_iters;
+        while budget > 0 {
+            budget -= 1;
+            if !tree.simplify() {
+                break;
+            }
+            match test(tree.current()) {
+                Err(err) => {
+                    best_value = tree.current();
+                    best_err = err;
+                }
+                Ok(()) => {
+                    // Passed: back toward the failing region; keep whichever
+                    // failing candidates complication rediscovers.
+                    let mut found = false;
+                    while budget > 0 {
+                        budget -= 1;
+                        if !tree.complicate() {
+                            break;
+                        }
+                        if let Err(err) = test(tree.current()) {
+                            best_value = tree.current();
+                            best_err = err;
+                            found = true;
+                            break;
+                        }
+                    }
+                    if !found {
+                        break;
+                    }
+                }
+            }
+        }
+        TestError::Fail(best_err.to_string(), best_value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a condition inside a property body, failing the case (and
+/// triggering shrinking) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body, failing the case (and triggering
+/// shrinking) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies,
+/// mirroring the `proptest!` macro:
+///
+/// ```ignore
+/// proptest! {
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($crate::Config::default());
+            let strategy = ($($strat,)+);
+            let result = runner.run(&strategy, |($($arg,)+)| {
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            });
+            if let ::std::result::Result::Err(e) = result {
+                panic!("{e}");
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runner = TestRunner::new(Config::with_cases(50));
+        let mut seen = 0u32;
+        let counted = std::cell::Cell::new(0u32);
+        runner
+            .run(&(0u64..1000), |_| {
+                counted.set(counted.get() + 1);
+                Ok(())
+            })
+            .unwrap();
+        seen += counted.get();
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_the_boundary() {
+        let mut runner = TestRunner::new(Config::default());
+        let err = runner
+            .run(&(0u64..10_000), |v| {
+                if v >= 137 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        let TestError::Fail(_, value) = err;
+        assert_eq!(value, 137, "binary search should find the exact boundary");
+    }
+
+    #[test]
+    fn vec_shrinking_drops_irrelevant_elements() {
+        let mut runner = TestRunner::new(Config::default());
+        let strat = collection::vec(0u64..100, 0..20);
+        let err = runner
+            .run(&strat, |v| {
+                if v.iter().any(|&x| x >= 50) {
+                    Err(TestCaseError::fail("contains a big element"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        let TestError::Fail(_, value) = err;
+        assert_eq!(value.len(), 1, "minimal counterexample is one element");
+        assert_eq!(value[0], 50, "and that element sits on the boundary");
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut runner = TestRunner::new(Config::with_cases(40));
+        let strat = (2u64..100, 0u32..8).prop_map(|(n, k)| (n * 2, k));
+        runner
+            .run(&strat, |(n, k)| {
+                prop_assert!(n % 2 == 0, "mapped value must be even");
+                prop_assert!(k < 8);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let draw = |seed| {
+            let mut r = TestRunner::new(Config {
+                cases: 1,
+                max_shrink_iters: 0,
+                seed,
+            });
+            let got = std::cell::Cell::new(0);
+            r.run(&(0u64..1_000_000), |v| {
+                got.set(v);
+                Ok(())
+            })
+            .unwrap();
+            got.get()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    proptest! {
+        fn the_macro_form_works(a in 0u64..50, b in 0u64..50) {
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1236,6 +1236,41 @@ impl<S: Clone + Send + Sync> Engine<S> {
         collected
     }
 
+    /// Computes, without executing anything, the pull target every node
+    /// *would* draw in the given absolute round (the value [`Engine::round`]
+    /// has **during** that round, i.e. `self.round() + 1` previews the next
+    /// round). `out[v]` is `None` when `v`'s failure coin makes its pull fail
+    /// that round (no target is drawn), `Some(t)` otherwise.
+    ///
+    /// Pull-target draws are keyed purely by `(seed, round, node)` on
+    /// [`NodeRng::STREAM_ROUND`], so the preview is exact for any future (or
+    /// past) round and is unaffected by sparse execution, payload contents, or
+    /// thread count. Two caveats under a disruptive [`FaultPlan`]: a node
+    /// that turns out to be crashed in that round draws nothing in reality
+    /// (the preview still reports the target it would have drawn), and a
+    /// contact that is lost in flight still had its target drawn exactly as
+    /// previewed. Both make the preview a *superset* of realised contacts —
+    /// what an incremental-recompute layer needs to bound which nodes a state
+    /// change can influence.
+    pub fn preview_pull_targets_at(&self, round: u64, out: &mut Vec<Option<NodeId>>) {
+        let n = self.n();
+        out.clear();
+        out.reserve(n);
+        let failure = &self.failure;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        with_sampler!(self, sp => {
+            for v in 0..n {
+                let mut rng = prefix.node(v as u64);
+                if !reliable && failure.fails(v, round, &mut rng) {
+                    out.push(None);
+                } else {
+                    out.push(Some(sp.sample(&mut rng, v)));
+                }
+            }
+        });
+    }
+
     // ------------------------------------------------------------------
     // Fault-aware round bodies.
     //
@@ -2985,6 +3020,51 @@ mod tests {
                 },
             );
         }
+    }
+
+    #[test]
+    fn preview_pull_targets_matches_executed_rounds() {
+        // The preview and the execution must agree target-for-target, with
+        // failure coins included, on the complete graph and on a restricted
+        // topology.
+        let configs = [
+            EngineConfig::with_seed(21),
+            EngineConfig::with_seed(22).failure(FailureModel::uniform(0.3).unwrap()),
+            EngineConfig::with_seed(23).topology(Topology::ring(4)),
+        ];
+        for config in configs {
+            let mut e = Engine::from_states(vec![0u64; 64], config);
+            let mut preview = Vec::new();
+            for _ in 0..5 {
+                e.preview_pull_targets_at(e.round() + 1, &mut preview);
+                // Serving the target's id makes each node's bucket record who
+                // it actually contacted this round.
+                let got = e.collect_samples(1, |t, _| t as u64);
+                for (v, bucket) in got.iter().enumerate() {
+                    match preview[v] {
+                        Some(t) => assert_eq!(bucket.as_slice(), &[t as u64], "node {v}"),
+                        None => assert!(bucket.is_empty(), "node {v} should have failed"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preview_pull_targets_is_round_addressable() {
+        // Previews are pure functions of (seed, round): asking for round 3
+        // before or after executing rounds 1–2 gives the same answer.
+        let e = engine_with(32, 77);
+        let mut early = Vec::new();
+        e.preview_pull_targets_at(3, &mut early);
+        let mut e2 = engine_with(32, 77);
+        for _ in 0..2 {
+            e2.collect_samples(1, |_, &s| s);
+        }
+        let mut late = Vec::new();
+        e2.preview_pull_targets_at(e2.round() + 1, &mut late);
+        assert_eq!(e2.round(), 2);
+        assert_eq!(early, late);
     }
 
     #[test]

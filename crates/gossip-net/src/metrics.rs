@@ -221,6 +221,35 @@ impl Metrics {
         }
     }
 
+    /// Mean payload bits delivered per round, or 0 with no rounds.
+    ///
+    /// This is the round-level bandwidth figure of merit: in the
+    /// congested-clique reading of the gossip model, each round gives every
+    /// node one `O(log n)`-bit contact, so a multi-query layer that packs `q`
+    /// comparisons into one contact shows up here as a ~`q×` larger per-round
+    /// payload over a ~`q×` smaller number of rounds.
+    pub fn bits_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.bits_delivered as f64 / self.rounds as f64
+        }
+    }
+
+    /// Mean payload bits delivered **per participating node per round**, or 0
+    /// with no activity.
+    ///
+    /// Sparse (`_on`) rounds divide by their active-set size, not `n`, so the
+    /// figure stays comparable between dense and sparse executions of the
+    /// same algorithm.
+    pub fn mean_bits_per_node_round(&self) -> f64 {
+        if self.active_nodes_total == 0 {
+            0.0
+        } else {
+            self.bits_delivered as f64 / self.active_nodes_total as f64
+        }
+    }
+
     /// Average number of bits per delivered message, or 0 if nothing was delivered.
     pub fn mean_message_bits(&self) -> f64 {
         if self.messages_delivered == 0 {
@@ -424,6 +453,26 @@ mod tests {
         assert_eq!(sum.messages_delayed, 4);
         assert_eq!(sum.crashed_operations, 4);
         assert_eq!(Metrics::new().disturbance_rate(), 0.0);
+    }
+
+    #[test]
+    fn per_round_and_per_node_round_bit_rates() {
+        let mut m = Metrics::new();
+        assert_eq!(m.bits_per_round(), 0.0);
+        assert_eq!(m.mean_bits_per_node_round(), 0.0);
+        // A dense round of 10 nodes delivering 8 messages of 64 bits…
+        m.record_round(RoundKind::Pull, 10);
+        for _ in 0..8 {
+            m.record_delivery(64);
+        }
+        assert_eq!(m.bits_per_round(), 512.0);
+        assert_eq!(m.mean_bits_per_node_round(), 51.2);
+        // …then a sparse round of 2 nodes delivering 2 more.
+        m.record_round(RoundKind::Pull, 2);
+        m.record_delivery(64);
+        m.record_delivery(64);
+        assert_eq!(m.bits_per_round(), 640.0 / 2.0);
+        assert_eq!(m.mean_bits_per_node_round(), 640.0 / 12.0);
     }
 
     #[test]

@@ -4,156 +4,87 @@
 //! *across thread counts*; this suite pins them to fixed hex values, so a perf
 //! refactor of the round internals (pass fusion, buffer reuse, RNG keying
 //! shortcuts) can *prove* it is bit-identical to the previous engine rather
-//! than only self-consistent. If a change legitimately alters the randomness
-//! contract, these constants must be regenerated — deliberately, in the same
-//! commit, with a CHANGES.md note.
+//! than only self-consistent.
+//!
+//! The pinned constants live in `tests/data/goldens.txt`, shared with the
+//! sparse full-set equivalence pins of `tests/sparse.rs`. If a change
+//! legitimately alters the randomness contract, regenerate the file —
+//! deliberately, in the same commit, with a CHANGES.md note — with
+//!
+//! ```text
+//! cargo run -p gossip-net --example regen_goldens -- --write
+//! ```
+//!
+//! (without `--write` the example recomputes everything, prints the drift and
+//! exits non-zero, so it doubles as a standalone check).
 //!
 //! Every scenario runs at `par::num_threads()` worker threads, so CI's
-//! `RAYON_NUM_THREADS=1/2/8` matrix checks each pin at all three thread
+//! `GOSSIP_NUM_THREADS=1/2/8` matrix checks each pin at all three thread
 //! counts (including, at the large sizes, the parallel CSR bucketing path).
 
-use gossip_net::{
-    par, ChurnModel, Engine, EngineConfig, FailureModel, FaultPlan, LossModel, StragglerModel,
+#[path = "support/goldens.rs"]
+mod support;
+
+use gossip_net::FailureModel;
+use support::{
+    engine, fault_metrics_line, faulted_mixed, fingerprint, hash_local_steps, initial_states,
+    metrics_line, mixed_iteration, pinned, pull_rounds, push_pull_rounds, push_rounds, sample_fp,
 };
-use rand::Rng;
-
-/// SplitMix64 finalizer, re-stated here so the fingerprint is independent of
-/// the crate's internals.
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Order-sensitive fingerprint of a state vector.
-fn fingerprint(states: &[u64]) -> String {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for (i, &s) in states.iter().enumerate() {
-        h = mix64(h ^ s ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    }
-    format!("{h:016x}")
-}
-
-/// Order-sensitive message fold (any reordering or content change shows up).
-fn fold_hash(state: u64, msg: u64) -> u64 {
-    (state.rotate_left(7) ^ msg).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
-/// Compact fingerprint of the metrics counters, pinned alongside the states.
-fn metrics_line(e: &Engine<u64>) -> String {
-    let m = e.metrics();
-    format!(
-        "r{} pa{} psa{} f{} d{} b{}",
-        m.rounds,
-        m.pulls_attempted,
-        m.pushes_attempted,
-        m.failed_operations,
-        m.messages_delivered,
-        m.bits_delivered
-    )
-}
-
-fn engine(n: usize, seed: u64, failure: FailureModel) -> Engine<u64> {
-    let config = EngineConfig::with_seed(seed).failure(failure);
-    let mut e = Engine::from_states((0..n as u64).map(|v| v.wrapping_mul(31)).collect(), config);
-    e.set_threads(par::num_threads());
-    e
-}
-
-fn pull_rounds(e: &mut Engine<u64>, rounds: usize) {
-    for _ in 0..rounds {
-        e.pull_round(
-            |_, &s| s,
-            |_, st, pulled| {
-                if let Some(p) = pulled {
-                    *st = fold_hash(*st, p);
-                }
-            },
-        );
-    }
-}
-
-fn push_rounds(e: &mut Engine<u64>, rounds: usize) {
-    for _ in 0..rounds {
-        e.push_round(
-            |v, &s| if v % 5 == 0 { None } else { Some(s) },
-            |_, st, msg| *st = fold_hash(*st, msg),
-            |_, st, delivered| {
-                if !delivered {
-                    *st = st.wrapping_add(1);
-                }
-            },
-        );
-    }
-}
-
-fn push_pull_rounds(e: &mut Engine<u64>, rounds: usize) {
-    for _ in 0..rounds {
-        e.push_pull_round(|_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
-    }
-}
 
 #[test]
 fn golden_pull() {
     let mut e = engine(512, 101, FailureModel::None);
     pull_rounds(&mut e, 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f0 d4096 b262144");
-    assert_eq!(fingerprint(e.states()), "ae3cc56cd1a65f40");
+    assert_eq!(metrics_line(&e), pinned("pull.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("pull.fp"));
 }
 
 #[test]
 fn golden_pull_with_failures() {
     let mut e = engine(512, 101, FailureModel::uniform(0.3).unwrap());
     pull_rounds(&mut e, 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f1208 d2888 b184832");
-    assert_eq!(fingerprint(e.states()), "5cc28a958ed5bb0b");
+    assert_eq!(metrics_line(&e), pinned("pull_failures.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("pull_failures.fp"));
 }
 
 #[test]
 fn golden_push() {
     let mut e = engine(512, 202, FailureModel::None);
     push_rounds(&mut e, 8);
-    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f0 d3272 b209408");
-    assert_eq!(fingerprint(e.states()), "70bd75821469e779");
+    assert_eq!(metrics_line(&e), pinned("push.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push.fp"));
 }
 
 #[test]
 fn golden_push_with_failures() {
     let mut e = engine(512, 202, FailureModel::uniform(0.3).unwrap());
     push_rounds(&mut e, 8);
-    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f1006 d2266 b145024");
-    assert_eq!(fingerprint(e.states()), "b26c113c63bb08b6");
+    assert_eq!(metrics_line(&e), pinned("push_failures.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push_failures.fp"));
 }
 
 #[test]
 fn golden_push_pull() {
     let mut e = engine(512, 303, FailureModel::None);
     push_pull_rounds(&mut e, 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f0 d8192 b524288");
-    assert_eq!(fingerprint(e.states()), "db3b2d32aeb47638");
+    assert_eq!(metrics_line(&e), pinned("push_pull.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push_pull.fp"));
 }
 
 #[test]
 fn golden_push_pull_with_failures() {
     let mut e = engine(512, 303, FailureModel::uniform(0.3).unwrap());
     push_pull_rounds(&mut e, 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f1190 d5812 b371968");
-    assert_eq!(fingerprint(e.states()), "a583e9ce52831840");
+    assert_eq!(metrics_line(&e), pinned("push_pull_failures.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push_pull_failures.fp"));
 }
 
 #[test]
 fn golden_collect_samples() {
     let mut e = engine(512, 404, FailureModel::None);
     let samples = e.collect_samples(3, |_, &s| s);
-    let mut h = 0u64;
-    for bucket in &samples {
-        h = mix64(h ^ 0x5eed);
-        for &s in bucket {
-            h = mix64(h ^ s);
-        }
-    }
-    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f0 d1536 b98304");
-    assert_eq!(format!("{h:016x}"), "72f9976bf7245804");
+    assert_eq!(metrics_line(&e), pinned("collect.metrics"));
+    assert_eq!(sample_fp(&samples), pinned("collect.sample_fp"));
     // Sampling leaves the node states untouched.
     assert_eq!(fingerprint(e.states()), fingerprint(&initial_states(512)));
 }
@@ -162,60 +93,8 @@ fn golden_collect_samples() {
 fn golden_collect_samples_with_failures() {
     let mut e = engine(512, 404, FailureModel::uniform(0.4).unwrap());
     let samples = e.collect_samples(3, |_, &s| s);
-    let mut h = 0u64;
-    for bucket in &samples {
-        h = mix64(h ^ 0x5eed);
-        for &s in bucket {
-            h = mix64(h ^ s);
-        }
-    }
-    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f636 d900 b57600");
-    assert_eq!(format!("{h:016x}"), "360c83eb4521da94");
-}
-
-fn initial_states(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|v| v.wrapping_mul(31)).collect()
-}
-
-/// The fault counters, pinned alongside the classic metrics line for the
-/// faulted trajectory.
-fn fault_metrics_line(e: &Engine<u64>) -> String {
-    let m = e.metrics();
-    format!(
-        "c{} dr{} dl{}",
-        m.crashed_operations, m.messages_dropped, m.messages_delayed
-    )
-}
-
-/// The full fault plan of the faulted golden pin: churn with rejoin, message
-/// loss, stragglers, and the Section 5 failure model all at once.
-fn chaos_plan() -> FaultPlan {
-    FaultPlan::none()
-        .with_churn(ChurnModel::with_rejoin(0.1, 2).unwrap())
-        .with_loss(LossModel::uniform(0.15).unwrap())
-        .with_stragglers(StragglerModel::uniform(0.2, 2).unwrap())
-        .with_failure(FailureModel::uniform(0.1).unwrap())
-}
-
-fn faulted_mixed(n: usize, seed: u64) -> Engine<u64> {
-    let config = EngineConfig::with_seed(seed).fault(chaos_plan());
-    let mut e = Engine::from_states(initial_states(n), config);
-    e.set_threads(par::num_threads());
-    for _ in 0..3 {
-        pull_rounds(&mut e, 1);
-        push_rounds(&mut e, 1);
-        push_pull_rounds(&mut e, 1);
-        let samples = e.collect_samples(2, |_, &s| s);
-        e.local_step(|v, st, rng| {
-            for &s in &samples[v] {
-                *st = fold_hash(*st, s);
-            }
-            if rng.gen::<f64>() < 0.25 {
-                *st = st.rotate_right(3);
-            }
-        });
-    }
-    e
+    assert_eq!(metrics_line(&e), pinned("collect_failures.metrics"));
+    assert_eq!(sample_fp(&samples), pinned("collect_failures.sample_fp"));
 }
 
 #[test]
@@ -225,24 +104,17 @@ fn golden_faulted_mixed_sequence() {
     // fault-injection randomness contract: the per-contact coin streams,
     // the straggler buffering order, and the churn scan.
     let e = faulted_mixed(600, 909);
-    assert_eq!(metrics_line(&e), "r15 pa5958 psa2664 f753 d5343 b341952");
-    assert_eq!(fault_metrics_line(&e), "c1559 dr2212 dl472");
-    assert_eq!(fingerprint(e.states()), "ed74a06557460d5c");
+    assert_eq!(metrics_line(&e), pinned("faulted_mixed.metrics"));
+    assert_eq!(fault_metrics_line(&e), pinned("faulted_mixed.faults"));
+    assert_eq!(fingerprint(e.states()), pinned("faulted_mixed.fp"));
 }
 
 #[test]
 fn golden_local_step() {
     let mut e = engine(512, 505, FailureModel::None);
-    for _ in 0..4 {
-        e.local_step(|v, st, rng| {
-            *st = fold_hash(*st, rng.gen::<u64>() ^ v as u64);
-            if rng.gen::<f64>() < 0.25 {
-                *st = st.rotate_right(3);
-            }
-        });
-    }
-    assert_eq!(metrics_line(&e), "r0 pa0 psa0 f0 d0 b0");
-    assert_eq!(fingerprint(e.states()), "c3d212c26e4f1768");
+    hash_local_steps(&mut e, 4);
+    assert_eq!(metrics_line(&e), pinned("local_step.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("local_step.fp"));
 }
 
 #[test]
@@ -251,21 +123,10 @@ fn golden_mixed_sequence() {
     // on — the broadest single trajectory.
     let mut e = engine(600, 606, FailureModel::uniform(0.2).unwrap());
     for _ in 0..3 {
-        pull_rounds(&mut e, 1);
-        push_rounds(&mut e, 1);
-        push_pull_rounds(&mut e, 1);
-        let samples = e.collect_samples(2, |_, &s| s);
-        e.local_step(|v, st, rng| {
-            for &s in &samples[v] {
-                *st = fold_hash(*st, s);
-            }
-            if rng.gen::<f64>() < 0.25 {
-                *st = st.rotate_right(3);
-            }
-        });
+        mixed_iteration(&mut e);
     }
-    assert_eq!(metrics_line(&e), "r15 pa7200 psa3240 f1686 d8410 b538240");
-    assert_eq!(fingerprint(e.states()), "4d66d6a6035be06a");
+    assert_eq!(metrics_line(&e), pinned("mixed.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("mixed.fp"));
 }
 
 #[test]
@@ -277,8 +138,8 @@ fn golden_large_n_covers_parallel_paths() {
     pull_rounds(&mut e, 2);
     push_rounds(&mut e, 2);
     push_pull_rounds(&mut e, 2);
-    assert_eq!(metrics_line(&e), "r6 pa80000 psa72000 f0 d152000 b9728000");
-    assert_eq!(fingerprint(e.states()), "dacf5252bb6fbfd3");
+    assert_eq!(metrics_line(&e), pinned("large.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("large.fp"));
 }
 
 #[test]
@@ -287,108 +148,51 @@ fn golden_large_n_with_failures() {
     pull_rounds(&mut e, 2);
     push_rounds(&mut e, 2);
     push_pull_rounds(&mut e, 2);
-    assert_eq!(
-        metrics_line(&e),
-        "r6 pa80000 psa72000 f27942 d114162 b7306368"
-    );
-    assert_eq!(fingerprint(e.states()), "0c3a3c5e2e310ca3");
+    assert_eq!(metrics_line(&e), pinned("large_failures.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("large_failures.fp"));
 }
 
-/// Prints the current values of every pin above. When a change legitimately
-/// alters the randomness contract, regenerate with
-///
-/// ```text
-/// cargo test -p gossip-net --test golden dump -- --ignored --nocapture
-/// ```
-///
-/// and update the constants in the same commit.
+/// The constants the test suites read and the values `compute_all` (which the
+/// regen example writes) produce must agree key-for-key, so the file can
+/// never silently miss a scenario.
 #[test]
-#[ignore = "generator for the pinned constants, not a check"]
-fn dump_golden_values() {
-    let scenario = |name: &str, e: &mut Engine<u64>| {
-        println!(
-            "{name}: metrics=\"{}\" fp=\"{}\"",
-            metrics_line(e),
-            fingerprint(e.states())
-        );
-    };
-    let mut e = engine(512, 101, FailureModel::None);
-    pull_rounds(&mut e, 8);
-    scenario("pull", &mut e);
-    let mut e = engine(512, 101, FailureModel::uniform(0.3).unwrap());
-    pull_rounds(&mut e, 8);
-    scenario("pull_failures", &mut e);
-    let mut e = engine(512, 202, FailureModel::None);
-    push_rounds(&mut e, 8);
-    scenario("push", &mut e);
-    let mut e = engine(512, 202, FailureModel::uniform(0.3).unwrap());
-    push_rounds(&mut e, 8);
-    scenario("push_failures", &mut e);
-    let mut e = engine(512, 303, FailureModel::None);
-    push_pull_rounds(&mut e, 8);
-    scenario("push_pull", &mut e);
-    let mut e = engine(512, 303, FailureModel::uniform(0.3).unwrap());
-    push_pull_rounds(&mut e, 8);
-    scenario("push_pull_failures", &mut e);
-    for (name, fail) in [
-        ("collect", FailureModel::None),
-        ("collect_failures", FailureModel::uniform(0.4).unwrap()),
-    ] {
-        let mut e = engine(512, 404, fail);
-        let samples = e.collect_samples(3, |_, &s| s);
-        let mut h = 0u64;
-        for bucket in &samples {
-            h = mix64(h ^ 0x5eed);
-            for &s in bucket {
-                h = mix64(h ^ s);
-            }
+fn pin_file_covers_exactly_the_computed_keys() {
+    let mut file_keys: Vec<&str> = support::GOLDENS
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split_once('=').map(|(k, _)| k.trim()))
+        .collect();
+    // `compute_all` is expensive (it replays every scenario), so compare key
+    // sets only — the values themselves are checked by the pins above.
+    let expected = [
+        "pull",
+        "pull_failures",
+        "push",
+        "push_failures",
+        "push_pull",
+        "push_pull_failures",
+        "collect",
+        "collect_failures",
+        "local_step",
+        "mixed",
+        "faulted_mixed",
+        "large",
+        "large_failures",
+    ];
+    let mut want: Vec<String> = Vec::new();
+    for name in expected {
+        want.push(format!("{name}.metrics"));
+        match name {
+            "collect" | "collect_failures" => want.push(format!("{name}.sample_fp")),
+            _ => want.push(format!("{name}.fp")),
         }
-        println!(
-            "{name}: metrics=\"{}\" sample_fp=\"{h:016x}\"",
-            metrics_line(&e)
-        );
+        if name == "faulted_mixed" {
+            want.insert(want.len() - 1, format!("{name}.faults"));
+        }
     }
-    let mut e = engine(512, 505, FailureModel::None);
-    for _ in 0..4 {
-        e.local_step(|v, st, rng| {
-            *st = fold_hash(*st, rng.gen::<u64>() ^ v as u64);
-            if rng.gen::<f64>() < 0.25 {
-                *st = st.rotate_right(3);
-            }
-        });
-    }
-    scenario("local_step", &mut e);
-    let mut e = engine(600, 606, FailureModel::uniform(0.2).unwrap());
-    for _ in 0..3 {
-        pull_rounds(&mut e, 1);
-        push_rounds(&mut e, 1);
-        push_pull_rounds(&mut e, 1);
-        let samples = e.collect_samples(2, |_, &s| s);
-        e.local_step(|v, st, rng| {
-            for &s in &samples[v] {
-                *st = fold_hash(*st, s);
-            }
-            if rng.gen::<f64>() < 0.25 {
-                *st = st.rotate_right(3);
-            }
-        });
-    }
-    scenario("mixed", &mut e);
-    let e = faulted_mixed(600, 909);
-    println!(
-        "faulted_mixed: metrics=\"{}\" faults=\"{}\" fp=\"{}\"",
-        metrics_line(&e),
-        fault_metrics_line(&e),
-        fingerprint(e.states())
-    );
-    let mut e = engine(20_000, 707, FailureModel::None);
-    pull_rounds(&mut e, 2);
-    push_rounds(&mut e, 2);
-    push_pull_rounds(&mut e, 2);
-    scenario("large", &mut e);
-    let mut e = engine(20_000, 808, FailureModel::uniform(0.25).unwrap());
-    pull_rounds(&mut e, 2);
-    push_rounds(&mut e, 2);
-    push_pull_rounds(&mut e, 2);
-    scenario("large_failures", &mut e);
+    file_keys.sort_unstable();
+    let mut want: Vec<&str> = want.iter().map(String::as_str).collect();
+    want.sort_unstable();
+    assert_eq!(file_keys, want);
 }

@@ -4,9 +4,9 @@
 //!
 //! 1. **Equivalence pins** — every `*_on` primitive, run over
 //!    [`ActiveSet::full`], reproduces the *same* golden fingerprints pinned in
-//!    `tests/golden.rs` for the dense engine. The constants are copied here
-//!    verbatim: if a dense refactor regenerates the pins, these must be
-//!    regenerated in the same commit (the scenarios are identical).
+//!    `tests/data/goldens.txt` for the dense engine (the scenarios are
+//!    identical, so both suites read the same keys; regenerate with
+//!    `cargo run -p gossip-net --example regen_goldens -- --write`).
 //! 2. **Property tests** — over partial active sets: inactive nodes are
 //!    untouched (pull), push receivers are exactly the reported set, sparse
 //!    and dense runs agree wherever dense activity is emulated with silent
@@ -15,88 +15,19 @@
 //! Every test runs at `par::num_threads()` workers, so CI's 1/2/8-thread
 //! matrix exercises the sparse dispatch at each thread count.
 
+#[path = "support/goldens.rs"]
+mod support;
+
 use gossip_net::{
     par, ActiveSet, ChurnModel, Engine, EngineConfig, FailureModel, FaultPlan, LossModel,
     RoundKind, StragglerModel,
 };
+use proptest::prelude::*;
 use rand::Rng;
-
-/// SplitMix64 finalizer (restated, as in `tests/golden.rs`).
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Order-sensitive fingerprint of a state vector (identical to golden.rs).
-fn fingerprint(states: &[u64]) -> String {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for (i, &s) in states.iter().enumerate() {
-        h = mix64(h ^ s ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    }
-    format!("{h:016x}")
-}
-
-/// Order-sensitive message fold (identical to golden.rs).
-fn fold_hash(state: u64, msg: u64) -> u64 {
-    (state.rotate_left(7) ^ msg).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
-/// Compact metrics fingerprint (identical to golden.rs).
-fn metrics_line(e: &Engine<u64>) -> String {
-    let m = e.metrics();
-    format!(
-        "r{} pa{} psa{} f{} d{} b{}",
-        m.rounds,
-        m.pulls_attempted,
-        m.pushes_attempted,
-        m.failed_operations,
-        m.messages_delivered,
-        m.bits_delivered
-    )
-}
-
-fn engine(n: usize, seed: u64, failure: FailureModel) -> Engine<u64> {
-    let config = EngineConfig::with_seed(seed).failure(failure);
-    let mut e = Engine::from_states((0..n as u64).map(|v| v.wrapping_mul(31)).collect(), config);
-    e.set_threads(par::num_threads());
-    e
-}
-
-fn sparse_pull_rounds(e: &mut Engine<u64>, active: &ActiveSet, rounds: usize) {
-    for _ in 0..rounds {
-        e.pull_round_on(
-            active,
-            |_, &s| s,
-            |_, st, pulled| {
-                if let Some(p) = pulled {
-                    *st = fold_hash(*st, p);
-                }
-            },
-        );
-    }
-}
-
-fn sparse_push_rounds(e: &mut Engine<u64>, active: &ActiveSet, rounds: usize) {
-    for _ in 0..rounds {
-        e.push_round_on(
-            active,
-            |v, &s| if v % 5 == 0 { None } else { Some(s) },
-            |_, st, msg| *st = fold_hash(*st, msg),
-            |_, st, delivered| {
-                if !delivered {
-                    *st = st.wrapping_add(1);
-                }
-            },
-        );
-    }
-}
-
-fn sparse_push_pull_rounds(e: &mut Engine<u64>, active: &ActiveSet, rounds: usize) {
-    for _ in 0..rounds {
-        e.push_pull_round_on(active, |_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
-    }
-}
+use support::{
+    chaos_plan, engine, fingerprint, fold_hash, metrics_line, pinned, sample_fp,
+    sparse_pull_rounds, sparse_push_pull_rounds, sparse_push_rounds,
+};
 
 // ---------------------------------------------------------------------------
 // Equivalence pins: sparse over the FULL set == the dense golden constants.
@@ -106,78 +37,64 @@ fn sparse_push_pull_rounds(e: &mut Engine<u64>, active: &ActiveSet, rounds: usiz
 fn full_set_pull_matches_dense_golden_pin() {
     let mut e = engine(512, 101, FailureModel::None);
     sparse_pull_rounds(&mut e, &ActiveSet::full(512), 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f0 d4096 b262144");
-    assert_eq!(fingerprint(e.states()), "ae3cc56cd1a65f40");
+    assert_eq!(metrics_line(&e), pinned("pull.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("pull.fp"));
 }
 
 #[test]
 fn full_set_pull_with_failures_matches_dense_golden_pin() {
     let mut e = engine(512, 101, FailureModel::uniform(0.3).unwrap());
     sparse_pull_rounds(&mut e, &ActiveSet::full(512), 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa0 f1208 d2888 b184832");
-    assert_eq!(fingerprint(e.states()), "5cc28a958ed5bb0b");
+    assert_eq!(metrics_line(&e), pinned("pull_failures.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("pull_failures.fp"));
 }
 
 #[test]
 fn full_set_push_matches_dense_golden_pin() {
     let mut e = engine(512, 202, FailureModel::None);
     sparse_push_rounds(&mut e, &ActiveSet::full(512), 8);
-    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f0 d3272 b209408");
-    assert_eq!(fingerprint(e.states()), "70bd75821469e779");
+    assert_eq!(metrics_line(&e), pinned("push.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push.fp"));
 }
 
 #[test]
 fn full_set_push_with_failures_matches_dense_golden_pin() {
     let mut e = engine(512, 202, FailureModel::uniform(0.3).unwrap());
     sparse_push_rounds(&mut e, &ActiveSet::full(512), 8);
-    assert_eq!(metrics_line(&e), "r8 pa0 psa3272 f1006 d2266 b145024");
-    assert_eq!(fingerprint(e.states()), "b26c113c63bb08b6");
+    assert_eq!(metrics_line(&e), pinned("push_failures.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push_failures.fp"));
 }
 
 #[test]
 fn full_set_push_pull_matches_dense_golden_pin() {
     let mut e = engine(512, 303, FailureModel::None);
     sparse_push_pull_rounds(&mut e, &ActiveSet::full(512), 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f0 d8192 b524288");
-    assert_eq!(fingerprint(e.states()), "db3b2d32aeb47638");
+    assert_eq!(metrics_line(&e), pinned("push_pull.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push_pull.fp"));
 }
 
 #[test]
 fn full_set_push_pull_with_failures_matches_dense_golden_pin() {
     let mut e = engine(512, 303, FailureModel::uniform(0.3).unwrap());
     sparse_push_pull_rounds(&mut e, &ActiveSet::full(512), 8);
-    assert_eq!(metrics_line(&e), "r8 pa4096 psa4096 f1190 d5812 b371968");
-    assert_eq!(fingerprint(e.states()), "a583e9ce52831840");
+    assert_eq!(metrics_line(&e), pinned("push_pull_failures.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("push_pull_failures.fp"));
 }
 
 #[test]
 fn full_set_collect_samples_matches_dense_golden_pin() {
     let mut e = engine(512, 404, FailureModel::None);
     let samples = e.collect_samples_on(&ActiveSet::full(512), 3, |_, &s| s);
-    let mut h = 0u64;
-    for bucket in &samples {
-        h = mix64(h ^ 0x5eed);
-        for &s in bucket {
-            h = mix64(h ^ s);
-        }
-    }
-    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f0 d1536 b98304");
-    assert_eq!(format!("{h:016x}"), "72f9976bf7245804");
+    assert_eq!(metrics_line(&e), pinned("collect.metrics"));
+    assert_eq!(sample_fp(&samples), pinned("collect.sample_fp"));
 }
 
 #[test]
 fn full_set_collect_samples_with_failures_matches_dense_golden_pin() {
     let mut e = engine(512, 404, FailureModel::uniform(0.4).unwrap());
     let samples = e.collect_samples_on(&ActiveSet::full(512), 3, |_, &s| s);
-    let mut h = 0u64;
-    for bucket in &samples {
-        h = mix64(h ^ 0x5eed);
-        for &s in bucket {
-            h = mix64(h ^ s);
-        }
-    }
-    assert_eq!(metrics_line(&e), "r3 pa1536 psa0 f636 d900 b57600");
-    assert_eq!(format!("{h:016x}"), "360c83eb4521da94");
+    assert_eq!(metrics_line(&e), pinned("collect_failures.metrics"));
+    assert_eq!(sample_fp(&samples), pinned("collect_failures.sample_fp"));
 }
 
 #[test]
@@ -192,8 +109,8 @@ fn full_set_local_step_matches_dense_golden_pin() {
             }
         });
     }
-    assert_eq!(metrics_line(&e), "r0 pa0 psa0 f0 d0 b0");
-    assert_eq!(fingerprint(e.states()), "c3d212c26e4f1768");
+    assert_eq!(metrics_line(&e), pinned("local_step.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("local_step.fp"));
 }
 
 #[test]
@@ -207,209 +124,82 @@ fn full_set_large_n_matches_dense_golden_pin() {
     sparse_pull_rounds(&mut e, &full, 2);
     sparse_push_rounds(&mut e, &full, 2);
     sparse_push_pull_rounds(&mut e, &full, 2);
-    assert_eq!(metrics_line(&e), "r6 pa80000 psa72000 f0 d152000 b9728000");
-    assert_eq!(fingerprint(e.states()), "dacf5252bb6fbfd3");
+    assert_eq!(metrics_line(&e), pinned("large.metrics"));
+    assert_eq!(fingerprint(e.states()), pinned("large.fp"));
 }
 
 // ---------------------------------------------------------------------------
 // Property tests over partial active sets.
+//
+// Generated by the `proptest` harness (seeded, shrink-on-failure): network
+// size, seed and active-set shape are drawn per case instead of being fixed
+// constants, so the invariants are exercised across many subset geometries.
+// Override the generator seed with `PROPTEST_SEED`.
 // ---------------------------------------------------------------------------
 
-/// A dense run in which inactive nodes are *explicitly* idle must match the
-/// sparse run over the active subset exactly: dense push with `make -> None`
-/// for inactive nodes draws nothing for them, which is precisely what the
-/// sparse path skips.
-#[test]
-fn sparse_push_matches_dense_with_silent_inactive_senders() {
-    let n = 1000;
-    let active = ActiveSet::from_fn(n, |v| v % 3 == 0);
-    let is_active = |v: usize| v % 3 == 0;
+proptest! {
+    /// A dense run in which inactive nodes are *explicitly* idle must match
+    /// the sparse run over the active subset exactly: dense push with
+    /// `make -> None` for inactive nodes draws nothing for them, which is
+    /// precisely what the sparse path skips.
+    fn sparse_push_matches_dense_with_silent_inactive_senders(
+        n in 16usize..600,
+        seed in 0u64..1_000_000,
+        m in 2usize..8,
+    ) {
+        let active = ActiveSet::from_fn(n, |v| v % m == 0);
+        let is_active = |v: usize| v % m == 0;
 
-    let mut dense = engine(n, 99, FailureModel::uniform(0.2).unwrap());
-    for _ in 0..5 {
-        dense.push_round(
-            |v, &s| if is_active(v) { Some(s) } else { None },
-            |_, st, msg| *st = fold_hash(*st, msg),
-            |v, st, delivered| {
-                if is_active(v) && !delivered {
-                    *st = st.wrapping_add(1);
-                }
-            },
-        );
-    }
-
-    let mut sparse = engine(n, 99, FailureModel::uniform(0.2).unwrap());
-    for _ in 0..5 {
-        sparse.push_round_on(
-            &active,
-            |_, &s| Some(s),
-            |_, st, msg| *st = fold_hash(*st, msg),
-            |_, st, delivered| {
-                if !delivered {
-                    *st = st.wrapping_add(1);
-                }
-            },
-        );
-    }
-
-    assert_eq!(dense.states(), sparse.states());
-    let (dm, sm) = (dense.metrics(), sparse.metrics());
-    assert_eq!(dm.pushes_attempted, sm.pushes_attempted);
-    assert_eq!(dm.messages_delivered, sm.messages_delivered);
-    assert_eq!(dm.failed_operations, sm.failed_operations);
-    // The *activity* accounting differs by design: dense rounds count n
-    // participants, sparse rounds count the active-set size.
-    assert_eq!(dm.active_nodes_total, 5 * n as u64);
-    assert_eq!(sm.active_nodes_total, 5 * active.len() as u64);
-    assert_eq!(sm.max_active, active.len() as u64);
-}
-
-#[test]
-fn sparse_pull_leaves_inactive_nodes_untouched() {
-    let n = 600;
-    let active = ActiveSet::from_members(n, (0..n).filter(|v| v % 7 == 1)).unwrap();
-    let mut e = engine(n, 5, FailureModel::None);
-    let before = e.states().to_vec();
-    for _ in 0..4 {
-        e.pull_round_on(
-            &active,
-            |_, &s| s,
-            |_, st, p| {
-                if let Some(p) = p {
-                    *st = fold_hash(*st, p);
-                }
-            },
-        );
-    }
-    let mut changed = 0;
-    for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
-        if active.contains(v) {
-            changed += usize::from(a != b);
-        } else {
-            assert_eq!(a, b, "inactive node {v} was written");
-        }
-    }
-    // Pulling folds a hash; active nodes all change with overwhelming
-    // probability.
-    assert_eq!(changed, active.len());
-    assert_eq!(
-        e.metrics().active_of(RoundKind::Pull),
-        4 * active.len() as u64
-    );
-}
-
-#[test]
-fn sparse_push_reports_exactly_the_changed_receivers() {
-    let n = 800;
-    let active = ActiveSet::from_members(n, (0..40).map(|j| j * 17)).unwrap();
-    let mut e = Engine::from_states(vec![0u64; n], EngineConfig::with_seed(31));
-    e.set_threads(par::num_threads());
-    let before = e.states().to_vec();
-    let out = e.push_round_on(
-        &active,
-        |v, _| Some(v as u64 + 1),
-        |_, st, msg| *st += msg,
-        |_, _, _| {},
-    );
-    assert_eq!(out.failed, 0);
-    // Receivers are sorted, unique, and exactly the nodes whose state moved.
-    assert!(out.receivers.windows(2).all(|w| w[0] < w[1]));
-    for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
-        assert_eq!(a != b, out.receivers.contains(&v), "node {v}");
-    }
-    // Conservation: every active sender's message landed somewhere.
-    let total: u64 = e.states().iter().sum();
-    let expected: u64 = active.iter().map(|v| v as u64 + 1).sum();
-    assert_eq!(total, expected);
-}
-
-#[test]
-fn sparse_push_pull_only_actives_pull_but_anyone_receives() {
-    let n = 400;
-    let active = ActiveSet::from_members(n, (0..20).map(|j| j * 3)).unwrap();
-    let mut e = Engine::from_states(vec![Vec::<u64>::new(); n], EngineConfig::with_seed(77));
-    e.set_threads(par::num_threads());
-    let out = e.push_pull_round_on(&active, |t, _| t as u64, |_, st, msg| st.push(msg));
-    assert_eq!(out.failed, 0);
-    for (v, st) in e.states().iter().enumerate() {
-        let pulled = usize::from(active.contains(v));
-        let pushed = usize::from(out.receivers.contains(&v));
-        assert_eq!(
-            st.len(),
-            pulled + pushed,
-            "node {v}: merges expected from pull={pulled} push={pushed}"
-        );
-    }
-    let m = e.metrics();
-    assert_eq!(m.pulls_attempted, active.len() as u64);
-    assert_eq!(m.pushes_attempted, active.len() as u64);
-    assert_eq!(m.active_of(RoundKind::PushPull), active.len() as u64);
-}
-
-#[test]
-fn collect_samples_on_returns_compact_buckets() {
-    let n = 300;
-    let active = ActiveSet::from_members(n, [5, 17, 100, 299]).unwrap();
-    let mut e = engine(n, 23, FailureModel::None);
-    let initial = e.states().to_vec();
-    let samples = e.collect_samples_on(&active, 3, |_, &s| s);
-    assert_eq!(samples.len(), active.len());
-    assert!(samples.iter().all(|b| b.len() == 3));
-    assert_eq!(e.metrics().rounds, 3);
-    assert_eq!(e.metrics().active_nodes_total, 3 * active.len() as u64);
-    // Rank lookup maps node ids into the compact layout.
-    assert_eq!(active.rank(100), Some(2));
-    // States untouched.
-    assert_eq!(e.states(), initial.as_slice());
-}
-
-#[test]
-fn local_step_on_runs_only_the_members() {
-    let n = 128;
-    let active = ActiveSet::from_fn(n, |v| v < 10);
-    let mut e = engine(n, 1, FailureModel::None);
-    let before = e.states().to_vec();
-    e.local_step_on(&active, |v, st, _| *st = v as u64);
-    for (v, &b) in before.iter().enumerate() {
-        if v < 10 {
-            assert_eq!(e.states()[v], v as u64);
-        } else {
-            assert_eq!(e.states()[v], b);
-        }
-    }
-}
-
-#[test]
-fn empty_active_set_rounds_are_no_ops_that_still_count_rounds() {
-    let n = 64;
-    let empty = ActiveSet::from_members(n, std::iter::empty()).unwrap();
-    let mut e = engine(n, 2, FailureModel::None);
-    let before = e.states().to_vec();
-    let failed = e.pull_round_on(&empty, |_, &s| s, |_, _, _| {});
-    assert_eq!(failed, 0);
-    let out = e.push_round_on(&empty, |_, &s| Some(s), |_, _, _| {}, |_, _, _| {});
-    assert!(out.receivers.is_empty());
-    assert_eq!(e.states(), before.as_slice());
-    assert_eq!(e.round(), 2);
-    assert_eq!(e.metrics().rounds, 2);
-    assert_eq!(e.metrics().active_nodes_total, 0);
-    assert_eq!(e.metrics().max_active, 0);
-}
-
-#[test]
-fn sparse_and_dense_rounds_interleave_freely() {
-    // The copy-on-write commit must leave the front buffer fully current, so
-    // a dense round after a sparse one (and vice versa) sees every node's
-    // latest value. Compare against an all-dense emulation.
-    let n = 500;
-    let active = ActiveSet::from_fn(n, |v| v % 4 == 0);
-    let is_active = |v: usize| v % 4 == 0;
-
-    let run_mixed = |sparse: bool| {
-        let mut e = engine(n, 404, FailureModel::uniform(0.1).unwrap());
+        let mut dense = engine(n, seed, FailureModel::uniform(0.2).unwrap());
         for _ in 0..3 {
-            // Dense pull (all nodes).
-            e.pull_round(
+            dense.push_round(
+                |v, &s| if is_active(v) { Some(s) } else { None },
+                |_, st, msg| *st = fold_hash(*st, msg),
+                |v, st, delivered| {
+                    if is_active(v) && !delivered {
+                        *st = st.wrapping_add(1);
+                    }
+                },
+            );
+        }
+
+        let mut sparse = engine(n, seed, FailureModel::uniform(0.2).unwrap());
+        for _ in 0..3 {
+            sparse.push_round_on(
+                &active,
+                |_, &s| Some(s),
+                |_, st, msg| *st = fold_hash(*st, msg),
+                |_, st, delivered| {
+                    if !delivered {
+                        *st = st.wrapping_add(1);
+                    }
+                },
+            );
+        }
+
+        prop_assert_eq!(dense.states(), sparse.states());
+        let (dm, sm) = (dense.metrics(), sparse.metrics());
+        prop_assert_eq!(dm.pushes_attempted, sm.pushes_attempted);
+        prop_assert_eq!(dm.messages_delivered, sm.messages_delivered);
+        prop_assert_eq!(dm.failed_operations, sm.failed_operations);
+        // The *activity* accounting differs by design: dense rounds count n
+        // participants, sparse rounds count the active-set size.
+        prop_assert_eq!(dm.active_nodes_total, 3 * n as u64);
+        prop_assert_eq!(sm.active_nodes_total, 3 * active.len() as u64);
+        prop_assert_eq!(sm.max_active, active.len() as u64);
+    }
+
+    fn sparse_pull_leaves_inactive_nodes_untouched(
+        n in 16usize..600,
+        seed in 0u64..1_000_000,
+        m in 2usize..9,
+    ) {
+        let active = ActiveSet::from_members(n, (0..n).filter(|v| v % m == 1)).unwrap();
+        let mut e = engine(n, seed, FailureModel::None);
+        let before = e.states().to_vec();
+        for _ in 0..3 {
+            e.pull_round_on(
+                &active,
                 |_, &s| s,
                 |_, st, p| {
                     if let Some(p) = p {
@@ -417,38 +207,255 @@ fn sparse_and_dense_rounds_interleave_freely() {
                     }
                 },
             );
-            // Sparse push from the subset vs dense push with silent others.
-            if sparse {
-                e.push_round_on(
-                    &active,
-                    |_, &s| Some(s),
-                    |_, st, msg| *st = fold_hash(*st, msg),
-                    |_, _, _| {},
-                );
+        }
+        let mut changed = 0;
+        for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
+            if active.contains(v) {
+                changed += usize::from(a != b);
             } else {
-                e.push_round(
-                    |v, &s| if is_active(v) { Some(s) } else { None },
-                    |_, st, msg| *st = fold_hash(*st, msg),
-                    |_, _, _| {},
-                );
+                prop_assert_eq!(a, b, "inactive node {} was written", v);
             }
         }
-        e.into_states()
-    };
-    assert_eq!(run_mixed(true), run_mixed(false));
+        // Pulling folds a hash; active nodes all change with overwhelming
+        // probability.
+        prop_assert_eq!(changed, active.len());
+        prop_assert_eq!(e.metrics().active_of(RoundKind::Pull), 3 * active.len() as u64);
+    }
+
+    fn sparse_push_reports_exactly_the_changed_receivers(
+        n in 32usize..800,
+        seed in 0u64..1_000_000,
+        stride in 1usize..20,
+    ) {
+        let active = ActiveSet::from_members(n, (0..n).step_by(stride)).unwrap();
+        let mut e = Engine::from_states(vec![0u64; n], EngineConfig::with_seed(seed));
+        e.set_threads(par::num_threads());
+        let before = e.states().to_vec();
+        let out = e.push_round_on(
+            &active,
+            |v, _| Some(v as u64 + 1),
+            |_, st, msg| *st += msg,
+            |_, _, _| {},
+        );
+        prop_assert_eq!(out.failed, 0);
+        // Receivers are sorted, unique, and exactly the nodes whose state
+        // moved.
+        prop_assert!(out.receivers.windows(2).all(|w| w[0] < w[1]));
+        for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
+            prop_assert_eq!(a != b, out.receivers.contains(&v), "node {}", v);
+        }
+        // Conservation: every active sender's message landed somewhere.
+        let total: u64 = e.states().iter().sum();
+        let expected: u64 = active.iter().map(|v| v as u64 + 1).sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    fn sparse_push_pull_only_actives_pull_but_anyone_receives(
+        n in 16usize..400,
+        seed in 0u64..1_000_000,
+        stride in 1usize..12,
+    ) {
+        let active = ActiveSet::from_members(n, (0..n).step_by(stride)).unwrap();
+        let mut e = Engine::from_states(vec![Vec::<u64>::new(); n], EngineConfig::with_seed(seed));
+        e.set_threads(par::num_threads());
+        let out = e.push_pull_round_on(&active, |t, _| t as u64, |_, st, msg| st.push(msg));
+        prop_assert_eq!(out.failed, 0);
+        // Each active node merges exactly its one pulled message; every push
+        // lands on some node (possibly colliding), so the merge count is
+        // conserved at two per active node.
+        let merges: usize = e.states().iter().map(Vec::len).sum();
+        prop_assert_eq!(merges, 2 * active.len());
+        for (v, st) in e.states().iter().enumerate() {
+            let pulled = usize::from(active.contains(v));
+            let pushed = usize::from(out.receivers.contains(&v));
+            prop_assert!(
+                st.len() >= pulled + pushed,
+                "node {}: expected at least pull={} push={} merges, got {}",
+                v, pulled, pushed, st.len()
+            );
+            if !active.contains(v) && !out.receivers.contains(&v) {
+                prop_assert!(st.is_empty(), "idle node {} was written", v);
+            }
+        }
+        let m = e.metrics();
+        prop_assert_eq!(m.pulls_attempted, active.len() as u64);
+        prop_assert_eq!(m.pushes_attempted, active.len() as u64);
+        prop_assert_eq!(m.active_of(RoundKind::PushPull), active.len() as u64);
+    }
+
+    fn collect_samples_on_returns_compact_buckets(
+        dims in (8usize..300, 0u64..1_000_000),
+        k in 1usize..5,
+        raw in collection::vec(0u64..100_000, 1..12),
+    ) {
+        let (n, seed) = dims;
+        let active = ActiveSet::from_members(n, raw.iter().map(|&r| r as usize % n)).unwrap();
+        let mut e = engine(n, seed, FailureModel::None);
+        let initial = e.states().to_vec();
+        let samples = e.collect_samples_on(&active, k, |_, &s| s);
+        prop_assert_eq!(samples.len(), active.len());
+        prop_assert!(samples.iter().all(|b| b.len() == k));
+        prop_assert_eq!(e.metrics().rounds, k as u64);
+        prop_assert_eq!(e.metrics().active_nodes_total, (k * active.len()) as u64);
+        // Rank lookup maps node ids into the compact layout.
+        for (r, v) in active.iter().enumerate() {
+            prop_assert_eq!(active.rank(v), Some(r));
+        }
+        // States untouched.
+        prop_assert_eq!(e.states(), initial.as_slice());
+    }
+
+    fn local_step_on_runs_only_the_members(
+        n in 16usize..256,
+        seed in 0u64..1_000_000,
+        cut in 1usize..16,
+    ) {
+        let active = ActiveSet::from_fn(n, |v| v < cut);
+        let mut e = engine(n, seed, FailureModel::None);
+        let before = e.states().to_vec();
+        e.local_step_on(&active, |v, st, _| *st = v as u64);
+        for (v, &b) in before.iter().enumerate() {
+            if v < cut {
+                prop_assert_eq!(e.states()[v], v as u64);
+            } else {
+                prop_assert_eq!(e.states()[v], b);
+            }
+        }
+    }
+
+    fn empty_active_set_rounds_are_no_ops_that_still_count_rounds(
+        n in 2usize..128,
+        seed in 0u64..1_000_000,
+    ) {
+        let empty = ActiveSet::from_members(n, std::iter::empty()).unwrap();
+        let mut e = engine(n, seed, FailureModel::None);
+        let before = e.states().to_vec();
+        let failed = e.pull_round_on(&empty, |_, &s| s, |_, _, _| {});
+        prop_assert_eq!(failed, 0);
+        let out = e.push_round_on(&empty, |_, &s| Some(s), |_, _, _| {}, |_, _, _| {});
+        prop_assert!(out.receivers.is_empty());
+        prop_assert_eq!(e.states(), before.as_slice());
+        prop_assert_eq!(e.round(), 2);
+        prop_assert_eq!(e.metrics().rounds, 2);
+        prop_assert_eq!(e.metrics().active_nodes_total, 0);
+        prop_assert_eq!(e.metrics().max_active, 0);
+    }
+
+    /// The copy-on-write commit must leave the front buffer fully current, so
+    /// a dense round after a sparse one (and vice versa) sees every node's
+    /// latest value. Compare against an all-dense emulation.
+    fn sparse_and_dense_rounds_interleave_freely(
+        n in 16usize..500,
+        seed in 0u64..1_000_000,
+        m in 2usize..8,
+    ) {
+        let active = ActiveSet::from_fn(n, |v| v % m == 0);
+        let is_active = |v: usize| v % m == 0;
+
+        let run_mixed = |sparse: bool| {
+            let mut e = engine(n, seed, FailureModel::uniform(0.1).unwrap());
+            for _ in 0..2 {
+                // Dense pull (all nodes).
+                e.pull_round(
+                    |_, &s| s,
+                    |_, st, p| {
+                        if let Some(p) = p {
+                            *st = fold_hash(*st, p);
+                        }
+                    },
+                );
+                // Sparse push from the subset vs dense push with silent
+                // others.
+                if sparse {
+                    e.push_round_on(
+                        &active,
+                        |_, &s| Some(s),
+                        |_, st, msg| *st = fold_hash(*st, msg),
+                        |_, _, _| {},
+                    );
+                } else {
+                    e.push_round(
+                        |v, &s| if is_active(v) { Some(s) } else { None },
+                        |_, st, msg| *st = fold_hash(*st, msg),
+                        |_, _, _| {},
+                    );
+                }
+            }
+            e.into_states()
+        };
+        prop_assert_eq!(run_mixed(true), run_mixed(false));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ActiveSet algebra: union_sorted / rank against the dense bitmap oracle.
+// ---------------------------------------------------------------------------
+
+/// Reduces a raw draw to a strictly increasing member list in `0..n`.
+fn sorted_members(n: usize, raw: &[u64]) -> Vec<usize> {
+    let mut m: Vec<usize> = raw.iter().map(|&r| r as usize % n).collect();
+    m.sort_unstable();
+    m.dedup();
+    m
+}
+
+proptest! {
+    fn union_sorted_matches_from_members_and_is_idempotent(
+        n in 1usize..512,
+        raw in collection::vec(0u64..100_000, 0..64),
+    ) {
+        let members = sorted_members(n, &raw);
+        let expect = ActiveSet::from_members(n, members.iter().copied()).unwrap();
+        let mut set = ActiveSet::from_members(n, std::iter::empty()).unwrap();
+        set.union_sorted(&members);
+        prop_assert_eq!(&set, &expect);
+        // Unioning the same list again changes nothing.
+        set.union_sorted(&members);
+        prop_assert_eq!(&set, &expect);
+    }
+
+    fn union_sorted_commutes_and_agrees_with_the_dense_bitmap(
+        n in 1usize..512,
+        raw_a in collection::vec(0u64..100_000, 0..48),
+        raw_b in collection::vec(0u64..100_000, 0..48),
+    ) {
+        let a = sorted_members(n, &raw_a);
+        let b = sorted_members(n, &raw_b);
+        let mut ab = ActiveSet::from_members(n, a.iter().copied()).unwrap();
+        ab.union_sorted(&b);
+        let mut ba = ActiveSet::from_members(n, b.iter().copied()).unwrap();
+        ba.union_sorted(&a);
+        prop_assert_eq!(&ab, &ba);
+        let dense = ActiveSet::from_fn(n, |v| {
+            a.binary_search(&v).is_ok() || b.binary_search(&v).is_ok()
+        });
+        prop_assert_eq!(&ab, &dense);
+    }
+
+    fn rank_is_the_position_in_indices(
+        n in 1usize..400,
+        raw in collection::vec(0u64..100_000, 0..64),
+    ) {
+        let members = sorted_members(n, &raw);
+        let set = ActiveSet::from_members(n, members.iter().copied()).unwrap();
+        for (r, v) in set.iter().enumerate() {
+            prop_assert_eq!(set.rank(v), Some(r));
+        }
+        for v in 0..n {
+            if !set.contains(v) {
+                prop_assert_eq!(set.rank(v), None);
+            }
+        }
+        // `indices()` and `iter()` agree and are strictly increasing.
+        let ids = set.indices();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(ids.len(), members.len());
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Fault-active scenarios: the sparse faulty paths against the dense ones.
 // ---------------------------------------------------------------------------
-
-fn chaos_plan() -> FaultPlan {
-    FaultPlan::none()
-        .with_churn(ChurnModel::with_rejoin(0.1, 2).unwrap())
-        .with_loss(LossModel::uniform(0.15).unwrap())
-        .with_stragglers(StragglerModel::uniform(0.2, 2).unwrap())
-        .with_failure(FailureModel::uniform(0.1).unwrap())
-}
 
 fn fault_engine(n: usize, seed: u64) -> Engine<u64> {
     let config = EngineConfig::with_seed(seed).fault(chaos_plan());
@@ -462,11 +469,24 @@ fn fault_engine(n: usize, seed: u64) -> Engine<u64> {
 /// trajectories must be bit-identical — including the straggler buffers.
 #[test]
 fn full_set_fault_rounds_match_dense_fault_rounds() {
-    let n = 1000;
+    full_vs_dense_fault_case(1000, 77).unwrap();
+}
+
+proptest! {
+    /// The same full-set/dense equivalence, over generated sizes and seeds.
+    fn full_set_fault_rounds_match_dense_fault_rounds_generated(
+        n in 200usize..1000,
+        seed in 0u64..1_000_000,
+    ) {
+        full_vs_dense_fault_case(n, seed)?;
+    }
+}
+
+fn full_vs_dense_fault_case(n: usize, seed: u64) -> proptest::TestCaseResult {
     let full = ActiveSet::full(n);
 
-    let mut dense = fault_engine(n, 77);
-    let mut sparse = fault_engine(n, 77);
+    let mut dense = fault_engine(n, seed);
+    let mut sparse = fault_engine(n, seed);
     for _ in 0..4 {
         dense.pull_round(
             |_, &s| s,
@@ -508,76 +528,82 @@ fn full_set_fault_rounds_match_dense_fault_rounds() {
         sparse.push_pull_round_on(&full, |_, &s| s, |_, st, msg| *st = fold_hash(*st, msg));
     }
 
-    assert_eq!(dense.states(), sparse.states());
-    assert_eq!(dense.crashed_nodes(), sparse.crashed_nodes());
-    assert_eq!(dense.delayed_in_flight(), sparse.delayed_in_flight());
+    prop_assert_eq!(dense.states(), sparse.states());
+    prop_assert_eq!(dense.crashed_nodes(), sparse.crashed_nodes());
+    prop_assert_eq!(dense.delayed_in_flight(), sparse.delayed_in_flight());
     let (dm, sm) = (dense.metrics(), sparse.metrics());
-    assert!(dm.crashed_operations > 0, "churn did not fire");
-    assert!(dm.messages_dropped > 0, "loss did not fire");
-    assert!(dm.messages_delayed > 0, "stragglers did not fire");
-    assert_eq!(dm.crashed_operations, sm.crashed_operations);
-    assert_eq!(dm.messages_dropped, sm.messages_dropped);
-    assert_eq!(dm.messages_delayed, sm.messages_delayed);
-    assert_eq!(dm.messages_delivered, sm.messages_delivered);
-    assert_eq!(dm.failed_operations, sm.failed_operations);
+    prop_assert!(dm.crashed_operations > 0, "churn did not fire");
+    prop_assert!(dm.messages_dropped > 0, "loss did not fire");
+    prop_assert!(dm.messages_delayed > 0, "stragglers did not fire");
+    prop_assert_eq!(dm.crashed_operations, sm.crashed_operations);
+    prop_assert_eq!(dm.messages_dropped, sm.messages_dropped);
+    prop_assert_eq!(dm.messages_delayed, sm.messages_delayed);
+    prop_assert_eq!(dm.messages_delivered, sm.messages_delivered);
+    prop_assert_eq!(dm.failed_operations, sm.failed_operations);
+    Ok(())
 }
 
-/// Under stragglers, a sparse push round's reported receivers include the
-/// late arrivals drained that round — still sorted, unique, and exactly the
-/// nodes whose state changed.
-#[test]
-fn sparse_push_receivers_include_drained_stragglers() {
-    let n = 600;
-    let active = ActiveSet::from_fn(n, |v| v % 3 == 0);
-    let plan = FaultPlan::none().with_stragglers(StragglerModel::uniform(0.5, 1).unwrap());
-    let mut e = Engine::from_states(vec![0u64; n], EngineConfig::with_seed(13).fault(plan));
-    e.set_threads(par::num_threads());
-    let mut total_received = 0u64;
-    for _ in 0..4 {
-        let before = e.states().to_vec();
-        let out = e.push_round_on(
-            &active,
-            |_, _| Some(1u64),
-            |_, st, msg| *st += msg,
-            |_, _, _| {},
-        );
-        assert!(out.receivers.windows(2).all(|w| w[0] < w[1]));
-        for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
-            assert_eq!(a != b, out.receivers.contains(&v), "node {v}");
+proptest! {
+    /// Under stragglers, a sparse push round's reported receivers include the
+    /// late arrivals drained that round — still sorted, unique, and exactly
+    /// the nodes whose state changed.
+    fn sparse_push_receivers_include_drained_stragglers(
+        n in 90usize..600,
+        seed in 0u64..1_000_000,
+    ) {
+        let active = ActiveSet::from_fn(n, |v| v % 3 == 0);
+        let plan = FaultPlan::none().with_stragglers(StragglerModel::uniform(0.5, 1).unwrap());
+        let mut e = Engine::from_states(vec![0u64; n], EngineConfig::with_seed(seed).fault(plan));
+        e.set_threads(par::num_threads());
+        let mut total_received = 0u64;
+        for _ in 0..4 {
+            let before = e.states().to_vec();
+            let out = e.push_round_on(
+                &active,
+                |_, _| Some(1u64),
+                |_, st, msg| *st += msg,
+                |_, _, _| {},
+            );
+            prop_assert!(out.receivers.windows(2).all(|w| w[0] < w[1]));
+            for (v, (&b, &a)) in before.iter().zip(e.states()).enumerate() {
+                prop_assert_eq!(a != b, out.receivers.contains(&v), "node {}", v);
+            }
+            total_received = e.states().iter().sum();
         }
-        total_received = e.states().iter().sum();
+        // Every delivery (in-round or drained) incremented exactly one
+        // counter.
+        prop_assert_eq!(total_received, e.metrics().messages_delivered);
+        // With delay 1 and four rounds, something straggled and something
+        // drained.
+        prop_assert!(e.metrics().messages_delayed > 0);
+        prop_assert!(total_received > 0);
     }
-    // Every delivery (in-round or drained) incremented exactly one counter.
-    assert_eq!(total_received, e.metrics().messages_delivered);
-    // With delay 1 and four rounds, something straggled and something
-    // drained.
-    assert!(e.metrics().messages_delayed > 0);
-    assert!(total_received > 0);
-}
 
-/// Sparse collect_samples under churn and loss: buckets stay within `k`,
-/// states untouched, and the crashed set is visible mid-protocol.
-#[test]
-fn collect_samples_on_under_faults_thins_buckets() {
-    let n = 500;
-    let active = ActiveSet::from_fn(n, |v| v % 2 == 0);
-    let plan = FaultPlan::none()
-        .with_churn(ChurnModel::with_rejoin(0.2, 1).unwrap())
-        .with_loss(LossModel::uniform(0.3).unwrap());
-    let mut e = Engine::from_states(
-        (0..n as u64).collect(),
-        EngineConfig::with_seed(29).fault(plan),
-    );
-    e.set_threads(par::num_threads());
-    let initial = e.states().to_vec();
-    let samples = e.collect_samples_on(&active, 4, |_, &s| s);
-    assert_eq!(samples.len(), active.len());
-    assert!(samples.iter().all(|b| b.len() <= 4));
-    let total: usize = samples.iter().map(Vec::len).sum();
-    assert!(total < 4 * active.len());
-    assert!(total > 0);
-    assert_eq!(e.states(), initial.as_slice());
-    assert!(e.metrics().messages_dropped > 0);
+    /// Sparse collect_samples under churn and loss: buckets stay within `k`,
+    /// states untouched, and the crashed set is visible mid-protocol.
+    fn collect_samples_on_under_faults_thins_buckets(
+        n in 100usize..500,
+        seed in 0u64..1_000_000,
+    ) {
+        let active = ActiveSet::from_fn(n, |v| v % 2 == 0);
+        let plan = FaultPlan::none()
+            .with_churn(ChurnModel::with_rejoin(0.2, 1).unwrap())
+            .with_loss(LossModel::uniform(0.3).unwrap());
+        let mut e = Engine::from_states(
+            (0..n as u64).collect(),
+            EngineConfig::with_seed(seed).fault(plan),
+        );
+        e.set_threads(par::num_threads());
+        let initial = e.states().to_vec();
+        let samples = e.collect_samples_on(&active, 4, |_, &s| s);
+        prop_assert_eq!(samples.len(), active.len());
+        prop_assert!(samples.iter().all(|b| b.len() <= 4));
+        let total: usize = samples.iter().map(Vec::len).sum();
+        prop_assert!(total < 4 * active.len());
+        prop_assert!(total > 0);
+        prop_assert_eq!(e.states(), initial.as_slice());
+        prop_assert!(e.metrics().messages_dropped > 0);
+    }
 }
 
 #[test]

@@ -19,6 +19,7 @@
 //! | [`three_tournament::run`] | Algorithm 2 (3-TOURNAMENT), Lemmas 2.12–2.17 | 3 per iteration |
 //! | [`schedule::TwoTournamentSchedule`] | the `h_{i+1} = h_i²` recursion, Lemma 2.2 | — |
 //! | [`schedule::ThreeTournamentSchedule`] | the `h_{i+1} = 3h_i² − 2h_i³` recursion, Lemma 2.12 | — |
+//! | [`service::QuantileService`] | Theorems 1.2/1.3, amortised over a query *vector* | `O((log log n + log 1/ε)/q)` per query |
 //!
 //! The full entry-point-by-theorem map — including the Appendix A baselines
 //! living in the `baselines` crate — is `docs/paper-map.md` in the repository
@@ -68,6 +69,7 @@ pub mod exact;
 pub mod own_rank;
 pub mod robust;
 pub mod schedule;
+pub mod service;
 pub mod three_tournament;
 pub mod two_tournament;
 
@@ -80,6 +82,9 @@ pub use own_rank::{estimate_own_quantiles, OwnRankConfig, OwnRankOutcome};
 pub use robust::{robust_approximate_quantile, RobustConfig, RobustOutcome};
 pub use schedule::{
     AdaptiveRoundBudget, ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule,
+};
+pub use service::{
+    EpochMode, QuantileQuery, QuantileService, QueryCost, ServiceConfig, ServiceOutcome,
 };
 pub use three_tournament::FinalVote;
 

@@ -230,17 +230,28 @@ impl AdaptiveRoundBudget {
 
     /// A tracker seeded with a prior estimate (e.g. a fault plan's
     /// analytical `mu_upper_bound`), refined by observations.
+    ///
+    /// A NaN prior is treated as "no information" and becomes `μ̂ = 0`.
     pub fn with_initial_mu(mu: f64) -> Self {
         AdaptiveRoundBudget {
-            mu_hat: mu.clamp(0.0, 0.99),
+            mu_hat: clamp_rate(mu),
             smoothing: 0.5,
             observed: false,
         }
     }
 
     /// Folds one iteration's observed disturbance rate into the estimate.
+    ///
+    /// Rates are clamped to `[0, 0.99]`; a NaN rate (e.g. a disturbance
+    /// ratio computed over zero attempts upstream of
+    /// [`gossip_net::Metrics::disturbance_rate`]'s own guard) is ignored
+    /// outright rather than poisoning the EMA — `f64::clamp` propagates NaN,
+    /// so clamping alone would make `μ̂` and every derived budget NaN forever.
     pub fn observe(&mut self, rate: f64) {
-        let rate = rate.clamp(0.0, 0.99);
+        if rate.is_nan() {
+            return;
+        }
+        let rate = clamp_rate(rate);
         if self.observed {
             self.mu_hat = (1.0 - self.smoothing) * self.mu_hat + self.smoothing * rate;
         } else {
@@ -271,6 +282,16 @@ impl Default for AdaptiveRoundBudget {
 /// Hard cap on schedule lengths, far above anything the lemmas allow; purely a
 /// guard against pathological floating-point behaviour.
 const MAX_SCHEDULE_LEN: usize = 4096;
+
+/// Clamps a failure-rate observation to `[0, 0.99]`, mapping NaN to 0 (no
+/// information) instead of letting `f64::clamp` propagate it.
+fn clamp_rate(rate: f64) -> f64 {
+    if rate.is_nan() {
+        0.0
+    } else {
+        rate.clamp(0.0, 0.99)
+    }
+}
 
 pub(crate) fn validate_phi_epsilon(phi: f64, epsilon: f64) -> Result<()> {
     if !(0.0..=1.0).contains(&phi) {
@@ -438,6 +459,105 @@ mod tests {
         seeded.observe(5.0);
         assert!(seeded.mu_hat() <= 0.99);
         assert!(seeded.inflation().is_finite());
+    }
+
+    #[test]
+    fn adaptive_budget_mu_zero_boundary_is_exact() {
+        // μ̂ → 0: a long run of clean iterations must drive the estimate to
+        // (exactly representable fractions of) zero and keep the compensation
+        // factor at its fault-free floor of 1, never below.
+        let mut b = AdaptiveRoundBudget::with_initial_mu(0.8);
+        b.observe(0.0);
+        assert_eq!(b.mu_hat(), 0.0);
+        assert_eq!(b.inflation(), 1.0);
+        for _ in 0..128 {
+            b.observe(0.0);
+            assert_eq!(b.mu_hat(), 0.0);
+            assert_eq!(b.inflation(), 1.0);
+        }
+        // Negative "rates" (impossible upstream, but the clamp is the
+        // contract) cannot push the estimate below zero either.
+        b.observe(-3.5);
+        assert_eq!(b.mu_hat(), 0.0);
+        assert!(b.inflation() >= 1.0);
+    }
+
+    #[test]
+    fn adaptive_budget_mu_one_boundary_stays_finite() {
+        // μ̂ ≥ 1: total-disturbance observations are clamped to 0.99, so the
+        // inflation factor saturates at 100 instead of diverging.
+        let mut b = AdaptiveRoundBudget::new();
+        for rate in [1.0, 1.5, f64::INFINITY, f64::MAX] {
+            b.observe(rate);
+            assert!(b.mu_hat() <= 0.99, "rate {rate} escaped the clamp");
+            assert!(b.inflation().is_finite());
+            assert!(b.inflation() <= 100.0 + 1e-9);
+        }
+        // Saturated estimate decays once clean iterations return.
+        let saturated = b.mu_hat();
+        b.observe(0.0);
+        assert!(b.mu_hat() < saturated);
+        // The prior constructor obeys the same boundary.
+        let b = AdaptiveRoundBudget::with_initial_mu(f64::INFINITY);
+        assert_eq!(b.mu_hat(), 0.99);
+        assert!(b.inflation().is_finite());
+        let b = AdaptiveRoundBudget::with_initial_mu(-1.0);
+        assert_eq!(b.mu_hat(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_budget_ignores_nan_observations() {
+        // Rust's `f64::clamp` propagates NaN, so a NaN disturbance rate used
+        // to poison μ̂ (and with it every derived budget) permanently. NaN
+        // observations are now dropped, and a NaN prior means "no prior".
+        let mut b = AdaptiveRoundBudget::new();
+        b.observe(0.4);
+        b.observe(f64::NAN);
+        assert!((b.mu_hat() - 0.4).abs() < 1e-12, "NaN overwrote the EMA");
+        assert!(b.inflation().is_finite());
+        // A NaN before any real observation must not mark the tracker as
+        // observed: the next real rate still seeds the estimate exactly.
+        let mut fresh = AdaptiveRoundBudget::with_initial_mu(0.7);
+        fresh.observe(f64::NAN);
+        assert!((fresh.mu_hat() - 0.7).abs() < 1e-12);
+        fresh.observe(0.2);
+        assert!(
+            (fresh.mu_hat() - 0.2).abs() < 1e-12,
+            "prior was not replaced"
+        );
+        assert!(!AdaptiveRoundBudget::with_initial_mu(f64::NAN)
+            .mu_hat()
+            .is_nan());
+    }
+
+    #[test]
+    fn adaptive_budget_never_drops_below_the_fault_free_lemma_5_2_budget() {
+        // The derived pull budget Θ(1/(1−μ̂)·log 1/(1−μ̂)) is monotone in μ̂,
+        // so "never below the fault-free budget and never NaN/overflow" is
+        // exactly μ̂ ∈ [0, 0.99] under every observation sequence — including
+        // the adversarial boundary inputs.
+        let cfg = crate::robust::RobustConfig::default();
+        let floor = cfg.pulls_for(0.0);
+        let mut b = AdaptiveRoundBudget::with_initial_mu(0.3);
+        let adversarial = [
+            0.0,
+            -1.0,
+            f64::NAN,
+            1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.5,
+            f64::MIN_POSITIVE,
+            0.99,
+            f64::EPSILON,
+        ];
+        for &rate in adversarial.iter().cycle().take(200) {
+            b.observe(rate);
+            assert!((0.0..=0.99).contains(&b.mu_hat()), "μ̂ = {}", b.mu_hat());
+            let pulls = cfg.pulls_for(b.mu_hat());
+            assert!(pulls >= floor, "budget {pulls} fell below floor {floor}");
+            assert!(pulls < 10_000, "budget {pulls} blew up");
+        }
     }
 
     /// The schedule always terminates below the threshold and never exceeds

@@ -1,0 +1,1348 @@
+//! Batched multi-query quantile service with incremental recompute.
+//!
+//! [`QuantileService`] answers a *vector* of `(φ, ε)` queries over the same
+//! `n` holders through **shared** tournament rounds: every gossip contact
+//! carries one comparison value per query ("lane"), so `q` queries cost one
+//! engine round sequence of length `max_i(2·t1ᵢ) + max_i(3·t2ᵢ + K)` instead
+//! of `Σᵢ (2·t1ᵢ + 3·t2ᵢ + K)` — a `~q×` round amortisation over running
+//! [`crate::approx::tournament_quantile`] once per query (Theorems 1.2/1.3:
+//! the per-query amortised round cost drops from `O(log log n + log 1/ε)` to
+//! `O((log log n + log 1/ε)/q)` as long as the `O(q log n)`-bit payload is
+//! acceptable; [`Metrics::mean_bits_per_node_round`] reports exactly that
+//! payload cost).
+//!
+//! **Bit-identity.** Both tournament phases key every draw purely by
+//! `(seed, round, node)` on dedicated RNG streams, and each solo iteration
+//! occupies a fixed window of rounds (two in Phase I, three in Phase II, `K`
+//! vote rounds after convergence). Lane `i` of the batched run therefore
+//! replays query `i`'s solo trajectory *exactly*: the service derives the two
+//! phase engines from the same [`SeedSequence`] protocol as
+//! [`crate::approx::tournament_quantile`], executes the union of every lane's
+//! round schedule, and applies each lane's own update rule to its component
+//! of the shared state vector. The answers are bit-identical to `q`
+//! independent runs on the same [`EngineConfig`] seed — the conformance
+//! suite in `tests/service.rs` pins this on every topology and under a
+//! disruptive [`gossip_net::FaultPlan`].
+//!
+//! **Incremental recompute.** Holders ingest new values between epochs
+//! ([`QuantileService::ingest`]), summarised per holder by the
+//! [`CompactorSketch`] of Appendix A (the holder gossips its sketch median).
+//! Contact patterns are epoch-invariant — every draw (targets, participation
+//! coins, fault outcomes) is keyed purely by `(seed, round, node)` — so the
+//! full recompute records the *realised* pull source of every node in every
+//! round alongside the per-iteration state snapshots. An incremental
+//! [`QuantileService::epoch`] then needs no engine at all: it replays the
+//! cached trajectory as a pure dataflow over that realised contact graph,
+//! touching per round only the nodes whose own state or realised source is
+//! dirty and pruning nodes whose recomputed state matches the cache. The
+//! epoch reports the cached logical round and traffic cost (the network
+//! cost of the trajectory is unchanged — only the service-side wall-clock
+//! shrinks with the dirty closure). When the dirty fraction exceeds
+//! [`ServiceConfig::dirty_threshold`] the service recomputes from scratch
+//! instead, refreshing the cache. Either way the answers equal a
+//! from-scratch [`recompute_full`] (`tests/service.rs` pins exact
+//! equality).
+//!
+//! [`recompute_full`]: QuantileService::recompute_full
+
+use crate::approx::MAX_TOURNAMENT_EPSILON;
+use crate::schedule::{ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule};
+use crate::three_tournament::{median3, FinalVote};
+use crate::two_tournament::extremum;
+use baselines::CompactorSketch;
+use gossip_net::{
+    ActiveSet, Engine, EngineConfig, GossipError, MessageSize, Metrics, NodeRng, NodeValue, Result,
+    SeedSequence,
+};
+
+/// One `(φ, ε)` quantile query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileQuery {
+    /// The target quantile `φ ∈ [0, 1]`.
+    pub phi: f64,
+    /// The rank accuracy `ε > 0` (clamped to [`MAX_TOURNAMENT_EPSILON`] like
+    /// [`crate::approx::tournament_quantile`]).
+    pub epsilon: f64,
+}
+
+impl QuantileQuery {
+    /// Convenience constructor.
+    pub fn new(phi: f64, epsilon: f64) -> Self {
+        QuantileQuery { phi, epsilon }
+    }
+}
+
+/// Configuration of a [`QuantileService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// The final `K`-sample vote shared by every lane (Algorithm 2, line 8).
+    pub final_vote: FinalVote,
+    /// Dirty-holder fraction above which [`QuantileService::epoch`] abandons
+    /// incremental replay and recomputes from scratch.
+    pub dirty_threshold: f64,
+    /// Capacity of each holder's ingestion [`CompactorSketch`].
+    pub sketch_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            final_vote: FinalVote::default(),
+            dirty_threshold: 0.25,
+            sketch_capacity: 32,
+        }
+    }
+}
+
+/// Per-query round accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Phase I iterations of this query's solo schedule (`t` of Lemma 2.2).
+    pub phase1_iterations: usize,
+    /// Phase II iterations of this query's solo schedule (`t` of Lemma 2.12).
+    pub phase2_iterations: usize,
+    /// Rounds a solo [`crate::approx::tournament_quantile`] run would spend on
+    /// this query: `2·t1 + 3·t2 + K`.
+    pub solo_rounds: u64,
+}
+
+/// How an epoch was answered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpochMode {
+    /// Full recompute of every lane from the current inputs.
+    Full,
+    /// Sparse replay of the cached trajectory on the dirty closure only.
+    Incremental {
+        /// Holders whose effective value changed since the cached epoch.
+        dirty_nodes: usize,
+        /// `dirty_nodes / n`.
+        dirty_fraction: f64,
+    },
+}
+
+/// Result of one [`QuantileService::epoch`].
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome<V> {
+    /// `answers[i][v]`: node `v`'s answer to query `i` — bit-identical to the
+    /// output of a solo [`crate::approx::tournament_quantile`] run for query
+    /// `i` on the same seed.
+    pub answers: Vec<Vec<V>>,
+    /// Engine rounds executed this epoch (both phases plus the vote).
+    pub rounds: u64,
+    /// Aggregated communication metrics of this epoch
+    /// ([`Metrics::mean_bits_per_node_round`] gives the payload cost of
+    /// batching).
+    pub metrics: Metrics,
+    /// Per-query solo-run costs, for amortisation accounting.
+    pub per_query: Vec<QueryCost>,
+    /// Whether this epoch ran fully or incrementally.
+    pub mode: EpochMode,
+}
+
+impl<V> ServiceOutcome<V> {
+    /// Round amortisation of batching: `Σᵢ solo_rounds(i) / rounds`. With `q`
+    /// similar queries this approaches `q`.
+    pub fn amortisation(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        let solo: u64 = self.per_query.iter().map(|c| c.solo_rounds).sum();
+        solo as f64 / self.rounds as f64
+    }
+}
+
+/// The per-query schedules (computed once at construction).
+#[derive(Debug, Clone)]
+struct LanePlan {
+    schedule1: TwoTournamentSchedule,
+    schedule2: ThreeTournamentSchedule,
+}
+
+impl LanePlan {
+    fn t1(&self) -> usize {
+        self.schedule1.len()
+    }
+    fn t2(&self) -> usize {
+        self.schedule2.len()
+    }
+}
+
+/// The cached trajectory of the last full epoch, the raw material of
+/// incremental replay. `snap1[j][v * q + i]` is node `v`'s lane-`i` value at
+/// the start of Phase I iteration `j` (`snap1[0]` holds the inputs);
+/// likewise `snap2` for Phase II; `outputs[v * q + i]` is the final vote
+/// output.
+///
+/// `sources1`/`sources2` record the realised contact graph: the node each
+/// holder actually received a pull from in every round (`u32::MAX` when
+/// nothing was delivered — a failed target, a lost or straggling message, a
+/// crashed node, or a round the holder sat out). Draws are keyed purely by
+/// `(seed, round, node)`, so these sources are epoch-invariant: a re-run on
+/// new inputs realises exactly the same graph, which is what makes the
+/// engine-free incremental replay exact, faults included. `sources1` is
+/// `2·t1max` rows of `n` (slots A and B of each Phase I iteration);
+/// `sources2` is `3·t2max + K` rows of `n` (Phase II rounds and votes).
+/// `rounds`/`metrics` are the logical cost of the cached trajectory,
+/// reported verbatim by incremental epochs.
+/// Snapshots are stored lane-major and flat — `snap1[j][v * q + i]` — so an
+/// incremental source read touches one cache line covering every lane of the
+/// source node instead of chasing a per-node `Vec` pointer.
+#[derive(Debug, Clone)]
+struct Trajectory<V> {
+    snap1: Vec<Vec<V>>,
+    snap2: Vec<Vec<V>>,
+    outputs: Vec<V>,
+    sources1: Vec<u32>,
+    sources2: Vec<u32>,
+    rounds: u64,
+    metrics: Metrics,
+}
+
+/// A lane-vector message tagged with its realised source id. The tag is
+/// observer-side metadata — [`MessageSize`] delegates to the payload alone,
+/// so the traffic metrics equal serving the bare lane vector — and is how
+/// [`QuantileService::recompute_full`] records the realised contact graph
+/// that incremental epochs replay without an engine.
+#[derive(Debug, Clone)]
+struct Sourced<V> {
+    source: u32,
+    values: Vec<V>,
+}
+
+impl<V: NodeValue> Sourced<V> {
+    fn new(source: usize, values: Vec<V>) -> Self {
+        Sourced {
+            source: source as u32,
+            values,
+        }
+    }
+}
+
+impl<V: NodeValue> MessageSize for Sourced<V> {
+    fn message_bits(&self) -> u64 {
+        self.values.message_bits()
+    }
+}
+
+/// One Phase II round's collected buckets plus the participant set that
+/// produced them (`None` means the round ran dense).
+type RoundSamples<V> = (Vec<Vec<Sourced<V>>>, Option<ActiveSet>);
+
+/// A multi-query quantile service over `n` value holders.
+///
+/// See the [module docs](self) for the design. Typical use:
+///
+/// ```
+/// use gossip_net::EngineConfig;
+/// use quantile_gossip::service::{QuantileQuery, QuantileService, ServiceConfig};
+///
+/// # fn main() -> gossip_net::Result<()> {
+/// let readings: Vec<u64> = (0..256).map(|i| (i * 7919) % 65_536).collect();
+/// let queries = [QuantileQuery::new(0.5, 0.125), QuantileQuery::new(0.9, 0.1)];
+/// let mut svc = QuantileService::new(
+///     &readings,
+///     &queries,
+///     ServiceConfig::default(),
+///     EngineConfig::with_seed(7),
+/// )?;
+///
+/// // First epoch: full batched run, one shared round sequence for both queries.
+/// let out = svc.epoch()?;
+/// assert_eq!(out.answers.len(), 2);
+///
+/// // A handful of holders observe new values; the next epoch replays only
+/// // the affected part of the trajectory.
+/// svc.ingest(3, 123)?;
+/// svc.ingest(200, 45_000)?;
+/// let out2 = svc.epoch()?;
+/// assert_eq!(out2.answers.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct QuantileService<V: NodeValue> {
+    queries: Vec<QuantileQuery>,
+    plans: Vec<LanePlan>,
+    per_query: Vec<QueryCost>,
+    config: ServiceConfig,
+    engine_config: EngineConfig,
+    n: usize,
+    sketches: Vec<CompactorSketch<V>>,
+    inputs: Vec<V>,
+    dirty: Vec<bool>,
+    cache: Option<Trajectory<V>>,
+}
+
+impl<V: NodeValue> QuantileService<V> {
+    /// Creates a service over `values` answering `queries` each epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`GossipError::TooFewNodes`] with fewer than two holders;
+    /// [`GossipError::InvalidParameter`] for an empty query vector, a query
+    /// with `φ ∉ [0, 1]` or `ε ≤ 0` (mirroring
+    /// [`crate::approx::tournament_quantile`]), a zero-sample vote, a
+    /// `dirty_threshold` outside `[0, 1]`, or a zero sketch capacity.
+    pub fn new(
+        values: &[V],
+        queries: &[QuantileQuery],
+        config: ServiceConfig,
+        engine_config: EngineConfig,
+    ) -> Result<Self> {
+        let n = values.len();
+        if n < 2 {
+            return Err(GossipError::TooFewNodes { requested: n });
+        }
+        if queries.is_empty() {
+            return Err(GossipError::InvalidParameter {
+                name: "queries",
+                reason: "the service needs at least one query".to_string(),
+            });
+        }
+        if config.final_vote.samples == 0 {
+            return Err(GossipError::InvalidParameter {
+                name: "vote.samples",
+                reason: "the final vote needs at least one sample".to_string(),
+            });
+        }
+        if config.final_vote.samples > u16::MAX as usize {
+            return Err(GossipError::InvalidParameter {
+                name: "vote.samples",
+                reason: format!("at most {} vote samples supported", u16::MAX),
+            });
+        }
+        if !(config.dirty_threshold >= 0.0 && config.dirty_threshold <= 1.0) {
+            return Err(GossipError::InvalidParameter {
+                name: "dirty_threshold",
+                reason: format!("must be in [0, 1], got {}", config.dirty_threshold),
+            });
+        }
+        if config.sketch_capacity == 0 {
+            return Err(GossipError::InvalidParameter {
+                name: "sketch_capacity",
+                reason: "holder sketches need a positive capacity".to_string(),
+            });
+        }
+        let mut plans = Vec::with_capacity(queries.len());
+        let mut per_query = Vec::with_capacity(queries.len());
+        for query in queries {
+            // Mirror tournament_quantile's validation and clamping exactly so
+            // each lane's schedules equal the solo run's.
+            if !(0.0..=1.0).contains(&query.phi) {
+                return Err(GossipError::InvalidParameter {
+                    name: "phi",
+                    reason: format!("must be in [0, 1], got {}", query.phi),
+                });
+            }
+            if query.epsilon <= 0.0 {
+                return Err(GossipError::InvalidParameter {
+                    name: "epsilon",
+                    reason: format!("must be positive, got {}", query.epsilon),
+                });
+            }
+            let eps = query.epsilon.min(MAX_TOURNAMENT_EPSILON);
+            let schedule1 = TwoTournamentSchedule::compute(query.phi, eps)?;
+            let schedule2 = ThreeTournamentSchedule::compute(eps / 4.0, n)?;
+            per_query.push(QueryCost {
+                phase1_iterations: schedule1.len(),
+                phase2_iterations: schedule2.len(),
+                solo_rounds: 2 * schedule1.len() as u64
+                    + 3 * schedule2.len() as u64
+                    + config.final_vote.samples as u64,
+            });
+            plans.push(LanePlan {
+                schedule1,
+                schedule2,
+            });
+        }
+        let mut engine_config = engine_config;
+        engine_config.ensure_pool_for(n);
+        Ok(QuantileService {
+            queries: queries.to_vec(),
+            plans,
+            per_query,
+            config,
+            engine_config,
+            n,
+            sketches: values
+                .iter()
+                .map(|&v| CompactorSketch::singleton(v, config.sketch_capacity))
+                .collect(),
+            inputs: values.to_vec(),
+            dirty: vec![false; n],
+            cache: None,
+        })
+    }
+
+    /// Number of holders.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The query vector.
+    pub fn queries(&self) -> &[QuantileQuery] {
+        &self.queries
+    }
+
+    /// Per-query solo-run round costs.
+    pub fn per_query(&self) -> &[QueryCost] {
+        &self.per_query
+    }
+
+    /// Holders whose effective value changed since the last epoch.
+    pub fn dirty_nodes(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// [`dirty_nodes`](Self::dirty_nodes) as a fraction of `n`.
+    pub fn dirty_fraction(&self) -> f64 {
+        self.dirty_nodes() as f64 / self.n as f64
+    }
+
+    /// Whether a cached trajectory from a previous epoch exists.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The effective (gossiped) value of each holder: its sketch median.
+    pub fn effective_values(&self) -> &[V] {
+        &self.inputs
+    }
+
+    /// Holder `node` observes `value`: the ingestion sketch absorbs it (one
+    /// [`CompactorSketch::insert`], i.e. a singleton merge per Appendix A)
+    /// and the holder's effective value becomes the sketch median. The holder
+    /// is marked dirty only if that median actually moved.
+    ///
+    /// # Errors
+    ///
+    /// [`GossipError::InvalidParameter`] if `node >= n`.
+    pub fn ingest(&mut self, node: usize, value: V) -> Result<()> {
+        self.check_node(node)?;
+        self.sketches[node].insert(value);
+        let effective = self.sketches[node]
+            .quantile(0.5)
+            .expect("a holder sketch is never empty");
+        if effective != self.inputs[node] {
+            self.inputs[node] = effective;
+            self.dirty[node] = true;
+        }
+        Ok(())
+    }
+
+    /// Replaces holder `node`'s stream outright: the sketch is reset to a
+    /// singleton of `value`. Useful for deterministic dirty-set experiments.
+    ///
+    /// # Errors
+    ///
+    /// [`GossipError::InvalidParameter`] if `node >= n`.
+    pub fn set_value(&mut self, node: usize, value: V) -> Result<()> {
+        self.check_node(node)?;
+        self.sketches[node] = CompactorSketch::singleton(value, self.config.sketch_capacity);
+        if value != self.inputs[node] {
+            self.inputs[node] = value;
+            self.dirty[node] = true;
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, node: usize) -> Result<()> {
+        if node >= self.n {
+            return Err(GossipError::InvalidParameter {
+                name: "node",
+                reason: format!("holder {node} out of range for {} holders", self.n),
+            });
+        }
+        Ok(())
+    }
+
+    /// Answers every query on the current inputs: incrementally when a cached
+    /// trajectory exists and the dirty fraction is at most
+    /// [`ServiceConfig::dirty_threshold`], from scratch otherwise. Both paths
+    /// produce identical answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (none under a well-formed configuration).
+    pub fn epoch(&mut self) -> Result<ServiceOutcome<V>> {
+        if self.cache.is_some() && self.dirty_fraction() <= self.config.dirty_threshold {
+            self.recompute_incremental()
+        } else {
+            self.recompute_full()
+        }
+    }
+
+    /// The two phase engines, derived exactly like
+    /// [`crate::approx::tournament_quantile`] derives its sub-engines: one
+    /// [`SeedSequence`] over the configured seed, first sub-seed to Phase I,
+    /// second to Phase II. The engines carry `()` state — they are pure
+    /// round/draw/metrics machines; the service owns the lane-major values
+    /// and serves them from the sampling closures.
+    fn engines(&self) -> (Engine<()>, Engine<()>) {
+        let mut seeds = SeedSequence::new(self.engine_config.seed);
+        let e1 = Engine::from_states(vec![(); self.n], self.engine_config.sub(seeds.next_seed()));
+        let e2 = Engine::from_states(vec![(); self.n], self.engine_config.sub(seeds.next_seed()));
+        (e1, e2)
+    }
+
+    /// The two phase seeds of [`engines`](Self::engines), without paying for
+    /// engine construction — incremental replay needs only the coin streams.
+    fn phase_seeds(&self) -> (u64, u64) {
+        let mut seeds = SeedSequence::new(self.engine_config.seed);
+        (seeds.next_seed(), seeds.next_seed())
+    }
+
+    fn t1max(&self) -> usize {
+        self.plans.iter().map(LanePlan::t1).max().unwrap_or(0)
+    }
+
+    fn t2max(&self) -> usize {
+        self.plans.iter().map(LanePlan::t2).max().unwrap_or(0)
+    }
+
+    /// Runs every lane from scratch through one shared round sequence and
+    /// caches the trajectory for later incremental epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (none under a well-formed configuration).
+    pub fn recompute_full(&mut self) -> Result<ServiceOutcome<V>> {
+        let (n, q, k) = (self.n, self.queries.len(), self.config.final_vote.samples);
+        let (t1max, t2max) = (self.t1max(), self.t2max());
+        let (mut e1, mut e2) = self.engines();
+        let (seed1, seed2) = (e1.seed(), e2.seed());
+
+        // ---- Phase I: shared 2-TOURNAMENT rounds -----------------------
+        let mut states: Vec<V> = self
+            .inputs
+            .iter()
+            .flat_map(|&v| std::iter::repeat(v).take(q))
+            .collect();
+        let mut snap1 = Vec::with_capacity(t1max + 1);
+        let mut sources1 = vec![u32::MAX; 2 * t1max * n];
+        snap1.push(states.clone());
+        for j in 0..t1max {
+            let cls = p1_class(&self.plans, j);
+            let coins = if cls.needs_coins {
+                participation_coins(seed1, j as u64, n)
+            } else {
+                Vec::new()
+            };
+            // Slot A is dense for every lane (both branches of Algorithm 1
+            // take a first fresh sample); slot B is dense unless *every* lane
+            // active at `j` is in its δ-truncated step, in which case the
+            // union of the lanes' participant sets suffices — participant
+            // sets are nested (shared coins, per-lane thresholds), so the
+            // union is just the δ_max cut.
+            let a = e1.collect_samples(1, |t, _| {
+                Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
+            });
+            let (b, bset) = if cls.any_dense_b {
+                (
+                    e1.collect_samples(1, |t, _| {
+                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
+                    }),
+                    None,
+                )
+            } else {
+                let set = ActiveSet::from_fn(n, |v| coins[v] < cls.delta_max);
+                (
+                    e1.collect_samples_on(&set, 1, |t, _| {
+                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
+                    }),
+                    Some(set),
+                )
+            };
+            let (row_a, row_b) = (2 * j * n, (2 * j + 1) * n);
+            for v in 0..n {
+                let sa = a[v].first();
+                let sb = match &bset {
+                    None => b[v].first(),
+                    Some(set) => set.rank(v).and_then(|rk| b[rk].first()),
+                };
+                if let Some(m) = sa {
+                    sources1[row_a + v] = m.source;
+                }
+                if let Some(m) = sb {
+                    sources1[row_b + v] = m.source;
+                }
+                if sa.is_none() && sb.is_none() {
+                    continue; // every update rule keeps the state sample-free
+                }
+                for (i, plan) in self.plans.iter().enumerate() {
+                    let steps = &plan.schedule1.steps;
+                    if j >= steps.len() {
+                        continue;
+                    }
+                    let side = plan.schedule1.side;
+                    let delta = steps[j].delta;
+                    let cur = states[v * q + i];
+                    let s0 = sa.map(|m| m.values[i]);
+                    let s1 = sb.map(|m| m.values[i]);
+                    states[v * q + i] = if delta >= 1.0 {
+                        lane_step_two(side, s0, s1, cur)
+                    } else {
+                        lane_step_two_delta(side, coins[v] < delta, s0, s1, cur)
+                    };
+                }
+            }
+            snap1.push(states.clone());
+        }
+
+        // ---- Phase II: shared 3-TOURNAMENT rounds + per-lane votes -----
+        let mut snap2 = Vec::with_capacity(t2max + 1);
+        snap2.push(states.clone());
+        let r2max = 3 * t2max + k;
+        let fill = self.inputs[0];
+        let mut sources2 = vec![u32::MAX; r2max * n];
+        let mut votes: Vec<Option<(Vec<V>, Vec<u16>)>> = (0..q).map(|_| None).collect();
+        let mut slots: Vec<RoundSamples<V>> = Vec::with_capacity(3);
+        let mut coins_j: Vec<f64> = Vec::new();
+        let mut coins_for = usize::MAX;
+        for r in 0..r2max {
+            let (j, s) = (r / 3, r % 3);
+            let cls = p2_round_class(&self.plans, k, r);
+            if s == 0 {
+                slots.clear();
+            }
+            let pair = if cls.any_dense {
+                (
+                    e2.collect_samples(1, |t, _| {
+                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
+                    }),
+                    None,
+                )
+            } else {
+                if coins_for != j {
+                    coins_j = participation_coins(seed2, j as u64, n);
+                    coins_for = j;
+                }
+                let set = ActiveSet::from_fn(n, |v| coins_j[v] < cls.delta_max);
+                (
+                    e2.collect_samples_on(&set, 1, |t, _| {
+                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
+                    }),
+                    Some(set),
+                )
+            };
+            let row = r * n;
+            match &pair.1 {
+                None => {
+                    for (v, bucket) in pair.0.iter().enumerate() {
+                        if let Some(m) = bucket.first() {
+                            sources2[row + v] = m.source;
+                        }
+                    }
+                }
+                Some(set) => {
+                    for (rk, &vu) in set.indices().iter().enumerate() {
+                        if let Some(m) = pair.0[rk].first() {
+                            sources2[row + vu as usize] = m.source;
+                        }
+                    }
+                }
+            }
+            // Vote rounds are dense by construction, so voting lanes read the
+            // bucket by node id directly.
+            for &(i, _) in &cls.voting {
+                let (samples, counts) =
+                    votes[i].get_or_insert_with(|| (vec![fill; n * k], vec![0u16; n]));
+                for (v, bucket) in pair.0.iter().enumerate() {
+                    if let Some(m) = bucket.first() {
+                        let c = counts[v] as usize;
+                        samples[v * k + c] = m.values[i];
+                        counts[v] += 1;
+                    }
+                }
+            }
+            slots.push(pair);
+            if s == 2 && self.plans.iter().any(|p| p.t2() > j) {
+                let any_delta = self
+                    .plans
+                    .iter()
+                    .any(|p| p.t2() == j + 1 && p.schedule2.final_delta < 1.0);
+                if any_delta && coins_for != j {
+                    coins_j = participation_coins(seed2, j as u64, n);
+                    coins_for = j;
+                }
+                for v in 0..n {
+                    let sample_at = |idx: usize| {
+                        let (bk, set) = &slots[idx];
+                        match set {
+                            None => bk[v].first(),
+                            Some(st) => st.rank(v).and_then(|rk| bk[rk].first()),
+                        }
+                    };
+                    let (s0m, s1m, s2m) = (sample_at(0), sample_at(1), sample_at(2));
+                    if s0m.is_none() && s1m.is_none() && s2m.is_none() {
+                        continue;
+                    }
+                    for (i, plan) in self.plans.iter().enumerate() {
+                        let t2 = plan.t2();
+                        if t2 <= j {
+                            continue;
+                        }
+                        let cur = states[v * q + i];
+                        let s0 = s0m.map(|m| m.values[i]);
+                        let s1 = s1m.map(|m| m.values[i]);
+                        let s2 = s2m.map(|m| m.values[i]);
+                        let fd = plan.schedule2.final_delta;
+                        states[v * q + i] = if t2 == j + 1 && fd < 1.0 {
+                            lane_step_three_delta(coins_j[v] < fd, s0, s1, s2, cur)
+                        } else {
+                            lane_step_three(s0, s1, s2, cur)
+                        };
+                    }
+                }
+                if j < t2max {
+                    snap2.push(states.clone());
+                }
+            }
+        }
+
+        // ---- Per-lane vote finalisation --------------------------------
+        let mut outputs = states;
+        let mut sortbuf: Vec<V> = Vec::with_capacity(k);
+        for (i, vote) in votes.iter().enumerate() {
+            let (samples, counts) = vote.as_ref().expect("every lane votes");
+            for v in 0..n {
+                let c = counts[v] as usize;
+                if c > 0 {
+                    sortbuf.clear();
+                    sortbuf.extend_from_slice(&samples[v * k..v * k + c]);
+                    sortbuf.sort_unstable();
+                    outputs[v * q + i] = sortbuf[c / 2];
+                } // an empty vote keeps the converged value, as in the solo run
+            }
+        }
+
+        let metrics = e1.metrics() + e2.metrics();
+        let rounds = metrics.rounds;
+        self.cache = Some(Trajectory {
+            snap1,
+            snap2,
+            outputs,
+            sources1,
+            sources2,
+            rounds,
+            metrics,
+        });
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        Ok(self.outcome_from_cache(rounds, metrics, EpochMode::Full))
+    }
+
+    /// Replays the cached trajectory as a pure dataflow over the realised
+    /// contact graph recorded by the last full recompute: no engine rounds
+    /// run at all. Each Phase I/II iteration touches only the nodes whose
+    /// own state or realised pull source is dirty, recomputed states are
+    /// compared against the cache and pruned on equality, and the per-lane
+    /// vote outputs are patched for the nodes whose realised vote sources
+    /// carry a dirty component. All other nodes keep their cached
+    /// trajectory untouched. The reported rounds/metrics are the cached
+    /// logical cost of the trajectory (the network would spend the same
+    /// either way — only the service-side wall-clock shrinks).
+    fn recompute_incremental(&mut self) -> Result<ServiceOutcome<V>> {
+        let mut cache = self
+            .cache
+            .take()
+            .expect("incremental replay needs a cached trajectory");
+        let (n, q, k) = (self.n, self.queries.len(), self.config.final_vote.samples);
+        let (t1max, t2max) = (self.t1max(), self.t2max());
+        let (seed1, seed2) = self.phase_seeds();
+
+        // Seed the dirty set, pruning holders whose value bounced back.
+        let mut dirty_map = vec![false; n];
+        let mut comp_dirty = vec![false; n * q];
+        let mut dirty_nodes = 0usize;
+        for v in 0..n {
+            if self.dirty[v] && self.inputs[v] != cache.snap1[0][v * q] {
+                dirty_map[v] = true;
+                dirty_nodes += 1;
+                for i in 0..q {
+                    comp_dirty[v * q + i] = true;
+                    cache.snap1[0][v * q + i] = self.inputs[v];
+                }
+            }
+        }
+        let dirty_fraction = dirty_nodes as f64 / n as f64;
+
+        // ---- Phase I replay --------------------------------------------
+        let mut cand: Vec<usize> = Vec::new();
+        for j in 0..t1max {
+            let cls = p1_class(&self.plans, j);
+            let coins = if cls.needs_coins {
+                participation_coins(seed1, j as u64, n)
+            } else {
+                Vec::new()
+            };
+            // A node's iteration-`j` state can change only if its own state
+            // or one of its realised pull sources this iteration is dirty.
+            let sa_row = &cache.sources1[2 * j * n..(2 * j + 1) * n];
+            let sb_row = &cache.sources1[(2 * j + 1) * n..(2 * j + 2) * n];
+            cand.clear();
+            for v in 0..n {
+                let hit = dirty_map[v]
+                    || (sa_row[v] != u32::MAX && dirty_map[sa_row[v] as usize])
+                    || (sb_row[v] != u32::MAX && dirty_map[sb_row[v] as usize]);
+                if hit {
+                    cand.push(v);
+                }
+            }
+            let (head, tail) = cache.snap1.split_at_mut(j + 1);
+            let (snap, next) = (&head[j], &mut tail[0]);
+            for &v in &cand {
+                let sa = (sa_row[v] != u32::MAX).then(|| sa_row[v] as usize * q);
+                let sb = (sb_row[v] != u32::MAX).then(|| sb_row[v] as usize * q);
+                let mut any = false;
+                for (i, plan) in self.plans.iter().enumerate() {
+                    let steps = &plan.schedule1.steps;
+                    let cur = snap[v * q + i];
+                    let new = if j >= steps.len() {
+                        cur
+                    } else {
+                        let side = plan.schedule1.side;
+                        let delta = steps[j].delta;
+                        let s0 = sa.map(|o| snap[o + i]);
+                        let s1 = sb.map(|o| snap[o + i]);
+                        if delta >= 1.0 {
+                            lane_step_two(side, s0, s1, cur)
+                        } else {
+                            lane_step_two_delta(side, coins[v] < delta, s0, s1, cur)
+                        }
+                    };
+                    let changed = new != next[v * q + i];
+                    comp_dirty[v * q + i] = changed;
+                    any = any || changed;
+                    next[v * q + i] = new;
+                }
+                dirty_map[v] = any;
+            }
+        }
+        for (v, &dirty) in dirty_map.iter().enumerate() {
+            if dirty {
+                let (src, dst) = (&cache.snap1[t1max][v * q..(v + 1) * q], v * q);
+                cache.snap2[0][dst..dst + q].copy_from_slice(src);
+            }
+        }
+
+        // ---- Phase II replay -------------------------------------------
+        for j in 0..t2max {
+            let any_delta = self
+                .plans
+                .iter()
+                .any(|p| p.t2() == j + 1 && p.schedule2.final_delta < 1.0);
+            let coins_j = if any_delta {
+                participation_coins(seed2, j as u64, n)
+            } else {
+                Vec::new()
+            };
+            // The three rounds of window `j` all serve the pre-window
+            // snapshot, so replay reduces to one pass per window. Sparse
+            // rounds need no membership test: a sat-out round is a
+            // `u32::MAX` source.
+            let rows: [&[u32]; 3] = [
+                &cache.sources2[3 * j * n..(3 * j + 1) * n],
+                &cache.sources2[(3 * j + 1) * n..(3 * j + 2) * n],
+                &cache.sources2[(3 * j + 2) * n..(3 * j + 3) * n],
+            ];
+            cand.clear();
+            for v in 0..n {
+                let hit = dirty_map[v]
+                    || rows
+                        .iter()
+                        .any(|row| row[v] != u32::MAX && dirty_map[row[v] as usize]);
+                if hit {
+                    cand.push(v);
+                }
+            }
+            let (head, tail) = cache.snap2.split_at_mut(j + 1);
+            let (snapj, next) = (&head[j], &mut tail[0]);
+            for &v in &cand {
+                let offset = |slot: usize| {
+                    let src = rows[slot][v];
+                    (src != u32::MAX).then(|| src as usize * q)
+                };
+                let (s0o, s1o, s2o) = (offset(0), offset(1), offset(2));
+                let mut any = false;
+                for (i, plan) in self.plans.iter().enumerate() {
+                    let t2 = plan.t2();
+                    let cur = snapj[v * q + i];
+                    let new = if t2 <= j {
+                        cur
+                    } else {
+                        let s0 = s0o.map(|o| snapj[o + i]);
+                        let s1 = s1o.map(|o| snapj[o + i]);
+                        let s2 = s2o.map(|o| snapj[o + i]);
+                        let fd = plan.schedule2.final_delta;
+                        if t2 == j + 1 && fd < 1.0 {
+                            lane_step_three_delta(coins_j[v] < fd, s0, s1, s2, cur)
+                        } else {
+                            lane_step_three(s0, s1, s2, cur)
+                        }
+                    };
+                    let changed = new != next[v * q + i];
+                    comp_dirty[v * q + i] = changed;
+                    any = any || changed;
+                    next[v * q + i] = new;
+                }
+                dirty_map[v] = any;
+            }
+        }
+
+        // ---- Patch vote outputs for the affected nodes -----------------
+        // A lane's components freeze once it converges, so after the window
+        // loop `comp_dirty` is final for every lane: a node's vote output
+        // can change only if one of its realised vote sources carries a
+        // dirty component (or, for an empty vote, its own converged value
+        // moved — the own-dirty test covers that fallback). Lanes with equal
+        // `t2` share their vote rounds and therefore their realised sources,
+        // so they are patched as one group: the hit test sweeps each
+        // `sources2` row once in storage order, and the gather walks a
+        // node's k sources with the group's lanes innermost — the source's
+        // lane vector is one cache line, read once for the whole group.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, plan) in self.plans.iter().enumerate() {
+            let start = 3 * plan.t2();
+            match groups.iter_mut().find(|(s, _)| *s == start) {
+                Some((_, lanes)) => lanes.push(i),
+                None => groups.push((start, vec![i])),
+            }
+        }
+        let mut samples: Vec<V> = Vec::with_capacity(k);
+        for (start, lanes) in &groups {
+            let g = lanes.len();
+            // `di`/`hit` are lane-major within the group: index `l * n + v`.
+            let mut di = vec![false; g * n];
+            for (l, &i) in lanes.iter().enumerate() {
+                for v in 0..n {
+                    di[l * n + v] = comp_dirty[v * q + i];
+                }
+            }
+            let mut hit = di.clone();
+            for rr in *start..*start + k {
+                let row = &cache.sources2[rr * n..(rr + 1) * n];
+                for v in 0..n {
+                    let src = row[v];
+                    if src == u32::MAX {
+                        continue;
+                    }
+                    let s = src as usize;
+                    for l in 0..g {
+                        if !hit[l * n + v] && di[l * n + s] {
+                            hit[l * n + v] = true;
+                        }
+                    }
+                }
+            }
+            for v in 0..n {
+                if (0..g).all(|l| !hit[l * n + v]) {
+                    continue;
+                }
+                for (l, &i) in lanes.iter().enumerate() {
+                    if !hit[l * n + v] {
+                        continue;
+                    }
+                    samples.clear();
+                    for rr in *start..*start + k {
+                        let src = cache.sources2[rr * n + v];
+                        if src != u32::MAX {
+                            samples.push(cache.snap2[(rr / 3).min(t2max)][src as usize * q + i]);
+                        }
+                    }
+                    cache.outputs[v * q + i] = if samples.is_empty() {
+                        cache.snap2[t2max][v * q + i]
+                    } else {
+                        // The median value of the multiset — identical to the
+                        // full path's `sorted[c / 2]`, without the full sort.
+                        let c = samples.len();
+                        *samples.select_nth_unstable(c / 2).1
+                    };
+                }
+            }
+        }
+
+        let rounds = cache.rounds;
+        let metrics = cache.metrics;
+        self.cache = Some(cache);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        Ok(self.outcome_from_cache(
+            rounds,
+            metrics,
+            EpochMode::Incremental {
+                dirty_nodes,
+                dirty_fraction,
+            },
+        ))
+    }
+
+    fn outcome_from_cache(
+        &self,
+        rounds: u64,
+        metrics: Metrics,
+        mode: EpochMode,
+    ) -> ServiceOutcome<V> {
+        let outputs = &self.cache.as_ref().expect("cache just written").outputs;
+        let q = self.queries.len();
+        let answers = (0..q)
+            .map(|i| outputs.chunks_exact(q).map(|row| row[i]).collect())
+            .collect();
+        ServiceOutcome {
+            answers,
+            rounds,
+            metrics,
+            per_query: self.per_query.clone(),
+            mode,
+        }
+    }
+}
+
+/// Classification of Phase I iteration `j` across lanes.
+struct P1Class {
+    /// Some lane runs a full (δ = 1) step at `j`, forcing slot B dense.
+    any_dense_b: bool,
+    /// Some lane runs a δ-truncated step at `j` (participation coins needed).
+    needs_coins: bool,
+    /// Largest δ among truncated lanes (their participant sets are nested
+    /// under the shared coins, so this is the union's cut).
+    delta_max: f64,
+}
+
+fn p1_class(plans: &[LanePlan], j: usize) -> P1Class {
+    let mut cls = P1Class {
+        any_dense_b: false,
+        needs_coins: false,
+        delta_max: 0.0,
+    };
+    for plan in plans {
+        let steps = &plan.schedule1.steps;
+        if j < steps.len() {
+            let d = steps[j].delta;
+            if d >= 1.0 {
+                cls.any_dense_b = true;
+            } else {
+                cls.needs_coins = true;
+                if d > cls.delta_max {
+                    cls.delta_max = d;
+                }
+            }
+        }
+    }
+    cls
+}
+
+/// Classification of Phase II round `r` (0-based within the phase).
+struct P2Round {
+    /// Some lane needs the round dense (first slot of an iteration, a full
+    /// tournament step, or a vote round).
+    any_dense: bool,
+    /// Largest final δ among truncated lanes when the round can run sparse.
+    delta_max: f64,
+    /// Lanes voting this round, with the vote-round index.
+    voting: Vec<(usize, usize)>,
+}
+
+fn p2_round_class(plans: &[LanePlan], k: usize, r: usize) -> P2Round {
+    let (j, s) = (r / 3, r % 3);
+    let mut cls = P2Round {
+        any_dense: false,
+        delta_max: 0.0,
+        voting: Vec::new(),
+    };
+    for (i, plan) in plans.iter().enumerate() {
+        let t2 = plan.t2();
+        if r < 3 * t2 {
+            if s == 0 {
+                cls.any_dense = true;
+            } else if t2 == j + 1 && plan.schedule2.final_delta < 1.0 {
+                if plan.schedule2.final_delta > cls.delta_max {
+                    cls.delta_max = plan.schedule2.final_delta;
+                }
+            } else {
+                cls.any_dense = true;
+            }
+        } else if r < 3 * t2 + k {
+            cls.any_dense = true;
+            cls.voting.push((i, r - 3 * t2));
+        }
+    }
+    cls
+}
+
+/// The participation coins of one iteration, drawn exactly as the solo
+/// tournaments draw them (`STREAM_PARTICIPATION`, keyed by iteration).
+fn participation_coins(seed: u64, iteration: u64, n: usize) -> Vec<f64> {
+    let prefix = NodeRng::key_prefix(seed, iteration, NodeRng::STREAM_PARTICIPATION);
+    (0..n).map(|v| prefix.node(v as u64).next_f64()).collect()
+}
+
+/// One lane's update in a full (δ = 1) Phase I iteration — the exact arms of
+/// [`crate::two_tournament::run`]'s dense `local_step`.
+fn lane_step_two<V: NodeValue>(side: ShrinkSide, s0: Option<V>, s1: Option<V>, cur: V) -> V {
+    match (s0, s1) {
+        (Some(a), Some(b)) => extremum(side, a, b),
+        (Some(a), None) => extremum(side, a, cur),
+        (None, Some(b)) => extremum(side, b, cur),
+        (None, None) => cur,
+    }
+}
+
+/// One lane's update in a δ-truncated Phase I iteration.
+fn lane_step_two_delta<V: NodeValue>(
+    side: ShrinkSide,
+    participant: bool,
+    s0: Option<V>,
+    s1: Option<V>,
+    cur: V,
+) -> V {
+    let s1 = if participant { s1 } else { None };
+    match (s0, s1) {
+        (Some(a), Some(b)) => extremum(side, a, b),
+        (Some(a), None) if !participant => a,
+        (Some(a), None) => extremum(side, a, cur),
+        (None, Some(b)) => extremum(side, b, cur),
+        (None, None) => cur,
+    }
+}
+
+/// One lane's update in a full Phase II iteration — the samples present, in
+/// round order, fed through the dense arms of [`crate::three_tournament::run`].
+fn lane_step_three<V: NodeValue>(s0: Option<V>, s1: Option<V>, s2: Option<V>, cur: V) -> V {
+    let mut got = [cur; 3];
+    let mut c = 0;
+    for x in [s0, s1, s2].into_iter().flatten() {
+        got[c] = x;
+        c += 1;
+    }
+    match c {
+        3 => median3(got[0], got[1], got[2]),
+        2 => median3(got[0], got[1], cur),
+        1 => median3(got[0], cur, cur),
+        _ => cur,
+    }
+}
+
+/// One lane's update in the δ-truncated final Phase II iteration.
+fn lane_step_three_delta<V: NodeValue>(
+    participant: bool,
+    s0: Option<V>,
+    s1: Option<V>,
+    s2: Option<V>,
+    cur: V,
+) -> V {
+    if !participant {
+        return match s0 {
+            Some(a) => a,
+            None => cur,
+        };
+    }
+    let mut extra = [cur; 2];
+    let mut c = 0;
+    for x in [s1, s2].into_iter().flatten() {
+        extra[c] = x;
+        c += 1;
+    }
+    match (s0, c) {
+        (Some(a), 2) => median3(a, extra[0], extra[1]),
+        (Some(a), 1) => median3(a, extra[0], cur),
+        (Some(a), _) => median3(a, cur, cur),
+        (None, 2) => median3(extra[0], extra[1], cur),
+        (None, 1) => median3(extra[0], cur, cur),
+        _ => cur,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{tournament_quantile, TournamentConfig};
+
+    fn inputs(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 7919) % 100_000).collect()
+    }
+
+    #[test]
+    fn batched_answers_match_solo_runs_bit_for_bit() {
+        let values = inputs(256);
+        let queries = [
+            QuantileQuery::new(0.5, 0.125),
+            QuantileQuery::new(0.9, 0.1),
+            QuantileQuery::new(0.1, 0.125),
+        ];
+        let mut svc = QuantileService::new(
+            &values,
+            &queries,
+            ServiceConfig::default(),
+            EngineConfig::with_seed(99),
+        )
+        .unwrap();
+        let out = svc.epoch().unwrap();
+        assert_eq!(out.mode, EpochMode::Full);
+        for (i, query) in queries.iter().enumerate() {
+            let solo = tournament_quantile(
+                &values,
+                query.phi,
+                query.epsilon,
+                &TournamentConfig::default(),
+                EngineConfig::with_seed(99),
+            )
+            .unwrap();
+            assert_eq!(out.answers[i], solo.outputs, "query {i} diverged");
+        }
+        // Sharing rounds across 3 queries beats the summed solo cost.
+        assert!(
+            out.amortisation() > 1.0,
+            "amortisation {}",
+            out.amortisation()
+        );
+    }
+
+    #[test]
+    fn incremental_epoch_equals_full_recompute() {
+        let values = inputs(300);
+        let queries = [QuantileQuery::new(0.5, 0.125), QuantileQuery::new(0.8, 0.1)];
+        let cfg = ServiceConfig::default();
+        let mut inc =
+            QuantileService::new(&values, &queries, cfg, EngineConfig::with_seed(5)).unwrap();
+        inc.epoch().unwrap();
+        for (node, val) in [(7usize, 1u64), (123, 99_999), (250, 17)] {
+            inc.set_value(node, val).unwrap();
+        }
+        let out = inc.epoch().unwrap();
+        assert!(matches!(
+            out.mode,
+            EpochMode::Incremental { dirty_nodes: 3, .. }
+        ));
+
+        let mut updated = values;
+        for (node, val) in [(7usize, 1u64), (123, 99_999), (250, 17)] {
+            updated[node] = val;
+        }
+        let mut full =
+            QuantileService::new(&updated, &queries, cfg, EngineConfig::with_seed(5)).unwrap();
+        let fout = full.epoch().unwrap();
+        assert_eq!(out.answers, fout.answers);
+        assert_eq!(out.rounds, fout.rounds);
+    }
+
+    #[test]
+    fn clean_incremental_epoch_reuses_the_cache() {
+        let values = inputs(128);
+        let queries = [QuantileQuery::new(0.5, 0.125)];
+        let mut svc = QuantileService::new(
+            &values,
+            &queries,
+            ServiceConfig::default(),
+            EngineConfig::with_seed(1),
+        )
+        .unwrap();
+        let first = svc.epoch().unwrap();
+        let second = svc.epoch().unwrap();
+        assert!(matches!(
+            second.mode,
+            EpochMode::Incremental { dirty_nodes: 0, .. }
+        ));
+        assert_eq!(first.answers, second.answers);
+    }
+
+    #[test]
+    fn dirty_threshold_falls_back_to_full() {
+        let values = inputs(64);
+        let queries = [QuantileQuery::new(0.5, 0.125)];
+        let cfg = ServiceConfig {
+            dirty_threshold: 0.05,
+            ..ServiceConfig::default()
+        };
+        let mut svc =
+            QuantileService::new(&values, &queries, cfg, EngineConfig::with_seed(2)).unwrap();
+        svc.epoch().unwrap();
+        for v in 0..10 {
+            svc.set_value(v, 1_000_000 + v as u64).unwrap();
+        }
+        let out = svc.epoch().unwrap();
+        assert_eq!(out.mode, EpochMode::Full);
+    }
+
+    #[test]
+    fn ingest_marks_dirty_only_when_the_sketch_median_moves() {
+        let values = inputs(64);
+        let queries = [QuantileQuery::new(0.5, 0.125)];
+        let mut svc = QuantileService::new(
+            &values,
+            &queries,
+            ServiceConfig::default(),
+            EngineConfig::with_seed(3),
+        )
+        .unwrap();
+        svc.epoch().unwrap();
+        assert_eq!(svc.dirty_nodes(), 0);
+        // The initial singleton median shifts on the first divergent insert.
+        svc.ingest(0, 55).unwrap();
+        assert!(svc.dirty_nodes() <= 1);
+        // Re-ingesting the current effective value never dirties.
+        let eff = svc.effective_values()[1];
+        svc.ingest(1, eff).unwrap();
+        assert_eq!(svc.effective_values()[1], eff);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_parameters() {
+        let values = inputs(16);
+        let q = [QuantileQuery::new(0.5, 0.1)];
+        let ec = EngineConfig::with_seed(0);
+        assert!(
+            QuantileService::new(&values[..1], &q, ServiceConfig::default(), ec.clone()).is_err()
+        );
+        assert!(QuantileService::new(&values, &[], ServiceConfig::default(), ec.clone()).is_err());
+        assert!(QuantileService::new(
+            &values,
+            &[QuantileQuery::new(1.5, 0.1)],
+            ServiceConfig::default(),
+            ec.clone()
+        )
+        .is_err());
+        assert!(QuantileService::new(
+            &values,
+            &[QuantileQuery::new(0.5, 0.0)],
+            ServiceConfig::default(),
+            ec.clone()
+        )
+        .is_err());
+        let bad = ServiceConfig {
+            dirty_threshold: f64::NAN,
+            ..ServiceConfig::default()
+        };
+        assert!(QuantileService::new(&values, &q, bad, ec.clone()).is_err());
+        let bad = ServiceConfig {
+            sketch_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        assert!(QuantileService::new(&values, &q, bad, ec).is_err());
+    }
+
+    #[test]
+    fn per_query_costs_match_the_solo_round_formula() {
+        let values = inputs(512);
+        let queries = [
+            QuantileQuery::new(0.3, 0.125),
+            QuantileQuery::new(0.5, 0.06),
+        ];
+        let svc = QuantileService::new(
+            &values,
+            &queries,
+            ServiceConfig::default(),
+            EngineConfig::with_seed(4),
+        )
+        .unwrap();
+        for (query, cost) in queries.iter().zip(svc.per_query()) {
+            let solo = tournament_quantile(
+                &values,
+                query.phi,
+                query.epsilon,
+                &TournamentConfig::default(),
+                EngineConfig::with_seed(4),
+            )
+            .unwrap();
+            assert_eq!(cost.solo_rounds, solo.rounds);
+        }
+    }
+}

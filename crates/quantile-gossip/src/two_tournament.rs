@@ -125,7 +125,7 @@ pub fn run<V: NodeValue>(
     })
 }
 
-fn extremum<V: Ord>(side: ShrinkSide, a: V, b: V) -> V {
+pub(crate) fn extremum<V: Ord>(side: ShrinkSide, a: V, b: V) -> V {
     match side {
         ShrinkSide::High => a.min(b),
         ShrinkSide::Low => a.max(b),

@@ -1,0 +1,224 @@
+//! Same-host A/B of the PR 8 memory-layout changes, in the style of PR 3's
+//! dispatch ablation: the **old** code path (kept in-tree as a reference
+//! implementation or behind a knob) and the **new** one are measured in the
+//! same process, back to back, so the comparison is free of toolchain and
+//! host drift. Three changes:
+//!
+//! 1. **`pull_blocked_prefetch`**: the dense pull round's fused per-slot loop
+//!    ([`Engine::pull_round_reference`], the pre-PR-8 code, verbatim) vs the
+//!    cache-blocked back-buffer refresh + batched, software-prefetched target
+//!    gather that [`Engine::pull_round`] now runs.
+//! 2. **`collect_flat`**: `k` sampling rounds into the nested per-node
+//!    `Vec<Vec<M>>` ([`Engine::collect_samples`]) vs the flat column-major
+//!    [`SampleMatrix`](gossip_net::SampleMatrix)
+//!    ([`Engine::collect_samples_flat`]) — n allocations vs one.
+//! 3. **`sparse_commit_runs`**: the copy-on-write commit's per-slot
+//!    `mem::swap` loop (`set_batch_commit(false)`) vs batching maximal
+//!    contiguous id runs into `swap_with_slice` block moves (the default).
+//!
+//! Every pair also cross-checks **bit-identical final states** — the layout
+//! work is pure mechanical sympathy, so any trajectory divergence is a bug,
+//! not a tolerance question. Rows land in the `layout` section of
+//! `BENCH_engine.json`; the PR 8 acceptance gate is the
+//! `pull_blocked_prefetch` row at n = 1M, threads = 1.
+//!
+//! Set `ENGINE_LAYOUT_QUICK=1` (CI's bench smoke step does) to shrink sizes
+//! and samples to a bit-rot check.
+//!
+//! ```text
+//! cargo bench -p bench --bench engine_layout
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_net::{ActiveSet, Engine, EngineConfig};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var_os("ENGINE_LAYOUT_QUICK").is_some_and(|v| v != "0")
+}
+
+fn rounds_for(n: usize) -> u64 {
+    match n {
+        0..=4_000 => 200,
+        4_001..=20_000 => 50,
+        20_001..=200_000 => 10,
+        _ => 5,
+    }
+}
+
+fn engine(n: usize) -> Engine<u64> {
+    let mut e = Engine::from_states((0..n as u64).collect(), EngineConfig::with_seed(42));
+    e.set_threads(1);
+    e
+}
+
+/// One A/B measurement: median-of-5 (after one warm-up) of `f`'s rounds/sec.
+fn measure(mut f: impl FnMut() -> f64) -> criterion::stats::Summary {
+    let samples = if quick() { 2 } else { 5 };
+    let _warmup = f();
+    let collected: Vec<f64> = (0..samples).map(|_| f()).collect();
+    criterion::stats::summary(&collected).expect("samples")
+}
+
+fn pull_rounds_per_sec(n: usize, rounds: u64, reference: bool) -> (f64, Vec<u64>) {
+    let mut e = engine(n);
+    let serve = |_: usize, &s: &u64| s;
+    let apply = |_: usize, st: &mut u64, p: Option<u64>| {
+        if let Some(p) = p {
+            *st = (*st).max(p);
+        }
+    };
+    let start = Instant::now();
+    for _ in 0..rounds {
+        if reference {
+            e.pull_round_reference(serve, apply);
+        } else {
+            e.pull_round(serve, apply);
+        }
+    }
+    let rate = rounds as f64 / start.elapsed().as_secs_f64();
+    (rate, e.into_states())
+}
+
+fn collect_rounds_per_sec(n: usize, iterations: u64, flat: bool) -> (f64, Vec<u64>) {
+    let mut e = engine(n);
+    let mut fold = 0u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        if flat {
+            let m = e.collect_samples_flat(2, |_, &v| v);
+            for v in 0..n {
+                fold = fold.wrapping_add(m.sample(v, 0).unwrap_or(0) ^ m.sample(v, 1).unwrap_or(0));
+            }
+        } else {
+            let m = e.collect_samples(2, |_, &v| v);
+            for s in &m {
+                fold = fold
+                    .wrapping_add(s.first().copied().unwrap_or(0) ^ s.get(1).copied().unwrap_or(0));
+            }
+        }
+    }
+    // 2 sampling rounds per iteration; fold the digest into the trajectory
+    // check so the sample consumption cannot be optimised away.
+    let rate = (2 * iterations) as f64 / start.elapsed().as_secs_f64();
+    std::hint::black_box(fold); // keep the sample reads live
+    (rate, e.into_states())
+}
+
+fn sparse_rounds_per_sec(n: usize, rounds: u64, batch: bool) -> (f64, Vec<u64>) {
+    let mut e = engine(n);
+    e.set_batch_commit(batch);
+    // Even ids active: every run in the written set is short, making this the
+    // adversarial case for run batching; dense receiver stretches come from
+    // the push deliveries.
+    let active = ActiveSet::from_fn(n, |v| v % 2 == 0);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        e.push_round_on(
+            &active,
+            |_, &s| Some(s),
+            |_, st, m| *st = (*st).max(m),
+            |_, _, _| {},
+        );
+    }
+    let rate = rounds as f64 / start.elapsed().as_secs_f64();
+    (rate, e.into_states())
+}
+
+struct AbRow {
+    change: &'static str,
+    n: usize,
+    old: criterion::stats::Summary,
+    new: criterion::stats::Summary,
+    identical: bool,
+}
+
+fn bench_engine_layout(c: &mut Criterion) {
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let sizes: &[usize] = if quick() {
+        &[1 << 12, 1 << 14]
+    } else {
+        &[16_000, 100_000, 1_000_000]
+    };
+
+    let mut group = c.benchmark_group("engine_layout");
+    group.sample_size(if quick() { 2 } else { 5 });
+    let mut rows: Vec<AbRow> = Vec::new();
+
+    for &n in sizes {
+        let rounds = rounds_for(n);
+        group.throughput(Throughput::Elements(rounds * n as u64));
+        group.bench_with_input(BenchmarkId::new("pull_old", n), &n, |b, &n| {
+            b.iter(|| pull_rounds_per_sec(n, rounds, true).0);
+        });
+        group.bench_with_input(BenchmarkId::new("pull_new", n), &n, |b, &n| {
+            b.iter(|| pull_rounds_per_sec(n, rounds, false).0);
+        });
+
+        let old = measure(|| pull_rounds_per_sec(n, rounds, true).0);
+        let new = measure(|| pull_rounds_per_sec(n, rounds, false).0);
+        let identical =
+            pull_rounds_per_sec(n, rounds, true).1 == pull_rounds_per_sec(n, rounds, false).1;
+        assert!(identical, "blocked/prefetched pull diverged at n = {n}");
+        rows.push(AbRow {
+            change: "pull_blocked_prefetch",
+            n,
+            old,
+            new,
+            identical,
+        });
+
+        let iterations = rounds.div_ceil(2).max(1);
+        let old = measure(|| collect_rounds_per_sec(n, iterations, false).0);
+        let new = measure(|| collect_rounds_per_sec(n, iterations, true).0);
+        let identical = collect_rounds_per_sec(n, iterations, false).1
+            == collect_rounds_per_sec(n, iterations, true).1;
+        assert!(identical, "flat sample collection diverged at n = {n}");
+        rows.push(AbRow {
+            change: "collect_flat",
+            n,
+            old,
+            new,
+            identical,
+        });
+
+        let old = measure(|| sparse_rounds_per_sec(n, rounds, false).0);
+        let new = measure(|| sparse_rounds_per_sec(n, rounds, true).0);
+        let identical =
+            sparse_rounds_per_sec(n, rounds, false).1 == sparse_rounds_per_sec(n, rounds, true).1;
+        assert!(identical, "batched sparse commit diverged at n = {n}");
+        rows.push(AbRow {
+            change: "sparse_commit_runs",
+            n,
+            old,
+            new,
+            identical,
+        });
+    }
+    group.finish();
+
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        let speedup = r.new.median / r.old.median;
+        println!(
+            "engine_layout {} n={}: old {:.2}±{:.2} rounds/s, new {:.2}±{:.2} rounds/s \
+             (speedup {speedup:.2}x, identical: {})",
+            r.change, r.n, r.old.median, r.old.std_dev, r.new.median, r.new.std_dev, r.identical
+        );
+        json_rows.push(format!(
+            "    {{\"change\": \"{}\", \"n\": {}, \"threads\": 1, \"host_cores\": {host_cores}, \
+             \"rounds_per_sec_old\": {:.3}, \"std_old\": {:.3}, \
+             \"rounds_per_sec_new\": {:.3}, \"std_new\": {:.3}, \"speedup\": {speedup:.3}, \
+             \"identical_states\": {}}}",
+            r.change, r.n, r.old.median, r.old.std_dev, r.new.median, r.new.std_dev, r.identical
+        ));
+    }
+    // Quick mode's numbers are bit-rot checks, not data — keep the committed
+    // section's full-run numbers in that case.
+    if !quick() {
+        bench::report_json::write_section("layout", &json_rows);
+    }
+}
+
+criterion_group!(benches, bench_engine_layout);
+criterion_main!(benches);

@@ -19,7 +19,7 @@
 //! cargo bench -p bench --bench engine_scaling
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gossip_net::{par, Engine, EngineConfig};
 use std::time::Instant;
 
@@ -82,8 +82,11 @@ fn bench_engine_scaling(c: &mut Criterion) {
     let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
 
     let mut report_rows = Vec::new();
+    let mut scaling_rows = Vec::new();
     for &n in &[1_000usize, 4_000, 10_000, 16_000, 100_000, 1_000_000] {
         let rounds = rounds_for(n);
+        // One criterion iteration runs `rounds` rounds of n node operations.
+        group.throughput(Throughput::Elements(rounds * n as u64));
         let mut thread_configs = vec![1];
         if threads_mt > 1 {
             thread_configs.push(threads_mt); // 1 would duplicate the id
@@ -133,6 +136,19 @@ fn bench_engine_scaling(c: &mut Criterion) {
             multi.std_dev,
             multi.median / single.median
         ));
+        // Parallel efficiency (speedup / threads) is only meaningful when the
+        // host can actually run the workers in parallel: on a 1-core
+        // container the "mt" rows measure oversubscription, not scaling, so
+        // the `scaling` section stays empty there rather than recording
+        // numbers that would be misread as real-core data.
+        if host_cores > 1 && threads_mt > 1 {
+            let speedup = multi.median / single.median;
+            let efficiency = speedup / threads_mt as f64;
+            scaling_rows.push(format!(
+                "    {{\"n\": {n}, \"threads\": {threads_mt}, \"host_cores\": {host_cores}, \
+                 \"speedup\": {speedup:.3}, \"parallel_efficiency\": {efficiency:.3}}}"
+            ));
+        }
     }
     group.finish();
 
@@ -140,6 +156,9 @@ fn bench_engine_scaling(c: &mut Criterion) {
     // artifact lands in the same place; the section writer preserves the
     // `active_set` rows contributed by the engine_ablation bench.
     bench::report_json::write_section("results", &report_rows);
+    if !scaling_rows.is_empty() {
+        bench::report_json::write_section("scaling", &scaling_rows);
+    }
 }
 
 criterion_group!(benches, bench_engine_scaling);

@@ -1,0 +1,38 @@
+//! CI bench smoke comparator: `bench_smoke <committed.json> <fresh.json>`.
+//!
+//! Prints one warning line per median outside the committed ±3·std band (see
+//! [`bench::smoke`]) and always exits 0 — quick-mode numbers are noisy by
+//! construction, so drift is surfaced in the job log, not enforced.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_smoke <committed.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            println!("bench_smoke: cannot read {path}: {e} — skipping comparison");
+            None
+        }
+    };
+    let (Some(committed), Some(fresh)) = (read(committed_path), read(fresh_path)) else {
+        return ExitCode::SUCCESS; // missing file: nothing to compare, not an error
+    };
+    let warnings = bench::smoke::compare(&committed, &fresh);
+    if warnings.is_empty() {
+        println!("bench_smoke: all medians within ±3·std of the committed report");
+    } else {
+        for w in &warnings {
+            println!("::warning::bench_smoke: {w}");
+        }
+        println!(
+            "bench_smoke: {} median(s) outside the committed noise band (warning only)",
+            warnings.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -12,5 +12,6 @@
 
 pub mod experiments;
 pub mod report_json;
+pub mod smoke;
 
 pub use experiments::*;

@@ -1,0 +1,217 @@
+//! Bench smoke comparison: flag quick-mode medians that drift outside the
+//! noise band of the committed `BENCH_engine.json`.
+//!
+//! CI's bench smoke step snapshots the committed report, re-runs the benches
+//! in quick mode, and then calls [`compare`] (via the `bench_smoke` binary)
+//! on the two files. Rows are matched by their **identity keys** (`n`,
+//! `threads`, `active_frac`, `change` — whichever are present); within a
+//! matched pair, every `rounds_per_sec*` measurement is compared against the
+//! committed median ± 3·(committed std) band, using the paired `std*` key
+//! with the same suffix. Anything outside the band becomes a **warning** —
+//! never a failure, because quick mode trades stability for runtime and a
+//! CI container's noise floor is unknowable — so a silent perf regression at
+//! least leaves a trace in the job log at PR time.
+//!
+//! The parser is deliberately matched to [`crate::report_json`]'s fixed
+//! row-per-line format rather than being a general JSON reader: one object
+//! per line, `"key": value` pairs, flat scalars only.
+
+use std::collections::BTreeMap;
+
+/// Keys that identify a row within its section rather than measuring it.
+const IDENTITY_KEYS: &[&str] = &["n", "threads", "active_frac", "change"];
+
+/// How many committed standard deviations of drift count as noise.
+pub const NOISE_SIGMAS: f64 = 3.0;
+
+/// One parsed report row: the section it came from, its identity-key values
+/// (in key order), and its numeric fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Section name (`results`, `active_set`, `layout`, …).
+    pub section: String,
+    /// Identity, e.g. `n=1000000 threads=4`.
+    pub identity: String,
+    /// All numeric fields of the row, by key.
+    pub values: BTreeMap<String, f64>,
+}
+
+/// Parses the fixed `report_json` format into rows, tolerating unknown
+/// sections. Header keys (`"bench"`, `"primitive"`) and non-numeric fields
+/// are ignored.
+pub fn parse_rows(report: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut section: Option<String> = None;
+    for line in report.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix('"') {
+            // A section opener looks like `"results": [`.
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim_start().starts_with(':') && tail.trim_end().ends_with('[') {
+                    section = Some(name.to_string());
+                    continue;
+                }
+            }
+        }
+        if trimmed.starts_with(']') {
+            section = None;
+            continue;
+        }
+        let Some(sec) = &section else { continue };
+        if !trimmed.starts_with('{') {
+            continue;
+        }
+        let body = trimmed
+            .trim_start_matches('{')
+            .trim_end_matches(',')
+            .trim_end_matches('}');
+        let mut values = BTreeMap::new();
+        let mut identity_parts = Vec::new();
+        for field in body.split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            if IDENTITY_KEYS.contains(&key.as_str()) {
+                identity_parts.push(format!("{key}={}", value.trim_matches('"')));
+            }
+            if let Ok(num) = value.parse::<f64>() {
+                values.insert(key, num);
+            }
+        }
+        rows.push(Row {
+            section: sec.clone(),
+            identity: identity_parts.join(" "),
+            values,
+        });
+    }
+    rows
+}
+
+/// Compares a freshly generated report against the committed one and returns
+/// one human-readable warning per median outside the committed noise band
+/// (empty = all within noise). Rows present on only one side are skipped —
+/// quick mode legitimately produces fewer sections.
+pub fn compare(committed: &str, fresh: &str) -> Vec<String> {
+    let committed_rows = parse_rows(committed);
+    let fresh_rows = parse_rows(fresh);
+    let mut warnings = Vec::new();
+    for fresh_row in &fresh_rows {
+        let Some(base) = committed_rows
+            .iter()
+            .find(|r| r.section == fresh_row.section && r.identity == fresh_row.identity)
+        else {
+            continue;
+        };
+        for (key, &fresh_value) in &fresh_row.values {
+            let Some(suffix) = key.strip_prefix("rounds_per_sec") else {
+                continue;
+            };
+            let Some(&committed_value) = base.values.get(key) else {
+                continue;
+            };
+            let std_key = format!("std{suffix}");
+            let Some(&std) = base.values.get(&std_key) else {
+                continue;
+            };
+            let band = NOISE_SIGMAS * std;
+            let drift = fresh_value - committed_value;
+            if drift.abs() > band {
+                warnings.push(format!(
+                    "[{}] {}: {key} = {fresh_value:.3} drifted {drift:+.3} from committed \
+                     {committed_value:.3} (band ±{band:.3} = {NOISE_SIGMAS}·std {std:.3})",
+                    fresh_row.section, fresh_row.identity
+                ));
+            }
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COMMITTED: &str = r#"{
+  "bench": "engine",
+  "primitive": "pull_round(max-spread, u64)",
+  "results": [
+    {"n": 1000, "threads": 4, "rounds_per_sec_1t": 1000.0, "std_1t": 10.0, "rounds_per_sec_mt": 500.0, "std_mt": 50.0},
+    {"n": 4000, "threads": 4, "rounds_per_sec_1t": 200.0, "std_1t": 5.0, "rounds_per_sec_mt": 100.0, "std_mt": 5.0}
+  ],
+  "layout": [
+    {"change": "pull_blocked_prefetch", "n": 1000, "threads": 1, "rounds_per_sec_old": 70.0, "std_old": 2.0, "rounds_per_sec_new": 100.0, "std_new": 3.0, "speedup": 1.429}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_sections_identities_and_numbers() {
+        let rows = parse_rows(COMMITTED);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].section, "results");
+        assert_eq!(rows[0].identity, "n=1000 threads=4");
+        assert_eq!(rows[0].values["rounds_per_sec_1t"], 1000.0);
+        assert_eq!(rows[2].section, "layout");
+        assert_eq!(
+            rows[2].identity,
+            "change=pull_blocked_prefetch n=1000 threads=1"
+        );
+        assert_eq!(rows[2].values["std_new"], 3.0);
+    }
+
+    #[test]
+    fn within_band_produces_no_warnings() {
+        // +3·std exactly is the band edge — still inside.
+        let fresh = COMMITTED.replace(
+            "\"rounds_per_sec_1t\": 1000.0",
+            "\"rounds_per_sec_1t\": 1030.0",
+        );
+        assert_eq!(compare(COMMITTED, &fresh), Vec::<String>::new());
+    }
+
+    #[test]
+    fn drift_beyond_band_warns_with_the_pairing_std() {
+        let fresh = COMMITTED
+            .replace(
+                "\"rounds_per_sec_mt\": 500.0",
+                "\"rounds_per_sec_mt\": 300.0",
+            )
+            .replace(
+                "\"rounds_per_sec_new\": 100.0",
+                "\"rounds_per_sec_new\": 80.0",
+            );
+        let warnings = compare(COMMITTED, &fresh);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("rounds_per_sec_mt = 300.000"));
+        assert!(warnings[0].contains("band ±150.000"));
+        assert!(warnings[1].contains("[layout] change=pull_blocked_prefetch"));
+        assert!(warnings[1].contains("band ±9.000"));
+    }
+
+    #[test]
+    fn unmatched_rows_and_sections_are_skipped() {
+        // Fresh run covering only one committed row, plus a brand-new row.
+        let fresh = r#"{
+  "results": [
+    {"n": 1000, "threads": 4, "rounds_per_sec_1t": 995.0, "std_1t": 12.0},
+    {"n": 999999, "threads": 4, "rounds_per_sec_1t": 1.0, "std_1t": 0.1}
+  ]
+}
+"#;
+        assert!(compare(COMMITTED, fresh).is_empty());
+    }
+
+    #[test]
+    fn measurements_without_committed_std_are_skipped() {
+        let committed = r#"{
+  "results": [
+    {"n": 7, "rounds_per_sec_1t": 10.0}
+  ]
+}
+"#;
+        let fresh = committed.replace("10.0", "99.0");
+        assert!(compare(committed, &fresh).is_empty());
+    }
+}

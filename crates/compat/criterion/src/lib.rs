@@ -73,6 +73,24 @@ pub mod stats {
     }
 }
 
+/// Per-iteration work declaration, mirroring `criterion::Throughput`.
+///
+/// Declaring a group's throughput makes the harness print a rate (elements
+/// or bytes per second, from the median sample time) next to the wall-clock
+/// summary — rounds/s and nodes/s land in bench output without hand
+/// post-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many elements (rate in `elem/s`).
+    Elements(u64),
+    /// Each iteration processes this many bytes (rate in binary `B/s`).
+    Bytes(u64),
+    /// Each iteration processes this many bytes (rate in decimal `B/s`;
+    /// printed identically here — the distinction only affects upstream's
+    /// unit scaling).
+    BytesDecimal(u64),
+}
+
 /// Harness entry point, mirroring `criterion::Criterion`.
 #[derive(Debug)]
 pub struct Criterion {
@@ -101,6 +119,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.default_sample_size,
+            throughput: None,
             criterion: self,
         }
     }
@@ -111,6 +130,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     criterion: &'a mut Criterion,
 }
 
@@ -118,6 +138,13 @@ impl BenchmarkGroup<'_> {
     /// Sets the number of timed iterations per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the amount of work one iteration performs; subsequent
+    /// benchmarks in the group print a derived rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -162,14 +189,28 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher);
         let secs: Vec<f64> = bencher.samples.iter().map(Duration::as_secs_f64).collect();
         match stats::summary(&secs) {
-            Some(s) => println!(
-                "{full:<60} time: [{} {} {}] mean {} ± {}",
-                fmt_seconds(s.min),
-                fmt_seconds(s.median),
-                fmt_seconds(s.max),
-                fmt_seconds(s.mean),
-                fmt_seconds(s.std_dev),
-            ),
+            Some(s) => {
+                let rate = self
+                    .throughput
+                    .filter(|_| s.median > 0.0)
+                    .map(|t| match t {
+                        Throughput::Elements(elems) => {
+                            format!(" thrpt: {} elem/s", fmt_rate(elems as f64 / s.median))
+                        }
+                        Throughput::Bytes(bytes) | Throughput::BytesDecimal(bytes) => {
+                            format!(" thrpt: {} B/s", fmt_rate(bytes as f64 / s.median))
+                        }
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "{full:<60} time: [{} {} {}] mean {} ± {}{rate}",
+                    fmt_seconds(s.min),
+                    fmt_seconds(s.median),
+                    fmt_seconds(s.max),
+                    fmt_seconds(s.mean),
+                    fmt_seconds(s.std_dev),
+                );
+            }
             None => println!("{full:<60} (no samples)"),
         }
     }
@@ -259,6 +300,18 @@ impl From<String> for BenchmarkId {
             name,
             parameter: None,
         }
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2}")
     }
 }
 
@@ -354,6 +407,27 @@ mod tests {
         assert_eq!(single.median, 7.0);
 
         assert!(stats::summary(&[]).is_none());
+    }
+
+    #[test]
+    fn throughput_rates_format_with_scale_prefixes() {
+        assert_eq!(fmt_rate(12.5), "12.50");
+        assert_eq!(fmt_rate(1_500.0), "1.500 K");
+        assert_eq!(fmt_rate(2_000_000.0), "2.000 M");
+        assert_eq!(fmt_rate(3.5e9), "3.500 G");
+    }
+
+    #[test]
+    fn group_accepts_throughput_declaration() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1_000_000));
+        assert_eq!(group.throughput, Some(Throughput::Elements(1_000_000)));
+        group.bench_function("rate", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
     }
 
     #[test]

@@ -127,6 +127,33 @@
 //! closures already clone per message — so if a heavy-state workload ever
 //! dominates, the documented alternative is a message-buffer path specialised
 //! for cheap snapshots.
+//!
+//! ## Memory layout of the hot passes
+//!
+//! Dense rounds at large `n` are bandwidth-bound (one round streams the
+//! whole state array several times), so the hot passes are structured around
+//! bytes moved, with [`crate::soa`] housing the shared machinery:
+//!
+//! * the back-buffer refresh is **cache-blocked**: instead of interleaving
+//!   one slot's clone with its serve/apply (two live streams competing for
+//!   the same lines), the chunk loop clones [`Engine::set_copy_block`] slots
+//!   in one [`crate::soa::clone_block`] burst — a straight `memcpy` for
+//!   `Copy` states — and then works through them while they are L2-warm;
+//! * pull targets are drawn into a small stack batch and the corresponding
+//!   sender states are **software-prefetched** [`Engine::set_prefetch_dist`]
+//!   iterations ahead of their random-gather read, hiding the DRAM latency
+//!   of the uniform contact pattern (the CSR delivery folds and the sparse
+//!   pair-list folds prefetch their sender gathers the same way);
+//! * the sparse copy-on-write commit batches runs of consecutive written ids
+//!   into whole-slice swaps ([`crate::soa::swap_runs`]).
+//!
+//! All three are mechanical rewrites with bit-identical results — per-node
+//! RNG consumption, fold order and metrics are unchanged (pinned by the
+//! golden suites and `tests/layout.rs`, with the pre-layout pull loop kept
+//! as [`Engine::pull_round_reference`] for same-host A/B measurement).
+//! Algorithms whose own state scans dominate can mirror their state structs
+//! into flat parallel columns via [`crate::soa::Columns`] / the
+//! [`columns!`](crate::columns) macro.
 
 use crate::active::ActiveSet;
 use crate::error::{GossipError, Result};
@@ -445,6 +472,19 @@ pub struct Engine<S> {
     /// Sorted unique receivers of the current sparse push round (the dedup
     /// of `scratch_pairs`' receiver column), reused across rounds.
     scratch_receivers: Vec<u32>,
+    /// Slots per cache-blocked back-buffer refresh block (see
+    /// [`crate::soa::clone_block`]); seeded from `GOSSIP_COPY_BLOCK`,
+    /// overridable per engine via [`Engine::set_copy_block`]. Never affects
+    /// results, only cache behaviour.
+    copy_block: usize,
+    /// Lookahead of the software prefetches issued by the delivery gathers
+    /// (pull targets, CSR sender states, sparse pair lists); seeded from
+    /// `GOSSIP_PREFETCH_DIST`, `0` disables. Never affects results.
+    prefetch_dist: usize,
+    /// Whether the sparse copy-on-write commit batches contiguous id runs
+    /// ([`crate::soa::swap_runs`]); the per-slot path is kept for the
+    /// equivalence tests and A/B benches.
+    batch_commit: bool,
 }
 
 /// A zeroed atomic scratch buffer (scratch holds no cross-round state, so
@@ -489,6 +529,9 @@ impl<S: Clone> Clone for Engine<S> {
             scratch_pairs: Vec::new(),
             scratch_written: Vec::new(),
             scratch_receivers: Vec::new(),
+            copy_block: self.copy_block,
+            prefetch_dist: self.prefetch_dist,
+            batch_commit: self.batch_commit,
         }
     }
 }
@@ -573,6 +616,9 @@ impl<S> Engine<S> {
             scratch_pairs: Vec::new(),
             scratch_written: Vec::new(),
             scratch_receivers: Vec::new(),
+            copy_block: crate::soa::copy_block(),
+            prefetch_dist: crate::soa::prefetch_dist(),
+            batch_commit: true,
         })
     }
 
@@ -674,6 +720,35 @@ impl<S> Engine<S> {
     /// the same workers (see [`EngineConfig::sub`]).
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// Overrides the cache-blocked refresh block size (slots per
+    /// [`crate::soa::clone_block`] block; clamped to at least 1). Defaults to
+    /// `GOSSIP_COPY_BLOCK` / [`crate::soa::copy_block`]. **Results never
+    /// depend on this value** — only the order cache lines are touched in;
+    /// the layout property tests pin that invariance.
+    pub fn set_copy_block(&mut self, slots: usize) -> &mut Self {
+        self.copy_block = slots.max(1);
+        self
+    }
+
+    /// Overrides the software-prefetch lookahead of the delivery gathers
+    /// (`0` disables prefetching). Defaults to `GOSSIP_PREFETCH_DIST` /
+    /// [`crate::soa::prefetch_dist`]. **Results never depend on this
+    /// value** — prefetches are pure cache hints.
+    pub fn set_prefetch_dist(&mut self, dist: usize) -> &mut Self {
+        self.prefetch_dist = dist;
+        self
+    }
+
+    /// Selects between the run-batched ([`crate::soa::swap_runs`], the
+    /// default) and the per-slot copy-on-write commit of the sparse rounds.
+    /// The two are byte-identical (pinned by the layout property tests);
+    /// the per-slot path exists as the measured control.
+    #[doc(hidden)]
+    pub fn set_batch_commit(&mut self, batch: bool) -> &mut Self {
+        self.batch_commit = batch;
+        self
     }
 
     /// Consumes the engine and returns the final node states.
@@ -869,6 +944,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         let (states, failure) = (&self.states, &self.failure);
         let sampler = &sampler;
         let reliable = failure.is_reliable();
+        let (block, dist) = (self.copy_block, self.prefetch_dist);
         let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
         let delta = par::for_chunks(
             &self.pool,
@@ -878,7 +954,141 @@ impl<S: Clone + Send + Sync> Engine<S> {
             |start, chunk| {
                 let mut local = Metrics::default();
                 if reliable {
-                    // Dedicated no-failure loop: no coin, no model match.
+                    // Dedicated no-failure loop, restructured around memory
+                    // layout (bit-identical to the per-slot reference —
+                    // every node draws the same stream and serves the same
+                    // target; only the cache-line touch order changes):
+                    //
+                    // 1. refresh one block of back-buffer slots in a tight
+                    //    clone pass (a memcpy for Copy states) so the block
+                    //    is L1/L2-hot for the apply pass;
+                    // 2. within the block, draw contact targets a batch at a
+                    //    time into a stack buffer — separating the RNG math
+                    //    from the gather makes the targets available early;
+                    // 3. serve/apply with the gather prefetched `dist`
+                    //    targets ahead, hiding the random-read latency that
+                    //    dominates large-n rounds. When the whole state
+                    //    array is cache-resident the gather never misses, so
+                    //    the batch/prefetch machinery is skipped (measured
+                    //    ~10% overhead at n = 4k) — the touch order is the
+                    //    same either way, so this gate cannot affect results.
+                    let prefetch = dist > 0
+                        && std::mem::size_of::<S>() * states.len() > crate::soa::PREFETCH_MIN_BYTES;
+                    const TARGET_BATCH: usize = 256;
+                    let mut tbuf = [0u32; TARGET_BATCH];
+                    let mut bs = 0;
+                    while bs < chunk.len() {
+                        let be = (bs + block).min(chunk.len());
+                        crate::soa::clone_block(
+                            &mut chunk[bs..be],
+                            &states[start + bs..start + be],
+                        );
+                        if !prefetch {
+                            for (j, slot) in chunk[bs..be].iter_mut().enumerate() {
+                                let v = start + bs + j;
+                                let mut rng = prefix.node(v as u64);
+                                let t = sampler.sample(&mut rng, v);
+                                local.record_attempt(RoundKind::Pull);
+                                let msg = serve(t, &states[t]);
+                                local.record_delivery(msg.message_bits());
+                                apply(v, slot, Some(msg));
+                            }
+                            bs = be;
+                            continue;
+                        }
+                        let mut js = bs;
+                        while js < be {
+                            let je = (js + TARGET_BATCH).min(be);
+                            let batch = je - js;
+                            for (i, slot) in tbuf[..batch].iter_mut().enumerate() {
+                                let v = start + js + i;
+                                let mut rng = prefix.node(v as u64);
+                                *slot = sampler.sample(&mut rng, v) as u32;
+                            }
+                            for i in 0..batch {
+                                if i + dist < batch {
+                                    crate::soa::prefetch_read(&states[tbuf[i + dist] as usize]);
+                                }
+                                let v = start + js + i;
+                                let t = tbuf[i] as usize;
+                                local.record_attempt(RoundKind::Pull);
+                                let msg = serve(t, &states[t]);
+                                local.record_delivery(msg.message_bits());
+                                apply(v, &mut chunk[js + i], Some(msg));
+                            }
+                            js = je;
+                        }
+                        bs = be;
+                    }
+                } else {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let v = start + j;
+                        slot.clone_from(&states[v]);
+                        let mut rng = prefix.node(v as u64);
+                        local.record_attempt(RoundKind::Pull);
+                        if failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            apply(v, slot, None);
+                        } else {
+                            let t = sampler.sample(&mut rng, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            apply(v, slot, Some(msg));
+                        }
+                    }
+                }
+                local
+            },
+            |a, b| a + b,
+        );
+        self.metrics = self.metrics + delta;
+        std::mem::swap(&mut self.states, &mut self.next);
+        delta.failed_operations as usize
+    }
+
+    /// The pre-layout-optimisation [`Engine::pull_round`]: the per-slot
+    /// clone-then-serve loop, kept verbatim as the measured control of the
+    /// `layout` A/B bench and as the reference the property tests pin the
+    /// blocked/prefetched path against (bit-identical states and metrics).
+    /// Not part of the supported API.
+    #[doc(hidden)]
+    pub fn pull_round_reference<M, F, G>(&mut self, serve: F, apply: G) -> usize
+    where
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
+    {
+        with_sampler!(self, sp => self.pull_round_reference_with(sp, serve, apply))
+    }
+
+    /// [`Engine::pull_round_reference`], monomorphised over the sampler type.
+    fn pull_round_reference_with<SP, M, F, G>(&mut self, sampler: SP, serve: F, apply: G) -> usize
+    where
+        SP: Sampler,
+        M: MessageSize,
+        F: Fn(NodeId, &S) -> M + Sync,
+        G: Fn(NodeId, &mut S, Option<M>) + Sync,
+    {
+        if self.fault.is_disruptive() {
+            return self.pull_round_faulty(sampler, serve, apply);
+        }
+        self.metrics.record_round(RoundKind::Pull, self.n() as u64);
+        self.round += 1;
+        self.ensure_next();
+
+        let (round, threads) = (self.round, self.threads);
+        let (states, failure) = (&self.states, &self.failure);
+        let sampler = &sampler;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let delta = par::for_chunks(
+            &self.pool,
+            &mut self.next,
+            threads,
+            Metrics::default(),
+            |start, chunk| {
+                let mut local = Metrics::default();
+                if reliable {
                     for (j, slot) in chunk.iter_mut().enumerate() {
                         let v = start + j;
                         slot.clone_from(&states[v]);
@@ -999,9 +1209,13 @@ impl<S: Clone + Send + Sync> Engine<S> {
         self.metrics = self.metrics + delta;
 
         // Bucket deliveries by receiver (CSR), then clone + fold + after per
-        // receiver in one fused pass over the back buffer.
+        // receiver in one fused pass over the back buffer — block-refreshed,
+        // with the sender-state gather prefetched ahead (the senders of a
+        // chunk's receivers occupy one contiguous CSR span, so the lookahead
+        // is a cheap sequential read of the sender ids).
         self.bucket_deliveries(n);
         let states = &self.states;
+        let (block, dist) = (self.copy_block, self.prefetch_dist);
         let (targets, offsets, senders) = (
             &self.scratch_targets,
             &self.scratch_offsets,
@@ -1013,18 +1227,28 @@ impl<S: Clone + Send + Sync> Engine<S> {
             threads,
             (),
             |start, chunk| {
-                for (j, slot) in chunk.iter_mut().enumerate() {
-                    let u = start + j;
-                    slot.clone_from(&states[u]);
-                    let lo = offsets[u].load(Ordering::Relaxed) as usize;
-                    let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
-                    for s in &senders[lo..hi] {
-                        let v = s.load(Ordering::Relaxed) as usize;
-                        if let Some(msg) = make(v, &states[v]) {
-                            fold(u, slot, msg);
+                let chunk_hi = offsets[start + chunk.len()].load(Ordering::Relaxed) as usize;
+                let mut bs = 0;
+                while bs < chunk.len() {
+                    let be = (bs + block).min(chunk.len());
+                    crate::soa::clone_block(&mut chunk[bs..be], &states[start + bs..start + be]);
+                    for (j, slot) in chunk[bs..be].iter_mut().enumerate() {
+                        let u = start + bs + j;
+                        let lo = offsets[u].load(Ordering::Relaxed) as usize;
+                        let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
+                        for i in lo..hi {
+                            if dist > 0 && i + dist < chunk_hi {
+                                let ahead = senders[i + dist].load(Ordering::Relaxed) as usize;
+                                crate::soa::prefetch_read(&states[ahead]);
+                            }
+                            let v = senders[i].load(Ordering::Relaxed) as usize;
+                            if let Some(msg) = make(v, &states[v]) {
+                                fold(u, slot, msg);
+                            }
                         }
+                        after(u, slot, (targets[u] as usize) < n);
                     }
-                    after(u, slot, (targets[u] as usize) < n);
+                    bs = be;
                 }
             },
             |(), ()| (),
@@ -1117,6 +1341,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
 
         self.bucket_deliveries(n);
         let states = &self.states;
+        let (block, dist) = (self.copy_block, self.prefetch_dist);
         let (pulls, offsets, senders) = (
             &self.scratch_pull,
             &self.scratch_offsets,
@@ -1129,24 +1354,43 @@ impl<S: Clone + Send + Sync> Engine<S> {
             Metrics::default(),
             |start, chunk| {
                 let mut local = Metrics::default();
-                for (j, slot) in chunk.iter_mut().enumerate() {
-                    let u = start + j;
-                    slot.clone_from(&states[u]);
-                    let t_pull = pulls[u];
-                    if t_pull != TARGET_FAILED {
-                        let t = t_pull as usize;
-                        let msg = serve(t, &states[t]);
-                        local.record_delivery(msg.message_bits());
-                        merge(u, slot, msg);
+                let chunk_end = start + chunk.len();
+                let chunk_hi = offsets[chunk_end].load(Ordering::Relaxed) as usize;
+                let mut bs = 0;
+                while bs < chunk.len() {
+                    let be = (bs + block).min(chunk.len());
+                    crate::soa::clone_block(&mut chunk[bs..be], &states[start + bs..start + be]);
+                    for (j, slot) in chunk[bs..be].iter_mut().enumerate() {
+                        let u = start + bs + j;
+                        // Prefetch the pull gather a few receivers ahead;
+                        // the push gather is prefetched along the CSR span.
+                        if dist > 0 && u + dist < chunk_end {
+                            let ahead = pulls[u + dist];
+                            if ahead != TARGET_FAILED {
+                                crate::soa::prefetch_read(&states[ahead as usize]);
+                            }
+                        }
+                        let t_pull = pulls[u];
+                        if t_pull != TARGET_FAILED {
+                            let t = t_pull as usize;
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            merge(u, slot, msg);
+                        }
+                        let lo = offsets[u].load(Ordering::Relaxed) as usize;
+                        let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
+                        for i in lo..hi {
+                            if dist > 0 && i + dist < chunk_hi {
+                                let ahead = senders[i + dist].load(Ordering::Relaxed) as usize;
+                                crate::soa::prefetch_read(&states[ahead]);
+                            }
+                            let v = senders[i].load(Ordering::Relaxed) as usize;
+                            let msg = serve(v, &states[v]);
+                            local.record_delivery(msg.message_bits());
+                            merge(u, slot, msg);
+                        }
                     }
-                    let lo = offsets[u].load(Ordering::Relaxed) as usize;
-                    let hi = offsets[u + 1].load(Ordering::Relaxed) as usize;
-                    for s in &senders[lo..hi] {
-                        let v = s.load(Ordering::Relaxed) as usize;
-                        let msg = serve(v, &states[v]);
-                        local.record_delivery(msg.message_bits());
-                        merge(u, slot, msg);
-                    }
+                    bs = be;
                 }
                 local
             },
@@ -1234,6 +1478,91 @@ impl<S: Clone + Send + Sync> Engine<S> {
             self.metrics = self.metrics + delta;
         }
         collected
+    }
+
+    /// [`Engine::collect_samples`] with flat, column-major storage: one
+    /// allocation for the whole `n × k` sample matrix instead of `n`
+    /// per-node vectors, with each sampling round writing one contiguous
+    /// column (see [`crate::soa::SampleMatrix`]). Identical round
+    /// accounting, RNG consumption and sample values — the tournament
+    /// drivers use this as their sampling hot path.
+    pub fn collect_samples_flat<M, F>(&mut self, k: usize, serve: F) -> crate::soa::SampleMatrix<M>
+    where
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
+    {
+        with_sampler!(self, sp => self.collect_samples_flat_with(sp, k, serve))
+    }
+
+    /// [`Engine::collect_samples_flat`], monomorphised over the sampler type.
+    fn collect_samples_flat_with<SP, M, F>(
+        &mut self,
+        sampler: SP,
+        k: usize,
+        serve: F,
+    ) -> crate::soa::SampleMatrix<M>
+    where
+        SP: Sampler,
+        M: MessageSize + Send,
+        F: Fn(NodeId, &S) -> M + Sync,
+    {
+        if self.fault.is_disruptive() {
+            // The fault-aware sampling loop stays single-sourced; converting
+            // its nested result costs O(n·k) moves on the rare faulted path.
+            return crate::soa::SampleMatrix::from(self.collect_samples_faulty(sampler, k, serve));
+        }
+        let n = self.n();
+        let threads = self.threads;
+        let mut matrix = crate::soa::SampleMatrix::empty(n, k);
+        for r in 0..k {
+            self.metrics.record_round(RoundKind::Pull, n as u64);
+            self.round += 1;
+            let round = self.round;
+            let (states, failure) = (&self.states, &self.failure);
+            let sampler = &sampler;
+            let reliable = failure.is_reliable();
+            let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+            let delta = par::for_chunks(
+                &self.pool,
+                matrix.column_mut(r),
+                threads,
+                Metrics::default(),
+                |start, chunk| {
+                    let mut local = Metrics::default();
+                    if reliable {
+                        // Dedicated no-failure loop: no coin, no model match.
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let v = start + j;
+                            local.record_attempt(RoundKind::Pull);
+                            let mut rng = prefix.node(v as u64);
+                            let t = sampler.sample(&mut rng, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            *slot = Some(msg);
+                        }
+                    } else {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let v = start + j;
+                            local.record_attempt(RoundKind::Pull);
+                            let mut rng = prefix.node(v as u64);
+                            if failure.fails(v, round, &mut rng) {
+                                local.record_failure();
+                                *slot = None;
+                                continue;
+                            }
+                            let t = sampler.sample(&mut rng, v);
+                            let msg = serve(t, &states[t]);
+                            local.record_delivery(msg.message_bits());
+                            *slot = Some(msg);
+                        }
+                    }
+                    local
+                },
+                |a, b| a + b,
+            );
+            self.metrics = self.metrics + delta;
+        }
+        matrix
     }
 
     /// Computes, without executing anything, the pull target every node
@@ -2175,6 +2504,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         // members.
         let states = &self.states;
         let (pairs, compact) = (&self.scratch_pairs, &self.scratch_compact[..m]);
+        let dist = self.prefetch_dist;
         par::for_sparse(
             &self.pool,
             &mut self.next,
@@ -2188,8 +2518,16 @@ impl<S: Clone + Send + Sync> Engine<S> {
                     slot.clone_from(&states[u]);
                     let lo = pairs.partition_point(|&(r, _)| r < id);
                     let hi = pairs.partition_point(|&(r, _)| r <= id);
-                    for &(_, s) in &pairs[lo..hi] {
-                        let v = s as usize;
+                    for k in lo..hi {
+                        // The pair list is sorted by receiver, so the sender
+                        // column is a random gather; hint the read `dist`
+                        // entries ahead (possibly past this receiver's run —
+                        // a neighbouring run's sender is still a useful
+                        // warm-up).
+                        if dist > 0 && k + dist < pairs.len() {
+                            crate::soa::prefetch_read(&states[pairs[k + dist].1 as usize]);
+                        }
+                        let v = pairs[k].1 as usize;
                         if let Some(msg) = make(v, &states[v]) {
                             fold(u, slot, msg);
                         }
@@ -2315,6 +2653,7 @@ impl<S: Clone + Send + Sync> Engine<S> {
         // order.
         let states = &self.states;
         let (pairs, pulls) = (&self.scratch_pairs, &self.scratch_compact2[..m]);
+        let dist = self.prefetch_dist;
         let deliveries = par::for_sparse(
             &self.pool,
             &mut self.next,
@@ -2338,8 +2677,11 @@ impl<S: Clone + Send + Sync> Engine<S> {
                     }
                     let lo = pairs.partition_point(|&(r, _)| r < id);
                     let hi = pairs.partition_point(|&(r, _)| r <= id);
-                    for &(_, s) in &pairs[lo..hi] {
-                        let v = s as usize;
+                    for k in lo..hi {
+                        if dist > 0 && k + dist < pairs.len() {
+                            crate::soa::prefetch_read(&states[pairs[k + dist].1 as usize]);
+                        }
+                        let v = pairs[k].1 as usize;
                         let msg = serve(v, &states[v]);
                         local.record_delivery(msg.message_bits());
                         merge(u, slot, msg);
@@ -2974,8 +3316,16 @@ impl<S: Clone + Send + Sync> Engine<S> {
     /// and front buffers, so the front buffer is fully current again after an
     /// `O(|written|)` pass (the sparse counterpart of the dense rounds'
     /// `O(1)` whole-vector swap).
+    ///
+    /// By default maximal runs of consecutive ids are swapped with one
+    /// [`slice::swap_with_slice`] each ([`crate::soa::swap_runs`]) — active
+    /// sets and receiver lists are sorted, so dense stretches collapse into
+    /// block moves. [`Engine::set_batch_commit`] restores the per-slot loop
+    /// (the A/B control; both orders touch each slot exactly once, so the
+    /// result is bit-identical).
     fn commit_written(&mut self, written: &[u32]) {
         let threads = self.threads;
+        let batch = self.batch_commit;
         par::for_sparse2(
             &self.pool,
             &mut self.states,
@@ -2983,9 +3333,13 @@ impl<S: Clone + Send + Sync> Engine<S> {
             written,
             threads,
             |ids, base, front, back| {
-                for &id in ids {
-                    let i = id as usize - base;
-                    std::mem::swap(&mut front[i], &mut back[i]);
+                if batch {
+                    crate::soa::swap_runs(ids, base, front, back);
+                } else {
+                    for &id in ids {
+                        let i = id as usize - base;
+                        std::mem::swap(&mut front[i], &mut back[i]);
+                    }
                 }
             },
         );

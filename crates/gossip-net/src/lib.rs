@@ -46,9 +46,11 @@
 //! assert!(engine.states().iter().all(|&v| v == 999));
 //! ```
 
-// `deny`, not `forbid`: the one sanctioned exception is the lifetime erasure
-// inside `pool` (see the safety discussion in that module's docs), which opts
-// back in with a scoped `allow`. Everything else stays unsafe-free.
+// `deny`, not `forbid`: the two sanctioned exceptions are the lifetime
+// erasure inside `pool` (see the safety discussion in that module's docs) and
+// the architecture prefetch intrinsics inside `soa` (hints with no safety
+// obligations), each opting back in with a scoped `allow`. Everything else
+// stays unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -64,6 +66,7 @@ pub mod par;
 pub mod pool;
 pub mod protocol;
 pub mod rng;
+pub mod soa;
 pub mod topology;
 pub mod value;
 
@@ -77,6 +80,7 @@ pub use metrics::{Metrics, RoundKind};
 pub use pool::WorkerPool;
 pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner, StepReport};
 pub use rng::{KeyPrefix, NodeRng, SeedSequence};
+pub use soa::{ColumnStore, Columns, SampleMatrix};
 pub use topology::{Adjacency, AdjacencyCache, Topology};
 pub use value::{NodeValue, OrderedF64};
 

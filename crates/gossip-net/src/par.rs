@@ -34,6 +34,16 @@
 //! With `threads == 1` every helper runs inline on the caller's thread — no
 //! hand-off, no synchronisation — which is also the engine's policy for
 //! small `n`.
+//!
+//! ## Memory layout inside a chunk
+//!
+//! The helpers hand each closure one *contiguous* chunk precisely so the
+//! engine can impose its own interior structure on it: the dense rounds
+//! cache-block their back-buffer refresh and batch their target gathers
+//! within the chunk ([`crate::soa`]), and the sparse commit batches
+//! consecutive-id runs into block swaps. Contiguity is the contract that
+//! makes those interior loops legal — a chunk map that interleaved slots
+//! across threads would forfeit every blocked optimisation downstream.
 
 use crate::pool::WorkerPool;
 use std::sync::Mutex;

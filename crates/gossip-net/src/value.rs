@@ -15,6 +15,13 @@ use std::fmt;
 /// [`OrderedF64`]. Tuples `(A, B)` of node values are also node values
 /// (ordered lexicographically); the exact-quantile algorithm uses this to
 /// break ties between duplicated values.
+///
+/// The `Copy` bound is also what makes node values plain-old-data for the
+/// engine's memory-layout machinery: states built from them have no drop
+/// glue or heap indirection, so the cache-blocked back-buffer refresh
+/// ([`crate::soa::clone_block`]) compiles down to straight block copies and
+/// the [`crate::soa`] column stores hold them in flat, autovectorisable
+/// arrays.
 pub trait NodeValue: Copy + Ord + fmt::Debug + Send + Sync + MessageSize + 'static {}
 
 impl<T> NodeValue for T where T: Copy + Ord + fmt::Debug + Send + Sync + MessageSize + 'static {}

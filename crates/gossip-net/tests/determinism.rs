@@ -487,6 +487,93 @@ fn node_rng_streams_are_independent_of_order_of_use() {
     assert_eq!(first6, second6);
 }
 
+gossip_net::columns! {
+    /// Struct-of-arrays mirror of the tournament-style test state used by
+    /// the SoA matrix entry below.
+    struct PairColumns for PairState { value: u64, tag: u64 }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PairState {
+    value: u64,
+    tag: u64,
+}
+
+#[test]
+fn soa_backed_engine_is_identical_across_thread_counts_and_layout_knobs() {
+    // The SoA path end to end: algorithm state lives in a ColumnStore, is
+    // loaded into an engine (Columns → states), run through pull/push rounds
+    // whose layout knobs (copy block, prefetch distance, commit batching)
+    // vary per configuration, and decomposed back into columns. Every
+    // (threads, knobs) point of the matrix must yield bit-identical columns —
+    // the knobs are mechanical-sympathy switches, never semantic ones.
+    use gossip_net::soa::ColumnStore;
+
+    let initial: Vec<PairState> = (0..2000u64)
+        .map(|v| PairState {
+            value: v.wrapping_mul(31),
+            tag: v ^ 0x5eed,
+        })
+        .collect();
+    let store: ColumnStore<PairColumns> = ColumnStore::from_states(&initial);
+
+    let run = |threads: usize, block: usize, dist: usize, batch: bool| {
+        let mut e = Engine::from_states(store.states(), EngineConfig::with_seed(77));
+        e.set_threads(threads);
+        e.set_copy_block(block)
+            .set_prefetch_dist(dist)
+            .set_batch_commit(batch);
+        let active = ActiveSet::from_fn(2000, |v| v % 3 != 0);
+        for _ in 0..3 {
+            e.pull_round(
+                |_, st| st.value,
+                |_, st, pulled| {
+                    if let Some(p) = pulled {
+                        st.value = fold_hash(st.value, p);
+                    }
+                },
+            );
+            e.push_round(
+                |_, st| Some(st.tag),
+                |_, st, msg| st.tag = fold_hash(st.tag, msg),
+                |_, _, _| {},
+            );
+            e.push_round_on(
+                &active,
+                |_, st| Some(st.value),
+                |_, st, msg| st.value = fold_hash(st.value, msg),
+                |_, _, _| {},
+            );
+        }
+        let metrics = e.metrics();
+        (
+            ColumnStore::<PairColumns>::from_states(e.states()).into_columns(),
+            metrics,
+        )
+    };
+
+    let (baseline_cols, baseline_metrics) = run(1, 2048, 32, true);
+    for (i, &threads) in THREAD_MATRIX.iter().enumerate() {
+        // Vary every knob along the matrix, including the degenerate block
+        // size and a disabled prefetcher.
+        let (block, dist, batch) = [(1, 0, false), (64, 8, true), (4096, 512, false)][i];
+        let (cols, metrics) = run(threads, block, dist, batch);
+        assert_eq!(
+            cols.value, baseline_cols.value,
+            "{threads} threads / block {block} diverged in the value column"
+        );
+        assert_eq!(
+            cols.tag, baseline_cols.tag,
+            "{threads} threads / block {block} diverged in the tag column"
+        );
+        assert_eq!(metrics, baseline_metrics);
+    }
+
+    // The store itself round-trips states losslessly.
+    assert_eq!(store.states(), initial);
+    assert_eq!(store.get(7), initial[7]);
+}
+
 #[test]
 fn env_var_thread_counts_honoured_at_construction_do_not_change_results() {
     // Engines pick their default thread count from the environment at

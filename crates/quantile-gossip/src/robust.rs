@@ -104,6 +104,60 @@ struct RobustState<V> {
     answer: Option<V>,
 }
 
+/// Struct-of-arrays mirror of [`RobustState`]: three parallel columns, so
+/// the end-of-run extraction scans flat `good` / `answer` arrays instead of
+/// striding through the interleaved struct array. Hand-written
+/// [`Columns`](gossip_net::soa::Columns) impl (the `columns!` macro handles
+/// non-generic states; this one is generic over `V`).
+#[derive(Debug, Clone)]
+struct RobustColumns<V> {
+    value: Vec<V>,
+    good: Vec<bool>,
+    answer: Vec<Option<V>>,
+}
+
+// Manual `Default` so `V: Default` is not required (empty columns need no
+// element values).
+impl<V> Default for RobustColumns<V> {
+    fn default() -> Self {
+        RobustColumns {
+            value: Vec::new(),
+            good: Vec::new(),
+            answer: Vec::new(),
+        }
+    }
+}
+
+impl<V: NodeValue> gossip_net::soa::Columns for RobustColumns<V> {
+    type State = RobustState<V>;
+
+    fn push(&mut self, state: &RobustState<V>) {
+        self.value.push(state.value);
+        self.good.push(state.good);
+        self.answer.push(state.answer);
+    }
+
+    fn len(&self) -> usize {
+        debug_assert_eq!(self.value.len(), self.good.len());
+        debug_assert_eq!(self.value.len(), self.answer.len());
+        self.value.len()
+    }
+
+    fn get(&self, i: usize) -> RobustState<V> {
+        RobustState {
+            value: self.value[i],
+            good: self.good[i],
+            answer: self.answer[i],
+        }
+    }
+
+    fn set(&mut self, i: usize, state: &RobustState<V>) {
+        self.value[i] = state.value;
+        self.good[i] = state.good;
+        self.answer[i] = state.answer;
+    }
+}
+
 /// Runs the failure-robust ε-approximate φ-quantile algorithm of Theorem 1.4.
 ///
 /// # Errors
@@ -224,8 +278,6 @@ pub fn robust_approximate_quantile<V: NodeValue>(
             st.value = median3(good_pulls[0], good_pulls[1], good_pulls[2]);
         });
     }
-    let good_fraction = engine.states().iter().filter(|st| st.good).count() as f64 / n as f64;
-
     // Final vote: sample until K good pulls are collected.
     let final_pulls = if config.adaptive {
         config.final_pulls_for(budget.mu_hat())
@@ -264,12 +316,16 @@ pub fn robust_approximate_quantile<V: NodeValue>(
     }
 
     let metrics = engine.metrics();
-    let outputs: Vec<Option<V>> = engine
-        .into_states()
-        .into_iter()
-        .map(|st| st.answer)
-        .collect();
-    let answered = outputs.iter().filter(|o| o.is_some()).count() as f64 / n as f64;
+    // Columnar extraction: decompose the final states into parallel flat
+    // columns and read `good` / `answer` as contiguous arrays. `good` is only
+    // ever cleared during the tournament phases (the final vote and learning
+    // rounds touch `answer` alone), so the fraction measured here equals the
+    // post-tournament one.
+    use gossip_net::soa::Columns as _;
+    let cols = RobustColumns::from_states(engine.states());
+    let good_fraction = cols.good.iter().filter(|&&g| g).count() as f64 / n as f64;
+    let answered = cols.answer.iter().filter(|o| o.is_some()).count() as f64 / n as f64;
+    let outputs = cols.answer;
     Ok(RobustOutcome {
         outputs,
         answered_fraction: answered,

@@ -91,16 +91,27 @@ pub fn run<V: NodeValue>(
             1.0
         };
         if delta >= 1.0 {
-            let samples = engine.collect_samples(3, |_, &v| v);
+            // Flat column-major sample matrix: one allocation for all three
+            // sampling rounds, each round filling a contiguous column.
+            let samples = engine.collect_samples_flat(3, |_, &v| v);
             engine.local_step(|v, state, _rng| {
-                let s = &samples[v];
-                *state = match s.len() {
-                    3 => median3(s[0], s[1], s[2]),
+                let (s0, s1, s2) = (
+                    samples.sample(v, 0),
+                    samples.sample(v, 1),
+                    samples.sample(v, 2),
+                );
+                *state = match (s0, s1, s2) {
+                    (Some(a), Some(b), Some(c)) => median3(a, b, c),
                     // Failure fallbacks: degrade gracefully to the information
-                    // we actually received this iteration.
-                    2 => median3(s[0], s[1], *state),
-                    1 => median3(s[0], *state, *state),
-                    _ => *state,
+                    // we actually received this iteration (samples keep their
+                    // round order, as in the nested layout).
+                    (Some(a), Some(b), None)
+                    | (Some(a), None, Some(b))
+                    | (None, Some(a), Some(b)) => median3(a, b, *state),
+                    (Some(a), None, None) | (None, Some(a), None) | (None, None, Some(a)) => {
+                        median3(a, *state, *state)
+                    }
+                    (None, None, None) => *state,
                 };
             });
         } else {
@@ -134,17 +145,20 @@ pub fn run<V: NodeValue>(
     }
     let converged_values = engine.states().to_vec();
 
-    // Line 8: sample K values and output their median.
-    let final_samples = engine.collect_samples(vote.samples, |_, &v| v);
-    let outputs: Vec<V> = final_samples
-        .into_iter()
-        .enumerate()
-        .map(|(v, mut s)| {
-            if s.is_empty() {
+    // Line 8: sample K values and output their median. The flat matrix
+    // replaces n per-node vectors with one allocation; the vote reuses a
+    // single scratch buffer across nodes.
+    let final_samples = engine.collect_samples_flat(vote.samples, |_, &v| v);
+    let mut scratch: Vec<V> = Vec::with_capacity(vote.samples);
+    let outputs: Vec<V> = (0..n)
+        .map(|v| {
+            scratch.clear();
+            scratch.extend(final_samples.row(v).copied());
+            if scratch.is_empty() {
                 converged_values[v]
             } else {
-                s.sort_unstable();
-                s[s.len() / 2]
+                scratch.sort_unstable();
+                scratch[scratch.len() / 2]
             }
         })
         .collect();

@@ -66,18 +66,19 @@ pub fn run<V: NodeValue>(
     for (iteration, step) in schedule.steps.iter().enumerate() {
         if step.delta >= 1.0 {
             // Full iteration: two sampling rounds against the iteration-start
-            // snapshot, every node runs the tournament.
-            let samples = engine.collect_samples(2, |_, &v| v);
+            // snapshot, every node runs the tournament. The flat column-major
+            // sample matrix keeps the whole pass at two allocations total
+            // and makes the per-round sample columns contiguous.
+            let samples = engine.collect_samples_flat(2, |_, &v| v);
             engine.local_step(|v, state, _rng| {
-                let s = &samples[v];
-                *state = match s.len() {
+                *state = match (samples.sample(v, 0), samples.sample(v, 1)) {
                     // Normal case: the two-sample tournament.
-                    2 => extremum(side, s[0], s[1]),
+                    (Some(a), Some(b)) => extremum(side, a, b),
                     // Failure fallbacks (only reachable under a failure
                     // model): with one sample run the degenerate tournament
                     // against it, with none keep the current value.
-                    1 => extremum(side, s[0], *state),
-                    _ => *state,
+                    (Some(a), None) | (None, Some(a)) => extremum(side, a, *state),
+                    (None, None) => *state,
                 };
             });
         } else {

@@ -1,8 +1,10 @@
 //! CI bench smoke comparator: `bench_smoke <committed.json> <fresh.json>`.
 //!
-//! Prints one warning line per median outside the committed ±3·std band (see
-//! [`bench::smoke`]) and always exits 0 — quick-mode numbers are noisy by
-//! construction, so drift is surfaced in the job log, not enforced.
+//! Prints one warning line per measurement outside the committed noise band
+//! (see [`bench::smoke`]) and always exits 0 — quick-mode numbers are noisy
+//! by construction, so drift is surfaced in the job log, not enforced. CI
+//! invokes it once per report pair (`BENCH_engine.json`,
+//! `BENCH_service.json`, `BENCH_robustness.json`).
 
 use std::process::ExitCode;
 

@@ -1,16 +1,31 @@
 //! Bench smoke comparison: flag quick-mode medians that drift outside the
-//! noise band of the committed `BENCH_engine.json`.
+//! noise band of the committed bench reports (`BENCH_engine.json`,
+//! `BENCH_service.json`, `BENCH_robustness.json`).
 //!
-//! CI's bench smoke step snapshots the committed report, re-runs the benches
-//! in quick mode, and then calls [`compare`] (via the `bench_smoke` binary)
-//! on the two files. Rows are matched by their **identity keys** (`n`,
-//! `threads`, `active_frac`, `change` — whichever are present); within a
-//! matched pair, every `rounds_per_sec*` measurement is compared against the
-//! committed median ± 3·(committed std) band, using the paired `std*` key
-//! with the same suffix. Anything outside the band becomes a **warning** —
-//! never a failure, because quick mode trades stability for runtime and a
-//! CI container's noise floor is unknowable — so a silent perf regression at
-//! least leaves a trace in the job log at PR time.
+//! CI's bench smoke step snapshots the committed reports, re-runs the
+//! benches in quick mode, and then calls [`compare`] (via the `bench_smoke`
+//! binary) on each committed/fresh pair. Rows are matched by their
+//! **identity keys** (`n`, `threads`, `kind`, `fault`, … — whichever are
+//! present); within a matched pair a measurement `K` is compared when the
+//! committed row carries a noise estimate for it, under either naming
+//! convention:
+//!
+//! - the engine report's suffix style, `rounds_per_sec_1t` ↔ `std_1t`;
+//! - the generic style used elsewhere, `within_eps` ↔ `std_within_eps`.
+//!
+//! The band is the committed median ± [`NOISE_SIGMAS`]·(committed std). A
+//! handful of keys ([`DETERMINISTIC_KEYS`]) are *derived counts* — round
+//! totals, amortisation ratios, per-round byte footprints — that are exact
+//! functions of the seed; those are compared exactly even without a
+//! committed std, because any drift there is a behavioural change, not
+//! noise. Wall-clock keys with neither a std pair nor a determinism
+//! guarantee (`qps`, `speedup`, `epoch_secs`, …) are skipped: with no
+//! committed noise estimate there is no honest band to test against.
+//!
+//! Anything outside its band becomes a **warning** — never a failure,
+//! because quick mode trades stability for runtime and a CI container's
+//! noise floor is unknowable — so a silent regression at least leaves a
+//! trace in the job log at PR time.
 //!
 //! The parser is deliberately matched to [`crate::report_json`]'s fixed
 //! row-per-line format rather than being a general JSON reader: one object
@@ -19,7 +34,40 @@
 use std::collections::BTreeMap;
 
 /// Keys that identify a row within its section rather than measuring it.
-const IDENTITY_KEYS: &[&str] = &["n", "threads", "active_frac", "change"];
+/// Spans all three reports: engine rows (`n`/`threads`/`active_frac`/
+/// `change`), service rows (`kind`/`q`/`dirty_fraction`/`perturbation`) and
+/// robustness rows (in-row `section` plus `fault`/`intensity` for the sweep,
+/// `mode`/`mu` for the schedule comparison).
+const IDENTITY_KEYS: &[&str] = &[
+    "n",
+    "threads",
+    "active_frac",
+    "change",
+    "kind",
+    "q",
+    "dirty_fraction",
+    "perturbation",
+    "section",
+    "fault",
+    "intensity",
+    "mode",
+    "mu",
+];
+
+/// Measurements that are deterministic functions of the seed (round counts
+/// and quantities derived from them). Compared exactly when the committed
+/// row has no std pair for them — drift here means the algorithm's
+/// trajectory changed, not that the machine was noisy.
+const DETERMINISTIC_KEYS: &[&str] = &[
+    "rounds",
+    "seq_rounds",
+    "solo_rounds_total",
+    "dirty_nodes",
+    "amortisation",
+    "bytes_per_node_round",
+    "dispatches_loop",
+    "dispatches_program",
+];
 
 /// How many committed standard deviations of drift count as noise.
 pub const NOISE_SIGMAS: f64 = 3.0;
@@ -105,28 +153,53 @@ pub fn compare(committed: &str, fresh: &str) -> Vec<String> {
             continue;
         };
         for (key, &fresh_value) in &fresh_row.values {
-            let Some(suffix) = key.strip_prefix("rounds_per_sec") else {
+            if key.starts_with("std") || IDENTITY_KEYS.contains(&key.as_str()) {
                 continue;
-            };
+            }
             let Some(&committed_value) = base.values.get(key) else {
                 continue;
             };
-            let std_key = format!("std{suffix}");
-            let Some(&std) = base.values.get(&std_key) else {
-                continue;
-            };
-            let band = NOISE_SIGMAS * std;
-            let drift = fresh_value - committed_value;
-            if drift.abs() > band {
-                warnings.push(format!(
-                    "[{}] {}: {key} = {fresh_value:.3} drifted {drift:+.3} from committed \
-                     {committed_value:.3} (band ±{band:.3} = {NOISE_SIGMAS}·std {std:.3})",
-                    fresh_row.section, fresh_row.identity
-                ));
+            match committed_std(base, key) {
+                Some(std) => {
+                    let band = NOISE_SIGMAS * std;
+                    let drift = fresh_value - committed_value;
+                    if drift.abs() > band {
+                        warnings.push(format!(
+                            "[{}] {}: {key} = {fresh_value:.3} drifted {drift:+.3} from committed \
+                             {committed_value:.3} (band ±{band:.3} = {NOISE_SIGMAS}·std {std:.3})",
+                            fresh_row.section, fresh_row.identity
+                        ));
+                    }
+                }
+                None if DETERMINISTIC_KEYS.contains(&key.as_str())
+                    && fresh_value != committed_value =>
+                {
+                    warnings.push(format!(
+                        "[{}] {}: {key} = {fresh_value:.3} differs from committed \
+                         {committed_value:.3} (deterministic count — expected exact match)",
+                        fresh_row.section, fresh_row.identity
+                    ));
+                }
+                // Wall-clock measurement with no committed noise estimate:
+                // nothing honest to compare against.
+                None => {}
             }
         }
     }
     warnings
+}
+
+/// Looks up the committed noise estimate for measurement `key`, accepting
+/// both std-naming conventions: the engine report's suffix style
+/// (`rounds_per_sec_1t` ↔ `std_1t`) and the generic `K` ↔ `std_K` style
+/// used by the robustness report.
+fn committed_std(row: &Row, key: &str) -> Option<f64> {
+    if let Some(suffix) = key.strip_prefix("rounds_per_sec") {
+        if let Some(&std) = row.values.get(&format!("std{suffix}")) {
+            return Some(std);
+        }
+    }
+    row.values.get(&format!("std_{key}")).copied()
 }
 
 #[cfg(test)]
@@ -213,5 +286,51 @@ mod tests {
 "#;
         let fresh = committed.replace("10.0", "99.0");
         assert!(compare(committed, &fresh).is_empty());
+    }
+
+    #[test]
+    fn robustness_rows_pair_measurements_with_generic_std_keys() {
+        // Robustness rows use the `K` ↔ `std_K` convention and are keyed by
+        // the in-row `section` plus fault/intensity.
+        let committed = r#"{
+  "results": [
+    {"section": "sweep", "fault": "loss", "intensity": 0.2, "n": 20000, "within_eps": 1.0, "std_within_eps": 0.01, "answered": 1.0, "std_answered": 0.0, "rounds": 155.0, "std_rounds": 2.0},
+    {"section": "schedule", "mode": "adaptive", "mu": 0.3, "n": 20000, "rounds": 189.0, "std_rounds": 0.0}
+  ]
+}
+"#;
+        let fresh = committed
+            .replace("\"within_eps\": 1.0,", "\"within_eps\": 0.8,")
+            .replace("\"rounds\": 155.0,", "\"rounds\": 162.0,")
+            .replace("\"rounds\": 189.0,", "\"rounds\": 190.0,");
+        let warnings = compare(committed, &fresh);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert!(warnings[0].contains("[results] section=sweep fault=loss intensity=0.2 n=20000"));
+        assert!(warnings[0].contains("rounds = 162.000"));
+        assert!(warnings[0].contains("band ±6.000"));
+        assert!(warnings[1].contains("within_eps = 0.800"));
+        // The zero-std schedule row treats any round drift as real.
+        assert!(warnings[2].contains("section=schedule mode=adaptive mu=0.3"));
+        assert!(warnings[2].contains("band ±0.000"));
+    }
+
+    #[test]
+    fn deterministic_service_counters_must_match_exactly() {
+        let committed = r#"{
+  "results": [
+    {"kind": "batch", "n": 10000, "q": 8, "rounds": 49, "solo_rounds_total": 380, "amortisation": 7.755, "qps": 107.822, "epoch_secs": 0.074}
+  ]
+}
+"#;
+        // Wall-clock keys (`qps`) are free to move without a committed noise
+        // estimate; the deterministic round count is not.
+        let fresh = committed
+            .replace("107.822", "3.001")
+            .replace("\"rounds\": 49", "\"rounds\": 53");
+        let warnings = compare(committed, &fresh);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("[results] kind=batch n=10000 q=8"));
+        assert!(warnings[0].contains("rounds = 53.000"));
+        assert!(warnings[0].contains("deterministic count"));
     }
 }

@@ -162,7 +162,7 @@ use crate::fault::FaultPlan;
 use crate::message::MessageSize;
 use crate::metrics::{Metrics, RoundKind};
 use crate::par;
-use crate::pool::WorkerPool;
+use crate::pool::{PoolStats, WorkerPool};
 use crate::rng::{KeyPrefix, NodeRng};
 use crate::topology::{
     AdjacencyCache, CompleteSampler, CsrSampler, PeerSampler, Sampler, Topology,
@@ -435,6 +435,14 @@ pub struct Engine<S> {
     /// when the engine is cloned).
     sampler: PeerSampler,
     metrics: Metrics,
+    /// Pool scheduling counters attributed to this engine from pools it no
+    /// longer holds (folded in by [`Engine::set_threads`] when it swaps
+    /// pools); added to the live pool's delta in [`Engine::metrics`].
+    pool_carry: PoolStats,
+    /// The live pool's counters at adoption time — the baseline
+    /// [`Engine::metrics`] subtracts, so a shared pool's pre-existing
+    /// dispatches are not billed to this engine.
+    pool_base: PoolStats,
     round: u64,
     local_epochs: u64,
     /// Per-sender contact target (push target in push–pull), or a sentinel.
@@ -513,6 +521,10 @@ impl<S: Clone> Clone for Engine<S> {
             topology: self.topology,
             sampler: self.sampler.clone(),
             metrics: self.metrics,
+            // The clone shares the pool, so sharing base + carry keeps its
+            // scheduling counters continuous with the original's.
+            pool_carry: self.pool_carry,
+            pool_base: self.pool_base,
             round: self.round,
             local_epochs: self.local_epochs,
             scratch_targets: self.scratch_targets.clone(),
@@ -589,6 +601,7 @@ impl<S> Engine<S> {
         let pool = config
             .pool
             .unwrap_or_else(|| Arc::new(WorkerPool::new(threads)));
+        let pool_base = pool.stats();
         Ok(Engine {
             states,
             next: Vec::new(),
@@ -603,6 +616,8 @@ impl<S> Engine<S> {
             topology: config.topology,
             sampler,
             metrics: Metrics::new(),
+            pool_carry: PoolStats::default(),
+            pool_base,
             round: 0,
             local_epochs: 0,
             scratch_targets: vec![0; n],
@@ -644,8 +659,20 @@ impl<S> Engine<S> {
     }
 
     /// Communication metrics accumulated so far.
+    ///
+    /// The scheduling counters (`pool_dispatches`, `worker_wakeups`) are
+    /// filled in here from the worker pool's cumulative [`PoolStats`],
+    /// baselined at pool adoption; with a shared pool
+    /// ([`EngineConfig::pool`]) they include dispatches by other sharers
+    /// during this engine's lifetime. They are excluded from `Metrics`
+    /// equality — see [`Metrics`]' `PartialEq`.
     pub fn metrics(&self) -> Metrics {
-        self.metrics
+        let live = self.pool.stats();
+        let mut m = self.metrics;
+        m.pool_dispatches =
+            self.pool_carry.dispatches + (live.dispatches - self.pool_base.dispatches);
+        m.worker_wakeups = self.pool_carry.wakeups + (live.wakeups - self.pool_base.wakeups);
+        m
     }
 
     /// Number of rounds executed so far.
@@ -709,7 +736,14 @@ impl<S> Engine<S> {
     pub fn set_threads(&mut self, threads: usize) -> &mut Self {
         self.threads = threads.max(1);
         if self.threads > self.pool.threads() {
+            // Fold the old pool's scheduling counters into the carry so the
+            // engine's `pool_dispatches`/`worker_wakeups` stay monotone
+            // across the swap.
+            let old = self.pool.stats();
+            self.pool_carry.dispatches += old.dispatches - self.pool_base.dispatches;
+            self.pool_carry.wakeups += old.wakeups - self.pool_base.wakeups;
             self.pool = Arc::new(WorkerPool::new(self.threads));
+            self.pool_base = self.pool.stats();
         }
         self
     }
@@ -720,6 +754,32 @@ impl<S> Engine<S> {
     /// the same workers (see [`EngineConfig::sub`]).
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
+    }
+
+    /// Runs `f` as one **fused round program**: the worker pool is woken
+    /// once ([`WorkerPool::run_program`]), stays resident for every round
+    /// primitive `f` executes on this engine, and parks again when `f`
+    /// returns — replacing one full dispatch hand-off per round with a
+    /// lightweight spin-then-park phase barrier.
+    ///
+    /// Results are **bit-identical** to running `f` without the fusion (the
+    /// determinism and program test suites pin this); only wall-clock time
+    /// and the scheduling counters change. Fused blocks nest freely (the
+    /// inner one just runs inside the outer session), and arbitrary
+    /// sequential work between rounds — convergence checks, active-set
+    /// unions, metric folds — is fine inside `f`: it simply runs on the
+    /// session thread (executor 0) while the workers wait at the barrier.
+    ///
+    /// Use [`Engine::run_program`](crate::RoundProgram) to build and replay
+    /// a recorded round schedule; use `fused` directly when the schedule is
+    /// data-dependent (convergence loops, expanding active sets).
+    ///
+    /// Note: engines sharing this pool cannot dispatch from *other* threads
+    /// while the session runs (they serialise on the pool's gate, as
+    /// always); same-thread use is fine and fuses into the session.
+    pub fn fused<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let pool = Arc::clone(&self.pool);
+        pool.run_program(|| f(self))
     }
 
     /// Overrides the cache-blocked refresh block size (slots per

@@ -64,6 +64,7 @@ pub mod message;
 pub mod metrics;
 pub mod par;
 pub mod pool;
+pub mod program;
 pub mod protocol;
 pub mod rng;
 pub mod soa;
@@ -77,7 +78,8 @@ pub use failure::FailureModel;
 pub use fault::{ChurnModel, FaultPlan, LossModel, StragglerModel};
 pub use message::MessageSize;
 pub use metrics::{Metrics, RoundKind};
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};
+pub use program::{RoundProgram, StepKind};
 pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner, StepReport};
 pub use rng::{KeyPrefix, NodeRng, SeedSequence};
 pub use soa::{ColumnStore, Columns, SampleMatrix};

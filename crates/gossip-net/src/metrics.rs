@@ -31,7 +31,7 @@ impl std::fmt::Display for RoundKind {
 ///
 /// All counters are cumulative over the life of an [`crate::Engine`]; use
 /// [`Metrics::snapshot_delta`] to measure a phase of an algorithm.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Metrics {
     /// Number of synchronous rounds executed.
     pub rounds: u64,
@@ -81,6 +81,50 @@ pub struct Metrics {
     pub bits_delivered: u64,
     /// Largest single message observed, in bits.
     pub max_message_bits: u64,
+    /// Full worker-pool dispatch hand-offs this engine paid (one per
+    /// non-inline parallel map outside a round program, one per fused
+    /// program — see the crate docs' "round programs"). A **scheduling**
+    /// counter: it measures execution cost, not communication, and is
+    /// therefore excluded from `==` (see [`Metrics`]'s `PartialEq`).
+    /// With a shared pool (`EngineConfig::pool`), dispatches by other
+    /// sharers during this engine's lifetime are included.
+    pub pool_dispatches: u64,
+    /// Worker threads woken by those dispatches (plus parked resident
+    /// workers woken by program phases, best-effort). Scheduling-only and
+    /// excluded from `==`, like `pool_dispatches`; inherently
+    /// nondeterministic across hosts and thread counts.
+    pub worker_wakeups: u64,
+}
+
+/// Counter-wise equality over the **trajectory** counters only.
+///
+/// `pool_dispatches` and `worker_wakeups` are deliberately excluded: they
+/// describe how the simulation was scheduled (thread count, pool sharing,
+/// program fusion), not what it computed, and the engine's determinism
+/// contract — bit-identical results at any thread count, pinned by
+/// `tests/determinism.rs` comparing `(states, metrics)` tuples — must not
+/// depend on them.
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.pull_rounds == other.pull_rounds
+            && self.push_rounds == other.push_rounds
+            && self.push_pull_rounds == other.push_pull_rounds
+            && self.active_nodes_total == other.active_nodes_total
+            && self.max_active == other.max_active
+            && self.active_pull_nodes == other.active_pull_nodes
+            && self.active_push_nodes == other.active_push_nodes
+            && self.active_push_pull_nodes == other.active_push_pull_nodes
+            && self.pulls_attempted == other.pulls_attempted
+            && self.pushes_attempted == other.pushes_attempted
+            && self.failed_operations == other.failed_operations
+            && self.crashed_operations == other.crashed_operations
+            && self.messages_dropped == other.messages_dropped
+            && self.messages_delayed == other.messages_delayed
+            && self.messages_delivered == other.messages_delivered
+            && self.bits_delivered == other.bits_delivered
+            && self.max_message_bits == other.max_message_bits
+    }
 }
 
 impl Metrics {
@@ -218,6 +262,8 @@ impl Metrics {
             messages_delivered: self.messages_delivered - earlier.messages_delivered,
             bits_delivered: self.bits_delivered - earlier.bits_delivered,
             max_message_bits: self.max_message_bits.max(earlier.max_message_bits),
+            pool_dispatches: self.pool_dispatches - earlier.pool_dispatches,
+            worker_wakeups: self.worker_wakeups - earlier.worker_wakeups,
         }
     }
 
@@ -309,6 +355,8 @@ impl std::ops::Add for Metrics {
             messages_delivered: self.messages_delivered + rhs.messages_delivered,
             bits_delivered: self.bits_delivered + rhs.bits_delivered,
             max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
+            pool_dispatches: self.pool_dispatches + rhs.pool_dispatches,
+            worker_wakeups: self.worker_wakeups + rhs.worker_wakeups,
         }
     }
 }
@@ -473,6 +521,38 @@ mod tests {
         m.record_delivery(64);
         assert_eq!(m.bits_per_round(), 640.0 / 2.0);
         assert_eq!(m.mean_bits_per_node_round(), 640.0 / 12.0);
+    }
+
+    #[test]
+    fn scheduling_counters_are_excluded_from_equality() {
+        // Two runs of the same algorithm at different thread counts (or
+        // fused vs looped) produce identical trajectories but different
+        // scheduling counters — they must still compare equal.
+        let mut a = Metrics::new();
+        a.record_round(RoundKind::Pull, 10);
+        let mut b = a;
+        b.pool_dispatches = 500;
+        b.worker_wakeups = 1500;
+        assert_eq!(a, b);
+        // Any trajectory counter still breaks equality.
+        b.record_delivery(8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scheduling_counters_survive_delta_and_addition() {
+        let mut m = Metrics::new();
+        m.pool_dispatches = 10;
+        m.worker_wakeups = 30;
+        let snapshot = m;
+        m.pool_dispatches = 17;
+        m.worker_wakeups = 51;
+        let delta = m.snapshot_delta(&snapshot);
+        assert_eq!(delta.pool_dispatches, 7);
+        assert_eq!(delta.worker_wakeups, 21);
+        let sum = m + delta;
+        assert_eq!(sum.pool_dispatches, 24);
+        assert_eq!(sum.worker_wakeups, 72);
     }
 
     #[test]

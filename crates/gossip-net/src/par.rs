@@ -17,8 +17,19 @@
 //! parallel break-even point far to the right. The helpers now dispatch onto
 //! the long-lived workers of a [`WorkerPool`] (owned by the engine,
 //! constructed once, shareable between engines): per map, the hand-off is one
-//! mutex/condvar wake plus an atomic task cursor. See [`crate::pool`] for the
-//! pool's epoch/barrier protocol and its lifecycle.
+//! mutex/condvar wake plus an atomic task cursor. Inside a
+//! [`WorkerPool::run_program`] resident session (an [`Engine::fused`] block
+//! or a replayed [`RoundProgram`]), even that is skipped: the pool
+//! recognises the session owner's thread and turns each map into a *phase*
+//! of the already-woken workers — an atomic phase bump on a spin-then-park
+//! barrier instead of a full wake/quiesce hand-off. The helpers themselves
+//! are oblivious to the difference; task semantics are identical either way.
+//! See [`crate::pool`] for the pool's epoch/barrier protocol, the resident
+//! phase barrier, and its lifecycle.
+//!
+//! [`Engine::fused`]: crate::Engine::fused
+//! [`RoundProgram`]: crate::RoundProgram
+//! [`WorkerPool::run_program`]: crate::WorkerPool::run_program
 //!
 //! ## Determinism argument
 //!

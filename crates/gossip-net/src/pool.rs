@@ -15,7 +15,9 @@
 //!    e.g. two engines sharing one pool from two user threads — serialise),
 //!    publishes the job under the state mutex (`epoch += 1`, task cursor
 //!    reset, a *join budget* of `min(workers, tasks − 1)`), and wakes that
-//!    many workers. The budget keeps a small map on a large shared pool from
+//!    many workers — after releasing the state mutex, so the first woken
+//!    worker does not immediately block on the lock the notifier still
+//!    holds. The budget keeps a small map on a large shared pool from
 //!    waking — or waiting on — workers it has no tasks for; it always drains,
 //!    because a worker is either parked (a wake-up reaches it) or mid-loop
 //!    (it re-checks the join predicate under the mutex before parking).
@@ -34,6 +36,34 @@
 //! Worker panics are caught per job, forwarded to the caller after the
 //! barrier, and leave the pool usable.
 //!
+//! ## Resident sessions (round programs)
+//!
+//! The epoch/condvar hand-off above costs tens of microseconds per dispatch
+//! on a busy host — negligible for one big map, dominant for a schedule of
+//! hundreds of sub-millisecond rounds (the regime the paper's tournament
+//! schedules live in). [`WorkerPool::run_program`] removes that per-round
+//! constant: it wakes every worker **once**, runs the whole multi-round
+//! program with the workers *resident*, and only then lets them park again.
+//!
+//! Inside a session, a dispatch from the owning thread (any
+//! [`WorkerPool::run`] call it makes — the engine's round primitives need no
+//! changes) becomes a *phase*: the owner publishes the task list and bumps a
+//! phase counter; resident workers synchronise on that counter with a
+//! spin-then-park wait (`GOSSIP_SPIN_US` sets the spin budget; spinning
+//! yields the CPU periodically so an oversubscribed host keeps making
+//! progress, and a worker that outlives the budget parks on the condvar and
+//! is woken by the next phase bump). Between phases the owner thread —
+//! executor 0 — performs the program's short sequential work (CSR prefix
+//! scans, buffer swaps, metrics folds, active-set unions) while the workers
+//! wait at the barrier. The per-phase quiescence wait (`remaining == 0`)
+//! plays the same lifetime-erasure-soundness role as `running == 0` does for
+//! plain jobs.
+//!
+//! Phases keep the exact task semantics of plain dispatches — same task
+//! indices, same cursor-claimed assignment, same per-phase barrier — so a
+//! program's results are **bit-identical** to the equivalent loop of single
+//! dispatches (pinned by `tests/program.rs`); only the hand-off cost changes.
+//!
 //! ## Determinism argument
 //!
 //! The pool influences only *which thread* executes a task, never *what* the
@@ -50,17 +80,20 @@
 //! `for_chunks` call), but worker threads are `'static`, so the pool stores
 //! the closure as a lifetime-erased raw pointer (`TaskPtr`). The quiescence
 //! barrier above (plus its unwind guard) guarantees the pointee outlives every
-//! dereference. This is the standard scoped-pool construction (rayon's
-//! `scope` does the same) and is the only unsafe code in the crate; the rest
-//! of the crate stays `deny(unsafe_code)`-clean.
+//! dereference — per job for plain dispatches, per phase for resident ones.
+//! This is the standard scoped-pool construction (rayon's `scope` does the
+//! same) and is the only unsafe code in the crate; the rest of the crate
+//! stays `deny(unsafe_code)`-clean.
 
 #![allow(unsafe_code)]
 
+use std::cell::UnsafeCell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Locks a mutex, ignoring poison: the pool forwards worker panics itself
 /// (after the quiescence barrier), so a poisoned lock carries no extra
@@ -71,10 +104,47 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// A per-thread token distinguishing live threads: the address of a
+/// thread-local, which is unique among concurrently running threads and never
+/// zero. Used to recognise the resident-session owner in
+/// [`WorkerPool::run`]'s fast path without taking any lock.
+fn thread_token() -> usize {
+    thread_local! {
+        static TOKEN: u8 = const { 0 };
+    }
+    TOKEN.with(|t| t as *const u8 as usize)
+}
+
+/// Default spin budget of the resident phase barrier, in microseconds,
+/// read from `GOSSIP_SPIN_US` (clamped to `[0, 100_000]`; `0` parks
+/// immediately — the pure condvar fallback the CI matrix exercises).
+///
+/// Without an explicit setting the budget is 100 µs, **provided** `threads`
+/// executors actually fit the host's cores: an oversubscribed pool (more
+/// executors than cores — a CI container, a 1-core box running the 8-thread
+/// matrix) gets `0`, because a spinning waiter then steals the very core its
+/// peer needs to reach the barrier, turning each phase hand-off into a full
+/// scheduler quantum. The env var always wins over the heuristic, so the
+/// spin paths stay testable anywhere.
+pub fn spin_us_from_env(threads: usize) -> u64 {
+    if let Some(v) = std::env::var("GOSSIP_SPIN_US")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        return v.min(100_000);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if threads > cores {
+        0
+    } else {
+        100
+    }
+}
+
 /// Lifetime-erased pointer to a caller-owned `dyn Fn(usize) + Sync` job
 /// closure. Safety: only dereferenced by executors between job publication
-/// and the quiescence barrier of the same [`WorkerPool::run`] call, during
-/// which the pointee is borrowed by `run`'s caller frame.
+/// and the quiescence barrier of the same [`WorkerPool::run`] call (or
+/// resident phase), during which the pointee is borrowed by the caller frame.
 #[derive(Clone, Copy)]
 struct TaskPtr(*const (dyn Fn(usize) + Sync + 'static));
 
@@ -85,7 +155,7 @@ impl TaskPtr {
     ///
     /// The caller must not let any dereference of the returned pointer
     /// outlive `'a` — in the pool, the quiescence barrier of the `run` call
-    /// that published the job enforces this.
+    /// (or resident phase) that published the job enforces this.
     unsafe fn erase<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> TaskPtr {
         let short: *const (dyn Fn(usize) + Sync + 'a) = task;
         // SAFETY: identical layout; only the lifetime bound changes.
@@ -103,11 +173,22 @@ impl TaskPtr {
 // `run` call that published it.
 unsafe impl Send for TaskPtr {}
 
-/// The job currently published to the workers.
+/// A published task batch: the erased closure and how many task indices it
+/// has.
 #[derive(Clone, Copy)]
-struct Job {
+struct BatchJob {
     task: TaskPtr,
     tasks: usize,
+}
+
+/// The job currently published to the workers.
+#[derive(Clone, Copy)]
+enum Job {
+    /// A one-shot task batch (a plain [`WorkerPool::run`]).
+    Batch(BatchJob),
+    /// A resident session: joining workers enter the phase loop and stay
+    /// there until the session ends.
+    Resident,
 }
 
 /// State shared between the caller and the workers, guarded by one mutex.
@@ -134,14 +215,88 @@ struct PoolState {
     shutdown: bool,
 }
 
+/// The lock-free side of a resident session (see the module docs): the phase
+/// counter the workers synchronise on and the cell the owner publishes each
+/// phase's job through.
+struct ResidentState {
+    /// Thread token of the session owner ([`thread_token`]); `0` = no
+    /// session. Read by [`WorkerPool::run`]'s fast path to route the owner's
+    /// dispatches through the phase barrier.
+    owner: AtomicUsize,
+    /// Whether the session is live; a resident worker observing a phase bump
+    /// with `active == false` leaves the phase loop.
+    active: AtomicBool,
+    /// Phase publication counter, reset to 0 at session start; the owner's
+    /// `SeqCst` bump is the release point of the phase's job.
+    phase: AtomicU64,
+    /// The current phase's job. Written by the owner strictly before the
+    /// `phase` bump and read by participating workers strictly after
+    /// observing that bump, so the release/acquire pair on `phase` orders
+    /// every access (no lock needed).
+    job: UnsafeCell<Option<BatchJob>>,
+    /// How many workers (the id-prefix `0..participants`) take part in the
+    /// current phase; published before the bump like `job`. Non-participants
+    /// never read the job cell — that is what makes rewriting it next phase
+    /// sound while they are still catching up on the counter.
+    participants: AtomicUsize,
+    /// Participants that have not yet finished the current phase; the owner
+    /// waits for 0 before returning from the dispatch (the per-phase
+    /// quiescence barrier of the lifetime-erasure argument).
+    remaining: AtomicUsize,
+    /// Resident workers currently parked on `start` (their spin budget ran
+    /// out). The owner notifies the condvar after a bump only when this is
+    /// non-zero, so an actively spinning session never touches the lock.
+    sleepers: AtomicUsize,
+    /// Any participant's task panicked during the current phase; drained by
+    /// the owner after the phase quiesces.
+    panicked: AtomicBool,
+}
+
+// SAFETY: the `job` cell is the only non-atomic field. The owner writes it
+// before the `SeqCst`/release `phase` bump; participants read it only after
+// an acquire load observes that bump, and the owner rewrites it only after
+// `remaining` reached 0 (release decrements, acquire read) — so every access
+// pair is ordered by a happens-before edge and no two accesses race.
+unsafe impl Sync for ResidentState {}
+
 struct Shared {
     state: Mutex<PoolState>,
-    /// Workers wait here for a new epoch (or shutdown).
+    /// Workers wait here for a new epoch (or shutdown); resident workers
+    /// whose spin budget ran out also park here between phases.
     start: Condvar,
     /// The caller waits here for `running == 0`.
     done: Condvar,
-    /// Next unclaimed task index of the current job.
+    /// Next unclaimed task index of the current job or phase.
     cursor: AtomicUsize,
+    /// Resident-session state (see the module docs).
+    resident: ResidentState,
+    /// Spin budget of the resident phase barrier before a worker parks (and
+    /// of the owner's phase-quiescence wait before it falls back to pure
+    /// yielding). Never affects results, only the latency/CPU trade.
+    spin: Duration,
+    /// Cumulative full dispatches: epoch-published jobs and resident-session
+    /// starts — each one a complete wake/quiesce hand-off. Resident *phases*
+    /// deliberately do not count: not paying this hand-off per round is the
+    /// point of a session.
+    dispatches: AtomicU64,
+    /// Cumulative worker wake-ups: condvar notifications issued by job and
+    /// session publication, plus resident sleepers woken by a phase bump.
+    wakeups: AtomicU64,
+}
+
+/// Scheduling counters of a [`WorkerPool`] — see [`WorkerPool::stats`].
+///
+/// These measure dispatch overhead, not communication: they are wall-clock
+/// observability (how many full hand-offs and wake-ups the pool paid), not
+/// part of any algorithm's trajectory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Full dispatch hand-offs: one per non-inline [`WorkerPool::run`]
+    /// outside a session, plus one per [`WorkerPool::run_program`] session.
+    pub dispatches: u64,
+    /// Workers woken: `workers` per full dispatch, plus parked resident
+    /// workers woken by phase bumps (best-effort count).
+    pub wakeups: u64,
 }
 
 /// A persistent pool of worker threads executing deterministic chunk maps.
@@ -163,13 +318,24 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Creates a pool with `threads` executors: the calling thread plus
-    /// `threads - 1` spawned workers (clamped to `[1, 256]`).
+    /// `threads - 1` spawned workers (clamped to `[1, 256]`), with the
+    /// resident-barrier spin budget taken from `GOSSIP_SPIN_US`
+    /// ([`spin_us_from_env`]: 100 µs when the executors fit the host's
+    /// cores, `0` when oversubscribed).
     ///
     /// `WorkerPool::new(1)` spawns nothing and makes [`run`](Self::run)
     /// purely inline — the engine's configuration for small networks.
     /// If the OS refuses a thread, the pool degrades to the workers it got
     /// (results are unaffected; only wall-clock time changes).
     pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool::with_spin(threads, spin_us_from_env(threads))
+    }
+
+    /// [`WorkerPool::new`] with an explicit resident-barrier spin budget in
+    /// microseconds (`0` = park immediately, the pure condvar fallback).
+    /// The budget never affects results, only the latency/CPU trade of
+    /// [`WorkerPool::run_program`] phases.
+    pub fn with_spin(threads: usize, spin_us: u64) -> WorkerPool {
         let threads = threads.clamp(1, 256);
         let shared = std::sync::Arc::new(Shared {
             state: Mutex::new(PoolState {
@@ -183,13 +349,26 @@ impl WorkerPool {
             start: Condvar::new(),
             done: Condvar::new(),
             cursor: AtomicUsize::new(0),
+            resident: ResidentState {
+                owner: AtomicUsize::new(0),
+                active: AtomicBool::new(false),
+                phase: AtomicU64::new(0),
+                job: UnsafeCell::new(None),
+                participants: AtomicUsize::new(0),
+                remaining: AtomicUsize::new(0),
+                sleepers: AtomicUsize::new(0),
+                panicked: AtomicBool::new(false),
+            },
+            spin: Duration::from_micros(spin_us.min(100_000)),
+            dispatches: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         });
         let handles = (1..threads)
             .map_while(|i| {
                 let shared = std::sync::Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("gossip-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i - 1))
                     .ok()
             })
             .collect();
@@ -205,6 +384,18 @@ impl WorkerPool {
         self.handles.len() + 1
     }
 
+    /// Cumulative scheduling counters (monotone over the pool's lifetime):
+    /// how many full dispatch hand-offs the pool performed and how many
+    /// worker wake-ups it issued. With a shared pool the counts cover every
+    /// sharer. [`Engine::metrics`](crate::Engine::metrics) surfaces the
+    /// deltas as `pool_dispatches` / `worker_wakeups`.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            dispatches: self.shared.dispatches.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
+        }
+    }
+
     /// Executes `task(0), task(1), …, task(tasks - 1)`, each exactly once,
     /// distributed over the pool's workers and the calling thread, and blocks
     /// until all of them finished.
@@ -216,7 +407,9 @@ impl WorkerPool {
     ///
     /// Calls from different threads serialise on an internal gate. Do not
     /// call `run` from inside a task closure — the nested call would deadlock
-    /// on that gate.
+    /// on that gate. From inside a [`WorkerPool::run_program`] session (on
+    /// the session's thread), `run` dispatches as a resident phase instead of
+    /// a full hand-off — same results, a fraction of the cost.
     ///
     /// # Panics
     ///
@@ -232,6 +425,12 @@ impl WorkerPool {
                 task(i);
             }
             return;
+        }
+        if self.shared.resident.owner.load(Ordering::Relaxed) == thread_token() {
+            // This thread owns the live resident session: dispatch as a
+            // phase. (Only the owner thread can ever observe its own token
+            // here, so the relaxed load is enough.)
+            return self.dispatch_resident(tasks, task);
         }
         let _dispatch = lock(&self.gate);
 
@@ -253,14 +452,23 @@ impl WorkerPool {
             st.running = workers;
             st.panicked = false;
             self.shared.cursor.store(0, Ordering::Relaxed);
-            st.job = Some(Job {
+            st.job = Some(Job::Batch(BatchJob {
                 task: erased,
                 tasks,
-            });
-            for _ in 0..workers {
-                self.shared.start.notify_one();
-            }
+            }));
         }
+        // Wake the workers *after* releasing the state mutex: a worker woken
+        // here immediately re-acquires that mutex to join the epoch, so
+        // notifying from inside the critical section would hand it a lock
+        // the notifier still holds. (The job is already published; a worker
+        // that races ahead via a spurious wake finds it without the notify.)
+        for _ in 0..workers {
+            self.shared.start.notify_one();
+        }
+        self.shared.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .wakeups
+            .fetch_add(workers as u64, Ordering::Relaxed);
 
         /// Blocks until every worker finished the current job, then retires
         /// it. Running this in `Drop` keeps the barrier in place even when
@@ -295,6 +503,186 @@ impl WorkerPool {
             panic!("gossip worker thread panicked");
         }
     }
+
+    /// Runs `program` as a **resident session**: every worker is woken once,
+    /// stays at the phase barrier for the whole call, and parks again only
+    /// when `program` returns. Any [`WorkerPool::run`] this thread makes
+    /// inside `program` — directly or through engine round primitives —
+    /// executes as a phase of the session instead of a full hand-off.
+    ///
+    /// Results are bit-identical to calling `program` without the session
+    /// (phases keep the exact task semantics of plain dispatches); only the
+    /// per-dispatch cost changes. Nested `run_program` calls on the same
+    /// pool from the session thread are no-ops (the program just runs inside
+    /// the existing session), so fused helpers compose freely.
+    ///
+    /// Calls from different threads serialise on the same gate as
+    /// [`WorkerPool::run`]: a second thread blocks until the session ends.
+    ///
+    /// # Panics
+    ///
+    /// Worker panics inside a phase are forwarded by that phase's dispatch;
+    /// a panic unwinding out of `program` ends the session cleanly (workers
+    /// park, the pool remains usable) and continues unwinding.
+    pub fn run_program<R>(&self, program: impl FnOnce() -> R) -> R {
+        if self.handles.is_empty() {
+            // No workers: every dispatch is inline anyway, there is nothing
+            // to keep resident.
+            return program();
+        }
+        let token = thread_token();
+        if self.shared.resident.owner.load(Ordering::Relaxed) == token {
+            // Re-entrant: already inside this pool's session on this thread.
+            return program();
+        }
+        let _dispatch = lock(&self.gate);
+        let workers = self.handles.len();
+        {
+            let mut st = lock(&self.shared.state);
+            debug_assert!(st.job.is_none(), "pool gate failed to serialise jobs");
+            st.epoch += 1;
+            st.join_budget = workers;
+            st.running = workers;
+            st.panicked = false;
+            st.job = Some(Job::Resident);
+            let r = &self.shared.resident;
+            r.phase.store(0, Ordering::Relaxed);
+            r.participants.store(0, Ordering::Relaxed);
+            r.remaining.store(0, Ordering::Relaxed);
+            r.panicked.store(false, Ordering::Relaxed);
+            r.active.store(true, Ordering::SeqCst);
+            r.owner.store(token, Ordering::Relaxed);
+        }
+        // One wake-up for the whole program (outside the critical section,
+        // as in `run`) — this is the dispatch cost the session amortises
+        // over every round inside it.
+        for _ in 0..workers {
+            self.shared.start.notify_one();
+        }
+        self.shared.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .wakeups
+            .fetch_add(workers as u64, Ordering::Relaxed);
+
+        /// Ends the session (in `Drop`, so a panic unwinding out of the
+        /// program closes it too): revokes the owner token, publishes the
+        /// end-of-session phase bump, and waits for every resident worker to
+        /// leave the phase loop and retire the epoch.
+        struct EndSession<'p>(&'p Shared);
+        impl Drop for EndSession<'_> {
+            fn drop(&mut self) {
+                let r = &self.0.resident;
+                r.owner.store(0, Ordering::Relaxed);
+                r.active.store(false, Ordering::SeqCst);
+                r.phase.fetch_add(1, Ordering::SeqCst);
+                if r.sleepers.load(Ordering::SeqCst) > 0 {
+                    drop(lock(&self.0.state));
+                    self.0.start.notify_all();
+                }
+                let mut st = lock(&self.0.state);
+                while st.running > 0 {
+                    st = self
+                        .0
+                        .done
+                        .wait(st)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                st.job = None;
+                r.panicked.store(false, Ordering::Relaxed);
+                // SAFETY: all workers left the phase loop (`running == 0`),
+                // so nothing concurrently reads the cell.
+                unsafe {
+                    *r.job.get() = None;
+                }
+            }
+        }
+        let session = EndSession(&self.shared);
+        let result = program();
+        drop(session);
+        result
+    }
+
+    /// Dispatches one phase of the live resident session (see the module
+    /// docs): publish the job, bump the phase counter, claim tasks alongside
+    /// the workers, and wait for the phase to quiesce.
+    fn dispatch_resident(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        let shared = &self.shared;
+        let r = &shared.resident;
+        // SAFETY (lifetime erasure): the phase-quiescence barrier below,
+        // also enforced on unwind, keeps every dereference within this call,
+        // while `task` is borrowed.
+        let erased = unsafe { TaskPtr::erase(task) };
+        // Same involvement rule as `run`: a 2-task phase on an 8-worker pool
+        // involves 1 worker. Non-participants skip the phase without reading
+        // the job cell (which is what makes rewriting it next phase sound
+        // even while they still catch up on the counter).
+        let participants = self.handles.len().min(tasks - 1);
+        // SAFETY: participants read the cell only after observing the
+        // `SeqCst` phase bump below; the previous phase quiesced
+        // (`remaining == 0`) before this call, so no stale reader exists.
+        unsafe {
+            *r.job.get() = Some(BatchJob {
+                task: erased,
+                tasks,
+            });
+        }
+        r.participants.store(participants, Ordering::Relaxed);
+        r.remaining.store(participants, Ordering::Relaxed);
+        shared.cursor.store(0, Ordering::Relaxed);
+        r.phase.fetch_add(1, Ordering::SeqCst);
+        // Wake parked workers, if any. The `SeqCst` bump above and the
+        // `SeqCst` sleeper registration in `wait_for_phase` order each other:
+        // either the worker's re-check sees the new phase, or this load sees
+        // the sleeper and notifies. The empty lock/unlock serialises with a
+        // worker that checked the phase under the mutex but has not yet
+        // entered `wait`.
+        let sleepers = r.sleepers.load(Ordering::SeqCst);
+        if sleepers > 0 {
+            drop(lock(&shared.state));
+            shared.start.notify_all();
+            shared.wakeups.fetch_add(sleepers as u64, Ordering::Relaxed);
+        }
+
+        /// Waits until every participant retired the phase — the per-phase
+        /// quiescence barrier, enforced on unwind like `run`'s.
+        struct PhaseQuiesce<'p>(&'p Shared);
+        impl Drop for PhaseQuiesce<'_> {
+            fn drop(&mut self) {
+                let r = &self.0.resident;
+                let deadline = Instant::now() + self.0.spin;
+                loop {
+                    if r.remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    if Instant::now() < deadline {
+                        for _ in 0..64 {
+                            std::hint::spin_loop();
+                        }
+                    } else {
+                        // Owner never parks between phases (workers finish
+                        // in bounded time); yielding keeps an oversubscribed
+                        // host making progress.
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let barrier = PhaseQuiesce(shared);
+
+        // The owner is executor 0: claim tasks like any participant.
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            task(i);
+        }
+        drop(barrier);
+
+        if r.panicked.swap(false, Ordering::Relaxed) {
+            panic!("gossip worker thread panicked");
+        }
+    }
 }
 
 impl fmt::Debug for WorkerPool {
@@ -318,8 +706,10 @@ impl Drop for WorkerPool {
     }
 }
 
-/// The worker side of the barrier protocol (see the module docs).
-fn worker_loop(shared: &Shared) {
+/// The worker side of the barrier protocol (see the module docs). `id` is the
+/// worker's stable index (`0..workers`), used for resident-phase
+/// participation.
+fn worker_loop(shared: &Shared, id: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -346,9 +736,113 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        // SAFETY: the job was published by a `run` call that cannot return
-        // (or unwind) before this worker decrements `running` below, so the
-        // pointee — the caller's closure — is alive for the whole dereference.
+        let failed = match job {
+            Job::Batch(job) => {
+                // SAFETY: the job was published by a `run` call that cannot
+                // return (or unwind) before this worker decrements `running`
+                // below, so the pointee — the caller's closure — is alive for
+                // the whole dereference.
+                let task: &(dyn Fn(usize) + Sync) = unsafe { &*job.task.0 };
+                catch_unwind(AssertUnwindSafe(|| loop {
+                    let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= job.tasks {
+                        break;
+                    }
+                    task(i);
+                }))
+                .is_err()
+            }
+            Job::Resident => {
+                // Stay at the phase barrier until the session ends. Phase
+                // panics are tracked per phase (`resident.panicked`) and
+                // forwarded by the owner's dispatch, not via `st.panicked`.
+                resident_phase_loop(shared, id);
+                false
+            }
+        };
+        let mut st = lock(&shared.state);
+        if failed {
+            st.panicked = true;
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Waits (spin, then yield, then park on `start`) until the resident phase
+/// counter moves past `seen`, and returns its new value.
+fn wait_for_phase(shared: &Shared, seen: u64) -> u64 {
+    let r = &shared.resident;
+    // Spin-then-yield within the budget. The periodic yield matters on an
+    // oversubscribed host: the owner (or another worker) needs the core to
+    // make the progress this worker is waiting for.
+    if !shared.spin.is_zero() {
+        let deadline = Instant::now() + shared.spin;
+        loop {
+            let p = r.phase.load(Ordering::Acquire);
+            if p != seen {
+                return p;
+            }
+            for _ in 0..64 {
+                std::hint::spin_loop();
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+    // Park: register as a sleeper, re-check, then wait on `start`. The
+    // `SeqCst` registration pairs with the owner's `SeqCst` bump-then-read:
+    // either the re-check sees the new phase, or the owner sees the sleeper
+    // and notifies (serialised by its empty lock/unlock of `state`, so the
+    // notify cannot fall between the predicate check below and the wait).
+    loop {
+        let p = r.phase.load(Ordering::SeqCst);
+        if p != seen {
+            return p;
+        }
+        r.sleepers.fetch_add(1, Ordering::SeqCst);
+        if r.phase.load(Ordering::SeqCst) != seen {
+            r.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        {
+            let mut st = lock(&shared.state);
+            while r.phase.load(Ordering::SeqCst) == seen && !st.shutdown {
+                st = shared
+                    .start
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+        r.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The resident worker's phase loop: wait for each phase bump, run the
+/// phase's tasks if participating, retire the phase; leave when the session
+/// ends. Sessions start with `phase == 0` and every phase quiesces before the
+/// next is published, so `seen` tracks the counter exactly.
+fn resident_phase_loop(shared: &Shared, id: usize) {
+    let r = &shared.resident;
+    let mut seen = 0u64;
+    loop {
+        seen = wait_for_phase(shared, seen);
+        if !r.active.load(Ordering::SeqCst) {
+            return;
+        }
+        if id >= r.participants.load(Ordering::Relaxed) {
+            // Sat out: this phase has fewer tasks than the pool has workers.
+            continue;
+        }
+        // SAFETY: the acquire-ordered phase observation in `wait_for_phase`
+        // happens-after the owner's job publication, and the owner cannot
+        // rewrite the cell (or return from its dispatch) before this
+        // participant decrements `remaining` below.
+        let job = unsafe { (*r.job.get()).expect("resident phase published without a job") };
         let task: &(dyn Fn(usize) + Sync) = unsafe { &*job.task.0 };
         let outcome = catch_unwind(AssertUnwindSafe(|| loop {
             let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
@@ -357,14 +851,10 @@ fn worker_loop(shared: &Shared) {
             }
             task(i);
         }));
-        let mut st = lock(&shared.state);
         if outcome.is_err() {
-            st.panicked = true;
+            r.panicked.store(true, Ordering::Relaxed);
         }
-        st.running -= 1;
-        if st.running == 0 {
-            shared.done.notify_all();
-        }
+        r.remaining.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -485,5 +975,235 @@ mod tests {
         });
         let total: u64 = partial.iter().map(|p| p.load(Ordering::Relaxed)).sum();
         assert_eq!(total, 1000 * 999 / 2);
+    }
+
+    // --- resident sessions -------------------------------------------------
+
+    /// Phase dispatches inside a program execute every task exactly once —
+    /// at both ends of the spin spectrum (0 = park immediately, large =
+    /// never park within a phase gap).
+    #[test]
+    fn program_phases_execute_every_task_exactly_once() {
+        for spin_us in [0u64, 5_000] {
+            let pool = WorkerPool::with_spin(4, spin_us);
+            let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_program(|| {
+                for _ in 0..16 {
+                    pool.run(4, &|i| {
+                        for h in &hits[i * 16..(i + 1) * 16] {
+                            h.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            for (i, hit) in hits.iter().enumerate() {
+                assert_eq!(
+                    hit.load(Ordering::Relaxed),
+                    16,
+                    "slot {i} (spin {spin_us}µs)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn program_matches_looped_dispatches() {
+        // The same job sequence, fused and looped, must produce identical
+        // results (the task effects are pure functions of the index).
+        let run_once = |fused: bool| -> Vec<u64> {
+            let pool = WorkerPool::with_spin(4, 50);
+            let cells: Vec<AtomicU64> = (0..128).map(|_| AtomicU64::new(0)).collect();
+            let body = |round: u64| {
+                pool.run(8, &|i| {
+                    for c in &cells[i * 16..(i + 1) * 16] {
+                        let old = c.load(Ordering::Relaxed);
+                        c.store(old.rotate_left(5) ^ (round + i as u64), Ordering::Relaxed);
+                    }
+                });
+            };
+            if fused {
+                pool.run_program(|| {
+                    for round in 0..50 {
+                        body(round);
+                    }
+                });
+            } else {
+                for round in 0..50 {
+                    body(round);
+                }
+            }
+            cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        };
+        assert_eq!(run_once(true), run_once(false));
+    }
+
+    #[test]
+    fn program_counts_one_dispatch_for_many_phases() {
+        let pool = WorkerPool::new(4);
+        let before = pool.stats();
+        pool.run_program(|| {
+            for _ in 0..32 {
+                pool.run(4, &|_| {});
+            }
+        });
+        let delta = pool.stats().dispatches - before.dispatches;
+        assert_eq!(delta, 1, "a fused program is one dispatch, not 32");
+        // The same schedule looped pays one dispatch per round.
+        let before = pool.stats();
+        for _ in 0..32 {
+            pool.run(4, &|_| {});
+        }
+        assert_eq!(pool.stats().dispatches - before.dispatches, 32);
+    }
+
+    #[test]
+    fn program_is_reentrant_on_the_owner_thread() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.run_program(|| {
+            pool.run_program(|| {
+                pool.run(6, &|i| {
+                    sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 21);
+        // The session ended: a fresh plain run still works.
+        pool.run(6, &|i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn program_phases_respect_the_participation_prefix() {
+        // 2-task phases on an 8-executor pool: 7 workers are resident but
+        // only 1 participates per phase; the rest must sit phases out
+        // without corrupting anything, across many phases.
+        let pool = WorkerPool::new(8);
+        let total = AtomicU64::new(0);
+        pool.run_program(|| {
+            for round in 0..200u64 {
+                let tasks = 2 + (round % 3) as usize;
+                pool.run(tasks, &|i| {
+                    total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        let expected: u64 = (0..200u64)
+            .map(|r| {
+                let t = 2 + r % 3;
+                t * (t + 1) / 2
+            })
+            .sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn single_task_and_empty_dispatches_inside_a_program_run_inline() {
+        let pool = WorkerPool::new(4);
+        let caller = std::thread::current().id();
+        pool.run_program(|| {
+            pool.run(0, &|_| panic!("no tasks, no calls"));
+            pool.run(1, &|_| assert_eq!(std::thread::current().id(), caller));
+        });
+    }
+
+    #[test]
+    fn worker_panic_in_a_phase_is_forwarded_and_session_survives() {
+        let pool = WorkerPool::new(4);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_program(|| {
+                pool.run(8, &|i| {
+                    if i == 5 {
+                        panic!("phase task 5 exploded");
+                    }
+                });
+            });
+        }));
+        assert!(attempt.is_err(), "phase panic was swallowed");
+        // The session unwound cleanly: the pool still works, fused or not.
+        let ok = AtomicUsize::new(0);
+        pool.run_program(|| {
+            pool.run(8, &|_| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        pool.run(8, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn empty_program_is_a_clean_session() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.run_program(|| 7), 7);
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn program_on_a_single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let before = pool.stats();
+        let out = pool.run_program(|| {
+            let caller = std::thread::current().id();
+            pool.run(4, &|_| assert_eq!(std::thread::current().id(), caller));
+            11
+        });
+        assert_eq!(out, 11);
+        assert_eq!(pool.stats(), before, "inline work must not count");
+    }
+
+    #[test]
+    fn programs_from_two_threads_serialise_on_the_gate() {
+        let pool = std::sync::Arc::new(WorkerPool::new(4));
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let pool = std::sync::Arc::clone(&pool);
+            let total = std::sync::Arc::clone(&total);
+            joins.push(std::thread::spawn(move || {
+                pool.run_program(|| {
+                    for _ in 0..50 {
+                        pool.run(4, &|i| {
+                            total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2 * 50 * 10);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_sessions() {
+        for spin_us in [0u64, 100] {
+            let pool = WorkerPool::with_spin(4, spin_us);
+            pool.run_program(|| {
+                pool.run(4, &|_| {});
+            });
+            drop(pool); // must not hang or leak
+        }
+    }
+
+    #[test]
+    fn stats_count_wakeups_per_dispatch() {
+        let pool = WorkerPool::new(4);
+        let before = pool.stats();
+        pool.run(4, &|_| {});
+        let delta_w = pool.stats().wakeups - before.wakeups;
+        assert_eq!(delta_w, 3, "a 4-task job on 4 executors wakes 3 workers");
+        // Inline runs cost nothing.
+        let before = pool.stats();
+        pool.run(1, &|_| {});
+        assert_eq!(pool.stats(), before);
     }
 }

@@ -60,8 +60,8 @@ pub use lower_bound as bound;
 pub use analysis as measure;
 
 pub use gossip_net::{
-    ChurnModel, EngineConfig, FailureModel, FaultPlan, GossipError, LossModel, Metrics, NodeValue,
-    Result, StragglerModel, Topology,
+    ChurnModel, Engine, EngineConfig, FailureModel, FaultPlan, GossipError, LossModel, Metrics,
+    NodeValue, PoolStats, Result, RoundProgram, StepKind, StragglerModel, Topology,
 };
 pub use quantile_gossip::{
     approximate_quantile, estimate_own_quantiles, exact_quantile, robust_approximate_quantile,

@@ -106,24 +106,50 @@ pub struct Metrics {
 /// depend on them.
 impl PartialEq for Metrics {
     fn eq(&self, other: &Self) -> bool {
-        self.rounds == other.rounds
-            && self.pull_rounds == other.pull_rounds
-            && self.push_rounds == other.push_rounds
-            && self.push_pull_rounds == other.push_pull_rounds
-            && self.active_nodes_total == other.active_nodes_total
-            && self.max_active == other.max_active
-            && self.active_pull_nodes == other.active_pull_nodes
-            && self.active_push_nodes == other.active_push_nodes
-            && self.active_push_pull_nodes == other.active_push_pull_nodes
-            && self.pulls_attempted == other.pulls_attempted
-            && self.pushes_attempted == other.pushes_attempted
-            && self.failed_operations == other.failed_operations
-            && self.crashed_operations == other.crashed_operations
-            && self.messages_dropped == other.messages_dropped
-            && self.messages_delayed == other.messages_delayed
-            && self.messages_delivered == other.messages_delivered
-            && self.bits_delivered == other.bits_delivered
-            && self.max_message_bits == other.max_message_bits
+        // Exhaustive destructuring (no `..`): adding a counter to `Metrics`
+        // refuses to compile until it is classified here as trajectory
+        // (compared) or scheduling (bound to `_`), so a new field can never
+        // silently weaken the determinism tests.
+        let Metrics {
+            rounds,
+            pull_rounds,
+            push_rounds,
+            push_pull_rounds,
+            active_nodes_total,
+            max_active,
+            active_pull_nodes,
+            active_push_nodes,
+            active_push_pull_nodes,
+            pulls_attempted,
+            pushes_attempted,
+            failed_operations,
+            crashed_operations,
+            messages_dropped,
+            messages_delayed,
+            messages_delivered,
+            bits_delivered,
+            max_message_bits,
+            pool_dispatches: _,
+            worker_wakeups: _,
+        } = *self;
+        rounds == other.rounds
+            && pull_rounds == other.pull_rounds
+            && push_rounds == other.push_rounds
+            && push_pull_rounds == other.push_pull_rounds
+            && active_nodes_total == other.active_nodes_total
+            && max_active == other.max_active
+            && active_pull_nodes == other.active_pull_nodes
+            && active_push_nodes == other.active_push_nodes
+            && active_push_pull_nodes == other.active_push_pull_nodes
+            && pulls_attempted == other.pulls_attempted
+            && pushes_attempted == other.pushes_attempted
+            && failed_operations == other.failed_operations
+            && crashed_operations == other.crashed_operations
+            && messages_dropped == other.messages_dropped
+            && messages_delayed == other.messages_delayed
+            && messages_delivered == other.messages_delivered
+            && bits_delivered == other.bits_delivered
+            && max_message_bits == other.max_message_bits
     }
 }
 

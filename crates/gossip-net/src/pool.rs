@@ -48,7 +48,9 @@
 //! Inside a session, a dispatch from the owning thread (any
 //! [`WorkerPool::run`] call it makes — the engine's round primitives need no
 //! changes) becomes a *phase*: the owner publishes the task list and bumps a
-//! phase counter; resident workers synchronise on that counter with a
+//! phase word (phase counter packed with the phase's participant count, so a
+//! worker's decision to join a phase is atomic with observing it — see
+//! [`PHASE_SHIFT`]); resident workers synchronise on that word with a
 //! spin-then-park wait (`GOSSIP_SPIN_US` sets the spin budget; spinning
 //! yields the CPU periodically so an oversubscribed host keeps making
 //! progress, and a worker that outlives the budget parks on the condvar and
@@ -215,8 +217,30 @@ struct PoolState {
     shutdown: bool,
 }
 
+/// Bit split of [`ResidentState::phase`]: phase counter in the high bits,
+/// that phase's participant count in the low [`PHASE_SHIFT`] bits (a pool has
+/// at most 255 workers, so 16 bits are ample; 48 phase bits outlast any
+/// session). Packing them into **one** atomic is what makes a worker's
+/// participation decision atomic with its phase observation: a lagging worker
+/// that sat out phase N and only wakes after phase N+1 is published reads the
+/// *pair* (N+1, participants(N+1)) — it can never combine phase N's wake-up
+/// with phase N+1's participant count, which would let it execute a phase
+/// twice (and underflow `remaining`, breaking the quiescence barrier the
+/// lifetime-erasure safety argument rests on).
+const PHASE_SHIFT: u32 = 16;
+
+/// Phase-counter half of a packed [`ResidentState::phase`] word.
+fn phase_of(packed: u64) -> u64 {
+    packed >> PHASE_SHIFT
+}
+
+/// Participant-count half of a packed [`ResidentState::phase`] word.
+fn participants_of(packed: u64) -> usize {
+    (packed & ((1 << PHASE_SHIFT) - 1)) as usize
+}
+
 /// The lock-free side of a resident session (see the module docs): the phase
-/// counter the workers synchronise on and the cell the owner publishes each
+/// word the workers synchronise on and the cell the owner publishes each
 /// phase's job through.
 struct ResidentState {
     /// Thread token of the session owner ([`thread_token`]); `0` = no
@@ -226,19 +250,19 @@ struct ResidentState {
     /// Whether the session is live; a resident worker observing a phase bump
     /// with `active == false` leaves the phase loop.
     active: AtomicBool,
-    /// Phase publication counter, reset to 0 at session start; the owner's
-    /// `SeqCst` bump is the release point of the phase's job.
+    /// Packed phase word (see [`PHASE_SHIFT`]): publication counter in the
+    /// high bits, the phase's participant count (the id-prefix
+    /// `0..participants` of the workers) in the low bits. Reset to 0 at
+    /// session start; written only by the owner, whose `SeqCst` store is the
+    /// release point of the phase's job. Non-participants of a phase never
+    /// read the job cell — that is what makes rewriting it next phase sound
+    /// while they are still catching up on this word.
     phase: AtomicU64,
     /// The current phase's job. Written by the owner strictly before the
-    /// `phase` bump and read by participating workers strictly after
-    /// observing that bump, so the release/acquire pair on `phase` orders
+    /// `phase` store and read by participating workers strictly after
+    /// observing that store, so the release/acquire pair on `phase` orders
     /// every access (no lock needed).
     job: UnsafeCell<Option<BatchJob>>,
-    /// How many workers (the id-prefix `0..participants`) take part in the
-    /// current phase; published before the bump like `job`. Non-participants
-    /// never read the job cell — that is what makes rewriting it next phase
-    /// sound while they are still catching up on the counter.
-    participants: AtomicUsize,
     /// Participants that have not yet finished the current phase; the owner
     /// waits for 0 before returning from the dispatch (the per-phase
     /// quiescence barrier of the lifetime-erasure argument).
@@ -253,8 +277,10 @@ struct ResidentState {
 }
 
 // SAFETY: the `job` cell is the only non-atomic field. The owner writes it
-// before the `SeqCst`/release `phase` bump; participants read it only after
-// an acquire load observes that bump, and the owner rewrites it only after
+// before the `SeqCst`/release `phase` store; a worker reads it only when the
+// packed word it acquire-loaded names that phase *and* lists the worker as a
+// participant (phase and participant count travel in one word, so the pair
+// is always consistent), and the owner rewrites the cell only after
 // `remaining` reached 0 (release decrements, acquire read) — so every access
 // pair is ordered by a happens-before edge and no two accesses race.
 unsafe impl Sync for ResidentState {}
@@ -354,7 +380,6 @@ impl WorkerPool {
                 active: AtomicBool::new(false),
                 phase: AtomicU64::new(0),
                 job: UnsafeCell::new(None),
-                participants: AtomicUsize::new(0),
                 remaining: AtomicUsize::new(0),
                 sleepers: AtomicUsize::new(0),
                 panicked: AtomicBool::new(false),
@@ -547,7 +572,6 @@ impl WorkerPool {
             st.job = Some(Job::Resident);
             let r = &self.shared.resident;
             r.phase.store(0, Ordering::Relaxed);
-            r.participants.store(0, Ordering::Relaxed);
             r.remaining.store(0, Ordering::Relaxed);
             r.panicked.store(false, Ordering::Relaxed);
             r.active.store(true, Ordering::SeqCst);
@@ -574,7 +598,11 @@ impl WorkerPool {
                 let r = &self.0.resident;
                 r.owner.store(0, Ordering::Relaxed);
                 r.active.store(false, Ordering::SeqCst);
-                r.phase.fetch_add(1, Ordering::SeqCst);
+                // Bump only the phase half of the packed word; the stale
+                // participant bits are harmless because workers check
+                // `active` (ordered before this bump) before consulting
+                // them.
+                r.phase.fetch_add(1 << PHASE_SHIFT, Ordering::SeqCst);
                 if r.sleepers.load(Ordering::SeqCst) > 0 {
                     drop(lock(&self.0.state));
                     self.0.start.notify_all();
@@ -615,22 +643,29 @@ impl WorkerPool {
         // Same involvement rule as `run`: a 2-task phase on an 8-worker pool
         // involves 1 worker. Non-participants skip the phase without reading
         // the job cell (which is what makes rewriting it next phase sound
-        // even while they still catch up on the counter).
+        // even while they still catch up on the phase word).
         let participants = self.handles.len().min(tasks - 1);
-        // SAFETY: participants read the cell only after observing the
-        // `SeqCst` phase bump below; the previous phase quiesced
-        // (`remaining == 0`) before this call, so no stale reader exists.
+        // SAFETY: a worker reads the cell only after its acquire load of the
+        // packed phase word returns this phase *with* a participant count
+        // covering its id — the decision travels in one word with the phase,
+        // so a lagging worker can never act on a stale pairing. Every
+        // participant of the previous phase decremented `remaining` (and the
+        // owner saw 0) before this call, so no reader of the old value
+        // remains.
         unsafe {
             *r.job.get() = Some(BatchJob {
                 task: erased,
                 tasks,
             });
         }
-        r.participants.store(participants, Ordering::Relaxed);
         r.remaining.store(participants, Ordering::Relaxed);
         shared.cursor.store(0, Ordering::Relaxed);
-        r.phase.fetch_add(1, Ordering::SeqCst);
-        // Wake parked workers, if any. The `SeqCst` bump above and the
+        // Publish phase and participant count as one packed word. Only the
+        // owner writes `phase`, so load-then-store does not race.
+        let next = phase_of(r.phase.load(Ordering::Relaxed)) + 1;
+        r.phase
+            .store(next << PHASE_SHIFT | participants as u64, Ordering::SeqCst);
+        // Wake parked workers, if any. The `SeqCst` store above and the
         // `SeqCst` sleeper registration in `wait_for_phase` order each other:
         // either the worker's re-check sees the new phase, or this load sees
         // the sleeper and notifies. The empty lock/unlock serialises with a
@@ -772,8 +807,12 @@ fn worker_loop(shared: &Shared, id: usize) {
 }
 
 /// Waits (spin, then yield, then park on `start`) until the resident phase
-/// counter moves past `seen`, and returns its new value.
-fn wait_for_phase(shared: &Shared, seen: u64) -> u64 {
+/// counter moves past `seen` (a phase number, not a packed word), and returns
+/// the new **packed** phase word — phase and participant count observed as
+/// one consistent pair. Returns `None` if the pool shuts down while the
+/// counter is unchanged, so the caller leaves the phase loop instead of
+/// spinning on a dead session.
+fn wait_for_phase(shared: &Shared, seen: u64) -> Option<u64> {
     let r = &shared.resident;
     // Spin-then-yield within the budget. The periodic yield matters on an
     // oversubscribed host: the owner (or another worker) needs the core to
@@ -782,8 +821,8 @@ fn wait_for_phase(shared: &Shared, seen: u64) -> u64 {
         let deadline = Instant::now() + shared.spin;
         loop {
             let p = r.phase.load(Ordering::Acquire);
-            if p != seen {
-                return p;
+            if phase_of(p) != seen {
+                return Some(p);
             }
             for _ in 0..64 {
                 std::hint::spin_loop();
@@ -795,53 +834,73 @@ fn wait_for_phase(shared: &Shared, seen: u64) -> u64 {
         }
     }
     // Park: register as a sleeper, re-check, then wait on `start`. The
-    // `SeqCst` registration pairs with the owner's `SeqCst` bump-then-read:
+    // `SeqCst` registration pairs with the owner's `SeqCst` store-then-read:
     // either the re-check sees the new phase, or the owner sees the sleeper
     // and notifies (serialised by its empty lock/unlock of `state`, so the
     // notify cannot fall between the predicate check below and the wait).
     loop {
         let p = r.phase.load(Ordering::SeqCst);
-        if p != seen {
-            return p;
+        if phase_of(p) != seen {
+            return Some(p);
         }
         r.sleepers.fetch_add(1, Ordering::SeqCst);
-        if r.phase.load(Ordering::SeqCst) != seen {
+        if phase_of(r.phase.load(Ordering::SeqCst)) != seen {
             r.sleepers.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
-        {
+        let shutdown = {
             let mut st = lock(&shared.state);
-            while r.phase.load(Ordering::SeqCst) == seen && !st.shutdown {
+            while phase_of(r.phase.load(Ordering::SeqCst)) == seen && !st.shutdown {
                 st = shared
                     .start
                     .wait(st)
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
-        }
+            st.shutdown
+        };
         r.sleepers.fetch_sub(1, Ordering::SeqCst);
+        if shutdown && phase_of(r.phase.load(Ordering::SeqCst)) == seen {
+            // Shutdown with no phase movement: the session can never
+            // progress — exit rather than re-registering forever.
+            return None;
+        }
     }
 }
 
 /// The resident worker's phase loop: wait for each phase bump, run the
 /// phase's tasks if participating, retire the phase; leave when the session
-/// ends. Sessions start with `phase == 0` and every phase quiesces before the
-/// next is published, so `seen` tracks the counter exactly.
+/// ends. Sessions start with `phase == 0`, so `seen` tracks the phase numbers
+/// this worker has handled. A worker that sat a phase out may lag and observe
+/// a *later* phase next — safe, because the owner cannot retire a phase (and
+/// publish the next) until every listed participant checked in, so a phase
+/// this worker participates in can never be skipped over, and the packed word
+/// always pairs the observed phase with *its own* participant count.
 fn resident_phase_loop(shared: &Shared, id: usize) {
     let r = &shared.resident;
     let mut seen = 0u64;
     loop {
-        seen = wait_for_phase(shared, seen);
+        let Some(packed) = wait_for_phase(shared, seen) else {
+            // Pool shutdown mid-session (not reachable through the engine's
+            // lifetimes, but the loop must not outlive the pool if that ever
+            // changes).
+            return;
+        };
+        seen = phase_of(packed);
         if !r.active.load(Ordering::SeqCst) {
             return;
         }
-        if id >= r.participants.load(Ordering::Relaxed) {
+        if id >= participants_of(packed) {
             // Sat out: this phase has fewer tasks than the pool has workers.
+            // Never touches `job` or `remaining`, so the owner does not wait
+            // for this worker — which is why it may lag into a later phase.
             continue;
         }
-        // SAFETY: the acquire-ordered phase observation in `wait_for_phase`
-        // happens-after the owner's job publication, and the owner cannot
-        // rewrite the cell (or return from its dispatch) before this
-        // participant decrements `remaining` below.
+        // SAFETY: the acquire-ordered observation of the packed word in
+        // `wait_for_phase` happens-after the owner's job publication for
+        // exactly this phase (participation was decided from the same word,
+        // so this cannot be a stale pairing), and the owner cannot rewrite
+        // the cell (or return from its dispatch) before this participant
+        // decrements `remaining` below.
         let job = unsafe { (*r.job.get()).expect("resident phase published without a job") };
         let task: &(dyn Fn(usize) + Sync) = unsafe { &*job.task.0 };
         let outcome = catch_unwind(AssertUnwindSafe(|| loop {
@@ -1097,6 +1156,41 @@ mod tests {
             })
             .sum();
         assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    /// Regression for the lagging-non-participant race: a worker that sat
+    /// out phase N may only observe the phase word again after phase N+1 is
+    /// published. Because phase and participant count travel in one packed
+    /// word, it must join N+1 exactly once (never phase N's wake-up paired
+    /// with N+1's participant count, which double-ran the phase and
+    /// underflowed `remaining`). Alternating minimal and full participation
+    /// maximises sat-out→participant transitions; spin 0 parks workers
+    /// immediately, making them lag as far as possible.
+    #[test]
+    fn lagging_nonparticipants_rejoin_exactly_once() {
+        for spin_us in [0u64, 5_000] {
+            let pool = WorkerPool::with_spin(8, spin_us);
+            let total = AtomicU64::new(0);
+            pool.run_program(|| {
+                for round in 0..400u64 {
+                    // 2 tasks (1 participant of 7 workers), then 9 tasks
+                    // (all 7) — every worker 1..7 re-joins right after
+                    // sitting a phase out.
+                    let tasks = if round % 2 == 0 { 2 } else { 9 };
+                    pool.run(tasks, &|i| {
+                        total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            let expected: u64 = (0..400u64)
+                .map(|r| if r % 2 == 0 { 3 } else { 45 })
+                .sum();
+            assert_eq!(
+                total.load(Ordering::Relaxed),
+                expected,
+                "spin {spin_us}µs"
+            );
+        }
     }
 
     #[test]

@@ -4,16 +4,22 @@
 //! Three experiments, all on the batched [`QuantileService`]:
 //!
 //! * **Batch grid** — for every n ∈ {10k, 100k, 1M} and query-vector size
-//!   q ∈ {1, 8, 64}: one epoch answering all q queries through shared
-//!   tournament rounds. Reports rounds, wall-clock, queries/second, the
+//!   q ∈ {1, 8, 64}: the median of five epochs (fresh service each, so the
+//!   cold first-epoch cost is what's measured) answering all q queries
+//!   through shared tournament rounds. Reports rounds, wall-clock with a
+//!   sample standard deviation (`std_epoch_secs`/`std_qps`, so the CI drift
+//!   check can band-compare the wall-clock keys instead of skipping them),
+//!   queries/second, a per-phase wall-clock breakdown (sample-collect /
+//!   lane-apply / record / vote, from [`ServiceOutcome::timings`]), the
 //!   payload cost in bytes per node per round
 //!   ([`Metrics::mean_bits_per_node_round`]), and the round amortisation
 //!   `Σᵢ solo_roundsᵢ / rounds`.
 //! * **Batch vs sequential** — the same q queries as q back-to-back
-//!   [`tournament_quantile`] runs. Measured directly up to n = 100k; at
-//!   n = 1M the sequential wall-clock is extrapolated as `q ×` the measured
-//!   single-query run (the JSON row says which, in `seq_mode` — nothing is
-//!   silently dropped).
+//!   [`tournament_quantile`] runs. Measured directly up to n = 100k and at
+//!   q = 1 for every n (so the 1M single-query baseline is real); the
+//!   remaining 1M cells extrapolate as `q ×` the measured single-query run
+//!   (the JSON row says which, in `seq_mode` — nothing is silently
+//!   dropped).
 //! * **Incremental vs full** — at n = 100k, q = 8: epoch, mutate a dirty
 //!   fraction ∈ {0.1%, 1%, 10%} of holders, then time the sparse incremental
 //!   epoch against a from-scratch recompute of the same inputs.
@@ -67,23 +73,66 @@ struct BatchCell {
     solo_rounds_total: u64,
     amortisation: f64,
     epoch_secs: f64,
+    std_epoch_secs: f64,
     qps: f64,
+    std_qps: f64,
+    collect_secs: f64,
+    apply_secs: f64,
+    record_secs: f64,
+    vote_secs: f64,
     bytes_per_node_round: f64,
     seq_secs: f64,
     seq_rounds: u64,
     seq_mode: &'static str,
 }
 
-/// One batched epoch plus the sequential comparison.
-fn run_batch_cell(n: usize, q: usize, seed: u64, measure_sequential: bool) -> BatchCell {
+/// Median and sample standard deviation of a set of timings.
+fn median_std(samples: &mut [f64]) -> (f64, f64) {
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let denom = samples.len().saturating_sub(1).max(1) as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / denom;
+    (median, var.sqrt())
+}
+
+/// Median-of-`trials` batched epochs (fresh service per trial) plus the
+/// sequential comparison (measured once — it is a baseline, not the quantity
+/// under drift surveillance).
+fn run_batch_cell(
+    n: usize,
+    q: usize,
+    seed: u64,
+    trials: usize,
+    measure_sequential: bool,
+) -> BatchCell {
     let vals = values(n);
     let queries = query_vector(q);
     let ec = EngineConfig::with_seed(seed);
-    let mut svc = QuantileService::new(&vals, &queries, ServiceConfig::default(), ec.clone())
-        .expect("valid service parameters");
-    let t = Instant::now();
-    let out = svc.epoch().expect("epoch");
-    let epoch_secs = t.elapsed().as_secs_f64();
+    let mut epoch_samples = Vec::with_capacity(trials);
+    let mut outcomes = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut svc = QuantileService::new(&vals, &queries, ServiceConfig::default(), ec.clone())
+            .expect("valid service parameters");
+        let t = Instant::now();
+        let out = svc.epoch().expect("epoch");
+        epoch_samples.push(t.elapsed().as_secs_f64());
+        outcomes.push(out);
+    }
+    let mut sorted = epoch_samples.clone();
+    let (epoch_secs, std_epoch_secs) = median_std(&mut sorted);
+    let mut qps_samples: Vec<f64> = epoch_samples
+        .iter()
+        .map(|&s| q as f64 / s.max(1e-9))
+        .collect();
+    let (_, std_qps) = median_std(&mut qps_samples);
+    // Report the phase breakdown of the median trial, so the columns sum to
+    // (roughly) the reported wall-clock.
+    let median_trial = epoch_samples
+        .iter()
+        .position(|&s| s == epoch_secs)
+        .unwrap_or(0);
+    let out = &outcomes[median_trial];
 
     let (seq_secs, seq_rounds, seq_mode) = if measure_sequential {
         let t = Instant::now();
@@ -127,7 +176,13 @@ fn run_batch_cell(n: usize, q: usize, seed: u64, measure_sequential: bool) -> Ba
         solo_rounds_total: out.per_query.iter().map(|c| c.solo_rounds).sum(),
         amortisation: out.amortisation(),
         epoch_secs,
+        std_epoch_secs,
         qps: q as f64 / epoch_secs.max(1e-9),
+        std_qps,
+        collect_secs: out.timings.collect_secs,
+        apply_secs: out.timings.apply_secs,
+        record_secs: out.timings.record_secs,
+        vote_secs: out.timings.vote_secs,
         bytes_per_node_round: out.metrics.mean_bits_per_node_round() / 8.0,
         seq_secs,
         seq_rounds,
@@ -166,6 +221,8 @@ struct IncrementalCell {
     perturbation: Perturbation,
     rounds: u64,
     inc_secs: f64,
+    replay_secs: f64,
+    patch_secs: f64,
     full_secs: f64,
     speedup: f64,
 }
@@ -226,6 +283,8 @@ fn run_incremental_cell(
         perturbation,
         rounds: inc.rounds,
         inc_secs,
+        replay_secs: inc.timings.replay_secs,
+        patch_secs: inc.timings.vote_secs,
         full_secs,
         speedup: full_secs / inc_secs.max(1e-9),
     }
@@ -239,9 +298,11 @@ fn bench_service_qps(c: &mut Criterion) {
         &[10_000, 100_000, 1_000_000]
     };
     let qs: &[usize] = if quick { &[1, 8] } else { &[1, 8, 64] };
-    // Sequential timing is measured directly where affordable; above this
-    // the JSON row is marked "extrapolated".
+    // Sequential timing is measured directly where affordable (every cell up
+    // to this size, plus every q = 1 cell — a single solo run is affordable
+    // at any n); the remaining rows are marked "extrapolated".
     let seq_measure_cap: usize = 100_000;
+    let trials = if quick { 3 } else { 5 };
 
     // Criterion timing rows at the smallest size: the cost of one batched
     // epoch per query-vector size.
@@ -271,14 +332,20 @@ fn bench_service_qps(c: &mut Criterion) {
 
     for &n in sizes {
         for &q in qs {
-            let cell = run_batch_cell(n, q, 42, n <= seq_measure_cap);
+            let cell = run_batch_cell(n, q, 42, trials, n <= seq_measure_cap || q == 1);
             println!(
                 "service_qps n={n} q={q}: rounds={} (solo total {}), amortisation={:.1}x, \
-                 epoch={:.3}s qps={:.1} payload={:.1} B/node/round, sequential={:.3}s ({})",
+                 epoch={:.3}s±{:.3} (collect {:.3}s, apply {:.3}s, record {:.3}s, vote {:.3}s) \
+                 qps={:.1} payload={:.1} B/node/round, sequential={:.3}s ({})",
                 cell.rounds,
                 cell.solo_rounds_total,
                 cell.amortisation,
                 cell.epoch_secs,
+                cell.std_epoch_secs,
+                cell.collect_secs,
+                cell.apply_secs,
+                cell.record_secs,
+                cell.vote_secs,
                 cell.qps,
                 cell.bytes_per_node_round,
                 cell.seq_secs,
@@ -287,7 +354,10 @@ fn bench_service_qps(c: &mut Criterion) {
             rows.push(format!(
                 "    {{\"kind\": \"batch\", \"n\": {}, \"q\": {}, \"rounds\": {}, \
                  \"solo_rounds_total\": {}, \"amortisation\": {:.3}, \
-                 \"epoch_secs\": {:.6}, \"qps\": {:.3}, \
+                 \"epoch_secs\": {:.6}, \"std_epoch_secs\": {:.6}, \
+                 \"qps\": {:.3}, \"std_qps\": {:.3}, \
+                 \"collect_secs\": {:.6}, \"apply_secs\": {:.6}, \
+                 \"record_secs\": {:.6}, \"vote_secs\": {:.6}, \
                  \"bytes_per_node_round\": {:.3}, \"seq_secs\": {:.6}, \
                  \"seq_rounds\": {}, \"seq_mode\": \"{}\", \"wall_speedup\": {:.3}}}",
                 cell.n,
@@ -296,7 +366,13 @@ fn bench_service_qps(c: &mut Criterion) {
                 cell.solo_rounds_total,
                 cell.amortisation,
                 cell.epoch_secs,
+                cell.std_epoch_secs,
                 cell.qps,
+                cell.std_qps,
+                cell.collect_secs,
+                cell.apply_secs,
+                cell.record_secs,
+                cell.vote_secs,
                 cell.bytes_per_node_round,
                 cell.seq_secs,
                 cell.seq_rounds,
@@ -313,12 +389,14 @@ fn bench_service_qps(c: &mut Criterion) {
             let cell = run_incremental_cell(inc_n, 8, fraction, perturbation, 1337);
             println!(
                 "service_qps incremental n={} q=8 dirty={:.3}% ({} holders, {}): \
-                 inc={:.3}s full={:.3}s speedup={:.1}x",
+                 inc={:.3}s (replay {:.3}s, patch {:.3}s) full={:.3}s speedup={:.1}x",
                 cell.n,
                 100.0 * cell.dirty_fraction,
                 cell.dirty_nodes,
                 cell.perturbation.label(),
                 cell.inc_secs,
+                cell.replay_secs,
+                cell.patch_secs,
                 cell.full_secs,
                 cell.speedup
             );
@@ -326,7 +404,8 @@ fn bench_service_qps(c: &mut Criterion) {
                 "    {{\"kind\": \"incremental\", \"n\": {}, \"q\": {}, \
                  \"dirty_fraction\": {}, \"dirty_nodes\": {}, \
                  \"perturbation\": \"{}\", \"rounds\": {}, \
-                 \"inc_secs\": {:.6}, \"full_secs\": {:.6}, \"speedup\": {:.3}}}",
+                 \"inc_secs\": {:.6}, \"replay_secs\": {:.6}, \"patch_secs\": {:.6}, \
+                 \"full_secs\": {:.6}, \"speedup\": {:.3}}}",
                 cell.n,
                 cell.q,
                 cell.dirty_fraction,
@@ -334,6 +413,8 @@ fn bench_service_qps(c: &mut Criterion) {
                 cell.perturbation.label(),
                 cell.rounds,
                 cell.inc_secs,
+                cell.replay_secs,
+                cell.patch_secs,
                 cell.full_secs,
                 cell.speedup,
             ));

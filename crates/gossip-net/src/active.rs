@@ -159,6 +159,22 @@ impl ActiveSet {
         self.indices.clear();
     }
 
+    /// Rebuilds the set in place from a membership predicate, reusing the
+    /// existing bitmap and index buffers — the allocation-free counterpart
+    /// of [`ActiveSet::from_fn`] for callers that re-derive an active set
+    /// every round (e.g. the multi-query service's δ-truncated slots).
+    ///
+    /// The set keeps its domain size `n`; only membership changes.
+    pub fn reset_from_fn(&mut self, mut pred: impl FnMut(NodeId) -> bool) {
+        self.clear();
+        for v in 0..self.n {
+            if pred(v) {
+                self.words[v / 64] |= 1u64 << (v % 64);
+                self.indices.push(v as u32);
+            }
+        }
+    }
+
     /// Adds the nodes of `ids` — which must be **sorted and duplicate-free**
     /// (e.g. the `receivers` list returned by
     /// [`push_round_on`](crate::Engine::push_round_on)) — to the set, in
@@ -249,6 +265,18 @@ mod tests {
         assert!((0..100).all(|v| s.contains(v) == (v % 7 == 0)));
         let collected: Vec<NodeId> = s.iter().collect();
         assert_eq!(collected[1], 7);
+    }
+
+    #[test]
+    fn reset_from_fn_matches_fresh_construction() {
+        let mut s = ActiveSet::from_fn(100, |v| v % 7 == 0);
+        s.reset_from_fn(|v| v % 3 == 0);
+        let fresh = ActiveSet::from_fn(100, |v| v % 3 == 0);
+        assert_eq!(s.indices(), fresh.indices());
+        assert!((0..100).all(|v| s.contains(v) == (v % 3 == 0)));
+        s.reset_from_fn(|_| false);
+        assert!(s.is_empty());
+        assert!((0..100).all(|v| !s.contains(v)));
     }
 
     #[test]

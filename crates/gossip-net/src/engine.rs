@@ -164,6 +164,7 @@ use crate::metrics::{Metrics, RoundKind};
 use crate::par;
 use crate::pool::{PoolStats, WorkerPool};
 use crate::rng::{KeyPrefix, NodeRng};
+use crate::soa::LaneMatrix;
 use crate::topology::{
     AdjacencyCache, CompleteSampler, CsrSampler, PeerSampler, Sampler, Topology,
 };
@@ -927,6 +928,21 @@ fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     out.extend_from_slice(&b[j..]);
 }
 
+/// The source-tagged row message the lane collectors route through the
+/// single-sourced fault-aware sampling loop on the rare disruptive path.
+/// Wire size is the served row alone — the source id is observer metadata,
+/// free on the wire, exactly like the nested layout it substitutes for.
+struct LaneRow<V> {
+    source: u32,
+    values: Vec<V>,
+}
+
+impl<V: MessageSize> MessageSize for LaneRow<V> {
+    fn message_bits(&self) -> u64 {
+        self.values.message_bits()
+    }
+}
+
 /// Dispatches `$body` with `$sp` bound to the engine's concrete sampler
 /// type — **once per round**, so the node loops monomorphise over
 /// [`CompleteSampler`] / [`CsrSampler`] instead of matching the topology
@@ -1623,6 +1639,188 @@ impl<S: Clone + Send + Sync> Engine<S> {
             self.metrics = self.metrics + delta;
         }
         matrix
+    }
+
+    /// One pull round in which every node samples a random peer and receives
+    /// that peer's `lanes`-wide row of `lane_values` — the lane-major,
+    /// allocation-free counterpart of
+    /// `collect_samples(1, |t, _| lane_values[t*lanes..(t+1)*lanes].to_vec())`
+    /// (the multi-query service's per-round shape).
+    ///
+    /// `lane_values` is a borrowed lane-major sheet (`n × lanes`, node `t`'s
+    /// row at `t·lanes..(t+1)·lanes`), deliberately separate from the
+    /// engine's own states so callers can gossip an external per-node lane
+    /// buffer without round-tripping it through engine state. `out` must be
+    /// an `n × lanes` [`LaneMatrix`]; its buffers are reused, never
+    /// reallocated. Round accounting, RNG consumption and bit accounting are
+    /// identical to the vector-serving call this replaces — a delivered row
+    /// is charged as the `Vec` message it stands for, length prefix included
+    /// ([`crate::message::seq_message_bits`]) — so answers *and* metrics stay
+    /// bit-identical. Under a disruptive [`FaultPlan`] the round routes
+    /// through the single-sourced fault-aware sampling loop and scatters its
+    /// nested result (the rare, slow path).
+    pub fn collect_lanes<V>(&mut self, lane_values: &[V], out: &mut LaneMatrix<V>)
+    where
+        V: MessageSize + Copy + Send + Sync,
+    {
+        let n = self.n();
+        let lanes = out.lanes();
+        assert_eq!(out.n(), n, "lane matrix row count must match the engine");
+        assert_eq!(
+            lane_values.len(),
+            n * lanes,
+            "lane buffer must be n × lanes"
+        );
+        if self.fault.is_disruptive() {
+            let nested = with_sampler!(self, sp => self.collect_samples_faulty(sp, 1, |t, _| {
+                LaneRow {
+                    source: t as u32,
+                    values: lane_values[t * lanes..(t + 1) * lanes].to_vec(),
+                }
+            }));
+            out.reset_sources();
+            let (values, sources) = out.parts_mut();
+            for (v, bucket) in nested.into_iter().enumerate() {
+                if let Some(m) = bucket.into_iter().next() {
+                    sources[v] = m.source;
+                    values[v * lanes..(v + 1) * lanes].copy_from_slice(&m.values);
+                }
+            }
+            return;
+        }
+        self.metrics.record_round(RoundKind::Pull, n as u64);
+        self.round += 1;
+        let round = self.round;
+        let threads = self.threads;
+        let failure = &self.failure;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let pool = &self.pool;
+        let (values, sources) = out.parts_mut();
+        let delta = with_sampler!(self, sp => {
+            let sampler = &sp;
+            par::for_rows2(
+                pool,
+                values,
+                lanes,
+                sources,
+                1,
+                threads,
+                Metrics::default(),
+                |start, vchunk, schunk| {
+                    let mut local = Metrics::default();
+                    for (j, src) in schunk.iter_mut().enumerate() {
+                        let v = start + j;
+                        local.record_attempt(RoundKind::Pull);
+                        let mut rng = prefix.node(v as u64);
+                        if !reliable && failure.fails(v, round, &mut rng) {
+                            local.record_failure();
+                            *src = LaneMatrix::<V>::NO_SOURCE;
+                            continue;
+                        }
+                        let t = sampler.sample(&mut rng, v);
+                        let row = &lane_values[t * lanes..(t + 1) * lanes];
+                        local.record_delivery(crate::message::seq_message_bits(row));
+                        *src = t as u32;
+                        vchunk[j * lanes..(j + 1) * lanes].copy_from_slice(row);
+                    }
+                    local
+                },
+                |a, b| a + b,
+            )
+        });
+        self.metrics = self.metrics + delta;
+    }
+
+    /// [`Engine::collect_lanes`] restricted to an [`ActiveSet`]: only the
+    /// active nodes pull; every other row is left undelivered
+    /// ([`LaneMatrix::NO_SOURCE`]). Sampling cost is `O(|active|)` plus the
+    /// `O(n)` source-column reset; round accounting matches
+    /// [`Engine::collect_samples_on`] (the round is consumed even by an
+    /// empty active set).
+    pub fn collect_lanes_on<V>(
+        &mut self,
+        active: &ActiveSet,
+        lane_values: &[V],
+        out: &mut LaneMatrix<V>,
+    ) where
+        V: MessageSize + Copy + Send + Sync,
+    {
+        let n = self.n();
+        let lanes = out.lanes();
+        assert_eq!(out.n(), n, "lane matrix row count must match the engine");
+        assert_eq!(
+            lane_values.len(),
+            n * lanes,
+            "lane buffer must be n × lanes"
+        );
+        if self.fault.is_disruptive() {
+            // `collect_samples_on` re-checks the fault plan and takes its
+            // single-sourced faulty loop; buckets align with the active ids.
+            let nested = self.collect_samples_on(active, 1, |t, _| LaneRow {
+                source: t as u32,
+                values: lane_values[t * lanes..(t + 1) * lanes].to_vec(),
+            });
+            out.reset_sources();
+            let (values, sources) = out.parts_mut();
+            let ids = active.indices();
+            for (rk, bucket) in nested.into_iter().enumerate() {
+                if let Some(m) = bucket.into_iter().next() {
+                    let v = ids[rk] as usize;
+                    sources[v] = m.source;
+                    values[v * lanes..(v + 1) * lanes].copy_from_slice(&m.values);
+                }
+            }
+            return;
+        }
+        self.assert_active(active);
+        out.reset_sources();
+        self.metrics
+            .record_round(RoundKind::Pull, active.len() as u64);
+        self.round += 1;
+        let round = self.round;
+        let threads = self.threads;
+        let failure = &self.failure;
+        let reliable = failure.is_reliable();
+        let prefix = NodeRng::key_prefix(self.seed, round, NodeRng::STREAM_ROUND);
+        let pool = &self.pool;
+        let ids = active.indices();
+        let (values, sources) = out.parts_mut();
+        let delta = with_sampler!(self, sp => {
+            let sampler = &sp;
+            par::for_sparse_rows2(
+                pool,
+                values,
+                lanes,
+                sources,
+                1,
+                ids,
+                threads,
+                Metrics::default(),
+                |ids, base, sub_v, sub_s| {
+                    let mut local = Metrics::default();
+                    for &vu in ids {
+                        let v = vu as usize;
+                        let rel = v - base;
+                        local.record_attempt(RoundKind::Pull);
+                        let mut rng = prefix.node(v as u64);
+                        if !reliable && failure.fails(v, round, &mut rng) {
+                            // The reset already marked the row undelivered.
+                            local.record_failure();
+                            continue;
+                        }
+                        let t = sampler.sample(&mut rng, v);
+                        let row = &lane_values[t * lanes..(t + 1) * lanes];
+                        local.record_delivery(crate::message::seq_message_bits(row));
+                        sub_s[rel] = t as u32;
+                        sub_v[rel * lanes..(rel + 1) * lanes].copy_from_slice(row);
+                    }
+                    local
+                },
+                |a, b| a + b,
+            )
+        });
+        self.metrics = self.metrics + delta;
     }
 
     /// Computes, without executing anything, the pull target every node

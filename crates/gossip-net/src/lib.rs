@@ -82,7 +82,7 @@ pub use pool::{PoolStats, WorkerPool};
 pub use program::{RoundProgram, StepKind};
 pub use protocol::{NodeProtocol, ProtocolOutcome, ProtocolRunner, StepReport};
 pub use rng::{KeyPrefix, NodeRng, SeedSequence};
-pub use soa::{ColumnStore, Columns, SampleMatrix};
+pub use soa::{ColumnStore, Columns, LaneMatrix, SampleMatrix};
 pub use topology::{Adjacency, AdjacencyCache, Topology};
 pub use value::{NodeValue, OrderedF64};
 

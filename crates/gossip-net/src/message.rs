@@ -61,9 +61,20 @@ impl<T: MessageSize> MessageSize for Option<T> {
     }
 }
 
+/// The wire footprint of a variable-length sequence: a 32-bit length prefix
+/// plus the elements.
+///
+/// This is the formula behind `Vec<T>`'s [`MessageSize`] impl, exposed so
+/// allocation-free paths (e.g. the engine's lane-matrix collector, which
+/// serves a borrowed row instead of building a `Vec`) charge exactly the
+/// same bits as the vector message they replace.
+pub fn seq_message_bits<T: MessageSize>(items: &[T]) -> u64 {
+    32 + items.iter().map(MessageSize::message_bits).sum::<u64>()
+}
+
 impl<T: MessageSize> MessageSize for Vec<T> {
     fn message_bits(&self) -> u64 {
-        32 + self.iter().map(MessageSize::message_bits).sum::<u64>()
+        seq_message_bits(self)
     }
 }
 

@@ -327,6 +327,198 @@ pub fn for_sparse2<T, U, F>(
     });
 }
 
+/// Like [`for_chunks2`], but over two buffers of *rows*: `a` holds `wa`
+/// elements per row and `b` holds `wb`, and both are split at the same row
+/// boundaries, so row `v` of `a` and row `v` of `b` always land in the same
+/// closure invocation.
+///
+/// This is the lane-major counterpart of [`for_chunks2`]: the engine's
+/// lane-matrix collector fills an `n × lanes` value buffer and its
+/// width-1 source column in lock-step through this. `map` receives the
+/// chunk's starting *row* index and the two row-aligned sub-slices; row
+/// `start + j` of `a` is `chunk_a[j * wa .. (j + 1) * wa]`. Chunk boundaries
+/// depend only on the row count and `threads`, exactly like [`for_chunks`].
+///
+/// # Panics
+///
+/// Panics if either width is zero or a buffer's length is not `rows × width`
+/// for a common row count.
+#[allow(clippy::too_many_arguments)]
+pub fn for_rows2<T, U, A, F, R>(
+    pool: &WorkerPool,
+    a: &mut [T],
+    wa: usize,
+    b: &mut [U],
+    wb: usize,
+    threads: usize,
+    identity: A,
+    map: F,
+    reduce: R,
+) -> A
+where
+    T: Send,
+    U: Send,
+    A: Send,
+    F: Fn(usize, &mut [T], &mut [U]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    assert!(wa > 0 && wb > 0, "for_rows2 requires positive row widths");
+    let n = a.len() / wa;
+    assert_eq!(a.len(), n * wa, "for_rows2: a is not whole rows");
+    assert_eq!(b.len(), n * wb, "for_rows2: row counts differ");
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return reduce(identity, map(0, a, b));
+    }
+    let chunk = n.div_ceil(threads);
+    #[allow(clippy::type_complexity)]
+    let chunks: Vec<Mutex<Option<(&mut [T], &mut [U])>>> = a
+        .chunks_mut(chunk * wa)
+        .zip(b.chunks_mut(chunk * wb))
+        .map(|pair| Mutex::new(Some(pair)))
+        .collect();
+    let slots: Vec<Mutex<Option<A>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    pool.run(chunks.len(), &|i| {
+        let (ca, cb) = take(&chunks[i]).expect("pool ran a chunk task twice");
+        *slots[i].lock().expect("slot mutex poisoned") = Some(map(i * chunk, ca, cb));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let a = take_inner(slot).expect("pool skipped a chunk task");
+        acc = reduce(acc, a);
+    }
+    acc
+}
+
+/// Like [`for_sparse2`], but over two buffers of rows (`wa` and `wb` elements
+/// per row), carved at the same **row** boundaries: each task gets mutable
+/// access to exactly the rows its indices fall in, in both buffers.
+///
+/// `map` receives `(ids, base, sub_a, sub_b)` where the row of index
+/// `i ∈ ids` starts at `sub_a[(i - base) * wa]` (resp. `sub_b` with `wb`).
+/// The index list must be sorted and duplicate-free, exactly as for
+/// [`for_sparse`]; per-chunk results are folded in chunk order.
+#[allow(clippy::too_many_arguments)]
+pub fn for_sparse_rows2<T, U, A, F, R>(
+    pool: &WorkerPool,
+    a: &mut [T],
+    wa: usize,
+    b: &mut [U],
+    wb: usize,
+    ids: &[u32],
+    threads: usize,
+    identity: A,
+    map: F,
+    reduce: R,
+) -> A
+where
+    T: Send,
+    U: Send,
+    A: Send,
+    F: Fn(&[u32], usize, &mut [T], &mut [U]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    assert!(
+        wa > 0 && wb > 0,
+        "for_sparse_rows2 requires positive row widths"
+    );
+    debug_assert_eq!(a.len() / wa, b.len() / wb, "row counts differ");
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(ids
+        .last()
+        .map_or(true, |&last| ((last as usize) + 1) * wa <= a.len()));
+    let m = ids.len();
+    if m == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, m);
+    if threads == 1 {
+        return reduce(identity, map(ids, 0, a, b));
+    }
+    let chunk = m.div_ceil(threads);
+    // Carve both buffers at each chunk's first row; chunk j's last index is
+    // strictly below chunk j+1's first, so every row lands in its own task's
+    // sub-slices.
+    #[allow(clippy::type_complexity)]
+    let mut tasks: Vec<Mutex<Option<(&[u32], usize, &mut [T], &mut [U])>>> = Vec::new();
+    let (mut rest_a, mut rest_b) = (a, b);
+    let mut carved_to = 0usize;
+    for (j, id_chunk) in ids.chunks(chunk).enumerate() {
+        let base = id_chunk[0] as usize;
+        let skip = base - carved_to;
+        let (_, tail_a) = std::mem::take(&mut rest_a).split_at_mut(skip * wa);
+        let (_, tail_b) = std::mem::take(&mut rest_b).split_at_mut(skip * wb);
+        let end = ids
+            .get((j + 1) * chunk)
+            .map_or(tail_a.len() / wa, |&next| next as usize - base);
+        let (sub_a, tail_a) = tail_a.split_at_mut(end * wa);
+        let (sub_b, tail_b) = tail_b.split_at_mut(end * wb);
+        rest_a = tail_a;
+        rest_b = tail_b;
+        carved_to = base + end;
+        tasks.push(Mutex::new(Some((id_chunk, base, sub_a, sub_b))));
+    }
+    let slots: Vec<Mutex<Option<A>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    pool.run(tasks.len(), &|i| {
+        let (ids, base, sub_a, sub_b) = take(&tasks[i]).expect("pool ran a sparse task twice");
+        *slots[i].lock().expect("slot mutex poisoned") = Some(map(ids, base, sub_a, sub_b));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let a = take_inner(slot).expect("pool skipped a sparse task");
+        acc = reduce(acc, a);
+    }
+    acc
+}
+
+/// Folds `map` over `threads` contiguous sub-ranges of `0..n` in chunk order,
+/// without handing out any mutable data.
+///
+/// This is the read-only sibling of [`for_chunks`] for passes that *scan*
+/// shared state and produce a result per range — e.g. the service's replay
+/// frontier scan, which reads the dirty map and the recorded sources and
+/// returns the candidate ids per range. Because ranges ascend and the fold is
+/// in chunk order, concatenating per-range outputs yields the same sequence
+/// as a single `map(0..n)` — independent of `threads` and of the pool.
+pub fn fold_ranges<A, F, R>(
+    pool: &WorkerPool,
+    n: usize,
+    threads: usize,
+    identity: A,
+    map: F,
+    reduce: R,
+) -> A
+where
+    A: Send,
+    F: Fn(std::ops::Range<usize>) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return reduce(identity, map(0..n));
+    }
+    let chunk = n.div_ceil(threads);
+    let tasks = n.div_ceil(chunk);
+    let slots: Vec<Mutex<Option<A>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    pool.run(tasks, &|i| {
+        let start = i * chunk;
+        let end = (start + chunk).min(n);
+        *slots[i].lock().expect("slot mutex poisoned") = Some(map(start..end));
+    });
+    let mut acc = identity;
+    for slot in slots {
+        let a = take_inner(slot).expect("pool skipped a range task");
+        acc = reduce(acc, a);
+    }
+    acc
+}
+
 /// Takes the value out of a shared once-cell.
 fn take<T>(cell: &Mutex<Option<T>>) -> Option<T> {
     cell.lock().expect("chunk mutex poisoned").take()
@@ -515,6 +707,118 @@ mod tests {
                 assert_eq!(b[i as usize], if swapped { i } else { 100 + i });
             }
         }
+    }
+
+    #[test]
+    fn for_rows2_splits_both_buffers_at_the_same_rows() {
+        let pool = WorkerPool::new(4);
+        let (n, wa, wb) = (23usize, 5usize, 1usize);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut a: Vec<usize> = vec![0; n * wa];
+            let mut b: Vec<usize> = vec![0; n * wb];
+            let rows = for_rows2(
+                &pool,
+                &mut a,
+                wa,
+                &mut b,
+                wb,
+                threads,
+                0usize,
+                |start, ca, cb| {
+                    assert_eq!(ca.len() / wa, cb.len() / wb);
+                    assert_eq!(ca.len() % wa, 0);
+                    let rows = ca.len() / wa;
+                    for j in 0..rows {
+                        for l in 0..wa {
+                            ca[j * wa + l] = (start + j) * wa + l;
+                        }
+                        cb[j * wb] = start + j;
+                    }
+                    rows
+                },
+                |x, y| x + y,
+            );
+            assert_eq!(rows, n);
+            assert_eq!(a, (0..n * wa).collect::<Vec<usize>>());
+            assert_eq!(b, (0..n).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn for_sparse_rows2_touches_exactly_the_listed_rows() {
+        let pool = WorkerPool::new(4);
+        let (n, wa, wb) = (50usize, 3usize, 2usize);
+        let ids: Vec<u32> = vec![0, 4, 5, 11, 30, 31, 49];
+        for threads in [1, 2, 3, 8, 64] {
+            let mut a: Vec<u64> = vec![0; n * wa];
+            let mut b: Vec<u64> = vec![0; n * wb];
+            let order = for_sparse_rows2(
+                &pool,
+                &mut a,
+                wa,
+                &mut b,
+                wb,
+                &ids,
+                threads,
+                Vec::new(),
+                |ids, base, sub_a, sub_b| {
+                    let mut seen = Vec::new();
+                    for &i in ids {
+                        let rel = i as usize - base;
+                        for l in 0..wa {
+                            sub_a[rel * wa + l] = u64::from(i) * 10 + l as u64;
+                        }
+                        for l in 0..wb {
+                            sub_b[rel * wb + l] = u64::from(i) * 100 + l as u64;
+                        }
+                        seen.push(i);
+                    }
+                    seen
+                },
+                |mut x, y| {
+                    x.extend(y);
+                    x
+                },
+            );
+            assert_eq!(order, ids, "fold order at {threads} threads");
+            for v in 0..n as u32 {
+                let hit = ids.contains(&v);
+                for l in 0..wa {
+                    let expected = if hit { u64::from(v) * 10 + l as u64 } else { 0 };
+                    assert_eq!(a[v as usize * wa + l], expected);
+                }
+                for l in 0..wb {
+                    let expected = if hit {
+                        u64::from(v) * 100 + l as u64
+                    } else {
+                        0
+                    };
+                    assert_eq!(b[v as usize * wb + l], expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_ranges_covers_exactly_once_in_order() {
+        let pool = WorkerPool::new(4);
+        for threads in [1, 2, 3, 8, 64] {
+            let ids = fold_ranges(
+                &pool,
+                97,
+                threads,
+                Vec::new(),
+                |range| range.collect::<Vec<usize>>(),
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            );
+            assert_eq!(ids, (0..97).collect::<Vec<usize>>(), "at {threads} threads");
+        }
+        // Empty domain returns the identity untouched.
+        let acc = fold_ranges(&pool, 0, 4, 7u32, |_| unreachable!(), |a, _b| a);
+        assert_eq!(acc, 7);
     }
 
     #[test]

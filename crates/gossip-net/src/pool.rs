@@ -1182,14 +1182,8 @@ mod tests {
                     });
                 }
             });
-            let expected: u64 = (0..400u64)
-                .map(|r| if r % 2 == 0 { 3 } else { 45 })
-                .sum();
-            assert_eq!(
-                total.load(Ordering::Relaxed),
-                expected,
-                "spin {spin_us}µs"
-            );
+            let expected: u64 = (0..400u64).map(|r| if r % 2 == 0 { 3 } else { 45 }).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expected, "spin {spin_us}µs");
         }
     }
 

@@ -480,6 +480,91 @@ impl<M> From<Vec<Vec<M>>> for SampleMatrix<M> {
     }
 }
 
+/// The flat, lane-major delivery buffer of
+/// [`Engine::collect_lanes`](crate::Engine::collect_lanes): one pull round in
+/// which every node receives its sampled peer's `lanes`-wide row of values.
+///
+/// Layout: the row delivered to node `v` occupies `values[v·lanes ..
+/// (v+1)·lanes]`, and the realised source id sits in a parallel width-1
+/// column (`sources[v]`, with [`LaneMatrix::NO_SOURCE`] marking a failed or
+/// skipped pull). Where the nested `collect_samples(1, ..)` layout costs one
+/// heap `Vec` per node per round, a `LaneMatrix` is two construction-time
+/// allocations reused round after round.
+///
+/// Contract: rows whose source is `NO_SOURCE` are *undefined* — the buffer
+/// is reused across rounds without clearing values, so such rows hold stale
+/// data. Readers must gate every row access on the source column, which is
+/// what [`LaneMatrix::row`] does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneMatrix<V> {
+    lanes: usize,
+    values: Vec<V>,
+    sources: Vec<u32>,
+}
+
+impl<V> LaneMatrix<V> {
+    /// The source-column sentinel for "nothing delivered this round".
+    pub const NO_SOURCE: u32 = u32::MAX;
+
+    /// Number of nodes (rows).
+    pub fn n(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of lanes (row width).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The id of the peer whose row node `v` received, if the pull succeeded.
+    pub fn source(&self, v: usize) -> Option<u32> {
+        let s = self.sources[v];
+        (s != Self::NO_SOURCE).then_some(s)
+    }
+
+    /// The row delivered to node `v`, if the pull succeeded.
+    pub fn row(&self, v: usize) -> Option<&[V]> {
+        self.source(v)
+            .map(|_| &self.values[v * self.lanes..(v + 1) * self.lanes])
+    }
+
+    /// The whole value buffer, lane-major (row `v` at `v·lanes..`). Rows
+    /// without a source hold stale data — gate on [`LaneMatrix::sources`].
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// The source column; [`LaneMatrix::NO_SOURCE`] marks undelivered rows.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Marks every row undelivered (values are left stale, per the type's
+    /// contract) — the collector's per-round reset.
+    pub(crate) fn reset_sources(&mut self) {
+        self.sources.fill(Self::NO_SOURCE);
+    }
+
+    /// The value buffer and source column, mutably — the engine's fill pass.
+    pub(crate) fn parts_mut(&mut self) -> (&mut [V], &mut [u32]) {
+        (&mut self.values, &mut self.sources)
+    }
+}
+
+impl<V: Clone> LaneMatrix<V> {
+    /// An empty matrix for `n` nodes and `lanes` lanes, every row
+    /// undelivered. `fill` initialises the (undefined) value slots so the
+    /// buffer is fully materialised up front.
+    pub fn empty(n: usize, lanes: usize, fill: V) -> Self {
+        assert!(lanes > 0, "a lane matrix needs at least one lane");
+        LaneMatrix {
+            lanes,
+            values: vec![fill; n * lanes],
+            sources: vec![Self::NO_SOURCE; n],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +688,23 @@ mod tests {
         assert_eq!(m.row(0).copied().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(m.count(1), 0);
         assert_eq!(m.row(2).copied().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn lane_matrix_rows_are_gated_on_the_source_column() {
+        let mut m = LaneMatrix::empty(3, 2, 0u64);
+        assert_eq!((m.n(), m.lanes()), (3, 2));
+        assert!((0..3).all(|v| m.row(v).is_none()));
+        {
+            let (values, sources) = m.parts_mut();
+            values[2..4].copy_from_slice(&[10, 11]);
+            sources[1] = 7;
+        }
+        assert_eq!(m.source(1), Some(7));
+        assert_eq!(m.row(1), Some(&[10u64, 11][..]));
+        assert_eq!(m.row(0), None);
+        m.reset_sources();
+        assert!((0..3).all(|v| m.row(v).is_none()));
     }
 
     #[test]

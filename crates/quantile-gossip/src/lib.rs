@@ -84,7 +84,8 @@ pub use schedule::{
     AdaptiveRoundBudget, ShrinkSide, ThreeTournamentSchedule, TwoTournamentSchedule,
 };
 pub use service::{
-    EpochMode, QuantileQuery, QuantileService, QueryCost, ServiceConfig, ServiceOutcome,
+    EpochMode, EpochTimings, QuantileQuery, QuantileService, QueryCost, ServiceConfig,
+    ServiceOutcome, Sourced,
 };
 pub use three_tournament::FinalVote;
 

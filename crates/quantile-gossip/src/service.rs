@@ -51,9 +51,11 @@ use crate::three_tournament::{median3, FinalVote};
 use crate::two_tournament::extremum;
 use baselines::CompactorSketch;
 use gossip_net::{
-    ActiveSet, Engine, EngineConfig, GossipError, MessageSize, Metrics, NodeRng, NodeValue, Result,
-    SeedSequence,
+    par, ActiveSet, Engine, EngineConfig, GossipError, LaneMatrix, MessageSize, Metrics, NodeRng,
+    NodeValue, Result, SeedSequence, WorkerPool,
 };
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One `(φ, ε)` quantile query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +122,28 @@ pub enum EpochMode {
     },
 }
 
+/// Wall-clock breakdown of one epoch, by pipeline stage.
+///
+/// Full epochs fill the collect / apply / record / vote stages; incremental
+/// epochs fill replay (the engine-free dataflow over the cached trajectory)
+/// and vote (the output patch). Purely observational — timings are never
+/// part of answer equality, and the unfilled stages of a mode stay `0.0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochTimings {
+    /// Seconds collecting lane samples (engine pull rounds, including
+    /// participation coins and δ-cut active sets).
+    pub collect_secs: f64,
+    /// Seconds applying lane steps to the shared state vector.
+    pub apply_secs: f64,
+    /// Seconds recording the replay cache (state snapshots and realised
+    /// sources).
+    pub record_secs: f64,
+    /// Seconds deriving or patching the per-lane vote outputs.
+    pub vote_secs: f64,
+    /// Seconds replaying the cached dataflow (incremental epochs only).
+    pub replay_secs: f64,
+}
+
 /// Result of one [`QuantileService::epoch`].
 #[derive(Debug, Clone)]
 pub struct ServiceOutcome<V> {
@@ -137,6 +161,8 @@ pub struct ServiceOutcome<V> {
     pub per_query: Vec<QueryCost>,
     /// Whether this epoch ran fully or incrementally.
     pub mode: EpochMode,
+    /// Wall-clock breakdown of the epoch's pipeline stages.
+    pub timings: EpochTimings,
 }
 
 impl<V> ServiceOutcome<V> {
@@ -198,19 +224,43 @@ struct Trajectory<V> {
     metrics: Metrics,
 }
 
-/// A lane-vector message tagged with its realised source id. The tag is
-/// observer-side metadata — [`MessageSize`] delegates to the payload alone,
-/// so the traffic metrics equal serving the bare lane vector — and is how
-/// [`QuantileService::recompute_full`] records the realised contact graph
-/// that incremental epochs replay without an engine.
-#[derive(Debug, Clone)]
-struct Sourced<V> {
-    source: u32,
-    values: Vec<V>,
+impl<V> Trajectory<V> {
+    /// An unsized trajectory for the first full epoch to grow into —
+    /// subsequent full epochs refill the previous epoch's buffers in place.
+    fn empty() -> Self {
+        Trajectory {
+            snap1: Vec::new(),
+            snap2: Vec::new(),
+            outputs: Vec::new(),
+            sources1: Vec::new(),
+            sources2: Vec::new(),
+            rounds: 0,
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+/// A lane-vector message tagged with its realised source id — the *logical*
+/// message shape of the service's replay cache. The tag is observer-side
+/// metadata: [`MessageSize`] delegates to the payload alone, so the traffic
+/// metrics equal serving the bare lane vector.
+///
+/// The epoch hot path no longer constructs these (it fills a flat
+/// [`LaneMatrix`] — one reused buffer instead of one heap `Vec` per node per
+/// round); the type remains the reference semantics of what a recorded
+/// sample *is*, and the conformance suite pins the lane-matrix collector
+/// against an engine run that serves `Sourced` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sourced<V> {
+    /// The realised pull source (the node whose lane row was served).
+    pub source: u32,
+    /// The served lane values, one per query.
+    pub values: Vec<V>,
 }
 
 impl<V: NodeValue> Sourced<V> {
-    fn new(source: usize, values: Vec<V>) -> Self {
+    /// Tags `values` with the node that served them.
+    pub fn new(source: usize, values: Vec<V>) -> Self {
         Sourced {
             source: source as u32,
             values,
@@ -224,9 +274,63 @@ impl<V: NodeValue> MessageSize for Sourced<V> {
     }
 }
 
-/// One Phase II round's collected buckets plus the participant set that
-/// produced them (`None` means the round ran dense).
-type RoundSamples<V> = (Vec<Vec<Sourced<V>>>, Option<ActiveSet>);
+/// Reused epoch working memory: everything a steady-state epoch touches per
+/// round is allocated here once (or by the first epoch) and only ever
+/// *filled* afterwards — the buffer-reuse half of the service's "no
+/// per-round size-`n` allocations" guarantee (the debug fingerprint in
+/// [`QuantileService::recompute_full`] asserts the other half).
+#[derive(Debug)]
+struct EpochScratch<V> {
+    /// Three lane matrices: Phase I uses slots 0–1, a Phase II window 0–2.
+    slots: Vec<LaneMatrix<V>>,
+    /// The live lane-major state vector (`n × q`).
+    states: Vec<V>,
+    /// Participation coins of the current iteration.
+    coins: Vec<f64>,
+    /// Reusable δ-cut participant set.
+    active: ActiveSet,
+    /// Whether a full epoch has already sized every buffer.
+    warmed: bool,
+}
+
+impl<V> Default for EpochScratch<V> {
+    fn default() -> Self {
+        EpochScratch {
+            slots: Vec::new(),
+            states: Vec::new(),
+            coins: Vec::new(),
+            active: ActiveSet::from_fn(0, |_| false),
+            warmed: false,
+        }
+    }
+}
+
+impl<V: NodeValue> EpochScratch<V> {
+    /// Sizes every reusable buffer for an `n × q` epoch. Returns whether any
+    /// buffer had to grow — which must never happen once `warmed`.
+    fn prepare(&mut self, n: usize, q: usize, fill: V) -> bool {
+        let mut grew = false;
+        if self.slots.len() != 3 || self.slots.iter().any(|m| m.n() != n || m.lanes() != q) {
+            self.slots = (0..3).map(|_| LaneMatrix::empty(n, q, fill)).collect();
+            grew = true;
+        }
+        if self.states.len() != n * q {
+            self.states.clear();
+            self.states.resize(n * q, fill);
+            grew = true;
+        }
+        if self.coins.len() != n {
+            self.coins.clear();
+            self.coins.resize(n, 0.0);
+            grew = true;
+        }
+        if self.active.n() != n {
+            self.active = ActiveSet::from_fn(n, |_| false);
+            grew = true;
+        }
+        grew
+    }
+}
 
 /// A multi-query quantile service over `n` value holders.
 ///
@@ -271,6 +375,9 @@ pub struct QuantileService<V: NodeValue> {
     inputs: Vec<V>,
     dirty: Vec<bool>,
     cache: Option<Trajectory<V>>,
+    /// Worker-thread override for epoch execution (`None` = engine default).
+    threads: Option<usize>,
+    scratch: EpochScratch<V>,
 }
 
 impl<V: NodeValue> QuantileService<V> {
@@ -357,6 +464,13 @@ impl<V: NodeValue> QuantileService<V> {
         }
         let mut engine_config = engine_config;
         engine_config.ensure_pool_for(n);
+        if engine_config.pool.is_none() {
+            // Below the engine's parallel threshold `ensure_pool_for` is a
+            // no-op, but the service still fuses each epoch into one
+            // resident pool session — a 1-thread pool runs every dispatch
+            // inline, so results and small-n wall-clock are unaffected.
+            engine_config.pool = Some(Arc::new(WorkerPool::new(1)));
+        }
         Ok(QuantileService {
             queries: queries.to_vec(),
             plans,
@@ -371,7 +485,28 @@ impl<V: NodeValue> QuantileService<V> {
             inputs: values.to_vec(),
             dirty: vec![false; n],
             cache: None,
+            threads: None,
+            scratch: EpochScratch::default(),
         })
+    }
+
+    /// Overrides the worker-thread count epochs run on (clamped to at least
+    /// 1). Answers never depend on this — only wall-clock does — which the
+    /// conformance suite pins by running identical services at 1, 2 and 8
+    /// threads. Grows the shared pool if the override exceeds it, so the
+    /// phase engines keep fusing into one pool session.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        let t = threads.max(1);
+        self.threads = Some(t);
+        if !self
+            .engine_config
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.threads() >= t)
+        {
+            self.engine_config.pool = Some(Arc::new(WorkerPool::new(t)));
+        }
+        self
     }
 
     /// Number of holders.
@@ -503,232 +638,350 @@ impl<V: NodeValue> QuantileService<V> {
     /// Runs every lane from scratch through one shared round sequence and
     /// caches the trajectory for later incremental epochs.
     ///
+    /// The whole epoch — Phase I pulls, Phase II 3-TOURNAMENT windows and
+    /// the vote derivation — executes as **one resident pool session**
+    /// ([`WorkerPool::run_program`]): the ~`2·t1 + 3·t2 + K` rounds cost a
+    /// single pool dispatch instead of one hand-off per round primitive.
+    /// Fusion is pure scheduling; `tests/service.rs` pins the answers
+    /// bit-identical to the unfused loop.
+    ///
     /// # Errors
     ///
     /// Propagates engine errors (none under a well-formed configuration).
     pub fn recompute_full(&mut self) -> Result<ServiceOutcome<V>> {
+        let pool = Arc::clone(
+            self.engine_config
+                .pool
+                .as_ref()
+                .expect("the service constructor always installs a pool"),
+        );
+        pool.run_program(|| self.full_epoch_body())
+    }
+
+    /// [`recompute_full`](Self::recompute_full) without the resident pool
+    /// session — every round primitive dispatches on its own. Exists so the
+    /// conformance suite can pin fused ≡ looped; results are identical by
+    /// construction, only scheduling differs.
+    #[doc(hidden)]
+    pub fn recompute_full_unfused(&mut self) -> Result<ServiceOutcome<V>> {
+        self.full_epoch_body()
+    }
+
+    /// The full-epoch pipeline: flat lane-major sample collection
+    /// ([`Engine::collect_lanes`]), pool-parallel lane-step application, and
+    /// end-of-epoch vote derivation from the recorded trajectory.
+    ///
+    /// Steady-state epochs are **allocation-free per round**: every round
+    /// buffer (lane matrices, states, coins, active set, snapshots, source
+    /// rows, outputs) is reused from [`EpochScratch`] and the previous
+    /// trajectory; a debug fingerprint asserts no buffer moved.
+    fn full_epoch_body(&mut self) -> Result<ServiceOutcome<V>> {
         let (n, q, k) = (self.n, self.queries.len(), self.config.final_vote.samples);
         let (t1max, t2max) = (self.t1max(), self.t2max());
         let (mut e1, mut e2) = self.engines();
+        if let Some(t) = self.threads {
+            // `set_threads` pre-sized the shared pool, so these never swap
+            // pools — the epoch stays fused on one worker set.
+            e1.set_threads(t);
+            e2.set_threads(t);
+        }
+        let threads = e1.threads();
+        let pool = Arc::clone(e1.pool());
         let (seed1, seed2) = (e1.seed(), e2.seed());
+        let plans = &self.plans;
+        let mut timings = EpochTimings::default();
+
+        // ---- Buffer preparation (reuse everything from last epoch) -----
+        let fill = self.inputs[0];
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let grew = scratch.prepare(n, q, fill);
+        debug_assert!(
+            !(scratch.warmed && grew),
+            "steady-state epoch grew a scratch buffer"
+        );
+        let mut traj = self.cache.take().unwrap_or_else(Trajectory::empty);
+        let r2max = 3 * t2max + k;
+        traj.sources1.clear();
+        traj.sources1.resize(2 * t1max * n, u32::MAX);
+        traj.sources2.clear();
+        traj.sources2.resize(r2max * n, u32::MAX);
+        traj.snap1.resize_with(t1max + 1, Vec::new);
+        traj.snap2.resize_with(t2max + 1, Vec::new);
+        let mut states = std::mem::take(&mut scratch.states);
+        #[cfg(debug_assertions)]
+        let warmed_ptrs = scratch
+            .warmed
+            .then(|| epoch_buffer_ptrs(&traj, &states, &scratch.coins));
+        {
+            let inputs = &self.inputs;
+            par::for_chunks(
+                &pool,
+                &mut states[..],
+                threads,
+                (),
+                |start, chunk| {
+                    let mut v = start / q;
+                    let mut i = start % q;
+                    for slot in chunk.iter_mut() {
+                        *slot = inputs[v];
+                        i += 1;
+                        if i == q {
+                            i = 0;
+                            v += 1;
+                        }
+                    }
+                },
+                |(), ()| (),
+            );
+        }
 
         // ---- Phase I: shared 2-TOURNAMENT rounds -----------------------
-        let mut states: Vec<V> = self
-            .inputs
-            .iter()
-            .flat_map(|&v| std::iter::repeat(v).take(q))
-            .collect();
-        let mut snap1 = Vec::with_capacity(t1max + 1);
-        let mut sources1 = vec![u32::MAX; 2 * t1max * n];
-        snap1.push(states.clone());
+        let t0 = Instant::now();
+        copy_into(&pool, threads, &mut traj.snap1[0], &states);
+        timings.record_secs += t0.elapsed().as_secs_f64();
         for j in 0..t1max {
-            let cls = p1_class(&self.plans, j);
-            let coins = if cls.needs_coins {
-                participation_coins(seed1, j as u64, n)
-            } else {
-                Vec::new()
-            };
+            let cls = p1_class(plans, j);
+            let EpochScratch {
+                slots,
+                coins,
+                active,
+                ..
+            } = &mut scratch;
             // Slot A is dense for every lane (both branches of Algorithm 1
             // take a first fresh sample); slot B is dense unless *every* lane
             // active at `j` is in its δ-truncated step, in which case the
             // union of the lanes' participant sets suffices — participant
             // sets are nested (shared coins, per-lane thresholds), so the
             // union is just the δ_max cut.
-            let a = e1.collect_samples(1, |t, _| {
-                Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
-            });
-            let (b, bset) = if cls.any_dense_b {
-                (
-                    e1.collect_samples(1, |t, _| {
-                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
-                    }),
-                    None,
-                )
-            } else {
-                let set = ActiveSet::from_fn(n, |v| coins[v] < cls.delta_max);
-                (
-                    e1.collect_samples_on(&set, 1, |t, _| {
-                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
-                    }),
-                    Some(set),
-                )
-            };
-            let (row_a, row_b) = (2 * j * n, (2 * j + 1) * n);
-            for v in 0..n {
-                let sa = a[v].first();
-                let sb = match &bset {
-                    None => b[v].first(),
-                    Some(set) => set.rank(v).and_then(|rk| b[rk].first()),
-                };
-                if let Some(m) = sa {
-                    sources1[row_a + v] = m.source;
-                }
-                if let Some(m) = sb {
-                    sources1[row_b + v] = m.source;
-                }
-                if sa.is_none() && sb.is_none() {
-                    continue; // every update rule keeps the state sample-free
-                }
-                for (i, plan) in self.plans.iter().enumerate() {
-                    let steps = &plan.schedule1.steps;
-                    if j >= steps.len() {
-                        continue;
-                    }
-                    let side = plan.schedule1.side;
-                    let delta = steps[j].delta;
-                    let cur = states[v * q + i];
-                    let s0 = sa.map(|m| m.values[i]);
-                    let s1 = sb.map(|m| m.values[i]);
-                    states[v * q + i] = if delta >= 1.0 {
-                        lane_step_two(side, s0, s1, cur)
-                    } else {
-                        lane_step_two_delta(side, coins[v] < delta, s0, s1, cur)
-                    };
-                }
+            let t0 = Instant::now();
+            if cls.needs_coins {
+                participation_coins_into(&pool, threads, seed1, j as u64, coins);
             }
-            snap1.push(states.clone());
+            let (slot_a, rest) = slots.split_at_mut(1);
+            let (sa_m, sb_m) = (&mut slot_a[0], &mut rest[0]);
+            e1.collect_lanes(&states, sa_m);
+            if cls.any_dense_b {
+                e1.collect_lanes(&states, sb_m);
+            } else {
+                let cref = &coins[..];
+                active.reset_from_fn(|v| cref[v] < cls.delta_max);
+                e1.collect_lanes_on(active, &states, sb_m);
+            }
+            timings.collect_secs += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let (row_a, row_b) = (2 * j * n, (2 * j + 1) * n);
+            traj.sources1[row_a..row_a + n].copy_from_slice(sa_m.sources());
+            traj.sources1[row_b..row_b + n].copy_from_slice(sb_m.sources());
+            timings.record_secs += t0.elapsed().as_secs_f64();
+
+            // Element-parallel lane step, in place over the flat state
+            // vector. A node with no delivery in either slot hits the
+            // `(None, None)` arm of every step rule, which returns the
+            // current value — so no sample-presence pre-filter is needed.
+            let t0 = Instant::now();
+            let (a_vals, a_srcs) = (sa_m.values(), sa_m.sources());
+            let (b_vals, b_srcs) = (sb_m.values(), sb_m.sources());
+            let cref = &coins[..];
+            par::for_chunks(
+                &pool,
+                &mut states[..],
+                threads,
+                (),
+                |start, chunk| {
+                    let mut v = start / q;
+                    let mut i = start % q;
+                    for slot in chunk.iter_mut() {
+                        let steps = &plans[i].schedule1.steps;
+                        if j < steps.len() {
+                            let cur = *slot;
+                            let s0 = (a_srcs[v] != u32::MAX).then(|| a_vals[v * q + i]);
+                            let s1 = (b_srcs[v] != u32::MAX).then(|| b_vals[v * q + i]);
+                            let side = plans[i].schedule1.side;
+                            let delta = steps[j].delta;
+                            *slot = if delta >= 1.0 {
+                                lane_step_two(side, s0, s1, cur)
+                            } else {
+                                lane_step_two_delta(side, cref[v] < delta, s0, s1, cur)
+                            };
+                        }
+                        i += 1;
+                        if i == q {
+                            i = 0;
+                            v += 1;
+                        }
+                    }
+                },
+                |(), ()| (),
+            );
+            timings.apply_secs += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            copy_into(&pool, threads, &mut traj.snap1[j + 1], &states);
+            timings.record_secs += t0.elapsed().as_secs_f64();
         }
 
-        // ---- Phase II: shared 3-TOURNAMENT rounds + per-lane votes -----
-        let mut snap2 = Vec::with_capacity(t2max + 1);
-        snap2.push(states.clone());
-        let r2max = 3 * t2max + k;
-        let fill = self.inputs[0];
-        let mut sources2 = vec![u32::MAX; r2max * n];
-        let mut votes: Vec<Option<(Vec<V>, Vec<u16>)>> = (0..q).map(|_| None).collect();
-        let mut slots: Vec<RoundSamples<V>> = Vec::with_capacity(3);
-        let mut coins_j: Vec<f64> = Vec::new();
+        // ---- Phase II: shared 3-TOURNAMENT rounds ----------------------
+        let t0 = Instant::now();
+        copy_into(&pool, threads, &mut traj.snap2[0], &states);
+        timings.record_secs += t0.elapsed().as_secs_f64();
         let mut coins_for = usize::MAX;
         for r in 0..r2max {
             let (j, s) = (r / 3, r % 3);
-            let cls = p2_round_class(&self.plans, k, r);
-            if s == 0 {
-                slots.clear();
-            }
-            let pair = if cls.any_dense {
-                (
-                    e2.collect_samples(1, |t, _| {
-                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
-                    }),
-                    None,
-                )
-            } else {
-                if coins_for != j {
-                    coins_j = participation_coins(seed2, j as u64, n);
-                    coins_for = j;
+            let cls = p2_round_class(plans, k, r);
+            let EpochScratch {
+                slots,
+                coins,
+                active,
+                ..
+            } = &mut scratch;
+            let t0 = Instant::now();
+            {
+                let slot_m = &mut slots[s];
+                if cls.any_dense {
+                    e2.collect_lanes(&states, slot_m);
+                } else {
+                    if coins_for != j {
+                        participation_coins_into(&pool, threads, seed2, j as u64, coins);
+                        coins_for = j;
+                    }
+                    let cref = &coins[..];
+                    active.reset_from_fn(|v| cref[v] < cls.delta_max);
+                    e2.collect_lanes_on(active, &states, slot_m);
                 }
-                let set = ActiveSet::from_fn(n, |v| coins_j[v] < cls.delta_max);
-                (
-                    e2.collect_samples_on(&set, 1, |t, _| {
-                        Sourced::new(t, states[t * q..(t + 1) * q].to_vec())
-                    }),
-                    Some(set),
-                )
-            };
+            }
+            timings.collect_secs += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
             let row = r * n;
-            match &pair.1 {
-                None => {
-                    for (v, bucket) in pair.0.iter().enumerate() {
-                        if let Some(m) = bucket.first() {
-                            sources2[row + v] = m.source;
-                        }
-                    }
-                }
-                Some(set) => {
-                    for (rk, &vu) in set.indices().iter().enumerate() {
-                        if let Some(m) = pair.0[rk].first() {
-                            sources2[row + vu as usize] = m.source;
-                        }
-                    }
-                }
-            }
-            // Vote rounds are dense by construction, so voting lanes read the
-            // bucket by node id directly.
-            for &(i, _) in &cls.voting {
-                let (samples, counts) =
-                    votes[i].get_or_insert_with(|| (vec![fill; n * k], vec![0u16; n]));
-                for (v, bucket) in pair.0.iter().enumerate() {
-                    if let Some(m) = bucket.first() {
-                        let c = counts[v] as usize;
-                        samples[v * k + c] = m.values[i];
-                        counts[v] += 1;
-                    }
-                }
-            }
-            slots.push(pair);
-            if s == 2 && self.plans.iter().any(|p| p.t2() > j) {
-                let any_delta = self
-                    .plans
+            traj.sources2[row..row + n].copy_from_slice(slots[s].sources());
+            timings.record_secs += t0.elapsed().as_secs_f64();
+
+            if s == 2 && plans.iter().any(|p| p.t2() > j) {
+                let any_delta = plans
                     .iter()
                     .any(|p| p.t2() == j + 1 && p.schedule2.final_delta < 1.0);
                 if any_delta && coins_for != j {
-                    coins_j = participation_coins(seed2, j as u64, n);
+                    participation_coins_into(&pool, threads, seed2, j as u64, coins);
                     coins_for = j;
                 }
-                for v in 0..n {
-                    let sample_at = |idx: usize| {
-                        let (bk, set) = &slots[idx];
-                        match set {
-                            None => bk[v].first(),
-                            Some(st) => st.rank(v).and_then(|rk| bk[rk].first()),
+                let t0 = Instant::now();
+                let (s0_v, s0_s) = (slots[0].values(), slots[0].sources());
+                let (s1_v, s1_s) = (slots[1].values(), slots[1].sources());
+                let (s2_v, s2_s) = (slots[2].values(), slots[2].sources());
+                let cref = &coins[..];
+                par::for_chunks(
+                    &pool,
+                    &mut states[..],
+                    threads,
+                    (),
+                    |start, chunk| {
+                        let mut v = start / q;
+                        let mut i = start % q;
+                        for slot in chunk.iter_mut() {
+                            let t2 = plans[i].t2();
+                            if t2 > j {
+                                let cur = *slot;
+                                let s0 = (s0_s[v] != u32::MAX).then(|| s0_v[v * q + i]);
+                                let s1 = (s1_s[v] != u32::MAX).then(|| s1_v[v * q + i]);
+                                let s2 = (s2_s[v] != u32::MAX).then(|| s2_v[v * q + i]);
+                                let fd = plans[i].schedule2.final_delta;
+                                *slot = if t2 == j + 1 && fd < 1.0 {
+                                    lane_step_three_delta(cref[v] < fd, s0, s1, s2, cur)
+                                } else {
+                                    lane_step_three(s0, s1, s2, cur)
+                                };
+                            }
+                            i += 1;
+                            if i == q {
+                                i = 0;
+                                v += 1;
+                            }
                         }
-                    };
-                    let (s0m, s1m, s2m) = (sample_at(0), sample_at(1), sample_at(2));
-                    if s0m.is_none() && s1m.is_none() && s2m.is_none() {
-                        continue;
-                    }
-                    for (i, plan) in self.plans.iter().enumerate() {
-                        let t2 = plan.t2();
-                        if t2 <= j {
-                            continue;
-                        }
-                        let cur = states[v * q + i];
-                        let s0 = s0m.map(|m| m.values[i]);
-                        let s1 = s1m.map(|m| m.values[i]);
-                        let s2 = s2m.map(|m| m.values[i]);
-                        let fd = plan.schedule2.final_delta;
-                        states[v * q + i] = if t2 == j + 1 && fd < 1.0 {
-                            lane_step_three_delta(coins_j[v] < fd, s0, s1, s2, cur)
-                        } else {
-                            lane_step_three(s0, s1, s2, cur)
-                        };
-                    }
-                }
+                    },
+                    |(), ()| (),
+                );
+                timings.apply_secs += t0.elapsed().as_secs_f64();
                 if j < t2max {
-                    snap2.push(states.clone());
+                    let t0 = Instant::now();
+                    copy_into(&pool, threads, &mut traj.snap2[j + 1], &states);
+                    timings.record_secs += t0.elapsed().as_secs_f64();
                 }
             }
         }
 
-        // ---- Per-lane vote finalisation --------------------------------
-        let mut outputs = states;
-        let mut sortbuf: Vec<V> = Vec::with_capacity(k);
-        for (i, vote) in votes.iter().enumerate() {
-            let (samples, counts) = vote.as_ref().expect("every lane votes");
-            for v in 0..n {
-                let c = counts[v] as usize;
-                if c > 0 {
-                    sortbuf.clear();
-                    sortbuf.extend_from_slice(&samples[v * k..v * k + c]);
-                    sortbuf.sort_unstable();
-                    outputs[v * q + i] = sortbuf[c / 2];
-                } // an empty vote keeps the converged value, as in the solo run
-            }
+        // ---- Per-lane vote derivation ----------------------------------
+        // Derived entirely from the recorded trajectory instead of
+        // accumulated per vote round: lane `i`'s sample at vote round `rr`
+        // is the value its realised source served, and the states served
+        // during any Phase II round `rr` are exactly `snap2[min(rr/3,
+        // t2max)]` (collection precedes the window-end apply, and a lane's
+        // component freezes once it converges). The median of the gathered
+        // multiset via `select_nth_unstable` equals the full sort's
+        // `sorted[c / 2]` — the identical formula the incremental patch has
+        // always used, pinned by incremental ≡ full.
+        let t0 = Instant::now();
+        copy_into(&pool, threads, &mut traj.outputs, &states);
+        {
+            let Trajectory {
+                outputs,
+                snap2,
+                sources2,
+                ..
+            } = &mut traj;
+            let (snap2, sources2) = (&snap2[..], &sources2[..]);
+            par::for_chunks(
+                &pool,
+                &mut outputs[..],
+                threads,
+                (),
+                |start, chunk| {
+                    let mut buf: Vec<V> = Vec::with_capacity(k);
+                    let mut v = start / q;
+                    let mut i = start % q;
+                    for slot in chunk.iter_mut() {
+                        let first = 3 * plans[i].t2();
+                        buf.clear();
+                        for rr in first..first + k {
+                            let src = sources2[rr * n + v];
+                            if src != u32::MAX {
+                                buf.push(snap2[(rr / 3).min(t2max)][src as usize * q + i]);
+                            }
+                        }
+                        if !buf.is_empty() {
+                            let c = buf.len();
+                            *slot = *buf.select_nth_unstable(c / 2).1;
+                        } // an empty vote keeps the converged value
+                        i += 1;
+                        if i == q {
+                            i = 0;
+                            v += 1;
+                        }
+                    }
+                },
+                |(), ()| (),
+            );
         }
+        timings.vote_secs += t0.elapsed().as_secs_f64();
 
         let metrics = e1.metrics() + e2.metrics();
         let rounds = metrics.rounds;
-        self.cache = Some(Trajectory {
-            snap1,
-            snap2,
-            outputs,
-            sources1,
-            sources2,
-            rounds,
-            metrics,
-        });
+        traj.rounds = rounds;
+        traj.metrics = metrics;
+        #[cfg(debug_assertions)]
+        if let Some(before) = warmed_ptrs {
+            debug_assert_eq!(
+                before,
+                epoch_buffer_ptrs(&traj, &states, &scratch.coins),
+                "steady-state epoch reallocated a round buffer"
+            );
+        }
+        scratch.states = states;
+        scratch.warmed = true;
+        self.scratch = scratch;
+        self.cache = Some(traj);
         self.dirty.iter_mut().for_each(|d| *d = false);
-        Ok(self.outcome_from_cache(rounds, metrics, EpochMode::Full))
+        Ok(self.outcome_from_cache(rounds, metrics, EpochMode::Full, timings))
     }
 
     /// Replays the cached trajectory as a pure dataflow over the realised
@@ -741,7 +994,21 @@ impl<V: NodeValue> QuantileService<V> {
     /// trajectory untouched. The reported rounds/metrics are the cached
     /// logical cost of the trajectory (the network would spend the same
     /// either way — only the service-side wall-clock shrinks).
+    ///
+    /// Like [`recompute_full`](Self::recompute_full), the whole replay runs
+    /// as one resident pool session: the per-round dirty frontier is carved
+    /// into disjoint node chunks and recomputed on the pool.
     fn recompute_incremental(&mut self) -> Result<ServiceOutcome<V>> {
+        let pool = Arc::clone(
+            self.engine_config
+                .pool
+                .as_ref()
+                .expect("the service constructor always installs a pool"),
+        );
+        pool.run_program(|| self.incremental_epoch_body())
+    }
+
+    fn incremental_epoch_body(&mut self) -> Result<ServiceOutcome<V>> {
         let mut cache = self
             .cache
             .take()
@@ -749,6 +1016,19 @@ impl<V: NodeValue> QuantileService<V> {
         let (n, q, k) = (self.n, self.queries.len(), self.config.final_vote.samples);
         let (t1max, t2max) = (self.t1max(), self.t2max());
         let (seed1, seed2) = self.phase_seeds();
+        let pool = Arc::clone(
+            self.engine_config
+                .pool
+                .as_ref()
+                .expect("the service constructor always installs a pool"),
+        );
+        let threads = self.threads.unwrap_or(if n >= Engine::<()>::PAR_MIN_NODES {
+            par::num_threads()
+        } else {
+            1
+        });
+        let mut timings = EpochTimings::default();
+        let t_replay = Instant::now();
 
         // Seed the dirty set, pruning holders whose value bounced back.
         let mut dirty_map = vec![false; n];
@@ -765,57 +1045,126 @@ impl<V: NodeValue> QuantileService<V> {
             }
         }
         let dirty_fraction = dirty_nodes as f64 / n as f64;
+        if dirty_nodes == 0 {
+            // Every marked holder bounced back to its cached value: the
+            // cached trajectory is already current.
+            let (rounds, metrics) = (cache.rounds, cache.metrics);
+            self.cache = Some(cache);
+            self.dirty.iter_mut().for_each(|d| *d = false);
+            timings.replay_secs = t_replay.elapsed().as_secs_f64();
+            return Ok(self.outcome_from_cache(
+                rounds,
+                metrics,
+                EpochMode::Incremental {
+                    dirty_nodes,
+                    dirty_fraction,
+                },
+                timings,
+            ));
+        }
+        let plans = &self.plans;
+        let coins = &mut self.scratch.coins;
+        if coins.len() != n {
+            coins.clear();
+            coins.resize(n, 0.0);
+        }
 
         // ---- Phase I replay --------------------------------------------
-        let mut cand: Vec<usize> = Vec::new();
         for j in 0..t1max {
-            let cls = p1_class(&self.plans, j);
-            let coins = if cls.needs_coins {
-                participation_coins(seed1, j as u64, n)
-            } else {
-                Vec::new()
-            };
+            let cls = p1_class(plans, j);
+            if cls.needs_coins {
+                participation_coins_into(&pool, threads, seed1, j as u64, coins);
+            }
             // A node's iteration-`j` state can change only if its own state
             // or one of its realised pull sources this iteration is dirty.
             let sa_row = &cache.sources1[2 * j * n..(2 * j + 1) * n];
             let sb_row = &cache.sources1[(2 * j + 1) * n..(2 * j + 2) * n];
-            cand.clear();
-            for v in 0..n {
-                let hit = dirty_map[v]
-                    || (sa_row[v] != u32::MAX && dirty_map[sa_row[v] as usize])
-                    || (sb_row[v] != u32::MAX && dirty_map[sb_row[v] as usize]);
-                if hit {
-                    cand.push(v);
-                }
-            }
-            let (head, tail) = cache.snap1.split_at_mut(j + 1);
-            let (snap, next) = (&head[j], &mut tail[0]);
-            for &v in &cand {
-                let sa = (sa_row[v] != u32::MAX).then(|| sa_row[v] as usize * q);
-                let sb = (sb_row[v] != u32::MAX).then(|| sb_row[v] as usize * q);
-                let mut any = false;
-                for (i, plan) in self.plans.iter().enumerate() {
-                    let steps = &plan.schedule1.steps;
-                    let cur = snap[v * q + i];
-                    let new = if j >= steps.len() {
-                        cur
-                    } else {
-                        let side = plan.schedule1.side;
-                        let delta = steps[j].delta;
-                        let s0 = sa.map(|o| snap[o + i]);
-                        let s1 = sb.map(|o| snap[o + i]);
-                        if delta >= 1.0 {
-                            lane_step_two(side, s0, s1, cur)
-                        } else {
-                            lane_step_two_delta(side, coins[v] < delta, s0, s1, cur)
+            let dm = &dirty_map[..];
+            let cand: Vec<u32> = par::fold_ranges(
+                &pool,
+                n,
+                threads,
+                Vec::new(),
+                |range| {
+                    let mut hits = Vec::new();
+                    for v in range {
+                        if dm[v]
+                            || (sa_row[v] != u32::MAX && dm[sa_row[v] as usize])
+                            || (sb_row[v] != u32::MAX && dm[sb_row[v] as usize])
+                        {
+                            hits.push(v as u32);
                         }
-                    };
-                    let changed = new != next[v * q + i];
-                    comp_dirty[v * q + i] = changed;
-                    any = any || changed;
-                    next[v * q + i] = new;
-                }
-                dirty_map[v] = any;
+                    }
+                    hits
+                },
+                |mut acc, mut part| {
+                    acc.append(&mut part);
+                    acc
+                },
+            );
+            let (head, tail) = cache.snap1.split_at_mut(j + 1);
+            let (snap, next) = (&head[j][..], &mut tail[0]);
+            let cref = &coins[..];
+            // The candidates are disjoint rows of both the next snapshot
+            // and the component-dirty map, so the frontier recompute carves
+            // them into per-thread chunks.
+            let still: Vec<u32> = par::for_sparse_rows2(
+                &pool,
+                &mut next[..],
+                q,
+                &mut comp_dirty[..],
+                q,
+                &cand,
+                threads,
+                Vec::new(),
+                |ids, base, sub_next, sub_cd| {
+                    let mut still = Vec::new();
+                    for &vu in ids {
+                        let v = vu as usize;
+                        let rel = (v - base) * q;
+                        let sa = (sa_row[v] != u32::MAX).then(|| sa_row[v] as usize * q);
+                        let sb = (sb_row[v] != u32::MAX).then(|| sb_row[v] as usize * q);
+                        let mut any = false;
+                        for (i, plan) in plans.iter().enumerate() {
+                            let steps = &plan.schedule1.steps;
+                            let cur = snap[v * q + i];
+                            let new = if j >= steps.len() {
+                                cur
+                            } else {
+                                let side = plan.schedule1.side;
+                                let delta = steps[j].delta;
+                                let s0 = sa.map(|o| snap[o + i]);
+                                let s1 = sb.map(|o| snap[o + i]);
+                                if delta >= 1.0 {
+                                    lane_step_two(side, s0, s1, cur)
+                                } else {
+                                    lane_step_two_delta(side, cref[v] < delta, s0, s1, cur)
+                                }
+                            };
+                            let changed = new != sub_next[rel + i];
+                            sub_cd[rel + i] = changed;
+                            any = any || changed;
+                            sub_next[rel + i] = new;
+                        }
+                        if any {
+                            still.push(vu);
+                        }
+                    }
+                    still
+                },
+                |mut acc, mut part| {
+                    acc.append(&mut part);
+                    acc
+                },
+            );
+            // Equivalent to the sequential per-candidate `dirty_map[v] =
+            // any`: nothing inside the iteration reads `dirty_map`, so the
+            // update can be deferred past the parallel pass.
+            for &vu in &cand {
+                dirty_map[vu as usize] = false;
+            }
+            for &vu in &still {
+                dirty_map[vu as usize] = true;
             }
         }
         for (v, &dirty) in dirty_map.iter().enumerate() {
@@ -827,15 +1176,12 @@ impl<V: NodeValue> QuantileService<V> {
 
         // ---- Phase II replay -------------------------------------------
         for j in 0..t2max {
-            let any_delta = self
-                .plans
+            let any_delta = plans
                 .iter()
                 .any(|p| p.t2() == j + 1 && p.schedule2.final_delta < 1.0);
-            let coins_j = if any_delta {
-                participation_coins(seed2, j as u64, n)
-            } else {
-                Vec::new()
-            };
+            if any_delta {
+                participation_coins_into(&pool, threads, seed2, j as u64, coins);
+            }
             // The three rounds of window `j` all serve the pre-window
             // snapshot, so replay reduces to one pass per window. Sparse
             // rounds need no membership test: a sat-out round is a
@@ -845,121 +1191,161 @@ impl<V: NodeValue> QuantileService<V> {
                 &cache.sources2[(3 * j + 1) * n..(3 * j + 2) * n],
                 &cache.sources2[(3 * j + 2) * n..(3 * j + 3) * n],
             ];
-            cand.clear();
-            for v in 0..n {
-                let hit = dirty_map[v]
-                    || rows
-                        .iter()
-                        .any(|row| row[v] != u32::MAX && dirty_map[row[v] as usize]);
-                if hit {
-                    cand.push(v);
-                }
-            }
-            let (head, tail) = cache.snap2.split_at_mut(j + 1);
-            let (snapj, next) = (&head[j], &mut tail[0]);
-            for &v in &cand {
-                let offset = |slot: usize| {
-                    let src = rows[slot][v];
-                    (src != u32::MAX).then(|| src as usize * q)
-                };
-                let (s0o, s1o, s2o) = (offset(0), offset(1), offset(2));
-                let mut any = false;
-                for (i, plan) in self.plans.iter().enumerate() {
-                    let t2 = plan.t2();
-                    let cur = snapj[v * q + i];
-                    let new = if t2 <= j {
-                        cur
-                    } else {
-                        let s0 = s0o.map(|o| snapj[o + i]);
-                        let s1 = s1o.map(|o| snapj[o + i]);
-                        let s2 = s2o.map(|o| snapj[o + i]);
-                        let fd = plan.schedule2.final_delta;
-                        if t2 == j + 1 && fd < 1.0 {
-                            lane_step_three_delta(coins_j[v] < fd, s0, s1, s2, cur)
-                        } else {
-                            lane_step_three(s0, s1, s2, cur)
+            let dm = &dirty_map[..];
+            let cand: Vec<u32> = par::fold_ranges(
+                &pool,
+                n,
+                threads,
+                Vec::new(),
+                |range| {
+                    let mut hits = Vec::new();
+                    for v in range {
+                        if dm[v]
+                            || rows
+                                .iter()
+                                .any(|row| row[v] != u32::MAX && dm[row[v] as usize])
+                        {
+                            hits.push(v as u32);
                         }
-                    };
-                    let changed = new != next[v * q + i];
-                    comp_dirty[v * q + i] = changed;
-                    any = any || changed;
-                    next[v * q + i] = new;
-                }
-                dirty_map[v] = any;
+                    }
+                    hits
+                },
+                |mut acc, mut part| {
+                    acc.append(&mut part);
+                    acc
+                },
+            );
+            let (head, tail) = cache.snap2.split_at_mut(j + 1);
+            let (snapj, next) = (&head[j][..], &mut tail[0]);
+            let cref = &coins[..];
+            let still: Vec<u32> = par::for_sparse_rows2(
+                &pool,
+                &mut next[..],
+                q,
+                &mut comp_dirty[..],
+                q,
+                &cand,
+                threads,
+                Vec::new(),
+                |ids, base, sub_next, sub_cd| {
+                    let mut still = Vec::new();
+                    for &vu in ids {
+                        let v = vu as usize;
+                        let rel = (v - base) * q;
+                        let offset = |slot: usize| {
+                            let src = rows[slot][v];
+                            (src != u32::MAX).then(|| src as usize * q)
+                        };
+                        let (s0o, s1o, s2o) = (offset(0), offset(1), offset(2));
+                        let mut any = false;
+                        for (i, plan) in plans.iter().enumerate() {
+                            let t2 = plan.t2();
+                            let cur = snapj[v * q + i];
+                            let new = if t2 <= j {
+                                cur
+                            } else {
+                                let s0 = s0o.map(|o| snapj[o + i]);
+                                let s1 = s1o.map(|o| snapj[o + i]);
+                                let s2 = s2o.map(|o| snapj[o + i]);
+                                let fd = plan.schedule2.final_delta;
+                                if t2 == j + 1 && fd < 1.0 {
+                                    lane_step_three_delta(cref[v] < fd, s0, s1, s2, cur)
+                                } else {
+                                    lane_step_three(s0, s1, s2, cur)
+                                }
+                            };
+                            let changed = new != sub_next[rel + i];
+                            sub_cd[rel + i] = changed;
+                            any = any || changed;
+                            sub_next[rel + i] = new;
+                        }
+                        if any {
+                            still.push(vu);
+                        }
+                    }
+                    still
+                },
+                |mut acc, mut part| {
+                    acc.append(&mut part);
+                    acc
+                },
+            );
+            for &vu in &cand {
+                dirty_map[vu as usize] = false;
+            }
+            for &vu in &still {
+                dirty_map[vu as usize] = true;
             }
         }
+        timings.replay_secs = t_replay.elapsed().as_secs_f64();
 
         // ---- Patch vote outputs for the affected nodes -----------------
         // A lane's components freeze once it converges, so after the window
         // loop `comp_dirty` is final for every lane: a node's vote output
-        // can change only if one of its realised vote sources carries a
-        // dirty component (or, for an empty vote, its own converged value
-        // moved — the own-dirty test covers that fallback). Lanes with equal
-        // `t2` share their vote rounds and therefore their realised sources,
-        // so they are patched as one group: the hit test sweeps each
-        // `sources2` row once in storage order, and the gather walks a
-        // node's k sources with the group's lanes innermost — the source's
-        // lane vector is one cache line, read once for the whole group.
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (i, plan) in self.plans.iter().enumerate() {
-            let start = 3 * plan.t2();
-            match groups.iter_mut().find(|(s, _)| *s == start) {
-                Some((_, lanes)) => lanes.push(i),
-                None => groups.push((start, vec![i])),
-            }
-        }
-        let mut samples: Vec<V> = Vec::with_capacity(k);
-        for (start, lanes) in &groups {
-            let g = lanes.len();
-            // `di`/`hit` are lane-major within the group: index `l * n + v`.
-            let mut di = vec![false; g * n];
-            for (l, &i) in lanes.iter().enumerate() {
-                for v in 0..n {
-                    di[l * n + v] = comp_dirty[v * q + i];
-                }
-            }
-            let mut hit = di.clone();
-            for rr in *start..*start + k {
-                let row = &cache.sources2[rr * n..(rr + 1) * n];
-                for v in 0..n {
-                    let src = row[v];
-                    if src == u32::MAX {
-                        continue;
-                    }
-                    let s = src as usize;
-                    for l in 0..g {
-                        if !hit[l * n + v] && di[l * n + s] {
-                            hit[l * n + v] = true;
+        // can change only if its own component or one of its realised vote
+        // sources carries a dirty component (the own-dirty test also covers
+        // the empty-vote fallback to the converged value). The patch runs
+        // element-parallel over the flat output vector — per `(v, i)` the
+        // hit test walks the node's `k` realised sources and, on a hit,
+        // regathers the vote multiset and takes its median value, identical
+        // to the full path's `sorted[c / 2]`.
+        let t0 = Instant::now();
+        {
+            let Trajectory {
+                outputs,
+                snap2,
+                sources2,
+                ..
+            } = &mut cache;
+            let (snap2, sources2) = (&snap2[..], &sources2[..]);
+            let cd = &comp_dirty[..];
+            par::for_chunks(
+                &pool,
+                &mut outputs[..],
+                threads,
+                (),
+                |start, chunk| {
+                    let mut buf: Vec<V> = Vec::with_capacity(k);
+                    let mut v = start / q;
+                    let mut i = start % q;
+                    for slot in chunk.iter_mut() {
+                        let first = 3 * plans[i].t2();
+                        let mut hit = cd[v * q + i];
+                        if !hit {
+                            for rr in first..first + k {
+                                let src = sources2[rr * n + v];
+                                if src != u32::MAX && cd[src as usize * q + i] {
+                                    hit = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if hit {
+                            buf.clear();
+                            for rr in first..first + k {
+                                let src = sources2[rr * n + v];
+                                if src != u32::MAX {
+                                    buf.push(snap2[(rr / 3).min(t2max)][src as usize * q + i]);
+                                }
+                            }
+                            *slot = if buf.is_empty() {
+                                snap2[t2max][v * q + i]
+                            } else {
+                                let c = buf.len();
+                                *buf.select_nth_unstable(c / 2).1
+                            };
+                        }
+                        i += 1;
+                        if i == q {
+                            i = 0;
+                            v += 1;
                         }
                     }
-                }
-            }
-            for v in 0..n {
-                if (0..g).all(|l| !hit[l * n + v]) {
-                    continue;
-                }
-                for (l, &i) in lanes.iter().enumerate() {
-                    if !hit[l * n + v] {
-                        continue;
-                    }
-                    samples.clear();
-                    for rr in *start..*start + k {
-                        let src = cache.sources2[rr * n + v];
-                        if src != u32::MAX {
-                            samples.push(cache.snap2[(rr / 3).min(t2max)][src as usize * q + i]);
-                        }
-                    }
-                    cache.outputs[v * q + i] = if samples.is_empty() {
-                        cache.snap2[t2max][v * q + i]
-                    } else {
-                        // The median value of the multiset — identical to the
-                        // full path's `sorted[c / 2]`, without the full sort.
-                        let c = samples.len();
-                        *samples.select_nth_unstable(c / 2).1
-                    };
-                }
-            }
+                },
+                |(), ()| (),
+            );
         }
+        timings.vote_secs = t0.elapsed().as_secs_f64();
 
         let rounds = cache.rounds;
         let metrics = cache.metrics;
@@ -972,6 +1358,7 @@ impl<V: NodeValue> QuantileService<V> {
                 dirty_nodes,
                 dirty_fraction,
             },
+            timings,
         ))
     }
 
@@ -980,6 +1367,7 @@ impl<V: NodeValue> QuantileService<V> {
         rounds: u64,
         metrics: Metrics,
         mode: EpochMode,
+        timings: EpochTimings,
     ) -> ServiceOutcome<V> {
         let outputs = &self.cache.as_ref().expect("cache just written").outputs;
         let q = self.queries.len();
@@ -992,6 +1380,7 @@ impl<V: NodeValue> QuantileService<V> {
             metrics,
             per_query: self.per_query.clone(),
             mode,
+            timings,
         }
     }
 }
@@ -1030,15 +1419,16 @@ fn p1_class(plans: &[LanePlan], j: usize) -> P1Class {
     cls
 }
 
-/// Classification of Phase II round `r` (0-based within the phase).
+/// Classification of Phase II round `r` (0-based within the phase). Vote
+/// rounds need no lane list here — the vote outputs are derived after the
+/// phase from the recorded snapshots and realised sources — but a voting
+/// lane still forces the round dense.
 struct P2Round {
     /// Some lane needs the round dense (first slot of an iteration, a full
     /// tournament step, or a vote round).
     any_dense: bool,
     /// Largest final δ among truncated lanes when the round can run sparse.
     delta_max: f64,
-    /// Lanes voting this round, with the vote-round index.
-    voting: Vec<(usize, usize)>,
 }
 
 fn p2_round_class(plans: &[LanePlan], k: usize, r: usize) -> P2Round {
@@ -1046,9 +1436,8 @@ fn p2_round_class(plans: &[LanePlan], k: usize, r: usize) -> P2Round {
     let mut cls = P2Round {
         any_dense: false,
         delta_max: 0.0,
-        voting: Vec::new(),
     };
-    for (i, plan) in plans.iter().enumerate() {
+    for plan in plans {
         let t2 = plan.t2();
         if r < 3 * t2 {
             if s == 0 {
@@ -1062,17 +1451,77 @@ fn p2_round_class(plans: &[LanePlan], k: usize, r: usize) -> P2Round {
             }
         } else if r < 3 * t2 + k {
             cls.any_dense = true;
-            cls.voting.push((i, r - 3 * t2));
         }
     }
     cls
 }
 
 /// The participation coins of one iteration, drawn exactly as the solo
-/// tournaments draw them (`STREAM_PARTICIPATION`, keyed by iteration).
-fn participation_coins(seed: u64, iteration: u64, n: usize) -> Vec<f64> {
+/// tournaments draw them (`STREAM_PARTICIPATION`, keyed by iteration), into
+/// a reused buffer in parallel — each coin depends only on `(seed,
+/// iteration, node)`, so chunking is invisible in the values.
+fn participation_coins_into(
+    pool: &WorkerPool,
+    threads: usize,
+    seed: u64,
+    iteration: u64,
+    out: &mut [f64],
+) {
     let prefix = NodeRng::key_prefix(seed, iteration, NodeRng::STREAM_PARTICIPATION);
-    (0..n).map(|v| prefix.node(v as u64).next_f64()).collect()
+    par::for_chunks(
+        pool,
+        out,
+        threads,
+        (),
+        |start, chunk| {
+            for (j, c) in chunk.iter_mut().enumerate() {
+                *c = prefix.node((start + j) as u64).next_f64();
+            }
+        },
+        |(), ()| (),
+    );
+}
+
+/// Pool-parallel `dst.copy_from_slice(src)`, (re)sizing `dst` only on a
+/// length mismatch — the snapshot-recording primitive of the full epoch
+/// (steady-state epochs always hit the matched-length path and stay
+/// allocation-free).
+fn copy_into<V: NodeValue>(pool: &WorkerPool, threads: usize, dst: &mut Vec<V>, src: &[V]) {
+    if src.is_empty() {
+        dst.clear();
+        return;
+    }
+    if dst.len() != src.len() {
+        dst.clear();
+        dst.resize(src.len(), src[0]);
+    }
+    par::for_chunks(
+        pool,
+        &mut dst[..],
+        threads,
+        (),
+        |start, chunk| {
+            chunk.copy_from_slice(&src[start..start + chunk.len()]);
+        },
+        |(), ()| (),
+    );
+}
+
+/// The backing-store pointers of every per-epoch buffer, used by the debug
+/// steady-state assertion in `full_epoch_body`: if any pointer moved between
+/// two warmed epochs, a round buffer was reallocated.
+#[cfg(debug_assertions)]
+fn epoch_buffer_ptrs<V>(traj: &Trajectory<V>, states: &[V], coins: &[f64]) -> Vec<usize> {
+    let mut ptrs = vec![
+        states.as_ptr() as usize,
+        coins.as_ptr() as usize,
+        traj.sources1.as_ptr() as usize,
+        traj.sources2.as_ptr() as usize,
+        traj.outputs.as_ptr() as usize,
+    ];
+    ptrs.extend(traj.snap1.iter().map(|s| s.as_ptr() as usize));
+    ptrs.extend(traj.snap2.iter().map(|s| s.as_ptr() as usize));
+    ptrs
 }
 
 /// One lane's update in a full (δ = 1) Phase I iteration — the exact arms of
